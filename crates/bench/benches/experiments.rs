@@ -1,0 +1,87 @@
+//! Criterion wrappers over the experiment harness.
+//!
+//! These are macro-benchmarks (each iteration simulates hundreds of
+//! milliseconds of network time), so sample counts are kept small;
+//! their value is regression tracking of both the reproduced numbers'
+//! *shape* and the simulator's wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livesec::balance::Grain;
+use livesec_bench::{access, balance_exp, latency, policy_demo, scaling};
+use livesec_sim::SimDuration;
+
+fn bench_access_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_throughput");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("wired_ovs", access::Access::WiredOvs),
+        ("pantou_wifi", access::Access::PantouWifi),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = access::run(kind, 1, SimDuration::from_millis(200));
+                assert!(r.goodput_bps > 0.0);
+                r.goodput_bps
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_se_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("se_scaling");
+    g.sample_size(10);
+    for n in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| scaling::run(n, 3, SimDuration::from_millis(150)).goodput_bps)
+        });
+    }
+    g.finish();
+}
+
+fn bench_load_balance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("load_balance");
+    g.sample_size(10);
+    for algo in balance_exp::Algo::ALL {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                balance_exp::run(algo, Grain::Flow, 3, 9, 11, SimDuration::from_millis(1500))
+                    .max_deviation
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_latency_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_overhead");
+    g.sample_size(10);
+    g.bench_function("steered", |b| b.iter(|| latency::run(17, 20).overhead));
+    g.bench_function("unsteered", |b| {
+        b.iter(|| latency::run_unsteered(17, 20).overhead)
+    });
+    g.finish();
+}
+
+fn bench_policy_enforcement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_enforcement");
+    g.sample_size(10);
+    g.bench_function("attack_block_loop", |b| {
+        b.iter(|| {
+            let r = policy_demo::run(23);
+            assert!(r.flow_blocked.is_some());
+            r.reaction
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_throughput,
+    bench_se_scaling,
+    bench_load_balance,
+    bench_latency_overhead,
+    bench_policy_enforcement,
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E10 — design-choice ablation sweeps (see DESIGN.md).
+
+use livesec_bench::ablation;
+use livesec_bench::print_header;
+
+fn main() {
+    print_header("E10a", "steering chain length vs ping RTT");
+    for row in ablation::chain_length_latency(31) {
+        println!("chain of {}: mean RTT {}", row.chain_len, row.rtt);
+    }
+
+    print_header("E10b", "SE report interval vs min-load balance quality");
+    for row in ablation::report_interval_balance(31) {
+        println!(
+            "interval {:>10}: max deviation {:.1}%",
+            row.interval.to_string(),
+            row.max_deviation * 100.0
+        );
+    }
+
+    print_header("E10c", "control-channel latency vs flow-setup cost");
+    for row in ablation::control_latency_setup(33) {
+        println!(
+            "control latency {:>10}: first ping {} | steady {}",
+            row.control_latency.to_string(),
+            row.first_rtt,
+            row.steady_rtt
+        );
+    }
+}

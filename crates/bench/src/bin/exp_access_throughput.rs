@@ -1,0 +1,22 @@
+//! E1 — regenerates the §V-B.1 access-throughput numbers.
+
+use livesec_bench::access::{self, Access};
+use livesec_bench::{print_header, print_rate_row};
+use livesec_sim::SimDuration;
+
+fn main() {
+    print_header("E1", "access throughput (paper: OvS ~100 Mbps, Pantou ~43 Mbps)");
+    let window = SimDuration::from_secs(1);
+    for (label, kind, paper) in [
+        ("wired user behind OvS", Access::WiredOvs, 100.0e6),
+        ("wireless user behind Pantou AP", Access::PantouWifi, 43.0e6),
+    ] {
+        let r = access::run(kind, 1, window);
+        print_rate_row(label, r.goodput_bps);
+        println!(
+            "{:<44} {:>13.1}%",
+            "  vs paper",
+            100.0 * r.goodput_bps / paper
+        );
+    }
+}

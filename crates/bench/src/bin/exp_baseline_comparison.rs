@@ -1,0 +1,30 @@
+//! E11 — traditional gateway middlebox vs LiveSec's distributed
+//! elements under growing demand (the paper's Figure 1 vs Figure 2
+//! motivation, quantified).
+
+use livesec_bench::baseline::{self, Design};
+use livesec_bench::print_header;
+use livesec_sim::{format_bps, SimDuration};
+
+fn main() {
+    print_header(
+        "E11",
+        "scrubbed throughput vs demand: traditional (1 box) vs LiveSec (distributed)",
+    );
+    println!(
+        "{:>8} {:>18} {:>18} {:>8}",
+        "pairs", "traditional", "livesec", "ratio"
+    );
+    let window = SimDuration::from_millis(500);
+    for pairs in [1usize, 2, 4, 8] {
+        let trad = baseline::run(Design::TraditionalGatewayMiddlebox, pairs, 5, window);
+        let live = baseline::run(Design::LiveSecDistributed, pairs, 5, window);
+        println!(
+            "{:>8} {:>18} {:>18} {:>7.1}x",
+            pairs,
+            format_bps(trad.goodput_bps),
+            format_bps(live.goodput_bps),
+            live.goodput_bps / trad.goodput_bps
+        );
+    }
+}

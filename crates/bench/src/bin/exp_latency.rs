@@ -1,0 +1,20 @@
+//! E5 — regenerates the §V-B.3 latency measurement
+//! (LiveSec adds ≈10% average RTT over the legacy network).
+
+use livesec_bench::latency;
+use livesec_bench::print_header;
+
+fn main() {
+    print_header("E5", "ping RTT to an Internet server (paper: ~+10%)");
+    let r = latency::run(17, 200);
+    println!("baseline (legacy only)     mean RTT: {}", r.baseline_rtt);
+    println!("LiveSec (IDS steering)     mean RTT: {}", r.livesec_rtt);
+    println!("LiveSec first ping (setup)      RTT: {}", r.livesec_first_rtt);
+    println!("overhead: {:+.1}%   loss: {:.2}%", r.overhead * 100.0, r.livesec_loss * 100.0);
+
+    let u = latency::run_unsteered(17, 200);
+    println!();
+    println!("ablation - AS layer only (no SE detour):");
+    println!("LiveSec unsteered          mean RTT: {}", u.livesec_rtt);
+    println!("overhead: {:+.1}%", u.overhead * 100.0);
+}

@@ -1,0 +1,44 @@
+//! E4 — regenerates the §V-B.2 load-balance measurement
+//! (min-load deviation ≤5%), comparing all four dispatch algorithms
+//! and both granularities. Pass `--schematic` for the Figure-4 toy
+//! (2 hosts, 2 elements).
+
+use livesec::balance::Grain;
+use livesec_bench::balance_exp::{self, Algo};
+use livesec_bench::print_header;
+use livesec_sim::SimDuration;
+
+fn main() {
+    let schematic = std::env::args().any(|a| a == "--schematic");
+    if schematic {
+        print_header("E9", "Figure 4 schematic: 2 hosts over 2 elements (min-load)");
+        let r = balance_exp::run(Algo::MinLoad, Grain::Flow, 2, 2, 9, SimDuration::from_secs(3));
+        println!("per-element packets: {:?}", r.per_element);
+        println!("max deviation: {:.1}%", r.max_deviation * 100.0);
+        return;
+    }
+    print_header(
+        "E4",
+        "load deviation across 8 elements, 24 users (paper: min-load <=5%)",
+    );
+    println!(
+        "{:<12} {:<6} {:>12} {:>10} {:>30}",
+        "algorithm", "grain", "max dev %", "cv %", "per-element packets"
+    );
+    for grain in [Grain::Flow, Grain::User] {
+        for algo in Algo::ALL {
+            let r = balance_exp::run(algo, grain, 8, 24, 11, SimDuration::from_secs(5));
+            println!(
+                "{:<12} {:<6} {:>11.1}% {:>9.1}% {:>30}",
+                algo.name(),
+                match grain {
+                    Grain::Flow => "flow",
+                    Grain::User => "user",
+                },
+                r.max_deviation * 100.0,
+                r.cv * 100.0,
+                format!("{:?}", r.per_element)
+            );
+        }
+    }
+}

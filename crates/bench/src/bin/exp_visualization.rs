@@ -1,0 +1,43 @@
+//! E6/E7 — regenerates the Figure 7 ("normal network environment")
+//! and Figure 8 ("network events") WebUI views, plus the replay check.
+//!
+//! `--phase normal` prints only Figure 7; `--phase events` only
+//! Figure 8; default prints both plus the narrative summary.
+
+use livesec_bench::viz;
+
+fn main() {
+    let phase = std::env::args()
+        .skip_while(|a| a != "--phase")
+        .nth(1)
+        .unwrap_or_else(|| "both".to_owned());
+    let r = viz::run(42);
+
+    if phase == "normal" || phase == "both" {
+        println!("--- Figure 7: normal network environment ---");
+        print!("{}", r.normal);
+    }
+    if phase == "events" || phase == "both" {
+        println!("--- Figure 8: network events ---");
+        print!("{}", r.events);
+    }
+    if phase == "both" {
+        println!("--- narrative ---");
+        println!("user left:            {}", r.narrative.user_left);
+        println!("ssh identified:       {}", r.narrative.ssh_seen);
+        println!("bittorrent identified:{}", r.narrative.bittorrent_seen);
+        println!("attack detected:      {}", r.narrative.attack_detected);
+        println!("attack blocked:       {}", r.narrative.attack_blocked);
+        println!(
+            "events recorded: {} (replayable via Monitor::replay)",
+            r.monitor.len()
+        );
+        println!("--- service-aware statistics (completed flows) ---");
+        for (app, t) in &r.app_traffic {
+            println!(
+                "{:>14}: {:>4} flows {:>10} packets {:>12} bytes",
+                app, t.flows, t.packets, t.bytes
+            );
+        }
+    }
+}

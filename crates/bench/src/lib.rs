@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the LiveSec reproduction.
+//!
+//! One module per experiment of the paper's evaluation (§V), as
+//! indexed in `DESIGN.md`:
+//!
+//! | id | module | paper artifact |
+//! |----|--------|----------------|
+//! | E1 | [`access`] | §V-B.1 access throughput (OvS vs Pantou) |
+//! | E2 | [`scaling`] | §V-B.1 SE scaling (421 → 827 Mbps → NIC cap) |
+//! | E3 | [`aggregate`] | §V-B.1 aggregate capacity (8 Gbps IDS / 2 Gbps proto-id) |
+//! | E4 | [`balance_exp`] | §V-B.2 load-balance deviation (≤5% for min-load) |
+//! | E5 | [`latency`] | §V-B.3 latency overhead (≈ +10%) |
+//! | E6/E7 | [`viz`] | Figures 7–8 WebUI frames and event replay |
+//! | E8 | [`policy_demo`] | Figure 3 interactive policy enforcement |
+//! | E10 | [`ablation`] | design-choice ablations (ours) |
+//! | E11 | [`baseline`] | traditional gateway middlebox vs LiveSec (Fig. 1 vs Fig. 2) |
+//!
+//! Each module exposes a `run` function returning a plain result
+//! struct; the `src/bin/exp_*.rs` binaries print the paper-style
+//! tables, and `benches/experiments.rs` wraps reduced versions in
+//! Criterion for regression tracking.
+
+pub mod ablation;
+pub mod access;
+pub mod baseline;
+pub mod aggregate;
+pub mod balance_exp;
+pub mod latency;
+pub mod policy_demo;
+pub mod scaling;
+pub mod viz;
+
+use livesec_sim::format_bps;
+
+/// Prints a two-column result row, `label` then a bit rate.
+pub fn print_rate_row(label: &str, bps: f64) {
+    println!("{label:<44} {:>14}", format_bps(bps));
+}
+
+/// Prints a section header for an experiment table.
+pub fn print_header(exp: &str, title: &str) {
+    println!();
+    println!("=== {exp}: {title} ===");
+}
+
+/// Relative error helper used by experiment self-checks.
+pub fn rel_err(measured: f64, expected: f64) -> f64 {
+    (measured - expected).abs() / expected
+}

@@ -1,0 +1,125 @@
+//! E2 — §V-B.1 service-element scaling.
+//!
+//! Paper: with HTTP flows through IDS service elements on one OvS
+//! host, one VM reaches 421 Mbps, two reach 827 Mbps ("linearly
+//! increased with the number of VM-based service elements"), and 20
+//! VMs are capped by the host's Gigabit NIC.
+//!
+//! Reproduction: IDS elements (each modeled at the paper's measured
+//! 421 Mbps per-VM HTTP rate) all attach to one AS switch whose 1 Gbps
+//! uplink models the host NIC. HTTP client/server pairs — each pair on
+//! its own pair of switches so nothing else bottlenecks — are steered
+//! through the elements by the min-load balancer. Aggregate goodput
+//! should rise linearly (421, ~830, …) until the uplink caps it just
+//! under 1 Gbps.
+
+use livesec::balance::LoadBalancer;
+use livesec::deploy::CampusBuilder;
+use livesec::policy::{PolicyRule, PolicyTable};
+use livesec_services::{IdsEngine, ServiceElement, ServiceType};
+use livesec_sim::{LinkSpec, SimDuration};
+use livesec_switch::Host;
+use livesec_workloads::{HttpClient, HttpServer};
+
+/// Per-VM HTTP-through-IDS processing rate measured by the paper.
+pub const PAPER_PER_VM_BPS: u64 = 421_000_000;
+
+/// The result of one scaling run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingResult {
+    /// Number of service elements.
+    pub n_se: usize,
+    /// Aggregate HTTP goodput delivered to clients, bits per second.
+    pub goodput_bps: f64,
+}
+
+/// Runs E2 for one element count.
+pub fn run(n_se: usize, seed: u64, window: SimDuration) -> ScalingResult {
+    assert!(n_se >= 1, "need at least one element");
+    let n_pairs = n_se + 2; // slight over-subscription saturates every SE
+    // Switch 0 hosts the SEs; each pair gets a client switch and a
+    // server switch of its own.
+    let n_switches = 1 + 2 * n_pairs;
+
+    let mut policy = PolicyTable::allow_all();
+    policy.push(
+        PolicyRule::named("ids-web")
+            .dst_port(80)
+            .chain(vec![ServiceType::IntrusionDetection]),
+    );
+
+    // The workload is closed-loop (one object outstanding per pair),
+    // so queues sized above pairs x object_size absorb the in-flight
+    // data without tail drops — the role TCP flow control plays on
+    // the real testbed.
+    let mut big = LinkSpec::gigabit();
+    big.queue_bytes = 32 * 1024 * 1024;
+    let mut b = CampusBuilder::with_legacy_tiers_uplink(seed, n_switches, 0, big)
+        .with_policy(policy)
+        .with_balancer(LoadBalancer::min_load())
+        .with_user_link(big)
+        .with_se_link(big);
+
+    for _ in 0..n_se {
+        b.add_service_element(
+            0,
+            ServiceElement::new(IdsEngine::engine())
+                .with_capacity_bps(PAPER_PER_VM_BPS)
+                .with_per_packet_overhead(SimDuration::ZERO)
+                .with_max_backlog(SimDuration::from_millis(400)),
+        );
+    }
+
+    let mut clients = Vec::with_capacity(n_pairs);
+    for p in 0..n_pairs {
+        let server = b.add_user(2 + 2 * p, HttpServer::new());
+        let client = b.add_user(
+            1 + 2 * p,
+            HttpClient::new(server.ip, 1_000_000)
+                .with_start_delay(SimDuration::from_millis(900 + 7 * p as u64)),
+        );
+        clients.push(client);
+    }
+    let mut campus = b.finish();
+
+    campus.world.run_for(SimDuration::from_millis(1800));
+    let before: u64 = clients
+        .iter()
+        .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+        .sum();
+    campus.world.run_for(window);
+    let after: u64 = clients
+        .iter()
+        .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+        .sum();
+
+    ScalingResult {
+        n_se,
+        goodput_bps: ((after - before) * 8) as f64 / window.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_element_near_421mbps() {
+        let r = run(1, 3, SimDuration::from_millis(400));
+        assert!(
+            r.goodput_bps > 330_000_000.0 && r.goodput_bps < 460_000_000.0,
+            "goodput {}",
+            r.goodput_bps
+        );
+    }
+
+    #[test]
+    fn two_elements_roughly_double() {
+        let one = run(1, 3, SimDuration::from_millis(400)).goodput_bps;
+        let two = run(2, 3, SimDuration::from_millis(400)).goodput_bps;
+        assert!(
+            two > one * 1.7,
+            "two elements should nearly double: {one} -> {two}"
+        );
+    }
+}

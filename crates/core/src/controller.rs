@@ -1,0 +1,1191 @@
+//! The LiveSec controller (the paper's NOX-based controller,
+//! §III–§IV).
+//!
+//! One logically central node terminates every AS switch's secure
+//! channel and implements, on packet-in events:
+//!
+//! * LLDP topology discovery ([`crate::topology`]),
+//! * ARP location discovery and the directory proxy
+//!   ([`crate::location`], [`crate::directory`]),
+//! * interactive policy enforcement ([`crate::policy`],
+//!   [`crate::routing`]),
+//! * service-element management and load balancing
+//!   ([`crate::balance`]),
+//! * monitoring and replay ([`crate::monitor`]).
+
+use crate::balance::{LoadBalancer, SeRegistry};
+use crate::directory::DirectoryProxy;
+use crate::location::{LearnOutcome, LocationTable};
+use crate::monitor::{EventKind, Monitor};
+use crate::policy::{AppAction, PolicyDecision, PolicyTable};
+use crate::routing::{compile_path, Hop, SteeringProgram};
+use crate::topology::TopologyMap;
+use livesec_net::packet::{arp_frame, lldp_frame};
+use livesec_net::{
+    wire, ArpOp, ArpPacket, DhcpMessage, EtherType, EthernetHeader, FlowKey, Ipv4Header,
+    Ipv4Packet, LldpFrame, MacAddr, Packet, Payload, Transport, UdpDatagram,
+};
+use livesec_openflow::{
+    codec, Action, FlowModCommand, Match, OfMessage, StatsBody, StatsRequestKind,
+};
+use livesec_services::{SeMessage, ServiceType, Verdict, SE_CONTROL_PORT};
+use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Timer token for the controller's housekeeping tick.
+const TICK: u64 = 1;
+
+/// Cookie tagging the forward-ingress entry of each flow.
+const INGRESS_COOKIE: u64 = 1;
+/// Cookie tagging the reverse-ingress entry (carries the response
+/// volume; both removals together finalize the session's statistics).
+const REVERSE_COOKIE: u64 = 2;
+
+/// Priority of steering/forwarding entries.
+const STEER_PRIORITY: u16 = 100;
+/// Priority of drop entries (wins over steering).
+const BLOCK_PRIORITY: u16 = 200;
+
+/// Book-keeping for one admitted flow.
+#[derive(Clone, Debug)]
+struct FlowRecord {
+    chain: Vec<ServiceType>,
+    elements: Vec<MacAddr>,
+    ingress_dpid: u64,
+    ingress_actions: Vec<Action>,
+    app: Option<String>,
+    blocked: bool,
+    /// (packets, bytes) from the removed forward-ingress entry.
+    fwd_done: Option<(u64, u64)>,
+    /// (packets, bytes) from the removed reverse-ingress entry.
+    rev_done: Option<(u64, u64)>,
+}
+
+/// Accumulated traffic figures for one application label or user —
+/// the paper's §IV-C "service-aware statistics".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TrafficTally {
+    /// Completed flows attributed.
+    pub flows: u64,
+    /// Packets those flows carried (ingress-entry counters).
+    pub packets: u64,
+    /// Bytes those flows carried.
+    pub bytes: u64,
+}
+
+/// A point-in-time export of the controller's network information
+/// base — the Onix-style NIB of the paper's §II, and the data feed a
+/// topology UI renders.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct NibSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Registered switches: (dpid, port count, uplink port).
+    pub switches: Vec<(u64, u32, Option<u32>)>,
+    /// Discovered logical links: (from dpid+port, to dpid+port).
+    pub links: Vec<((u64, u32), (u64, u32))>,
+    /// Located hosts: (mac, ip, dpid, port).
+    pub hosts: Vec<(MacAddr, Ipv4Addr, u64, u32)>,
+    /// Known service elements.
+    pub elements: Vec<crate::balance::SeView>,
+    /// Active flows with their chains and identified apps.
+    pub active_flows: Vec<(FlowKey, Vec<ServiceType>, Option<String>)>,
+    /// Per-application traffic totals (completed flows).
+    pub app_traffic: Vec<(String, TrafficTally)>,
+    /// Per-user traffic totals (completed flows).
+    pub user_traffic: Vec<(MacAddr, TrafficTally)>,
+}
+
+/// The LiveSec controller node.
+///
+/// Construct with [`Controller::new`], refine with the `with_*`
+/// builder methods, add to the [`livesec_sim::World`], and point every
+/// [`livesec_switch::AsSwitch`] at it.
+pub struct Controller {
+    xid: u32,
+    topo: TopologyMap,
+    locations: LocationTable,
+    registry: SeRegistry,
+    policy: PolicyTable,
+    balancer: LoadBalancer,
+    monitor: Monitor,
+    directory: Option<DirectoryProxy>,
+    active: HashMap<FlowKey, FlowRecord>,
+    required_certs: Option<HashSet<u64>>,
+
+    tick: SimDuration,
+    lldp_every_ticks: u64,
+    stats_every_ticks: u64,
+    arp_timeout: SimDuration,
+    se_timeout: SimDuration,
+    flow_idle_timeout: SimDuration,
+    fail_open: bool,
+    record_se_load: bool,
+    tick_count: u64,
+    last_port_stats: HashMap<(u64, u32), (u64, u64)>,
+    app_traffic: HashMap<String, TrafficTally>,
+    user_traffic: HashMap<MacAddr, TrafficTally>,
+
+    /// Packet-ins processed.
+    pub packet_ins: u64,
+    /// Flows admitted and installed.
+    pub flows_installed: u64,
+    /// ARP requests answered by the directory proxy.
+    pub arp_replies: u64,
+    /// Service-element control messages accepted.
+    pub se_msgs: u64,
+    /// Service-element control messages rejected (bad certificate).
+    pub rejected_se_msgs: u64,
+}
+
+impl Controller {
+    /// Creates a controller with the defaults described on each
+    /// `with_*` method.
+    pub fn new() -> Self {
+        Controller {
+            xid: 1,
+            topo: TopologyMap::new(),
+            locations: LocationTable::new(),
+            registry: SeRegistry::new(),
+            policy: PolicyTable::allow_all(),
+            balancer: LoadBalancer::min_load(),
+            monitor: Monitor::new(),
+            directory: None,
+            active: HashMap::new(),
+            required_certs: None,
+            tick: SimDuration::from_millis(100),
+            lldp_every_ticks: 5,
+            stats_every_ticks: 0,
+            arp_timeout: SimDuration::from_secs(60),
+            se_timeout: SimDuration::from_millis(500),
+            flow_idle_timeout: SimDuration::from_secs(2),
+            fail_open: false,
+            record_se_load: true,
+            tick_count: 0,
+            last_port_stats: HashMap::new(),
+            app_traffic: HashMap::new(),
+            user_traffic: HashMap::new(),
+            packet_ins: 0,
+            flows_installed: 0,
+            arp_replies: 0,
+            se_msgs: 0,
+            rejected_se_msgs: 0,
+        }
+    }
+
+    /// Sets the policy table (default: allow everything).
+    pub fn with_policy(mut self, policy: PolicyTable) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the load balancer (default: minimum-load at flow grain).
+    pub fn with_balancer(mut self, balancer: LoadBalancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Enables the DHCP half of the directory proxy.
+    pub fn with_directory(mut self, directory: DirectoryProxy) -> Self {
+        self.directory = Some(directory);
+        self
+    }
+
+    /// Requires SE control messages to carry one of these certificate
+    /// tokens (default: no certification required).
+    pub fn with_required_certs(mut self, certs: HashSet<u64>) -> Self {
+        self.required_certs = Some(certs);
+        self
+    }
+
+    /// Sets the idle timeout of installed flow entries (default 2 s).
+    pub fn with_flow_idle_timeout(mut self, d: SimDuration) -> Self {
+        self.flow_idle_timeout = d;
+        self
+    }
+
+    /// Admits flows even when their policy chain has no online service
+    /// element (default: fail closed, deny such flows).
+    pub fn with_fail_open(mut self) -> Self {
+        self.fail_open = true;
+        self
+    }
+
+    /// Sets the ARP/location timeout (default 60 s) — how long a
+    /// silent host stays in the routing table.
+    pub fn with_arp_timeout(mut self, d: SimDuration) -> Self {
+        self.arp_timeout = d;
+        self
+    }
+
+    /// Sets the SE heartbeat timeout (default 500 ms).
+    pub fn with_se_timeout(mut self, d: SimDuration) -> Self {
+        self.se_timeout = d;
+        self
+    }
+
+    /// Enables periodic port-stats polling every `every` housekeeping
+    /// ticks (100 ms each); produces `LinkLoad` monitor events.
+    pub fn with_stats_polling(mut self, every: u64) -> Self {
+        self.stats_every_ticks = every;
+        self
+    }
+
+    /// Suppresses per-heartbeat `SeLoad` monitor events (keeps long
+    /// experiment logs small).
+    pub fn without_se_load_events(mut self) -> Self {
+        self.record_se_load = false;
+        self
+    }
+
+    /// The monitor (event database).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The host routing table.
+    pub fn locations(&self) -> &LocationTable {
+        &self.locations
+    }
+
+    /// The topology map.
+    pub fn topology(&self) -> &TopologyMap {
+        &self.topo
+    }
+
+    /// The service-element registry.
+    pub fn registry(&self) -> &SeRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the policy table (runtime reconfiguration).
+    pub fn policy_mut(&mut self) -> &mut PolicyTable {
+        &mut self.policy
+    }
+
+    /// Replaces the policy table in place (for builders that already
+    /// own the controller inside a world).
+    pub fn set_policy(&mut self, policy: PolicyTable) {
+        self.policy = policy;
+    }
+
+    /// Replaces the load balancer in place.
+    pub fn set_balancer(&mut self, balancer: LoadBalancer) {
+        self.balancer = balancer;
+    }
+
+    /// Enables certification with the given initial token set.
+    pub fn set_required_certs(&mut self, certs: HashSet<u64>) {
+        self.required_certs = Some(certs);
+    }
+
+    /// Authorizes one more certificate token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if certification was never enabled (that would silently
+    /// authorize nothing).
+    pub fn authorize_cert(&mut self, cert: u64) {
+        self.required_certs
+            .as_mut()
+            .expect("enable certification before authorizing tokens")
+            .insert(cert);
+    }
+
+    /// Sets the flow idle timeout in place.
+    pub fn set_flow_idle_timeout(&mut self, d: SimDuration) {
+        self.flow_idle_timeout = d;
+    }
+
+    /// Sets the ARP/location timeout in place.
+    pub fn set_arp_timeout(&mut self, d: SimDuration) {
+        self.arp_timeout = d;
+    }
+
+    /// Sets the SE heartbeat timeout in place.
+    pub fn set_se_timeout(&mut self, d: SimDuration) {
+        self.se_timeout = d;
+    }
+
+    /// Enables the DHCP directory proxy in place.
+    pub fn set_directory(&mut self, directory: DirectoryProxy) {
+        self.directory = Some(directory);
+    }
+
+    /// Enables port-stats polling in place (every `every` ticks of
+    /// 100 ms).
+    pub fn set_stats_polling(&mut self, every: u64) {
+        self.stats_every_ticks = every;
+    }
+
+    /// The directory proxy, if enabled (for lease inspection).
+    pub fn directory(&self) -> Option<&DirectoryProxy> {
+        self.directory.as_ref()
+    }
+
+    /// Number of currently-tracked active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The elements assigned to an active flow (for tests).
+    pub fn elements_of(&self, key: &FlowKey) -> Option<&[MacAddr]> {
+        self.active.get(key).map(|r| r.elements.as_slice())
+    }
+
+    /// The service chain assigned to an active flow.
+    pub fn chain_of(&self, key: &FlowKey) -> Option<&[ServiceType]> {
+        self.active.get(key).map(|r| r.chain.as_slice())
+    }
+
+    /// The application label identified for an active flow, if any.
+    pub fn app_of(&self, key: &FlowKey) -> Option<&str> {
+        self.active.get(key).and_then(|r| r.app.as_deref())
+    }
+
+    /// Per-application traffic totals over completed flows (§IV-C
+    /// service-aware statistics), sorted by bytes descending.
+    pub fn app_traffic(&self) -> Vec<(String, TrafficTally)> {
+        let mut v: Vec<(String, TrafficTally)> = self
+            .app_traffic
+            .iter()
+            .map(|(k, t)| (k.clone(), *t))
+            .collect();
+        v.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Per-user traffic totals over completed flows, sorted by bytes
+    /// descending.
+    pub fn user_traffic(&self) -> Vec<(MacAddr, TrafficTally)> {
+        let mut v: Vec<(MacAddr, TrafficTally)> = self
+            .user_traffic
+            .iter()
+            .map(|(k, t)| (*k, *t))
+            .collect();
+        v.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Exports the network information base at time `now`.
+    pub fn nib_snapshot(&self, now: SimTime) -> NibSnapshot {
+        NibSnapshot {
+            at: now,
+            switches: self
+                .topo
+                .switches()
+                .map(|s| (s.dpid, s.n_ports, s.uplink))
+                .collect(),
+            links: self.topo.links().map(|l| (l.from, l.to)).collect(),
+            hosts: self
+                .locations
+                .iter()
+                .map(|(mac, loc)| (*mac, loc.ip, loc.dpid, loc.port))
+                .collect(),
+            elements: self.registry.all(),
+            active_flows: self
+                .active
+                .iter()
+                .map(|(k, r)| (*k, r.chain.clone(), r.app.clone()))
+                .collect(),
+            app_traffic: self.app_traffic(),
+            user_traffic: self.user_traffic(),
+        }
+    }
+
+    /// The NIB as pretty JSON — the feed a topology UI polls.
+    pub fn nib_json(&self, now: SimTime) -> String {
+        serde_json::to_string_pretty(&self.nib_snapshot(now)).expect("NIB is serializable")
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, node: NodeId, msg: &OfMessage) {
+        let xid = self.xid;
+        self.xid = self.xid.wrapping_add(1);
+        ctx.send_control(node, codec::encode(msg, xid));
+    }
+
+    fn send_to_dpid(&mut self, ctx: &mut Ctx<'_>, dpid: u64, msg: &OfMessage) {
+        if let Some(node) = self.topo.switch(dpid).map(|s| s.node) {
+            self.send(ctx, node, msg);
+        }
+    }
+
+    fn packet_out(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dpid: u64,
+        in_port: Option<u32>,
+        actions: Vec<Action>,
+        pkt: &Packet,
+    ) {
+        let msg = OfMessage::PacketOut {
+            in_port,
+            actions,
+            data: wire::serialize(pkt),
+        };
+        self.send_to_dpid(ctx, dpid, &msg);
+    }
+
+    fn probe_switch(&mut self, ctx: &mut Ctx<'_>, dpid: u64) {
+        let Some(info) = self.topo.switch(dpid).copied() else {
+            return;
+        };
+        // Once the uplink is known, only probe it; before that, sweep
+        // every port to find it.
+        let ports: Vec<u32> = match info.uplink {
+            Some(p) => vec![p],
+            None => (1..=info.n_ports).collect(),
+        };
+        // Locally-administered source MAC derived from the dpid.
+        let src = MacAddr::from_u64(0x0260_0000_0000 | (dpid & 0xffff_ffff));
+        for p in ports {
+            let probe = lldp_frame(src, LldpFrame::new(dpid, p));
+            self.packet_out(
+                ctx,
+                dpid,
+                None,
+                vec![Action::Output(livesec_openflow::OutPort::Physical(p))],
+                &probe,
+            );
+        }
+    }
+
+    fn probe_all(&mut self, ctx: &mut Ctx<'_>) {
+        let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
+        for dpid in dpids {
+            self.probe_switch(ctx, dpid);
+        }
+    }
+
+    fn handle_arp(&mut self, ctx: &mut Ctx<'_>, dpid: u64, in_port: u32, arp: ArpPacket) {
+        if Some(in_port) == self.topo.uplink_of(dpid) {
+            return; // an announcement echoed through the legacy fabric
+        }
+        let now = ctx.now();
+        match self
+            .locations
+            .learn(arp.sha, arp.spa, dpid, in_port, now)
+        {
+            LearnOutcome::New => {
+                self.monitor.record(
+                    now,
+                    EventKind::UserJoin {
+                        mac: arp.sha,
+                        ip: arp.spa,
+                        at: (dpid, in_port),
+                    },
+                );
+                self.announce_location(ctx, dpid, arp.sha, arp.spa);
+            }
+            LearnOutcome::Moved { from } => {
+                self.monitor.record(
+                    now,
+                    EventKind::UserMoved {
+                        mac: arp.sha,
+                        from,
+                        to: (dpid, in_port),
+                    },
+                );
+                self.announce_location(ctx, dpid, arp.sha, arp.spa);
+            }
+            LearnOutcome::Refreshed => {}
+        }
+        if arp.op == ArpOp::Request && !arp.is_gratuitous() {
+            // Directory proxy: answer centrally instead of flooding.
+            if let Some((mac, _)) = self.locations.lookup_ip(arp.tpa) {
+                let reply = ArpPacket {
+                    op: ArpOp::Reply,
+                    sha: mac,
+                    spa: arp.tpa,
+                    tha: arp.sha,
+                    tpa: arp.spa,
+                };
+                self.arp_replies += 1;
+                self.packet_out(
+                    ctx,
+                    dpid,
+                    None,
+                    vec![Action::Output(livesec_openflow::OutPort::Physical(
+                        in_port,
+                    ))],
+                    &arp_frame(reply),
+                );
+            }
+        }
+    }
+
+    /// Teaches the legacy fabric where a newly-learned host lives by
+    /// re-emitting its gratuitous ARP through the ingress switch's
+    /// uplink (PortLand-style location announcement). Without this the
+    /// first cross-switch frame toward the host would flood.
+    fn announce_location(&mut self, ctx: &mut Ctx<'_>, dpid: u64, mac: MacAddr, ip: Ipv4Addr) {
+        if let Some(up) = self.topo.uplink_of(dpid) {
+            let g = arp_frame(ArpPacket::gratuitous(mac, ip));
+            self.packet_out(
+                ctx,
+                dpid,
+                None,
+                vec![Action::Output(livesec_openflow::OutPort::Physical(up))],
+                &g,
+            );
+        }
+    }
+
+    fn cert_ok(&mut self, msg: &SeMessage) -> bool {
+        let Some(required) = &self.required_certs else {
+            return true;
+        };
+        let cert = match msg {
+            SeMessage::Online { cert, .. } | SeMessage::Event { cert, .. } => *cert,
+        };
+        if required.contains(&cert) {
+            true
+        } else {
+            self.rejected_se_msgs += 1;
+            false
+        }
+    }
+
+    fn handle_se_message(&mut self, ctx: &mut Ctx<'_>, src_mac: MacAddr, msg: SeMessage) {
+        if !self.cert_ok(&msg) {
+            return;
+        }
+        self.se_msgs += 1;
+        let now = ctx.now();
+        self.locations.touch(src_mac, now);
+        match msg {
+            SeMessage::Online {
+                service, cpu, pps, bps, ..
+            } => {
+                let was_new = self.registry.heartbeat(src_mac, &msg, now);
+                if was_new {
+                    self.monitor
+                        .record(now, EventKind::SeOnline { mac: src_mac, service });
+                }
+                if self.record_se_load {
+                    self.monitor.record(
+                        now,
+                        EventKind::SeLoad {
+                            mac: src_mac,
+                            cpu,
+                            pps,
+                            bps,
+                        },
+                    );
+                }
+            }
+            SeMessage::Event { flow, verdict, .. } => {
+                // The element saw the flow mid-path, where steering has
+                // rewritten the MACs (dl_dst points at the element
+                // itself); recover the original flow identity from the
+                // active-flow table before acting on the report.
+                let flow = self.canonical_key(&flow);
+                self.dispatch_verdict(ctx, src_mac, flow, verdict);
+            }
+        }
+    }
+
+    /// Maps an SE-reported flow key (possibly carrying rewritten MACs)
+    /// back to the originally-admitted key by matching the
+    /// MAC-independent fields against the active flows.
+    fn canonical_key(&self, reported: &FlowKey) -> FlowKey {
+        if self.active.contains_key(reported) {
+            return *reported;
+        }
+        self.active
+            .keys()
+            .find(|k| {
+                k.vlan == reported.vlan
+                    && k.nw_src == reported.nw_src
+                    && k.nw_dst == reported.nw_dst
+                    && k.nw_proto == reported.nw_proto
+                    && k.tp_src == reported.tp_src
+                    && k.tp_dst == reported.tp_dst
+            })
+            .copied()
+            .unwrap_or(*reported)
+    }
+
+    fn dispatch_verdict(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src_mac: MacAddr,
+        flow: FlowKey,
+        verdict: Verdict,
+    ) {
+        let now = ctx.now();
+        match verdict {
+                Verdict::Malicious { attack, severity } => {
+                    self.monitor.record(
+                        now,
+                        EventKind::AttackDetected {
+                            flow,
+                            attack: attack.clone(),
+                            severity,
+                            element: src_mac,
+                        },
+                    );
+                    self.block_flow(ctx, &flow, format!("attack:{attack}"));
+                }
+                Verdict::Application { app } => {
+                    if let Some(rec) = self.active.get_mut(&flow) {
+                        rec.app = Some(app.clone());
+                    }
+                    self.monitor.record(
+                        now,
+                        EventKind::AppIdentified {
+                            flow,
+                            app: app.clone(),
+                        },
+                    );
+                    if self.policy.app_action(&app) == Some(AppAction::Block) {
+                        self.block_flow(ctx, &flow, format!("app-policy:{app}"));
+                    }
+                }
+            Verdict::PolicyViolation { policy } => {
+                self.block_flow(ctx, &flow, format!("policy:{policy}"));
+            }
+        }
+    }
+
+    /// Installs a drop entry for `key` at its ingress switch — the
+    /// paper's interactive enforcement response (§IV-A): the flow is
+    /// blocked at the entrance, protecting the inner network.
+    fn block_flow(&mut self, ctx: &mut Ctx<'_>, key: &FlowKey, reason: String) {
+        let Some(loc) = self.locations.lookup(key.dl_src).copied() else {
+            return;
+        };
+        let matcher = Match::exact(loc.port, key);
+        let msg = OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            matcher,
+            priority: BLOCK_PRIORITY,
+            actions: Vec::new(), // drop
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+            notify_removed: false,
+        };
+        self.send_to_dpid(ctx, loc.dpid, &msg);
+        if let Some(rec) = self.active.get_mut(key) {
+            rec.blocked = true;
+        }
+        self.monitor.record(
+            ctx.now(),
+            EventKind::FlowBlocked {
+                flow: *key,
+                reason,
+                at_dpid: loc.dpid,
+            },
+        );
+    }
+
+    fn handle_dhcp(&mut self, ctx: &mut Ctx<'_>, dpid: u64, in_port: u32, pkt: &Packet) {
+        let Some(proxy) = self.directory.as_mut() else {
+            return;
+        };
+        let Some(udp) = pkt.udp() else { return };
+        let Some(request) = DhcpMessage::decode(udp.payload.content()) else {
+            return;
+        };
+        let Some(reply) = proxy.handle(&request) else {
+            return;
+        };
+        let frame = Packet::new(
+            EthernetHeader::new(
+                MacAddr::new([0x02, 0x00, 0x00, 0x00, 0x00, 0x01]),
+                request.chaddr,
+                EtherType::Ipv4,
+            ),
+            livesec_net::Body::Ipv4(Ipv4Packet::new(
+                Ipv4Header::new(Ipv4Addr::UNSPECIFIED, reply.yiaddr),
+                Transport::Udp(UdpDatagram::new(
+                    DhcpMessage::SERVER_PORT,
+                    DhcpMessage::CLIENT_PORT,
+                    Payload::from(reply.encode()),
+                )),
+            )),
+        );
+        self.packet_out(
+            ctx,
+            dpid,
+            None,
+            vec![Action::Output(livesec_openflow::OutPort::Physical(in_port))],
+            &frame,
+        );
+    }
+
+    fn hop_of(&self, mac: MacAddr) -> Option<Hop> {
+        let loc = self.locations.lookup(mac)?;
+        Some(Hop {
+            mac,
+            dpid: loc.dpid,
+            port: loc.port,
+        })
+    }
+
+    fn install_program(&mut self, ctx: &mut Ctx<'_>, program: &SteeringProgram, cookie: Option<u64>) {
+        let idle = Some(self.flow_idle_timeout.as_nanos());
+        for (i, entry) in program.entries.iter().enumerate() {
+            let tag = if i == 0 { cookie } else { None };
+            let msg = OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                matcher: entry.matcher,
+                priority: entry.priority,
+                actions: entry.actions.clone(),
+                idle_timeout: idle,
+                hard_timeout: None,
+                cookie: tag.unwrap_or(0),
+                notify_removed: tag.is_some(),
+            };
+            self.send_to_dpid(ctx, entry.dpid, &msg);
+        }
+    }
+
+    fn handle_flow(&mut self, ctx: &mut Ctx<'_>, dpid: u64, in_port: u32, pkt: &Packet) {
+        let Some(key) = FlowKey::of(pkt) else { return };
+        if Some(in_port) == self.topo.uplink_of(dpid) {
+            return; // mid-path packet; setup happens at the ingress
+        }
+        let now = ctx.now();
+        // Learn or refresh the sender's location from data traffic too.
+        if self.locations.lookup(key.dl_src).is_none() {
+            self.locations.learn(key.dl_src, key.nw_src, dpid, in_port, now);
+            self.monitor.record(
+                now,
+                EventKind::UserJoin {
+                    mac: key.dl_src,
+                    ip: key.nw_src,
+                    at: (dpid, in_port),
+                },
+            );
+            self.announce_location(ctx, dpid, key.dl_src, key.nw_src);
+        } else {
+            self.locations.touch(key.dl_src, now);
+        }
+
+        if let Some(rec) = self.active.get(&key) {
+            if rec.blocked {
+                return;
+            }
+            // A packet raced ahead of the flow-mods: forward it along
+            // the already-computed ingress actions.
+            let actions = rec.ingress_actions.clone();
+            self.packet_out(ctx, dpid, Some(in_port), actions, pkt);
+            return;
+        }
+
+        let (decision, rule) = self.policy.decide(&key);
+        let decision = decision.clone();
+        let rule = rule.map(str::to_owned);
+        match decision {
+            PolicyDecision::Deny => {
+                let msg = OfMessage::FlowMod {
+                    command: FlowModCommand::Add,
+                    matcher: Match::exact(in_port, &key),
+                    priority: BLOCK_PRIORITY,
+                    actions: Vec::new(),
+                    idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
+                    hard_timeout: None,
+                    cookie: 0,
+                    notify_removed: false,
+                };
+                self.send_to_dpid(ctx, dpid, &msg);
+                self.monitor
+                    .record(now, EventKind::FlowDenied { flow: key, rule });
+            }
+            PolicyDecision::Allow => {
+                self.admit(ctx, dpid, in_port, pkt, key, Vec::new(), Vec::new());
+            }
+            PolicyDecision::Chain(services) => {
+                let mut elements = Vec::with_capacity(services.len());
+                for service in &services {
+                    match self.balancer.pick(&self.registry, *service, &key) {
+                        Some(mac) => elements.push(mac),
+                        None => {
+                            if self.fail_open {
+                                // Skip the unavailable service.
+                                continue;
+                            }
+                            let msg = OfMessage::FlowMod {
+                                command: FlowModCommand::Add,
+                                matcher: Match::exact(in_port, &key),
+                                priority: BLOCK_PRIORITY,
+                                actions: Vec::new(),
+                                idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
+                                hard_timeout: None,
+                                cookie: 0,
+                                notify_removed: false,
+                            };
+                            self.send_to_dpid(ctx, dpid, &msg);
+                            self.monitor.record(
+                                now,
+                                EventKind::FlowDenied {
+                                    flow: key,
+                                    rule: Some(format!("no-online-element:{service}")),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+                let chain: Vec<ServiceType> = services
+                    .iter()
+                    .copied()
+                    .take(elements.len())
+                    .collect();
+                self.admit(ctx, dpid, in_port, pkt, key, chain, elements);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dpid: u64,
+        in_port: u32,
+        pkt: &Packet,
+        key: FlowKey,
+        chain: Vec<ServiceType>,
+        elements: Vec<MacAddr>,
+    ) {
+        let now = ctx.now();
+        let Some(src_hop) = self.hop_of(key.dl_src) else {
+            return;
+        };
+        let Some(dst_hop) = self.hop_of(key.dl_dst) else {
+            return; // destination unknown: the host will re-ARP
+        };
+        let mut hops = Vec::with_capacity(elements.len() + 2);
+        hops.push(src_hop);
+        for mac in &elements {
+            let Some(h) = self.hop_of(*mac) else { return };
+            hops.push(h);
+        }
+        hops.push(dst_hop);
+
+        let uplink = |d: u64| self.topo.uplink_of(d);
+        let Ok(forward) = compile_path(&key, &hops, uplink, STEER_PRIORITY) else {
+            return; // discovery not converged yet; the host retries
+        };
+        let mut rev_hops = hops.clone();
+        rev_hops.reverse();
+        let Ok(reverse) = compile_path(&key.reversed(), &rev_hops, uplink, STEER_PRIORITY)
+        else {
+            return;
+        };
+
+        self.install_program(ctx, &forward, Some(INGRESS_COOKIE));
+        self.install_program(ctx, &reverse, Some(REVERSE_COOKIE));
+        // Release the triggering packet along the new path (the
+        // flow-mods were queued first on the same channel, so they are
+        // applied before this packet-out).
+        let ingress_actions = forward.ingress_actions().to_vec();
+        self.packet_out(ctx, dpid, Some(in_port), ingress_actions.clone(), pkt);
+
+        for mac in &elements {
+            self.registry.adjust_outstanding(*mac, 1);
+        }
+        self.active.insert(
+            key,
+            FlowRecord {
+                chain: chain.clone(),
+                elements: elements.clone(),
+                ingress_dpid: dpid,
+                ingress_actions,
+                app: None,
+                blocked: false,
+                fwd_done: None,
+                rev_done: None,
+            },
+        );
+        self.flows_installed += 1;
+        self.monitor.record(
+            now,
+            EventKind::FlowStart {
+                flow: key,
+                chain,
+                elements,
+            },
+        );
+    }
+
+    fn handle_flow_removed(
+        &mut self,
+        now: SimTime,
+        matcher: Match,
+        cookie: u64,
+        packets: u64,
+        bytes: u64,
+    ) {
+        // Recover the session key: the reverse-ingress entry matches
+        // the reply direction, whose reversal is the original key.
+        let key = match (cookie, matcher.exact_key()) {
+            (INGRESS_COOKIE, Some(k)) => k,
+            (REVERSE_COOKIE, Some(k)) => k.reversed(),
+            _ => return,
+        };
+        let Some(rec) = self.active.get_mut(&key) else { return };
+        if cookie == INGRESS_COOKIE {
+            rec.fwd_done = Some((packets, bytes));
+        } else {
+            rec.rev_done = Some((packets, bytes));
+        }
+        let (Some((fp, fb)), Some((rp, rb))) = (rec.fwd_done, rec.rev_done) else {
+            return; // wait for the other direction to idle out
+        };
+        let rec = self.active.remove(&key).expect("present above");
+        for mac in &rec.elements {
+            self.registry.adjust_outstanding(*mac, -1);
+        }
+        // Service-aware statistics (§IV-C): attribute the session's
+        // volume (both directions) to its identified application and
+        // to its user.
+        let packets = fp + rp;
+        let bytes = fb + rb;
+        let label = rec.app.clone().unwrap_or_else(|| "unclassified".to_owned());
+        let tally = self.app_traffic.entry(label).or_default();
+        tally.flows += 1;
+        tally.packets += packets;
+        tally.bytes += bytes;
+        let per_user = self.user_traffic.entry(key.dl_src).or_default();
+        per_user.flows += 1;
+        per_user.packets += packets;
+        per_user.bytes += bytes;
+        self.monitor.record(
+            now,
+            EventKind::FlowEnd {
+                flow: key,
+                packets,
+                bytes,
+            },
+        );
+    }
+
+    /// Removes a dead service element's steering state: its relay
+    /// entries everywhere, the ingress entries of flows using it (so
+    /// their next packet re-balances), and the active-flow records.
+    fn cleanup_se(&mut self, ctx: &mut Ctx<'_>, se_mac: MacAddr) {
+        let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
+        for dpid in &dpids {
+            self.send_to_dpid(
+                ctx,
+                *dpid,
+                &OfMessage::delete_flows(Match::any().with_dl_dst(se_mac)),
+            );
+        }
+        let affected: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter(|(_, rec)| rec.elements.contains(&se_mac))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in affected {
+            if let Some(rec) = self.active.remove(&key) {
+                for mac in &rec.elements {
+                    self.registry.adjust_outstanding(*mac, -1);
+                }
+                self.send_to_dpid(
+                    ctx,
+                    rec.ingress_dpid,
+                    &OfMessage::delete_flows(Match::exact_any_port(&key)),
+                );
+                for dpid in &dpids {
+                    self.send_to_dpid(
+                        ctx,
+                        *dpid,
+                        &OfMessage::delete_flows(Match::exact_any_port(&key.reversed())),
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_port_status(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dpid: u64,
+        port: u32,
+        up: bool,
+    ) {
+        let now = ctx.now();
+        self.monitor
+            .record(now, EventKind::PortChange { dpid, port, up });
+        if up {
+            return;
+        }
+        let evicted = self.locations.evict_port(dpid, port);
+        for mac in evicted {
+            self.monitor.record(now, EventKind::UserLeave { mac });
+            if self.registry.force_offline(mac) {
+                self.monitor.record(now, EventKind::SeOffline { mac });
+                self.cleanup_se(ctx, mac);
+            }
+        }
+    }
+
+    fn handle_stats(&mut self, now: SimTime, dpid: u64, body: StatsBody) {
+        if let StatsBody::Port(stats) = body {
+            for s in stats {
+                let prev = self
+                    .last_port_stats
+                    .insert((dpid, s.port_no), (s.tx_bytes, s.rx_bytes))
+                    .unwrap_or((0, 0));
+                self.monitor.record(
+                    now,
+                    EventKind::LinkLoad {
+                        dpid,
+                        port: s.port_no,
+                        tx_bytes: s.tx_bytes.saturating_sub(prev.0),
+                        rx_bytes: s.rx_bytes.saturating_sub(prev.1),
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_packet_in(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, in_port: u32, data: &[u8]) {
+        self.packet_ins += 1;
+        let Some(dpid) = self.topo.dpid_of_node(peer) else {
+            return; // packet-in before the features handshake finished
+        };
+        let Ok(pkt) = wire::parse(data) else { return };
+
+        if let Some(lldp) = pkt.lldp() {
+            let from = (lldp.chassis_id, lldp.port_id);
+            let to = (dpid, in_port);
+            if from.0 != dpid && self.topo.observe_lldp(from, to) {
+                self.monitor
+                    .record(ctx.now(), EventKind::LinkDiscovered { from, to });
+            }
+            return;
+        }
+        if let Some(arp) = pkt.arp() {
+            let arp = *arp;
+            self.handle_arp(ctx, dpid, in_port, arp);
+            return;
+        }
+        if let Some(udp) = pkt.udp() {
+            if udp.dst_port == SE_CONTROL_PORT
+                && SeMessage::is_control_payload(udp.payload.content())
+            {
+                if let Some(msg) = SeMessage::decode(udp.payload.content()) {
+                    self.handle_se_message(ctx, pkt.eth.src, msg);
+                }
+                // Never install an entry for the control flow: every
+                // message must keep reaching the controller.
+                return;
+            }
+            if udp.dst_port == DhcpMessage::SERVER_PORT {
+                self.handle_dhcp(ctx, dpid, in_port, &pkt);
+                return;
+            }
+        }
+        if pkt.ipv4().is_some() {
+            self.handle_flow(ctx, dpid, in_port, &pkt);
+        }
+    }
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Controller::new()
+    }
+}
+
+impl Node for Controller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.tick, TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TICK {
+            return;
+        }
+        self.tick_count += 1;
+        let now = ctx.now();
+
+        if self.tick_count % self.lldp_every_ticks == 1 {
+            self.probe_all(ctx);
+        }
+        if self.stats_every_ticks > 0 && self.tick_count.is_multiple_of(self.stats_every_ticks) {
+            let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
+            for dpid in dpids {
+                self.send_to_dpid(ctx, dpid, &OfMessage::StatsRequest(StatsRequestKind::Port(None)));
+            }
+        }
+        for mac in self.locations.expire(now, self.arp_timeout) {
+            self.monitor.record(now, EventKind::UserLeave { mac });
+        }
+        let dead = self.registry.expire(now, self.se_timeout);
+        for mac in dead {
+            self.monitor.record(now, EventKind::SeOffline { mac });
+            self.cleanup_se(ctx, mac);
+        }
+        ctx.set_timer(self.tick, TICK);
+    }
+
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {
+        // The controller is out-of-band: it has no data-plane ports.
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, bytes: &[u8]) {
+        let Ok((msg, xid)) = codec::decode(bytes) else {
+            return;
+        };
+        match msg {
+            OfMessage::Hello => {
+                self.send(ctx, peer, &OfMessage::Hello);
+                self.send(ctx, peer, &OfMessage::FeaturesRequest);
+            }
+            OfMessage::EchoRequest(v) => {
+                ctx.send_control(peer, codec::encode(&OfMessage::EchoReply(v), xid));
+            }
+            OfMessage::FeaturesReply {
+                datapath_id,
+                n_ports,
+            } => {
+                if self.topo.add_switch(datapath_id, peer, n_ports) {
+                    self.monitor
+                        .record(ctx.now(), EventKind::SwitchJoin { dpid: datapath_id });
+                }
+                self.probe_switch(ctx, datapath_id);
+            }
+            OfMessage::PacketIn { in_port, data, .. } => {
+                self.handle_packet_in(ctx, peer, in_port, &data);
+            }
+            OfMessage::FlowRemoved {
+                matcher,
+                cookie,
+                packet_count,
+                byte_count,
+                ..
+            } => {
+                self.handle_flow_removed(ctx.now(), matcher, cookie, packet_count, byte_count);
+            }
+            OfMessage::PortStatus { reason, port_no } => {
+                if let Some(dpid) = self.topo.dpid_of_node(peer) {
+                    let up = reason == livesec_openflow::PortStatusReason::Add;
+                    self.handle_port_status(ctx, dpid, port_no, up);
+                }
+            }
+            OfMessage::StatsReply(body) => {
+                if let Some(dpid) = self.topo.dpid_of_node(peer) {
+                    self.handle_stats(ctx.now(), dpid, body);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

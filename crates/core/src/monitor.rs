@@ -1,0 +1,603 @@
+//! Application-aware monitoring, visualization data, and replay
+//! (paper §IV-C, §IV-D).
+//!
+//! Every network event the controller observes is recorded with its
+//! timestamp. The paper renders these through a Flash WebUI backed by
+//! a LAMP stack; here the [`Monitor`] is that data layer — events can
+//! be queried live, serialized to JSON for an external UI, rendered as
+//! text frames, and **replayed** over any historical window.
+
+use livesec_net::{FlowKey, MacAddr};
+use livesec_services::ServiceType;
+use livesec_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// What happened.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An AS switch connected to the controller.
+    SwitchJoin {
+        /// Its datapath id.
+        dpid: u64,
+    },
+    /// A logical link between two AS switches was discovered via LLDP.
+    LinkDiscovered {
+        /// Source switch and port.
+        from: (u64, u32),
+        /// Destination switch and port.
+        to: (u64, u32),
+    },
+    /// A host appeared (first ARP seen).
+    UserJoin {
+        /// The host's MAC.
+        mac: MacAddr,
+        /// The host's IP.
+        ip: Ipv4Addr,
+        /// Where it attached (datapath id, port).
+        at: (u64, u32),
+    },
+    /// A host's location entry timed out or its port went down.
+    UserLeave {
+        /// The host's MAC.
+        mac: MacAddr,
+    },
+    /// A host reappeared at a different switch/port (mobility).
+    UserMoved {
+        /// The host's MAC.
+        mac: MacAddr,
+        /// Previous location.
+        from: (u64, u32),
+        /// New location.
+        to: (u64, u32),
+    },
+    /// A flow was admitted and its entries installed.
+    FlowStart {
+        /// The flow.
+        flow: FlowKey,
+        /// The service chain it was steered through (empty = direct).
+        chain: Vec<ServiceType>,
+        /// MACs of the service elements serving it, parallel to
+        /// `chain`.
+        elements: Vec<MacAddr>,
+    },
+    /// A flow's entries idled out.
+    FlowEnd {
+        /// The flow.
+        flow: FlowKey,
+        /// Packets it carried (from the ingress entry counters).
+        packets: u64,
+        /// Bytes it carried.
+        bytes: u64,
+    },
+    /// A flow was denied by policy.
+    FlowDenied {
+        /// The flow.
+        flow: FlowKey,
+        /// The policy rule name, if a specific rule matched.
+        rule: Option<String>,
+    },
+    /// A service element identified a flow's application protocol.
+    AppIdentified {
+        /// The flow.
+        flow: FlowKey,
+        /// The application label.
+        app: String,
+    },
+    /// A service element detected an attack in a flow.
+    AttackDetected {
+        /// The flow.
+        flow: FlowKey,
+        /// Attack name from the SE report.
+        attack: String,
+        /// Severity 1..=10.
+        severity: u8,
+        /// The reporting element.
+        element: MacAddr,
+    },
+    /// The controller blocked a flow at its ingress switch.
+    FlowBlocked {
+        /// The flow.
+        flow: FlowKey,
+        /// Why ("attack:...", "app-policy:...", "policy:...").
+        reason: String,
+        /// The ingress switch.
+        at_dpid: u64,
+    },
+    /// A service element came online (first heartbeat).
+    SeOnline {
+        /// The element's MAC.
+        mac: MacAddr,
+        /// Its service type.
+        service: ServiceType,
+    },
+    /// A service element went offline (missed heartbeats/port down).
+    SeOffline {
+        /// The element's MAC.
+        mac: MacAddr,
+    },
+    /// Periodic load figures for one element.
+    SeLoad {
+        /// The element's MAC.
+        mac: MacAddr,
+        /// CPU percent.
+        cpu: u8,
+        /// Packets per interval.
+        pps: u64,
+        /// Bits per second.
+        bps: u64,
+    },
+    /// A switch port went down or came back.
+    PortChange {
+        /// The switch.
+        dpid: u64,
+        /// The port.
+        port: u32,
+        /// `true` = up.
+        up: bool,
+    },
+    /// Periodic per-link utilization (from port stats).
+    LinkLoad {
+        /// The switch.
+        dpid: u64,
+        /// The port.
+        port: u32,
+        /// Transmitted bytes since the previous sample.
+        tx_bytes: u64,
+        /// Received bytes since the previous sample.
+        rx_bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// A short type tag (stable across versions, used in summaries).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SwitchJoin { .. } => "switch_join",
+            EventKind::LinkDiscovered { .. } => "link_discovered",
+            EventKind::UserJoin { .. } => "user_join",
+            EventKind::UserLeave { .. } => "user_leave",
+            EventKind::UserMoved { .. } => "user_moved",
+            EventKind::FlowStart { .. } => "flow_start",
+            EventKind::FlowEnd { .. } => "flow_end",
+            EventKind::FlowDenied { .. } => "flow_denied",
+            EventKind::AppIdentified { .. } => "app_identified",
+            EventKind::AttackDetected { .. } => "attack_detected",
+            EventKind::FlowBlocked { .. } => "flow_blocked",
+            EventKind::SeOnline { .. } => "se_online",
+            EventKind::SeOffline { .. } => "se_offline",
+            EventKind::SeLoad { .. } => "se_load",
+            EventKind::PortChange { .. } => "port_change",
+            EventKind::LinkLoad { .. } => "link_load",
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct NetworkEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for NetworkEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {:?}", self.at, self.kind.tag(), self.kind)
+    }
+}
+
+/// The event database backing live display and historical replay.
+///
+/// ```rust
+/// use livesec::monitor::{EventKind, Monitor};
+/// use livesec_sim::SimTime;
+///
+/// let mut m = Monitor::new();
+/// m.record(SimTime::from_nanos(5), EventKind::SwitchJoin { dpid: 1 });
+/// m.record(SimTime::from_nanos(9), EventKind::SwitchJoin { dpid: 2 });
+/// // Replay any historical window.
+/// let early: Vec<_> = m.replay(SimTime::ZERO, SimTime::from_nanos(6)).collect();
+/// assert_eq!(early.len(), 1);
+/// // Or fold it into a display frame.
+/// assert_eq!(m.frame(SimTime::from_nanos(10)).switches.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Monitor {
+    events: Vec<NetworkEvent>,
+}
+
+impl Monitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(
+            self.events.last().map(|e| e.at <= at).unwrap_or(true),
+            "events must be recorded in time order"
+        );
+        self.events.push(NetworkEvent { at, kind });
+    }
+
+    /// All events, in time order.
+    pub fn events(&self) -> &[NetworkEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays history: all events with `from <= at < to`, in order.
+    /// This is the paper's "historical traffic replay" primitive.
+    pub fn replay(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &NetworkEvent> {
+        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// Events of one type, in order.
+    pub fn of_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a NetworkEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind.tag() == tag)
+    }
+
+    /// Counts per event type.
+    pub fn summary(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.kind.tag()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Serializes every event as a JSON array — the feed a WebUI polls.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events).expect("events are serializable")
+    }
+
+    /// Parses a feed previously produced by [`Monitor::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        Ok(Monitor {
+            events: serde_json::from_str(s)?,
+        })
+    }
+
+    /// Folds all events up to `until` into a display frame — the
+    /// state the paper's Flash WebUI would render at that instant
+    /// (Figures 7 and 8). Calling this for increasing `until` values
+    /// over a recorded history is exactly the paper's event replay.
+    pub fn frame(&self, until: SimTime) -> UiFrame {
+        let mut f = UiFrame {
+            at: until,
+            ..UiFrame::default()
+        };
+        for e in self.events.iter().take_while(|e| e.at <= until) {
+            match &e.kind {
+                EventKind::SwitchJoin { dpid } => {
+                    f.switches.insert(*dpid);
+                }
+                EventKind::LinkDiscovered { from, to } => {
+                    f.links.insert((from.0, to.0));
+                }
+                EventKind::UserJoin { mac, ip, at } => {
+                    f.users.insert(*mac, UiUser {
+                        mac: *mac,
+                        ip: *ip,
+                        at: *at,
+                        app: None,
+                    });
+                }
+                EventKind::UserMoved { mac, to, .. } => {
+                    if let Some(u) = f.users.get_mut(mac) {
+                        u.at = *to;
+                    }
+                }
+                EventKind::UserLeave { mac } => {
+                    f.users.remove(mac);
+                    f.elements.remove(mac);
+                }
+                EventKind::AppIdentified { flow, app } => {
+                    if let Some(u) = f.users.get_mut(&flow.dl_src) {
+                        u.app = Some(app.clone());
+                    }
+                }
+                EventKind::SeOnline { mac, service } => {
+                    f.elements.insert(*mac, (*service, 0));
+                    // Elements announce like hosts, but the WebUI shows
+                    // them in their own pane, not as users.
+                    f.users.remove(mac);
+                }
+                EventKind::SeOffline { mac } => {
+                    f.elements.remove(mac);
+                }
+                EventKind::SeLoad { mac, cpu, .. } => {
+                    if let Some(entry) = f.elements.get_mut(mac) {
+                        entry.1 = *cpu;
+                    }
+                }
+                EventKind::AttackDetected { flow, attack, .. } => {
+                    f.alerts.push(format!("{attack} from {}", flow.nw_src));
+                }
+                EventKind::FlowBlocked { flow, reason, .. } => {
+                    f.alerts.push(format!("blocked {} ({reason})", flow.nw_src));
+                }
+                EventKind::LinkLoad {
+                    dpid,
+                    port,
+                    tx_bytes,
+                    rx_bytes,
+                } => {
+                    f.link_load.insert((*dpid, *port), (*tx_bytes, *rx_bytes));
+                }
+                _ => {}
+            }
+        }
+        f
+    }
+}
+
+/// One user row of a [`UiFrame`].
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct UiUser {
+    /// The user's MAC.
+    pub mac: MacAddr,
+    /// The user's IP.
+    pub ip: Ipv4Addr,
+    /// Attachment point.
+    pub at: (u64, u32),
+    /// Most recently identified application, if any.
+    pub app: Option<String>,
+}
+
+/// The network state a WebUI would render at one instant.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct UiFrame {
+    /// The instant this frame reflects.
+    pub at: SimTime,
+    /// Known switches (datapath ids).
+    pub switches: std::collections::BTreeSet<u64>,
+    /// Discovered logical links (switch pairs).
+    pub links: std::collections::BTreeSet<(u64, u64)>,
+    /// Present users/hosts.
+    pub users: BTreeMap<MacAddr, UiUser>,
+    /// Online service elements with their latest CPU load.
+    pub elements: BTreeMap<MacAddr, (ServiceType, u8)>,
+    /// Attack/blocking alerts so far.
+    pub alerts: Vec<String>,
+    /// Latest per-port byte deltas.
+    pub link_load: BTreeMap<(u64, u32), (u64, u64)>,
+}
+
+impl fmt::Display for UiFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== LiveSec WebUI frame @ {} ==", self.at)?;
+        writeln!(
+            f,
+            "switches: {:?}  logical links: {}",
+            self.switches,
+            self.links.len()
+        )?;
+        writeln!(f, "users ({}):", self.users.len())?;
+        for u in self.users.values() {
+            writeln!(
+                f,
+                "  {} ({}) @ switch {} port {}  app={}",
+                u.mac,
+                u.ip,
+                u.at.0,
+                u.at.1,
+                u.app.as_deref().unwrap_or("-")
+            )?;
+        }
+        writeln!(f, "service elements ({}):", self.elements.len())?;
+        for (mac, (service, cpu)) in &self.elements {
+            writeln!(f, "  {mac}  {service}  cpu={cpu}%")?;
+        }
+        if !self.alerts.is_empty() {
+            writeln!(f, "alerts:")?;
+            for a in &self.alerts {
+                writeln!(f, "  !! {a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn sample_flow() -> FlowKey {
+        FlowKey {
+            vlan: None,
+            dl_src: MacAddr::from_u64(1),
+            dl_dst: MacAddr::from_u64(2),
+            dl_type: 0x0800,
+            nw_src: "10.0.0.1".parse().unwrap(),
+            nw_dst: "8.8.8.8".parse().unwrap(),
+            nw_proto: 6,
+            tp_src: 555,
+            tp_dst: 80,
+        }
+    }
+
+    fn sample_monitor() -> Monitor {
+        let mut m = Monitor::new();
+        m.record(t(0), EventKind::SwitchJoin { dpid: 1 });
+        m.record(
+            t(10),
+            EventKind::UserJoin {
+                mac: MacAddr::from_u64(1),
+                ip: "10.0.0.1".parse().unwrap(),
+                at: (1, 2),
+            },
+        );
+        m.record(
+            t(20),
+            EventKind::FlowStart {
+                flow: sample_flow(),
+                chain: vec![ServiceType::IntrusionDetection],
+                elements: vec![MacAddr::from_u64(0xfe)],
+            },
+        );
+        m.record(
+            t(30),
+            EventKind::AttackDetected {
+                flow: sample_flow(),
+                attack: "WEB-MISC /etc/passwd access".into(),
+                severity: 8,
+                element: MacAddr::from_u64(0xfe),
+            },
+        );
+        m.record(
+            t(31),
+            EventKind::FlowBlocked {
+                flow: sample_flow(),
+                reason: "attack:WEB-MISC /etc/passwd access".into(),
+                at_dpid: 1,
+            },
+        );
+        m.record(t(40), EventKind::UserLeave { mac: MacAddr::from_u64(1) });
+        m
+    }
+
+    #[test]
+    fn replay_window_is_half_open() {
+        let m = sample_monitor();
+        let replayed: Vec<_> = m.replay(t(10), t(31)).collect();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].kind.tag(), "user_join");
+        assert_eq!(replayed[2].kind.tag(), "attack_detected");
+    }
+
+    #[test]
+    fn full_replay_equals_live() {
+        let m = sample_monitor();
+        let replayed: Vec<_> = m.replay(SimTime::ZERO, t(1_000_000)).cloned().collect();
+        assert_eq!(replayed, m.events().to_vec());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let m = sample_monitor();
+        let s = m.summary();
+        assert_eq!(s["user_join"], 1);
+        assert_eq!(s["attack_detected"], 1);
+        assert_eq!(s["flow_blocked"], 1);
+        assert_eq!(s.values().sum::<usize>(), m.len());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample_monitor();
+        let json = m.to_json();
+        let back = Monitor::from_json(&json).unwrap();
+        assert_eq!(back, m);
+        assert!(json.contains("attack_detected") || json.contains("AttackDetected"));
+    }
+
+    #[test]
+    fn of_tag_filters() {
+        let m = sample_monitor();
+        assert_eq!(m.of_tag("flow_start").count(), 1);
+        assert_eq!(m.of_tag("se_load").count(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = sample_monitor();
+        for e in m.events() {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn frame_folds_state() {
+        let m = sample_monitor();
+        // Before the user joined.
+        let f0 = m.frame(t(5));
+        assert_eq!(f0.switches.len(), 1);
+        assert!(f0.users.is_empty());
+        // After join, before leave.
+        let f1 = m.frame(t(35));
+        assert_eq!(f1.users.len(), 1);
+        assert_eq!(f1.alerts.len(), 2, "attack + block alerts");
+        // After leave.
+        let f2 = m.frame(t(100));
+        assert!(f2.users.is_empty());
+        // Frames render non-empty text.
+        assert!(f1.to_string().contains("alerts"));
+        assert!(f1.to_string().contains("users (1)"));
+    }
+
+    #[test]
+    fn frame_tracks_app_and_se_state() {
+        let mut m = Monitor::new();
+        m.record(
+            t(0),
+            EventKind::UserJoin {
+                mac: MacAddr::from_u64(1),
+                ip: "10.0.0.1".parse().unwrap(),
+                at: (1, 2),
+            },
+        );
+        m.record(
+            t(1),
+            EventKind::SeOnline {
+                mac: MacAddr::from_u64(9),
+                service: ServiceType::ProtocolIdentification,
+            },
+        );
+        m.record(
+            t(2),
+            EventKind::SeLoad {
+                mac: MacAddr::from_u64(9),
+                cpu: 55,
+                pps: 10,
+                bps: 20,
+            },
+        );
+        let mut flow = sample_flow();
+        flow.dl_src = MacAddr::from_u64(1);
+        m.record(
+            t(3),
+            EventKind::AppIdentified {
+                flow,
+                app: "ssh".into(),
+            },
+        );
+        let f = m.frame(t(10));
+        assert_eq!(f.users[&MacAddr::from_u64(1)].app.as_deref(), Some("ssh"));
+        assert_eq!(
+            f.elements[&MacAddr::from_u64(9)],
+            (ServiceType::ProtocolIdentification, 55)
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_recording_panics_in_debug() {
+        let mut m = Monitor::new();
+        m.record(t(10), EventKind::SwitchJoin { dpid: 1 });
+        m.record(t(5), EventKind::SwitchJoin { dpid: 2 });
+    }
+}

@@ -1,0 +1,330 @@
+//! The global policy table (paper §IV-A).
+//!
+//! The LiveSec controller keeps a policy table, pre-configured by the
+//! network administrator, that decides for each end-to-end flow whether
+//! it is allowed, denied, or must traverse a chain of security service
+//! elements before delivery.
+
+use livesec_net::{FlowKey, Ipv4Net, MacAddr};
+use livesec_services::ServiceType;
+use serde::{Deserialize, Serialize};
+
+/// What the policy table decides for a flow.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PolicyDecision {
+    /// Forward directly (two-hop routing, no services).
+    Allow,
+    /// Install a drop rule at the ingress switch.
+    Deny,
+    /// Steer through one element of each listed service type, in
+    /// order, then deliver.
+    Chain(Vec<ServiceType>),
+}
+
+/// What to do when a flow's application protocol is identified.
+///
+/// This backs the paper's "aggregate flow control" (§IV-C): e.g. block
+/// or keep monitoring BitTorrent once the protocol-identification SE
+/// labels a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppAction {
+    /// Leave the flow alone.
+    Allow,
+    /// Block the flow at its ingress switch.
+    Block,
+}
+
+/// One policy rule: selectors (all optional, ANDed) plus a decision.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Administrator-facing rule name (shows up in monitor events).
+    pub name: String,
+    /// Source IP prefix selector.
+    pub src: Option<Ipv4Net>,
+    /// Destination IP prefix selector.
+    pub dst: Option<Ipv4Net>,
+    /// Source MAC selector (a specific user).
+    pub src_mac: Option<MacAddr>,
+    /// IP protocol selector.
+    pub proto: Option<u8>,
+    /// Destination transport port selector.
+    pub dst_port: Option<u16>,
+    /// The decision when all selectors match.
+    pub decision: PolicyDecision,
+}
+
+impl PolicyRule {
+    /// Starts a rule with the given name that matches everything and
+    /// allows; refine with the builder methods.
+    pub fn named(name: &str) -> Self {
+        PolicyRule {
+            name: name.to_owned(),
+            src: None,
+            dst: None,
+            src_mac: None,
+            proto: None,
+            dst_port: None,
+            decision: PolicyDecision::Allow,
+        }
+    }
+
+    /// Restricts to flows from this source prefix.
+    pub fn src(mut self, net: Ipv4Net) -> Self {
+        self.src = Some(net);
+        self
+    }
+
+    /// Restricts to flows to this destination prefix.
+    pub fn dst(mut self, net: Ipv4Net) -> Self {
+        self.dst = Some(net);
+        self
+    }
+
+    /// Restricts to flows from this user (source MAC).
+    pub fn src_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = Some(mac);
+        self
+    }
+
+    /// Restricts to this IP protocol.
+    pub fn proto(mut self, proto: u8) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Restricts to this destination port.
+    pub fn dst_port(mut self, port: u16) -> Self {
+        self.dst_port = Some(port);
+        self
+    }
+
+    /// Sets the decision to steer through `services`.
+    pub fn chain(mut self, services: Vec<ServiceType>) -> Self {
+        self.decision = PolicyDecision::Chain(services);
+        self
+    }
+
+    /// Sets the decision to deny.
+    pub fn deny(mut self) -> Self {
+        self.decision = PolicyDecision::Deny;
+        self
+    }
+
+    /// Sets the decision to allow.
+    pub fn allow(mut self) -> Self {
+        self.decision = PolicyDecision::Allow;
+        self
+    }
+
+    /// Whether this rule's selectors all match `key`.
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.src.map(|n| n.contains(key.nw_src)).unwrap_or(true)
+            && self.dst.map(|n| n.contains(key.nw_dst)).unwrap_or(true)
+            && self.src_mac.map(|m| m == key.dl_src).unwrap_or(true)
+            && self.proto.map(|p| p == key.nw_proto).unwrap_or(true)
+            && self.dst_port.map(|p| p == key.tp_dst).unwrap_or(true)
+    }
+}
+
+/// The ordered, first-match-wins policy table.
+///
+/// ```rust
+/// use livesec::policy::{PolicyRule, PolicyTable, PolicyDecision};
+/// use livesec_services::ServiceType;
+///
+/// let mut table = PolicyTable::allow_all();
+/// table.push(PolicyRule::named("no-telnet").dst_port(23).deny());
+/// table.push(PolicyRule::named("ids-web")
+///     .dst_port(80)
+///     .chain(vec![ServiceType::IntrusionDetection]));
+/// assert_eq!(table.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PolicyTable {
+    rules: Vec<PolicyRule>,
+    default_decision: PolicyDecision,
+    /// Actions applied when an application label is reported for a
+    /// flow (aggregate flow control).
+    app_actions: Vec<(String, AppAction)>,
+}
+
+impl PolicyTable {
+    /// An empty table that allows everything by default.
+    pub fn allow_all() -> Self {
+        PolicyTable {
+            rules: Vec::new(),
+            default_decision: PolicyDecision::Allow,
+            app_actions: Vec::new(),
+        }
+    }
+
+    /// An empty table that denies everything by default.
+    pub fn deny_all() -> Self {
+        PolicyTable {
+            rules: Vec::new(),
+            default_decision: PolicyDecision::Deny,
+            app_actions: Vec::new(),
+        }
+    }
+
+    /// A table whose default decision steers every flow through
+    /// `services` — the paper's full-mesh security posture.
+    pub fn steer_all(services: Vec<ServiceType>) -> Self {
+        PolicyTable {
+            rules: Vec::new(),
+            default_decision: PolicyDecision::Chain(services),
+            app_actions: Vec::new(),
+        }
+    }
+
+    /// Appends a rule (evaluated after all earlier rules).
+    pub fn push(&mut self, rule: PolicyRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Registers an action to take when a flow is identified as `app`.
+    pub fn on_app(&mut self, app: &str, action: AppAction) -> &mut Self {
+        self.app_actions.push((app.to_owned(), action));
+        self
+    }
+
+    /// Looks up the decision for a flow, with the matched rule's name
+    /// (`None` for the default decision).
+    pub fn decide(&self, key: &FlowKey) -> (&PolicyDecision, Option<&str>) {
+        for rule in &self.rules {
+            if rule.matches(key) {
+                return (&rule.decision, Some(&rule.name));
+            }
+        }
+        (&self.default_decision, None)
+    }
+
+    /// The action registered for an identified application, if any.
+    pub fn app_action(&self, app: &str) -> Option<AppAction> {
+        self.app_actions
+            .iter()
+            .find(|(a, _)| a == app)
+            .map(|(_, act)| *act)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table has no explicit rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over the rules in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = &PolicyRule> {
+        self.rules.iter()
+    }
+}
+
+impl Default for PolicyTable {
+    fn default() -> Self {
+        PolicyTable::allow_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dst_port: u16) -> FlowKey {
+        FlowKey {
+            vlan: None,
+            dl_src: MacAddr::from_u64(1),
+            dl_dst: MacAddr::from_u64(2),
+            dl_type: 0x0800,
+            nw_src: "10.0.0.5".parse().unwrap(),
+            nw_dst: "8.8.8.8".parse().unwrap(),
+            nw_proto: 6,
+            tp_src: 40000,
+            tp_dst: dst_port,
+        }
+    }
+
+    #[test]
+    fn default_decisions() {
+        assert_eq!(
+            PolicyTable::allow_all().decide(&key(80)).0,
+            &PolicyDecision::Allow
+        );
+        assert_eq!(
+            PolicyTable::deny_all().decide(&key(80)).0,
+            &PolicyDecision::Deny
+        );
+        let steer = PolicyTable::steer_all(vec![ServiceType::IntrusionDetection]);
+        assert_eq!(
+            steer.decide(&key(80)).0,
+            &PolicyDecision::Chain(vec![ServiceType::IntrusionDetection])
+        );
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut t = PolicyTable::allow_all();
+        t.push(PolicyRule::named("deny-telnet").dst_port(23).deny());
+        t.push(PolicyRule::named("ids-all").chain(vec![ServiceType::IntrusionDetection]));
+        let (d, name) = t.decide(&key(23));
+        assert_eq!(d, &PolicyDecision::Deny);
+        assert_eq!(name, Some("deny-telnet"));
+        let (d, name) = t.decide(&key(80));
+        assert!(matches!(d, PolicyDecision::Chain(_)));
+        assert_eq!(name, Some("ids-all"));
+    }
+
+    #[test]
+    fn selectors_compose() {
+        let rule = PolicyRule::named("lab-web-ids")
+            .src("10.0.0.0/24".parse().unwrap())
+            .proto(6)
+            .dst_port(80)
+            .chain(vec![ServiceType::IntrusionDetection]);
+        assert!(rule.matches(&key(80)));
+        assert!(!rule.matches(&key(443)), "wrong port");
+        let mut external = key(80);
+        external.nw_src = "192.168.1.1".parse().unwrap();
+        assert!(!rule.matches(&external), "wrong subnet");
+        let mut udp = key(80);
+        udp.nw_proto = 17;
+        assert!(!udp.nw_src.is_unspecified() && !rule.matches(&udp), "wrong proto");
+    }
+
+    #[test]
+    fn per_user_rule() {
+        let mut t = PolicyTable::allow_all();
+        t.push(
+            PolicyRule::named("quarantine-user")
+                .src_mac(MacAddr::from_u64(1))
+                .deny(),
+        );
+        assert_eq!(t.decide(&key(80)).0, &PolicyDecision::Deny);
+        let mut other = key(80);
+        other.dl_src = MacAddr::from_u64(9);
+        assert_eq!(t.decide(&other).0, &PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn app_actions() {
+        let mut t = PolicyTable::allow_all();
+        t.on_app("bittorrent", AppAction::Block);
+        assert_eq!(t.app_action("bittorrent"), Some(AppAction::Block));
+        assert_eq!(t.app_action("http"), None);
+    }
+
+    #[test]
+    fn table_introspection() {
+        let mut t = PolicyTable::allow_all();
+        assert!(t.is_empty());
+        t.push(PolicyRule::named("a").allow());
+        t.push(PolicyRule::named("b").deny());
+        assert_eq!(t.len(), 2);
+        let names: Vec<&str> = t.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Micro-benchmarks: on-wire serialization/parsing throughput — the
+//! per-packet cost of the OpenFlow packet-in/out boundary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use livesec_net::{wire, MacAddr, PacketBuilder};
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_serialize");
+    for payload in [0u32, 100, 1400] {
+        let pkt = PacketBuilder::tcp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(555, 80)
+            .payload_len(payload)
+            .build();
+        g.throughput(Throughput::Bytes(pkt.wire_len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &pkt, |b, pkt| {
+            b.iter(|| wire::serialize(pkt))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_parse");
+    for payload in [0u32, 100, 1400] {
+        let pkt = PacketBuilder::udp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(555, 53)
+            .payload_len(payload)
+            .build();
+        let bytes = wire::serialize(&pkt);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &bytes, |b, bytes| {
+            b.iter(|| wire::parse(bytes).expect("valid"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! IEEE 802 MAC addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// LiveSec's Access-Switching layer routes on layer 2, so MAC addresses
+/// are the primary host identity throughout the system (the controller's
+/// routing table is keyed by them, and policy steering rewrites them).
+///
+/// ```rust
+/// use livesec_net::MacAddr;
+/// let m: MacAddr = "00:16:3e:00:00:01".parse().unwrap();
+/// assert_eq!(m.to_string(), "00:16:3e:00:00:01");
+/// assert!(!m.is_broadcast());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zeros address, used as "unset" in ARP probes.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates a MAC address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Creates a MAC address from the low 48 bits of `v`.
+    ///
+    /// This is the workhorse constructor for simulations, where node
+    /// identities are small integers.
+    pub const fn from_u64(v: u64) -> Self {
+        MacAddr([
+            (v >> 40) as u8,
+            (v >> 32) as u8,
+            (v >> 24) as u8,
+            (v >> 16) as u8,
+            (v >> 8) as u8,
+            v as u8,
+        ])
+    }
+
+    /// Returns the address as a `u64` with the first octet most significant.
+    pub const fn to_u64(self) -> u64 {
+        ((self.0[0] as u64) << 40)
+            | ((self.0[1] as u64) << 32)
+            | ((self.0[2] as u64) << 24)
+            | ((self.0[3] as u64) << 16)
+            | ((self.0[4] as u64) << 8)
+            | (self.0[5] as u64)
+    }
+
+    /// Returns the six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns `true` for the all-ones broadcast address.
+    pub const fn is_broadcast(self) -> bool {
+        self.to_u64() == 0xffff_ffff_ffff
+    }
+
+    /// Returns `true` if the group bit (I/G, least-significant bit of the
+    /// first octet) is set, i.e. the address is multicast or broadcast.
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns `true` for ordinary unicast addresses.
+    pub const fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl From<MacAddr> for [u8; 6] {
+    fn from(mac: MacAddr) -> Self {
+        mac.0
+    }
+}
+
+impl AsRef<[u8]> for MacAddr {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Error returned when parsing a malformed MAC address string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError {
+    input: String,
+}
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    /// Parses `aa:bb:cc:dd:ee:ff` (also accepts `-` separators).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMacError {
+            input: s.to_owned(),
+        };
+        let mut octets = [0u8; 6];
+        let mut parts = s.split([':', '-']);
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or_else(err)?;
+            if part.len() != 2 {
+                return Err(err());
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64() {
+        let m = MacAddr::from_u64(0x0016_3e00_1234);
+        assert_eq!(m.to_u64(), 0x0016_3e00_1234);
+        assert_eq!(m.octets(), [0x00, 0x16, 0x3e, 0x00, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let m = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        let s = m.to_string();
+        assert_eq!(s, "de:ad:be:ef:00:01");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), m);
+        assert_eq!("de-ad-be-ef-00-01".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:01".parse::<MacAddr>().is_err());
+        assert!("dead:be:ef:00:01".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn broadcast_and_multicast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+        let mcast = MacAddr::new([0x01, 0x00, 0x5e, 0, 0, 1]);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_unicast());
+        let ucast = MacAddr::new([0x00, 0x16, 0x3e, 0, 0, 1]);
+        assert!(ucast.is_unicast());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = MacAddr::from_u64(1);
+        let b = MacAddr::from_u64(2);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,586 @@
+//! On-wire serialization and parsing of [`Packet`]s.
+//!
+//! The simulator moves structured [`Packet`]s for speed, but OpenFlow
+//! `PacketIn`/`PacketOut` messages carry real frame bytes, exactly as
+//! on a physical network. This module is that boundary: a faithful
+//! Ethernet/ARP/IPv4/TCP/UDP/ICMP/LLDP codec with real IPv4 and
+//! transport checksums.
+//!
+//! Serialization does **not** pad to the 64-byte Ethernet minimum;
+//! padding is a link-accounting concern handled by
+//! [`Packet::wire_len`].
+//!
+//! A [`Payload::Synthetic`] payload serializes as zeros and parses back
+//! as [`Payload::Data`] of the same length, so round-trips preserve
+//! flow keys and lengths but not the synthetic marker.
+
+use crate::arp::{ArpOp, ArpPacket};
+use crate::ethernet::{EtherType, EthernetHeader, VlanTag};
+use crate::icmp::{IcmpMessage, IcmpType};
+use crate::ipv4::{Ipv4Header, Ipv4Packet, Transport};
+use crate::lldp::LldpFrame;
+use crate::mac::MacAddr;
+use crate::packet::{Body, Packet, Payload};
+use crate::tcp::{TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+use bytes::Bytes;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Error returned when a byte buffer cannot be parsed as a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the indicated structure was complete.
+    Truncated,
+    /// The IPv4 version field was not 4, or the IHL was below 5.
+    BadIpHeader,
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which layer failed ("ipv4", "tcp", "udp", "icmp").
+        layer: &'static str,
+    },
+    /// The ARP body was not Ethernet/IPv4 or had an unknown opcode.
+    BadArp,
+    /// The LLDP TLV structure was malformed.
+    BadLldp,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "unexpected end of packet"),
+            ParseError::BadIpHeader => write!(f, "invalid IPv4 header"),
+            ParseError::BadChecksum { layer } => write!(f, "bad {layer} checksum"),
+            ParseError::BadArp => write!(f, "unsupported ARP body"),
+            ParseError::BadLldp => write!(f, "malformed LLDP frame"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Computes the Internet checksum (RFC 1071) of `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn checksum_with_pseudo(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> u16 {
+    let mut buf = Vec::with_capacity(12 + segment.len());
+    buf.extend_from_slice(&src.octets());
+    buf.extend_from_slice(&dst.octets());
+    buf.push(0);
+    buf.push(proto);
+    buf.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    buf.extend_from_slice(segment);
+    internet_checksum(&buf)
+}
+
+fn put_payload(out: &mut Vec<u8>, payload: &Payload) {
+    match payload {
+        Payload::Empty => {}
+        Payload::Synthetic(n) => out.resize(out.len() + *n as usize, 0),
+        Payload::Data(b) => out.extend_from_slice(b),
+    }
+}
+
+/// Serializes a packet to its on-wire byte form (without FCS/padding).
+pub fn serialize(pkt: &Packet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pkt.wire_len());
+    out.extend_from_slice(&pkt.eth.dst.octets());
+    out.extend_from_slice(&pkt.eth.src.octets());
+    if let Some(tag) = pkt.eth.vlan {
+        out.extend_from_slice(&EtherType::Vlan.as_u16().to_be_bytes());
+        out.extend_from_slice(&tag.tci().to_be_bytes());
+    }
+    out.extend_from_slice(&pkt.eth.ethertype.as_u16().to_be_bytes());
+    match &pkt.body {
+        Body::Arp(arp) => serialize_arp(&mut out, arp),
+        Body::Ipv4(ip) => serialize_ipv4(&mut out, ip),
+        Body::Lldp(lldp) => serialize_lldp(&mut out, lldp),
+        Body::Raw(payload) => put_payload(&mut out, payload),
+    }
+    out
+}
+
+fn serialize_arp(out: &mut Vec<u8>, arp: &ArpPacket) {
+    out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+    out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+    out.push(6); // hlen
+    out.push(4); // plen
+    out.extend_from_slice(&arp.op.as_u16().to_be_bytes());
+    out.extend_from_slice(&arp.sha.octets());
+    out.extend_from_slice(&arp.spa.octets());
+    out.extend_from_slice(&arp.tha.octets());
+    out.extend_from_slice(&arp.tpa.octets());
+}
+
+fn serialize_ipv4(out: &mut Vec<u8>, ip: &Ipv4Packet) {
+    let start = out.len();
+    let total_len = ip.wire_len() as u16;
+    out.push(0x45); // version 4, IHL 5
+    out.push(ip.header.dscp << 2);
+    out.extend_from_slice(&total_len.to_be_bytes());
+    out.extend_from_slice(&ip.header.ident.to_be_bytes());
+    out.extend_from_slice(&0x4000u16.to_be_bytes()); // DF, no fragment
+    out.push(ip.header.ttl);
+    out.push(ip.transport.proto().as_u8());
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&ip.header.src.octets());
+    out.extend_from_slice(&ip.header.dst.octets());
+    let csum = internet_checksum(&out[start..start + Ipv4Header::WIRE_LEN]);
+    out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+
+    let tstart = out.len();
+    match &ip.transport {
+        Transport::Tcp(tcp) => {
+            out.extend_from_slice(&tcp.src_port.to_be_bytes());
+            out.extend_from_slice(&tcp.dst_port.to_be_bytes());
+            out.extend_from_slice(&tcp.seq.to_be_bytes());
+            out.extend_from_slice(&tcp.ack.to_be_bytes());
+            out.push(5 << 4); // data offset 5 words
+            out.push(tcp.flags.bits());
+            out.extend_from_slice(&0xffffu16.to_be_bytes()); // window
+            out.extend_from_slice(&[0, 0]); // checksum placeholder
+            out.extend_from_slice(&[0, 0]); // urgent pointer
+            put_payload(out, &tcp.payload);
+            let csum =
+                checksum_with_pseudo(ip.header.src, ip.header.dst, 6, &out[tstart..]);
+            out[tstart + 16..tstart + 18].copy_from_slice(&csum.to_be_bytes());
+        }
+        Transport::Udp(udp) => {
+            out.extend_from_slice(&udp.src_port.to_be_bytes());
+            out.extend_from_slice(&udp.dst_port.to_be_bytes());
+            out.extend_from_slice(&(udp.wire_len() as u16).to_be_bytes());
+            out.extend_from_slice(&[0, 0]); // checksum placeholder
+            put_payload(out, &udp.payload);
+            let csum =
+                checksum_with_pseudo(ip.header.src, ip.header.dst, 17, &out[tstart..]);
+            out[tstart + 6..tstart + 8].copy_from_slice(&csum.to_be_bytes());
+        }
+        Transport::Icmp(icmp) => {
+            out.push(icmp.kind.as_u8());
+            out.push(0); // code
+            out.extend_from_slice(&[0, 0]); // checksum placeholder
+            out.extend_from_slice(&icmp.ident.to_be_bytes());
+            out.extend_from_slice(&icmp.seq.to_be_bytes());
+            out.resize(out.len() + icmp.data_len as usize, 0);
+            let csum = internet_checksum(&out[tstart..]);
+            out[tstart + 2..tstart + 4].copy_from_slice(&csum.to_be_bytes());
+        }
+        Transport::Other { payload, .. } => put_payload(out, payload),
+    }
+}
+
+fn serialize_lldp(out: &mut Vec<u8>, lldp: &LldpFrame) {
+    // Chassis-id TLV: type 1, length 9 (subtype 7 "locally assigned" + 8 id bytes).
+    out.extend_from_slice(&(((1u16) << 9) | 9).to_be_bytes());
+    out.push(7);
+    out.extend_from_slice(&lldp.chassis_id.to_be_bytes());
+    // Port-id TLV: type 2, length 5 (subtype 7 + 4 port bytes).
+    out.extend_from_slice(&(((2u16) << 9) | 5).to_be_bytes());
+    out.push(7);
+    out.extend_from_slice(&lldp.port_id.to_be_bytes());
+    // TTL TLV: type 3, length 2.
+    out.extend_from_slice(&(((3u16) << 9) | 2).to_be_bytes());
+    out.extend_from_slice(&120u16.to_be_bytes());
+    // End TLV.
+    out.extend_from_slice(&[0, 0]);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ParseError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ParseError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn mac(&mut self) -> Result<MacAddr, ParseError> {
+        let s = self.take(6)?;
+        Ok(MacAddr::new(s.try_into().expect("length checked")))
+    }
+
+    fn ipv4(&mut self) -> Result<Ipv4Addr, ParseError> {
+        let s = self.take(4)?;
+        Ok(Ipv4Addr::new(s[0], s[1], s[2], s[3]))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+/// Parses an on-wire frame back into a [`Packet`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for truncated buffers, malformed headers or
+/// checksum failures.
+pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+    let mut r = Reader::new(bytes);
+    let dst = r.mac()?;
+    let src = r.mac()?;
+    let mut ethertype = EtherType::from(r.u16()?);
+    let mut vlan = None;
+    if ethertype == EtherType::Vlan {
+        vlan = Some(VlanTag::from_tci(r.u16()?));
+        ethertype = EtherType::from(r.u16()?);
+    }
+    let mut eth = EthernetHeader::new(src, dst, ethertype);
+    eth.vlan = vlan;
+    let body = match ethertype {
+        EtherType::Arp => Body::Arp(parse_arp(&mut r)?),
+        EtherType::Ipv4 => Body::Ipv4(parse_ipv4(&mut r)?),
+        EtherType::Lldp => Body::Lldp(parse_lldp(&mut r)?),
+        _ => Body::Raw(Payload::Data(Bytes::copy_from_slice(r.rest()))),
+    };
+    Ok(Packet::new(eth, body))
+}
+
+fn parse_arp(r: &mut Reader<'_>) -> Result<ArpPacket, ParseError> {
+    let htype = r.u16()?;
+    let ptype = r.u16()?;
+    let hlen = r.u8()?;
+    let plen = r.u8()?;
+    if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+        return Err(ParseError::BadArp);
+    }
+    let op = ArpOp::from_u16(r.u16()?).ok_or(ParseError::BadArp)?;
+    Ok(ArpPacket {
+        op,
+        sha: r.mac()?,
+        spa: r.ipv4()?,
+        tha: r.mac()?,
+        tpa: r.ipv4()?,
+    })
+}
+
+fn parse_ipv4(r: &mut Reader<'_>) -> Result<Ipv4Packet, ParseError> {
+    let header_start = r.pos;
+    let ver_ihl = r.u8()?;
+    if ver_ihl >> 4 != 4 || ver_ihl & 0x0f < 5 {
+        return Err(ParseError::BadIpHeader);
+    }
+    let ihl = (ver_ihl & 0x0f) as usize * 4;
+    let dscp = r.u8()? >> 2;
+    let total_len = r.u16()? as usize;
+    let ident = r.u16()?;
+    let _flags_frag = r.u16()?;
+    let ttl = r.u8()?;
+    let proto = r.u8()?;
+    let _checksum = r.u16()?;
+    let src = r.ipv4()?;
+    let dst = r.ipv4()?;
+    if ihl > Ipv4Header::WIRE_LEN {
+        r.take(ihl - Ipv4Header::WIRE_LEN)?; // skip options
+    }
+    if internet_checksum(&r.buf[header_start..header_start + ihl]) != 0 {
+        return Err(ParseError::BadChecksum { layer: "ipv4" });
+    }
+    if total_len < ihl || header_start + total_len > r.buf.len() {
+        return Err(ParseError::Truncated);
+    }
+    let seg_len = total_len - ihl;
+    let seg = &r.buf[r.pos..r.pos + seg_len];
+    r.take(seg_len)?;
+
+    let transport = match proto {
+        6 => {
+            if seg.len() < TcpSegment::HEADER_LEN {
+                return Err(ParseError::Truncated);
+            }
+            if checksum_with_pseudo(src, dst, 6, seg) != 0 {
+                return Err(ParseError::BadChecksum { layer: "tcp" });
+            }
+            let mut t = Reader::new(seg);
+            let src_port = t.u16()?;
+            let dst_port = t.u16()?;
+            let seq = t.u32()?;
+            let ack = t.u32()?;
+            let offset = (t.u8()? >> 4) as usize * 4;
+            let flags = TcpFlags::from_bits(t.u8()?);
+            let _window = t.u16()?;
+            let _csum = t.u16()?;
+            let _urg = t.u16()?;
+            if offset > seg.len() || offset < TcpSegment::HEADER_LEN {
+                return Err(ParseError::Truncated);
+            }
+            let payload = Bytes::copy_from_slice(&seg[offset..]);
+            Transport::Tcp(TcpSegment {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                payload: if payload.is_empty() {
+                    Payload::Empty
+                } else {
+                    Payload::Data(payload)
+                },
+            })
+        }
+        17 => {
+            if seg.len() < UdpDatagram::HEADER_LEN {
+                return Err(ParseError::Truncated);
+            }
+            if checksum_with_pseudo(src, dst, 17, seg) != 0 {
+                return Err(ParseError::BadChecksum { layer: "udp" });
+            }
+            let mut u = Reader::new(seg);
+            let src_port = u.u16()?;
+            let dst_port = u.u16()?;
+            let len = u.u16()? as usize;
+            let _csum = u.u16()?;
+            if len < UdpDatagram::HEADER_LEN || len > seg.len() {
+                return Err(ParseError::Truncated);
+            }
+            let payload = Bytes::copy_from_slice(&seg[8..len]);
+            Transport::Udp(UdpDatagram::new(
+                src_port,
+                dst_port,
+                if payload.is_empty() {
+                    Payload::Empty
+                } else {
+                    Payload::Data(payload)
+                },
+            ))
+        }
+        1 => {
+            if seg.len() < IcmpMessage::HEADER_LEN {
+                return Err(ParseError::Truncated);
+            }
+            if internet_checksum(seg) != 0 {
+                return Err(ParseError::BadChecksum { layer: "icmp" });
+            }
+            let mut i = Reader::new(seg);
+            let kind = IcmpType::from(i.u8()?);
+            let _code = i.u8()?;
+            let _csum = i.u16()?;
+            let ident = i.u16()?;
+            let seq = i.u16()?;
+            Transport::Icmp(IcmpMessage {
+                kind,
+                ident,
+                seq,
+                data_len: (seg.len() - IcmpMessage::HEADER_LEN) as u16,
+            })
+        }
+        other => Transport::Other {
+            proto: other,
+            payload: Payload::Data(Bytes::copy_from_slice(seg)),
+        },
+    };
+    Ok(Ipv4Packet {
+        header: Ipv4Header {
+            src,
+            dst,
+            ttl,
+            dscp,
+            ident,
+        },
+        transport,
+    })
+}
+
+fn parse_lldp(r: &mut Reader<'_>) -> Result<LldpFrame, ParseError> {
+    let mut chassis_id = None;
+    let mut port_id = None;
+    loop {
+        let header = r.u16()?;
+        let tlv_type = header >> 9;
+        let tlv_len = (header & 0x1ff) as usize;
+        if tlv_type == 0 {
+            break;
+        }
+        let value = r.take(tlv_len)?;
+        match tlv_type {
+            1 => {
+                if value.len() != 9 {
+                    return Err(ParseError::BadLldp);
+                }
+                chassis_id = Some(u64::from_be_bytes(
+                    value[1..9].try_into().expect("length checked"),
+                ));
+            }
+            2 => {
+                if value.len() != 5 {
+                    return Err(ParseError::BadLldp);
+                }
+                port_id = Some(u32::from_be_bytes(
+                    value[1..5].try_into().expect("length checked"),
+                ));
+            }
+            _ => {} // TTL and anything else: skip
+        }
+    }
+    match (chassis_id, port_id) {
+        (Some(c), Some(p)) => Ok(LldpFrame::new(c, p)),
+        _ => Err(ParseError::BadLldp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use crate::packet::{arp_frame, icmp_frame, lldp_frame, PacketBuilder};
+
+    fn mac(v: u64) -> MacAddr {
+        MacAddr::from_u64(v)
+    }
+
+    #[test]
+    fn tcp_roundtrip_exact() {
+        let pkt = PacketBuilder::tcp(mac(1), mac(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(1234, 80)
+            .seq_ack(5, 6)
+            .tcp_flags(TcpFlags::SYN)
+            .payload_bytes(b"GET / HTTP/1.1\r\n".as_ref())
+            .build();
+        let back = parse(&serialize(&pkt)).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn udp_vlan_roundtrip() {
+        let pkt = PacketBuilder::udp(mac(3), mac(4))
+            .ips("10.1.0.1".parse().unwrap(), "10.1.0.2".parse().unwrap())
+            .ports(5353, 53)
+            .vlan(100)
+            .payload_bytes(b"query".as_ref())
+            .build();
+        let back = parse(&serialize(&pkt)).unwrap();
+        assert_eq!(back, pkt);
+        assert_eq!(back.eth.vlan.unwrap().vid, 100);
+    }
+
+    #[test]
+    fn synthetic_payload_preserves_key_and_len() {
+        let pkt = PacketBuilder::udp(mac(1), mac(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(9, 10)
+            .payload_len(777)
+            .build();
+        let back = parse(&serialize(&pkt)).unwrap();
+        assert_eq!(FlowKey::of(&back), FlowKey::of(&pkt));
+        assert_eq!(back.wire_len(), pkt.wire_len());
+    }
+
+    #[test]
+    fn arp_roundtrip() {
+        let pkt = arp_frame(ArpPacket::request(
+            mac(9),
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        ));
+        assert_eq!(parse(&serialize(&pkt)).unwrap(), pkt);
+    }
+
+    #[test]
+    fn lldp_roundtrip() {
+        let pkt = lldp_frame(mac(77), LldpFrame::new(0xabcdef, 12));
+        assert_eq!(parse(&serialize(&pkt)).unwrap(), pkt);
+        assert_eq!(serialize(&pkt).len(), 14 + LldpFrame::WIRE_LEN);
+    }
+
+    #[test]
+    fn icmp_roundtrip() {
+        let pkt = icmp_frame(
+            mac(1),
+            mac(2),
+            "10.0.0.1".parse().unwrap(),
+            "8.8.8.8".parse().unwrap(),
+            IcmpMessage::echo_request(42, 7, 56),
+        );
+        assert_eq!(parse(&serialize(&pkt)).unwrap(), pkt);
+    }
+
+    #[test]
+    fn corrupt_ip_checksum_rejected() {
+        let pkt = PacketBuilder::tcp(mac(1), mac(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(1, 2)
+            .build();
+        let mut bytes = serialize(&pkt);
+        bytes[16] ^= 0xff; // flip a byte in the IPv4 header (total_len area)
+        assert!(parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_tcp_payload_rejected() {
+        let pkt = PacketBuilder::tcp(mac(1), mac(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(1, 2)
+            .payload_bytes(b"hello".as_ref())
+            .build();
+        let mut bytes = serialize(&pkt);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert_eq!(
+            parse(&bytes),
+            Err(ParseError::BadChecksum { layer: "tcp" })
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let pkt = PacketBuilder::udp(mac(1), mac(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(1, 2)
+            .payload_len(100)
+            .build();
+        let bytes = serialize(&pkt);
+        for cut in [0, 5, 13, 20, 40] {
+            assert!(parse(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 example-style check: sum of a buffer and its checksum is 0.
+        let data = [0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11];
+        let c = internet_checksum(&data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! OpenFlow actions and their application to packets.
+
+use livesec_net::{Body, MacAddr, Packet, Transport, VlanTag};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Where an [`Action::Output`] sends the packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OutPort {
+    /// A physical port number.
+    Physical(u32),
+    /// Back out of the port the packet arrived on.
+    InPort,
+    /// All ports except the ingress port.
+    Flood,
+    /// Encapsulate to the controller as a packet-in.
+    Controller,
+}
+
+impl fmt::Display for OutPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutPort::Physical(p) => write!(f, "{p}"),
+            OutPort::InPort => write!(f, "in_port"),
+            OutPort::Flood => write!(f, "flood"),
+            OutPort::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// An OpenFlow 1.0 action.
+///
+/// An empty action list means *drop*, as in OpenFlow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward the packet.
+    Output(OutPort),
+    /// Rewrite the source MAC.
+    SetDlSrc(MacAddr),
+    /// Rewrite the destination MAC — LiveSec's steering primitive.
+    SetDlDst(MacAddr),
+    /// Rewrite the source IPv4 address.
+    SetNwSrc(Ipv4Addr),
+    /// Rewrite the destination IPv4 address.
+    SetNwDst(Ipv4Addr),
+    /// Rewrite the source transport port.
+    SetTpSrc(u16),
+    /// Rewrite the destination transport port.
+    SetTpDst(u16),
+    /// Set (or replace) the VLAN tag's VID.
+    SetVlan(u16),
+    /// Remove the VLAN tag.
+    StripVlan,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::SetDlSrc(m) => write!(f, "set_dl_src:{m}"),
+            Action::SetDlDst(m) => write!(f, "set_dl_dst:{m}"),
+            Action::SetNwSrc(a) => write!(f, "set_nw_src:{a}"),
+            Action::SetNwDst(a) => write!(f, "set_nw_dst:{a}"),
+            Action::SetTpSrc(p) => write!(f, "set_tp_src:{p}"),
+            Action::SetTpDst(p) => write!(f, "set_tp_dst:{p}"),
+            Action::SetVlan(v) => write!(f, "set_vlan:{v}"),
+            Action::StripVlan => write!(f, "strip_vlan"),
+        }
+    }
+}
+
+/// The result of applying an action list to a packet.
+///
+/// OpenFlow applies actions in sequence: rewrites affect subsequent
+/// outputs, so each emitted copy carries the rewrites seen so far.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActionOutcome {
+    /// `(destination, packet-as-modified-at-that-point)` pairs, in
+    /// action-list order.
+    pub outputs: Vec<(OutPort, Packet)>,
+}
+
+impl ActionOutcome {
+    /// Returns `true` if the action list emitted nothing (drop).
+    pub fn is_drop(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+fn set_tp_src(t: &mut Transport, port: u16) {
+    match t {
+        Transport::Tcp(seg) => seg.src_port = port,
+        Transport::Udp(d) => d.src_port = port,
+        _ => {}
+    }
+}
+
+fn set_tp_dst(t: &mut Transport, port: u16) {
+    match t {
+        Transport::Tcp(seg) => seg.dst_port = port,
+        Transport::Udp(d) => d.dst_port = port,
+        _ => {}
+    }
+}
+
+/// Applies `actions` to `pkt` with OpenFlow-1.0 sequencing.
+pub fn apply_actions(pkt: &Packet, actions: &[Action]) -> ActionOutcome {
+    let mut cur = pkt.clone();
+    let mut outcome = ActionOutcome::default();
+    for action in actions {
+        match *action {
+            Action::Output(dest) => outcome.outputs.push((dest, cur.clone())),
+            Action::SetDlSrc(mac) => cur.eth.src = mac,
+            Action::SetDlDst(mac) => cur.eth.dst = mac,
+            Action::SetNwSrc(ip) => {
+                if let Body::Ipv4(p) = &mut cur.body {
+                    p.header.src = ip;
+                }
+            }
+            Action::SetNwDst(ip) => {
+                if let Body::Ipv4(p) = &mut cur.body {
+                    p.header.dst = ip;
+                }
+            }
+            Action::SetTpSrc(port) => {
+                if let Body::Ipv4(p) = &mut cur.body {
+                    set_tp_src(&mut p.transport, port);
+                }
+            }
+            Action::SetTpDst(port) => {
+                if let Body::Ipv4(p) = &mut cur.body {
+                    set_tp_dst(&mut p.transport, port);
+                }
+            }
+            Action::SetVlan(vid) => {
+                let pcp = cur.eth.vlan.map(|t| t.pcp).unwrap_or(0);
+                cur.eth.vlan = Some(VlanTag { vid, pcp });
+            }
+            Action::StripVlan => cur.eth.vlan = None,
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livesec_net::PacketBuilder;
+
+    fn pkt() -> Packet {
+        PacketBuilder::tcp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(555, 80)
+            .build()
+    }
+
+    #[test]
+    fn empty_action_list_drops() {
+        let out = apply_actions(&pkt(), &[]);
+        assert!(out.is_drop());
+    }
+
+    #[test]
+    fn rewrite_then_output() {
+        let se = MacAddr::from_u64(0xfe);
+        let out = apply_actions(
+            &pkt(),
+            &[
+                Action::SetDlDst(se),
+                Action::Output(OutPort::Physical(4)),
+            ],
+        );
+        assert_eq!(out.outputs.len(), 1);
+        let (dest, modified) = &out.outputs[0];
+        assert_eq!(*dest, OutPort::Physical(4));
+        assert_eq!(modified.eth.dst, se);
+        assert_eq!(modified.eth.src, MacAddr::from_u64(1), "src untouched");
+    }
+
+    #[test]
+    fn sequencing_affects_later_outputs_only() {
+        // Output original, then rewrite, then output modified (OF semantics).
+        let out = apply_actions(
+            &pkt(),
+            &[
+                Action::Output(OutPort::Physical(1)),
+                Action::SetDlDst(MacAddr::from_u64(9)),
+                Action::Output(OutPort::Physical(2)),
+            ],
+        );
+        assert_eq!(out.outputs.len(), 2);
+        assert_eq!(out.outputs[0].1.eth.dst, MacAddr::from_u64(2));
+        assert_eq!(out.outputs[1].1.eth.dst, MacAddr::from_u64(9));
+    }
+
+    #[test]
+    fn nw_and_tp_rewrites() {
+        let out = apply_actions(
+            &pkt(),
+            &[
+                Action::SetNwSrc("192.168.0.1".parse().unwrap()),
+                Action::SetNwDst("192.168.0.2".parse().unwrap()),
+                Action::SetTpSrc(1111),
+                Action::SetTpDst(2222),
+                Action::Output(OutPort::Physical(1)),
+            ],
+        );
+        let p = &out.outputs[0].1;
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.header.src, "192.168.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(ip.header.dst, "192.168.0.2".parse::<Ipv4Addr>().unwrap());
+        let tcp = p.tcp().unwrap();
+        assert_eq!((tcp.src_port, tcp.dst_port), (1111, 2222));
+    }
+
+    #[test]
+    fn vlan_set_and_strip() {
+        let out = apply_actions(
+            &pkt(),
+            &[Action::SetVlan(42), Action::Output(OutPort::Physical(1))],
+        );
+        assert_eq!(out.outputs[0].1.eth.vlan.unwrap().vid, 42);
+
+        let tagged = out.outputs[0].1.clone();
+        let out2 = apply_actions(
+            &tagged,
+            &[Action::StripVlan, Action::Output(OutPort::Physical(1))],
+        );
+        assert_eq!(out2.outputs[0].1.eth.vlan, None);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            Action::Output(OutPort::Controller).to_string(),
+            "output:controller"
+        );
+        assert_eq!(Action::SetVlan(9).to_string(), "set_vlan:9");
+        assert_eq!(Action::Output(OutPort::Flood).to_string(), "output:flood");
+    }
+}

@@ -1,0 +1,217 @@
+//! Switch-side secure-channel state machine.
+//!
+//! Wraps the codec with the protocol chores every switch performs
+//! identically: answering hello, echo, features and barrier requests,
+//! and allocating transaction ids for outbound messages. The
+//! interesting messages (flow-mods, packet-outs, stats requests) are
+//! surfaced to the caller.
+
+use crate::codec::{decode, encode, CodecError};
+use crate::message::OfMessage;
+use std::fmt;
+
+/// Error surfaced by [`SwitchChannel::receive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The peer sent bytes the codec rejects.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Codec(e) => write!(f, "secure channel codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<CodecError> for ChannelError {
+    fn from(e: CodecError) -> Self {
+        ChannelError::Codec(e)
+    }
+}
+
+/// The switch side of an OpenFlow secure channel.
+#[derive(Debug, Clone)]
+pub struct SwitchChannel {
+    datapath_id: u64,
+    n_ports: u32,
+    next_xid: u32,
+    peer_hello_seen: bool,
+    /// Echo replies received from the peer (keepalive liveness).
+    pub echo_replies_seen: u64,
+}
+
+impl SwitchChannel {
+    /// Creates a channel for a switch with the given identity.
+    pub fn new(datapath_id: u64, n_ports: u32) -> Self {
+        SwitchChannel {
+            datapath_id,
+            n_ports,
+            next_xid: 1,
+            peer_hello_seen: false,
+            echo_replies_seen: 0,
+        }
+    }
+
+    /// The switch's datapath id.
+    pub fn datapath_id(&self) -> u64 {
+        self.datapath_id
+    }
+
+    /// Whether the peer's hello has arrived.
+    pub fn is_established(&self) -> bool {
+        self.peer_hello_seen
+    }
+
+    /// The initial hello to transmit when the channel connects.
+    pub fn hello(&mut self) -> Vec<u8> {
+        self.send(&OfMessage::Hello)
+    }
+
+    /// Encodes an outbound message with a fresh transaction id.
+    pub fn send(&mut self, msg: &OfMessage) -> Vec<u8> {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        encode(msg, xid)
+    }
+
+    /// Processes inbound bytes.
+    ///
+    /// Returns any auto-replies (already encoded, ready to transmit)
+    /// and, if the message needs switch-specific handling, the decoded
+    /// message for the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Codec`] if the bytes don't decode.
+    pub fn receive(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(Vec<Vec<u8>>, Option<OfMessage>), ChannelError> {
+        let (msg, xid) = decode(bytes)?;
+        let mut replies = Vec::new();
+        let up = match msg {
+            OfMessage::Hello => {
+                self.peer_hello_seen = true;
+                None
+            }
+            OfMessage::EchoRequest(v) => {
+                replies.push(encode(&OfMessage::EchoReply(v), xid));
+                None
+            }
+            OfMessage::EchoReply(_) => {
+                self.echo_replies_seen += 1;
+                None
+            }
+            OfMessage::FeaturesRequest => {
+                replies.push(encode(
+                    &OfMessage::FeaturesReply {
+                        datapath_id: self.datapath_id,
+                        n_ports: self.n_ports,
+                    },
+                    xid,
+                ));
+                None
+            }
+            // The simulated switch processes messages synchronously in
+            // arrival order, so by the time a barrier is seen all prior
+            // messages have been applied.
+            OfMessage::BarrierRequest => {
+                replies.push(encode(&OfMessage::BarrierReply, xid));
+                None
+            }
+            other => Some(other),
+        };
+        Ok((replies, up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_match::Match;
+
+    #[test]
+    fn handshake_establishes() {
+        let mut ch = SwitchChannel::new(42, 4);
+        assert!(!ch.is_established());
+        let hello = encode(&OfMessage::Hello, 1);
+        let (replies, up) = ch.receive(&hello).unwrap();
+        assert!(replies.is_empty());
+        assert!(up.is_none());
+        assert!(ch.is_established());
+    }
+
+    #[test]
+    fn echo_answered_with_same_xid_and_payload() {
+        let mut ch = SwitchChannel::new(42, 4);
+        let req = encode(&OfMessage::EchoRequest(777), 55);
+        let (replies, up) = ch.receive(&req).unwrap();
+        assert!(up.is_none());
+        assert_eq!(replies.len(), 1);
+        let (msg, xid) = decode(&replies[0]).unwrap();
+        assert_eq!(msg, OfMessage::EchoReply(777));
+        assert_eq!(xid, 55);
+    }
+
+    #[test]
+    fn features_reports_identity() {
+        let mut ch = SwitchChannel::new(0xabc, 24);
+        let req = encode(&OfMessage::FeaturesRequest, 9);
+        let (replies, _) = ch.receive(&req).unwrap();
+        let (msg, _) = decode(&replies[0]).unwrap();
+        assert_eq!(
+            msg,
+            OfMessage::FeaturesReply {
+                datapath_id: 0xabc,
+                n_ports: 24
+            }
+        );
+    }
+
+    #[test]
+    fn barrier_acknowledged() {
+        let mut ch = SwitchChannel::new(1, 1);
+        let req = encode(&OfMessage::BarrierRequest, 3);
+        let (replies, up) = ch.receive(&req).unwrap();
+        assert!(up.is_none());
+        let (msg, xid) = decode(&replies[0]).unwrap();
+        assert_eq!(msg, OfMessage::BarrierReply);
+        assert_eq!(xid, 3);
+    }
+
+    #[test]
+    fn flow_mod_passed_up() {
+        let mut ch = SwitchChannel::new(1, 1);
+        let fm = OfMessage::add_flow(Match::any(), vec![], 1);
+        let bytes = encode(&fm, 2);
+        let (replies, up) = ch.receive(&bytes).unwrap();
+        assert!(replies.is_empty());
+        assert_eq!(up, Some(fm));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut ch = SwitchChannel::new(1, 1);
+        assert!(ch.receive(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn outbound_xids_increment() {
+        let mut ch = SwitchChannel::new(1, 1);
+        let a = ch.send(&OfMessage::Hello);
+        let b = ch.send(&OfMessage::Hello);
+        let (_, xa) = decode(&a).unwrap();
+        let (_, xb) = decode(&b).unwrap();
+        assert_eq!(xb, xa + 1);
+    }
+}

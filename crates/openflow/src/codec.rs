@@ -1,0 +1,860 @@
+//! Binary wire codec for [`OfMessage`].
+//!
+//! Every message is framed by an OpenFlow-style 10-byte header:
+//! version (1), type (1), total length (4), transaction id (4). Bodies
+//! are big-endian; variable-length fields carry 4-byte length prefixes.
+
+use crate::action::{Action, OutPort};
+use crate::flow_match::{Match, VlanMatch};
+use crate::message::{
+    FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
+    PortStatusReason, StatsBody, StatsRequestKind,
+};
+use livesec_net::{Ipv4Net, MacAddr};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Protocol version emitted by this codec.
+pub const VERSION: u8 = 1;
+
+/// Error returned when a buffer cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer shorter than its header or declared length.
+    Truncated,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown message type.
+    BadType(u8),
+    /// A field held an invalid value.
+    BadField(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "unexpected end of message"),
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            CodecError::BadType(t) => write!(f, "unknown message type {t}"),
+            CodecError::BadField(name) => write!(f, "invalid value in field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// Message type codes (OpenFlow 1.0 numbering where one exists).
+const T_HELLO: u8 = 0;
+const T_ECHO_REQ: u8 = 2;
+const T_ECHO_REP: u8 = 3;
+const T_FEATURES_REQ: u8 = 5;
+const T_FEATURES_REP: u8 = 6;
+const T_PACKET_IN: u8 = 10;
+const T_FLOW_REMOVED: u8 = 11;
+const T_PORT_STATUS: u8 = 12;
+const T_PACKET_OUT: u8 = 13;
+const T_FLOW_MOD: u8 = 14;
+const T_STATS_REQ: u8 = 16;
+const T_STATS_REP: u8 = 17;
+const T_BARRIER_REQ: u8 = 18;
+const T_BARRIER_REP: u8 = 19;
+
+// Pseudo-port numbers for OutPort (OpenFlow 1.0 values).
+const P_IN_PORT: u32 = 0xfff8;
+const P_FLOOD: u32 = 0xfffb;
+const P_CONTROLLER: u32 = 0xfffd;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn mac(&mut self, v: MacAddr) {
+        self.buf.extend_from_slice(&v.octets());
+    }
+    fn ip(&mut self, v: Ipv4Addr) {
+        self.buf.extend_from_slice(&v.octets());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes(s.try_into().expect("len checked")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes(s.try_into().expect("len checked")))
+    }
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        Ok(if self.u8()? == 0 {
+            None
+        } else {
+            Some(self.u64()?)
+        })
+    }
+    fn opt_u32(&mut self) -> Result<Option<u32>, CodecError> {
+        Ok(if self.u8()? == 0 {
+            None
+        } else {
+            Some(self.u32()?)
+        })
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadField("string"))
+    }
+    fn mac(&mut self) -> Result<MacAddr, CodecError> {
+        let s = self.take(6)?;
+        Ok(MacAddr::new(s.try_into().expect("len checked")))
+    }
+    fn ip(&mut self) -> Result<Ipv4Addr, CodecError> {
+        let s = self.take(4)?;
+        Ok(Ipv4Addr::new(s[0], s[1], s[2], s[3]))
+    }
+}
+
+fn put_match(w: &mut Writer, m: &Match) {
+    let mut bits: u16 = 0;
+    let fields = [
+        m.in_port.is_some(),
+        m.dl_src.is_some(),
+        m.dl_dst.is_some(),
+        m.dl_vlan.is_some(),
+        m.dl_type.is_some(),
+        m.nw_src.is_some(),
+        m.nw_dst.is_some(),
+        m.nw_proto.is_some(),
+        m.tp_src.is_some(),
+        m.tp_dst.is_some(),
+    ];
+    for (i, present) in fields.iter().enumerate() {
+        if *present {
+            bits |= 1 << i;
+        }
+    }
+    w.u16(bits);
+    if let Some(p) = m.in_port {
+        w.u32(p);
+    }
+    if let Some(mac) = m.dl_src {
+        w.mac(mac);
+    }
+    if let Some(mac) = m.dl_dst {
+        w.mac(mac);
+    }
+    if let Some(v) = m.dl_vlan {
+        // 0xffff encodes "untagged", as OFP_VLAN_NONE does.
+        w.u16(match v {
+            VlanMatch::Untagged => 0xffff,
+            VlanMatch::Tagged(vid) => vid,
+        });
+    }
+    if let Some(t) = m.dl_type {
+        w.u16(t);
+    }
+    if let Some(n) = m.nw_src {
+        w.ip(n.addr());
+        w.u8(n.prefix_len());
+    }
+    if let Some(n) = m.nw_dst {
+        w.ip(n.addr());
+        w.u8(n.prefix_len());
+    }
+    if let Some(p) = m.nw_proto {
+        w.u8(p);
+    }
+    if let Some(p) = m.tp_src {
+        w.u16(p);
+    }
+    if let Some(p) = m.tp_dst {
+        w.u16(p);
+    }
+}
+
+fn get_match(r: &mut Reader<'_>) -> Result<Match, CodecError> {
+    let bits = r.u16()?;
+    let has = |i: u16| bits & (1 << i) != 0;
+    let mut m = Match::any();
+    if has(0) {
+        m.in_port = Some(r.u32()?);
+    }
+    if has(1) {
+        m.dl_src = Some(r.mac()?);
+    }
+    if has(2) {
+        m.dl_dst = Some(r.mac()?);
+    }
+    if has(3) {
+        let v = r.u16()?;
+        m.dl_vlan = Some(if v == 0xffff {
+            VlanMatch::Untagged
+        } else {
+            VlanMatch::Tagged(v)
+        });
+    }
+    if has(4) {
+        m.dl_type = Some(r.u16()?);
+    }
+    if has(5) {
+        let ip = r.ip()?;
+        let len = r.u8()?;
+        if len > 32 {
+            return Err(CodecError::BadField("nw_src prefix"));
+        }
+        m.nw_src = Some(Ipv4Net::new(ip, len));
+    }
+    if has(6) {
+        let ip = r.ip()?;
+        let len = r.u8()?;
+        if len > 32 {
+            return Err(CodecError::BadField("nw_dst prefix"));
+        }
+        m.nw_dst = Some(Ipv4Net::new(ip, len));
+    }
+    if has(7) {
+        m.nw_proto = Some(r.u8()?);
+    }
+    if has(8) {
+        m.tp_src = Some(r.u16()?);
+    }
+    if has(9) {
+        m.tp_dst = Some(r.u16()?);
+    }
+    Ok(m)
+}
+
+fn put_out_port(w: &mut Writer, p: OutPort) {
+    w.u32(match p {
+        OutPort::Physical(n) => n,
+        OutPort::InPort => P_IN_PORT,
+        OutPort::Flood => P_FLOOD,
+        OutPort::Controller => P_CONTROLLER,
+    });
+}
+
+fn get_out_port(r: &mut Reader<'_>) -> Result<OutPort, CodecError> {
+    Ok(match r.u32()? {
+        P_IN_PORT => OutPort::InPort,
+        P_FLOOD => OutPort::Flood,
+        P_CONTROLLER => OutPort::Controller,
+        n if n < 0xff00 => OutPort::Physical(n),
+        _ => return Err(CodecError::BadField("out_port")),
+    })
+}
+
+fn put_actions(w: &mut Writer, actions: &[Action]) {
+    w.u32(actions.len() as u32);
+    for a in actions {
+        match *a {
+            Action::Output(p) => {
+                w.u8(0);
+                put_out_port(w, p);
+            }
+            Action::SetDlSrc(m) => {
+                w.u8(1);
+                w.mac(m);
+            }
+            Action::SetDlDst(m) => {
+                w.u8(2);
+                w.mac(m);
+            }
+            Action::SetNwSrc(ip) => {
+                w.u8(3);
+                w.ip(ip);
+            }
+            Action::SetNwDst(ip) => {
+                w.u8(4);
+                w.ip(ip);
+            }
+            Action::SetTpSrc(p) => {
+                w.u8(5);
+                w.u16(p);
+            }
+            Action::SetTpDst(p) => {
+                w.u8(6);
+                w.u16(p);
+            }
+            Action::SetVlan(v) => {
+                w.u8(7);
+                w.u16(v);
+            }
+            Action::StripVlan => w.u8(8),
+        }
+    }
+}
+
+fn get_actions(r: &mut Reader<'_>) -> Result<Vec<Action>, CodecError> {
+    let n = r.u32()? as usize;
+    if n > 1024 {
+        return Err(CodecError::BadField("action count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => Action::Output(get_out_port(r)?),
+            1 => Action::SetDlSrc(r.mac()?),
+            2 => Action::SetDlDst(r.mac()?),
+            3 => Action::SetNwSrc(r.ip()?),
+            4 => Action::SetNwDst(r.ip()?),
+            5 => Action::SetTpSrc(r.u16()?),
+            6 => Action::SetTpDst(r.u16()?),
+            7 => Action::SetVlan(r.u16()?),
+            8 => Action::StripVlan,
+            _ => return Err(CodecError::BadField("action tag")),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes `msg` with transaction id `xid`.
+pub fn encode(msg: &OfMessage, xid: u32) -> Vec<u8> {
+    let mut w = Writer::new();
+    // Header placeholder; length patched at the end.
+    w.u8(VERSION);
+    let (ty, body_at) = (msg_type(msg), 10usize);
+    w.u8(ty);
+    w.u32(0);
+    w.u32(xid);
+    debug_assert_eq!(w.buf.len(), body_at);
+    match msg {
+        OfMessage::Hello
+        | OfMessage::FeaturesRequest
+        | OfMessage::BarrierRequest
+        | OfMessage::BarrierReply => {}
+        OfMessage::EchoRequest(v) | OfMessage::EchoReply(v) => w.u64(*v),
+        OfMessage::FeaturesReply {
+            datapath_id,
+            n_ports,
+        } => {
+            w.u64(*datapath_id);
+            w.u32(*n_ports);
+        }
+        OfMessage::PacketIn {
+            in_port,
+            reason,
+            data,
+        } => {
+            w.u32(*in_port);
+            w.u8(match reason {
+                PacketInReason::NoMatch => 0,
+                PacketInReason::Action => 1,
+            });
+            w.bytes(data);
+        }
+        OfMessage::PacketOut {
+            in_port,
+            actions,
+            data,
+        } => {
+            w.opt_u32(*in_port);
+            put_actions(&mut w, actions);
+            w.bytes(data);
+        }
+        OfMessage::FlowMod {
+            command,
+            matcher,
+            priority,
+            actions,
+            idle_timeout,
+            hard_timeout,
+            cookie,
+            notify_removed,
+        } => {
+            w.u8(match command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::ModifyStrict => 2,
+                FlowModCommand::Delete => 3,
+                FlowModCommand::DeleteStrict => 4,
+            });
+            put_match(&mut w, matcher);
+            w.u16(*priority);
+            put_actions(&mut w, actions);
+            w.opt_u64(*idle_timeout);
+            w.opt_u64(*hard_timeout);
+            w.u64(*cookie);
+            w.bool(*notify_removed);
+        }
+        OfMessage::FlowRemoved {
+            matcher,
+            cookie,
+            priority,
+            reason,
+            packet_count,
+            byte_count,
+        } => {
+            put_match(&mut w, matcher);
+            w.u64(*cookie);
+            w.u16(*priority);
+            w.u8(match reason {
+                FlowRemovedReason::IdleTimeout => 0,
+                FlowRemovedReason::HardTimeout => 1,
+                FlowRemovedReason::Delete => 2,
+            });
+            w.u64(*packet_count);
+            w.u64(*byte_count);
+        }
+        OfMessage::PortStatus { reason, port_no } => {
+            w.u8(match reason {
+                PortStatusReason::Add => 0,
+                PortStatusReason::Delete => 1,
+                PortStatusReason::Modify => 2,
+            });
+            w.u32(*port_no);
+        }
+        OfMessage::StatsRequest(kind) => match kind {
+            StatsRequestKind::Flow(m) => {
+                w.u8(0);
+                put_match(&mut w, m);
+            }
+            StatsRequestKind::Port(p) => {
+                w.u8(1);
+                w.opt_u32(*p);
+            }
+            StatsRequestKind::Description => w.u8(2),
+        },
+        OfMessage::StatsReply(body) => match body {
+            StatsBody::Flow(stats) => {
+                w.u8(0);
+                w.u32(stats.len() as u32);
+                for s in stats {
+                    put_match(&mut w, &s.matcher);
+                    w.u16(s.priority);
+                    w.u64(s.cookie);
+                    w.u64(s.packet_count);
+                    w.u64(s.byte_count);
+                    w.u64(s.duration);
+                }
+            }
+            StatsBody::Port(stats) => {
+                w.u8(1);
+                w.u32(stats.len() as u32);
+                for s in stats {
+                    w.u32(s.port_no);
+                    w.u64(s.rx_packets);
+                    w.u64(s.tx_packets);
+                    w.u64(s.rx_bytes);
+                    w.u64(s.tx_bytes);
+                    w.u64(s.drops);
+                }
+            }
+            StatsBody::Description {
+                manufacturer,
+                hardware,
+                software,
+            } => {
+                w.u8(2);
+                w.string(manufacturer);
+                w.string(hardware);
+                w.string(software);
+            }
+        },
+    }
+    let len = w.buf.len() as u32;
+    w.buf[2..6].copy_from_slice(&len.to_be_bytes());
+    w.buf
+}
+
+fn msg_type(msg: &OfMessage) -> u8 {
+    match msg {
+        OfMessage::Hello => T_HELLO,
+        OfMessage::EchoRequest(_) => T_ECHO_REQ,
+        OfMessage::EchoReply(_) => T_ECHO_REP,
+        OfMessage::FeaturesRequest => T_FEATURES_REQ,
+        OfMessage::FeaturesReply { .. } => T_FEATURES_REP,
+        OfMessage::PacketIn { .. } => T_PACKET_IN,
+        OfMessage::FlowRemoved { .. } => T_FLOW_REMOVED,
+        OfMessage::PortStatus { .. } => T_PORT_STATUS,
+        OfMessage::PacketOut { .. } => T_PACKET_OUT,
+        OfMessage::FlowMod { .. } => T_FLOW_MOD,
+        OfMessage::StatsRequest(_) => T_STATS_REQ,
+        OfMessage::StatsReply(_) => T_STATS_REP,
+        OfMessage::BarrierRequest => T_BARRIER_REQ,
+        OfMessage::BarrierReply => T_BARRIER_REP,
+    }
+}
+
+/// Decodes one message, returning it with its transaction id.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for truncated buffers, unknown versions or
+/// types, and invalid field values.
+pub fn decode(bytes: &[u8]) -> Result<(OfMessage, u32), CodecError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let ty = r.u8()?;
+    let len = r.u32()? as usize;
+    if len != bytes.len() {
+        return Err(CodecError::Truncated);
+    }
+    let xid = r.u32()?;
+    let msg = match ty {
+        T_HELLO => OfMessage::Hello,
+        T_ECHO_REQ => OfMessage::EchoRequest(r.u64()?),
+        T_ECHO_REP => OfMessage::EchoReply(r.u64()?),
+        T_FEATURES_REQ => OfMessage::FeaturesRequest,
+        T_FEATURES_REP => OfMessage::FeaturesReply {
+            datapath_id: r.u64()?,
+            n_ports: r.u32()?,
+        },
+        T_PACKET_IN => OfMessage::PacketIn {
+            in_port: r.u32()?,
+            reason: match r.u8()? {
+                0 => PacketInReason::NoMatch,
+                1 => PacketInReason::Action,
+                _ => return Err(CodecError::BadField("packet_in reason")),
+            },
+            data: r.bytes()?,
+        },
+        T_PACKET_OUT => OfMessage::PacketOut {
+            in_port: r.opt_u32()?,
+            actions: get_actions(&mut r)?,
+            data: r.bytes()?,
+        },
+        T_FLOW_MOD => OfMessage::FlowMod {
+            command: match r.u8()? {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                4 => FlowModCommand::DeleteStrict,
+                _ => return Err(CodecError::BadField("flow_mod command")),
+            },
+            matcher: get_match(&mut r)?,
+            priority: r.u16()?,
+            actions: get_actions(&mut r)?,
+            idle_timeout: r.opt_u64()?,
+            hard_timeout: r.opt_u64()?,
+            cookie: r.u64()?,
+            notify_removed: r.bool()?,
+        },
+        T_FLOW_REMOVED => OfMessage::FlowRemoved {
+            matcher: get_match(&mut r)?,
+            cookie: r.u64()?,
+            priority: r.u16()?,
+            reason: match r.u8()? {
+                0 => FlowRemovedReason::IdleTimeout,
+                1 => FlowRemovedReason::HardTimeout,
+                2 => FlowRemovedReason::Delete,
+                _ => return Err(CodecError::BadField("flow_removed reason")),
+            },
+            packet_count: r.u64()?,
+            byte_count: r.u64()?,
+        },
+        T_PORT_STATUS => OfMessage::PortStatus {
+            reason: match r.u8()? {
+                0 => PortStatusReason::Add,
+                1 => PortStatusReason::Delete,
+                2 => PortStatusReason::Modify,
+                _ => return Err(CodecError::BadField("port_status reason")),
+            },
+            port_no: r.u32()?,
+        },
+        T_STATS_REQ => OfMessage::StatsRequest(match r.u8()? {
+            0 => StatsRequestKind::Flow(get_match(&mut r)?),
+            1 => StatsRequestKind::Port(r.opt_u32()?),
+            2 => StatsRequestKind::Description,
+            _ => return Err(CodecError::BadField("stats kind")),
+        }),
+        T_STATS_REP => OfMessage::StatsReply(match r.u8()? {
+            0 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(FlowStats {
+                        matcher: get_match(&mut r)?,
+                        priority: r.u16()?,
+                        cookie: r.u64()?,
+                        packet_count: r.u64()?,
+                        byte_count: r.u64()?,
+                        duration: r.u64()?,
+                    });
+                }
+                StatsBody::Flow(v)
+            }
+            1 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(PortStats {
+                        port_no: r.u32()?,
+                        rx_packets: r.u64()?,
+                        tx_packets: r.u64()?,
+                        rx_bytes: r.u64()?,
+                        tx_bytes: r.u64()?,
+                        drops: r.u64()?,
+                    });
+                }
+                StatsBody::Port(v)
+            }
+            2 => StatsBody::Description {
+                manufacturer: r.string()?,
+                hardware: r.string()?,
+                software: r.string()?,
+            },
+            _ => return Err(CodecError::BadField("stats body")),
+        }),
+        T_BARRIER_REQ => OfMessage::BarrierRequest,
+        T_BARRIER_REP => OfMessage::BarrierReply,
+        other => return Err(CodecError::BadType(other)),
+    };
+    Ok((msg, xid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livesec_net::FlowKey;
+
+    fn sample_match() -> Match {
+        let key = FlowKey {
+            vlan: Some(7),
+            dl_src: MacAddr::from_u64(0x111111),
+            dl_dst: MacAddr::from_u64(0x222222),
+            dl_type: 0x0800,
+            nw_src: "10.0.0.1".parse().unwrap(),
+            nw_dst: "10.0.0.2".parse().unwrap(),
+            nw_proto: 6,
+            tp_src: 1000,
+            tp_dst: 80,
+        };
+        Match::exact(3, &key)
+    }
+
+    fn roundtrip(msg: OfMessage) {
+        let bytes = encode(&msg, 0xdead_beef);
+        let (back, xid) = decode(&bytes).unwrap_or_else(|e| panic!("{e}: {msg:?}"));
+        assert_eq!(back, msg);
+        assert_eq!(xid, 0xdead_beef);
+    }
+
+    #[test]
+    fn roundtrip_symmetric_messages() {
+        roundtrip(OfMessage::Hello);
+        roundtrip(OfMessage::EchoRequest(42));
+        roundtrip(OfMessage::EchoReply(42));
+        roundtrip(OfMessage::BarrierRequest);
+        roundtrip(OfMessage::BarrierReply);
+        roundtrip(OfMessage::FeaturesRequest);
+        roundtrip(OfMessage::FeaturesReply {
+            datapath_id: 0x1234,
+            n_ports: 24,
+        });
+    }
+
+    #[test]
+    fn roundtrip_packet_in_out() {
+        roundtrip(OfMessage::PacketIn {
+            in_port: 5,
+            reason: PacketInReason::NoMatch,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(OfMessage::PacketOut {
+            in_port: Some(2),
+            actions: vec![
+                Action::SetDlDst(MacAddr::from_u64(9)),
+                Action::Output(OutPort::Flood),
+            ],
+            data: vec![9; 100],
+        });
+        roundtrip(OfMessage::PacketOut {
+            in_port: None,
+            actions: vec![],
+            data: vec![],
+        });
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_variants() {
+        for command in [
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::ModifyStrict,
+            FlowModCommand::Delete,
+            FlowModCommand::DeleteStrict,
+        ] {
+            roundtrip(OfMessage::FlowMod {
+                command,
+                matcher: sample_match(),
+                priority: 100,
+                actions: vec![
+                    Action::SetDlDst(MacAddr::from_u64(0xfe)),
+                    Action::SetVlan(9),
+                    Action::StripVlan,
+                    Action::SetNwSrc("1.2.3.4".parse().unwrap()),
+                    Action::SetNwDst("5.6.7.8".parse().unwrap()),
+                    Action::SetTpSrc(1),
+                    Action::SetTpDst(2),
+                    Action::SetDlSrc(MacAddr::from_u64(3)),
+                    Action::Output(OutPort::Physical(7)),
+                    Action::Output(OutPort::InPort),
+                    Action::Output(OutPort::Controller),
+                ],
+                idle_timeout: Some(5_000_000_000),
+                hard_timeout: None,
+                cookie: 77,
+                notify_removed: true,
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_wildcard_and_prefix_matches() {
+        roundtrip(OfMessage::add_flow(Match::any(), vec![], 0));
+        roundtrip(OfMessage::add_flow(
+            Match::any()
+                .with_nw_dst("10.0.0.0/8".parse().unwrap())
+                .with_dl_type(0x0800),
+            vec![Action::Output(OutPort::Controller)],
+            5,
+        ));
+        // Untagged VLAN constraint round-trips distinctly from wildcard.
+        let m = Match {
+            dl_vlan: Some(VlanMatch::Untagged),
+            ..Match::any()
+        };
+        roundtrip(OfMessage::add_flow(m, vec![], 1));
+    }
+
+    #[test]
+    fn roundtrip_flow_removed_and_port_status() {
+        roundtrip(OfMessage::FlowRemoved {
+            matcher: sample_match(),
+            cookie: 1,
+            priority: 2,
+            reason: FlowRemovedReason::IdleTimeout,
+            packet_count: 100,
+            byte_count: 100_000,
+        });
+        roundtrip(OfMessage::PortStatus {
+            reason: PortStatusReason::Delete,
+            port_no: 3,
+        });
+    }
+
+    #[test]
+    fn roundtrip_stats() {
+        roundtrip(OfMessage::StatsRequest(StatsRequestKind::Flow(Match::any())));
+        roundtrip(OfMessage::StatsRequest(StatsRequestKind::Port(None)));
+        roundtrip(OfMessage::StatsRequest(StatsRequestKind::Port(Some(4))));
+        roundtrip(OfMessage::StatsRequest(StatsRequestKind::Description));
+        roundtrip(OfMessage::StatsReply(StatsBody::Flow(vec![FlowStats {
+            matcher: sample_match(),
+            priority: 1,
+            cookie: 2,
+            packet_count: 3,
+            byte_count: 4,
+            duration: 5,
+        }])));
+        roundtrip(OfMessage::StatsReply(StatsBody::Port(vec![PortStats {
+            port_no: 1,
+            rx_packets: 2,
+            tx_packets: 3,
+            rx_bytes: 4,
+            tx_bytes: 5,
+            drops: 6,
+        }])));
+        roundtrip(OfMessage::StatsReply(StatsBody::Description {
+            manufacturer: "LiveSec".into(),
+            hardware: "sim".into(),
+            software: "ovs-1.1.0-model".into(),
+        }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        let mut bytes = encode(&OfMessage::Hello, 1);
+        bytes[0] = 99;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(99)));
+        let mut bytes = encode(&OfMessage::Hello, 1);
+        bytes[1] = 200;
+        assert_eq!(decode(&bytes), Err(CodecError::BadType(200)));
+        let bytes = encode(&OfMessage::EchoRequest(1), 1);
+        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn length_field_must_agree() {
+        let mut bytes = encode(&OfMessage::Hello, 1);
+        bytes.push(0); // trailing garbage
+        assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    }
+}

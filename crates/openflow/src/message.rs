@@ -1,0 +1,301 @@
+//! The controller ↔ switch message set.
+
+use crate::action::Action;
+use crate::flow_match::Match;
+use crate::table::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Why a packet-in was sent to the controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PacketInReason {
+    /// No flow entry matched.
+    NoMatch,
+    /// An explicit `Output:Controller` action fired.
+    Action,
+}
+
+/// The flow-mod command field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FlowModCommand {
+    /// Insert (replacing an identical match+priority entry).
+    Add,
+    /// Replace the actions of all subsumed entries.
+    Modify,
+    /// Replace the actions of the exactly-matching entry.
+    ModifyStrict,
+    /// Delete all subsumed entries.
+    Delete,
+    /// Delete the exactly-matching entry.
+    DeleteStrict,
+}
+
+/// Why an entry was evicted (flow-removed message).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FlowRemovedReason {
+    /// Idle timeout.
+    IdleTimeout,
+    /// Hard timeout.
+    HardTimeout,
+    /// Explicit delete.
+    Delete,
+}
+
+/// Why a port-status message was sent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PortStatusReason {
+    /// Port came up.
+    Add,
+    /// Port went away.
+    Delete,
+    /// Port attributes changed.
+    Modify,
+}
+
+/// What a stats-request asks for.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum StatsRequestKind {
+    /// Per-flow stats for entries subsumed by the match.
+    Flow(Match),
+    /// Per-port stats (`None` = all ports).
+    Port(Option<u32>),
+    /// Switch description.
+    Description,
+}
+
+/// Per-flow statistics.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// The entry's match.
+    pub matcher: Match,
+    /// The entry's priority.
+    pub priority: u16,
+    /// The entry's cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Time installed, in nanoseconds.
+    pub duration: Nanos,
+}
+
+/// Per-port statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Port number.
+    pub port_no: u32,
+    /// Frames received.
+    pub rx_packets: u64,
+    /// Frames transmitted.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames dropped.
+    pub drops: u64,
+}
+
+/// The body of a stats-reply.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum StatsBody {
+    /// Per-flow stats.
+    Flow(Vec<FlowStats>),
+    /// Per-port stats.
+    Port(Vec<PortStats>),
+    /// Switch description strings.
+    Description {
+        /// Manufacturer.
+        manufacturer: String,
+        /// Hardware description.
+        hardware: String,
+        /// Software description.
+        software: String,
+    },
+}
+
+/// An OpenFlow control-channel message.
+///
+/// The message set mirrors OpenFlow 1.0's symmetric / controller→switch
+/// / switch→controller split; see the crate docs for the deviations.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum OfMessage {
+    /// Version negotiation greeting (symmetric).
+    Hello,
+    /// Keepalive probe (symmetric).
+    EchoRequest(u64),
+    /// Keepalive response (symmetric).
+    EchoReply(u64),
+    /// Ask the switch for its identity.
+    FeaturesRequest,
+    /// The switch's identity.
+    FeaturesReply {
+        /// Datapath id (unique per switch).
+        datapath_id: u64,
+        /// Number of physical ports.
+        n_ports: u32,
+    },
+    /// A packet the switch couldn't (or was told not to) handle.
+    PacketIn {
+        /// Ingress port.
+        in_port: u32,
+        /// Why it was sent.
+        reason: PacketInReason,
+        /// The frame bytes (full frame; the simulated switches don't
+        /// buffer).
+        data: Vec<u8>,
+    },
+    /// Controller-originated packet transmission.
+    PacketOut {
+        /// Nominal ingress port (for `Output:InPort`/`Flood` semantics).
+        in_port: Option<u32>,
+        /// Actions to apply (typically a single output).
+        actions: Vec<Action>,
+        /// The frame bytes.
+        data: Vec<u8>,
+    },
+    /// Flow-table modification.
+    FlowMod {
+        /// What to do.
+        command: FlowModCommand,
+        /// The match.
+        matcher: Match,
+        /// Priority (for adds and strict ops).
+        priority: u16,
+        /// Actions (for add/modify).
+        actions: Vec<Action>,
+        /// Idle timeout in nanoseconds.
+        idle_timeout: Option<Nanos>,
+        /// Hard timeout in nanoseconds.
+        hard_timeout: Option<Nanos>,
+        /// Controller cookie.
+        cookie: u64,
+        /// Request a flow-removed message on eviction.
+        notify_removed: bool,
+    },
+    /// Notification that an entry left the table.
+    FlowRemoved {
+        /// The evicted entry's match.
+        matcher: Match,
+        /// Its cookie.
+        cookie: u64,
+        /// Its priority.
+        priority: u16,
+        /// Why it was evicted.
+        reason: FlowRemovedReason,
+        /// Final packet count.
+        packet_count: u64,
+        /// Final byte count.
+        byte_count: u64,
+    },
+    /// A port appeared, vanished, or changed.
+    PortStatus {
+        /// What happened.
+        reason: PortStatusReason,
+        /// Which port.
+        port_no: u32,
+    },
+    /// Statistics request.
+    StatsRequest(StatsRequestKind),
+    /// Statistics reply.
+    StatsReply(StatsBody),
+    /// Fence: reply is sent after all earlier messages are processed.
+    BarrierRequest,
+    /// Barrier acknowledgement.
+    BarrierReply,
+}
+
+impl OfMessage {
+    /// Short message-type name (for logs and traces).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            OfMessage::Hello => "hello",
+            OfMessage::EchoRequest(_) => "echo_request",
+            OfMessage::EchoReply(_) => "echo_reply",
+            OfMessage::FeaturesRequest => "features_request",
+            OfMessage::FeaturesReply { .. } => "features_reply",
+            OfMessage::PacketIn { .. } => "packet_in",
+            OfMessage::PacketOut { .. } => "packet_out",
+            OfMessage::FlowMod { .. } => "flow_mod",
+            OfMessage::FlowRemoved { .. } => "flow_removed",
+            OfMessage::PortStatus { .. } => "port_status",
+            OfMessage::StatsRequest(_) => "stats_request",
+            OfMessage::StatsReply(_) => "stats_reply",
+            OfMessage::BarrierRequest => "barrier_request",
+            OfMessage::BarrierReply => "barrier_reply",
+        }
+    }
+
+    /// Convenience constructor for an add flow-mod with no timeouts.
+    pub fn add_flow(matcher: Match, actions: Vec<Action>, priority: u16) -> Self {
+        OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            matcher,
+            priority,
+            actions,
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+            notify_removed: false,
+        }
+    }
+
+    /// Convenience constructor for a non-strict delete flow-mod.
+    pub fn delete_flows(matcher: Match) -> Self {
+        OfMessage::FlowMod {
+            command: FlowModCommand::Delete,
+            matcher,
+            priority: 0,
+            actions: Vec::new(),
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+            notify_removed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_cover_all() {
+        assert_eq!(OfMessage::Hello.type_name(), "hello");
+        assert_eq!(OfMessage::BarrierReply.type_name(), "barrier_reply");
+        assert_eq!(
+            OfMessage::add_flow(Match::any(), vec![], 1).type_name(),
+            "flow_mod"
+        );
+    }
+
+    #[test]
+    fn add_flow_defaults() {
+        let m = OfMessage::add_flow(Match::any(), vec![], 7);
+        match m {
+            OfMessage::FlowMod {
+                command,
+                priority,
+                idle_timeout,
+                hard_timeout,
+                notify_removed,
+                ..
+            } => {
+                assert_eq!(command, FlowModCommand::Add);
+                assert_eq!(priority, 7);
+                assert_eq!(idle_timeout, None);
+                assert_eq!(hard_timeout, None);
+                assert!(!notify_removed);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn delete_flows_is_nonstrict() {
+        match OfMessage::delete_flows(Match::any()) {
+            OfMessage::FlowMod { command, .. } => assert_eq!(command, FlowModCommand::Delete),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Micro-benchmarks: payload scanning — the Aho–Corasick core and the
+//! full IDS/proto-id engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use livesec_net::{FlowKey, MacAddr};
+use livesec_services::{AhoCorasick, IdsEngine, Inspector, ProtoIdEngine};
+
+fn flow(i: u16) -> FlowKey {
+    FlowKey {
+        vlan: None,
+        dl_src: MacAddr::from_u64(1),
+        dl_dst: MacAddr::from_u64(2),
+        dl_type: 0x0800,
+        nw_src: "10.0.0.1".parse().unwrap(),
+        nw_dst: "10.0.0.2".parse().unwrap(),
+        nw_proto: 6,
+        tp_src: i,
+        tp_dst: 80,
+    }
+}
+
+fn bench_aho(c: &mut Criterion) {
+    let patterns: Vec<Vec<u8>> = IdsEngine::default_rules()
+        .into_iter()
+        .map(|r| r.pattern)
+        .collect();
+    let ac = AhoCorasick::new(&patterns);
+    let mut g = c.benchmark_group("aho_corasick_scan");
+    for size in [64usize, 1448, 16 * 1024] {
+        // Clean payload: the common case on a production network.
+        let hay: Vec<u8> = (0..size).map(|i| b"the quick brown fox "[i % 20]).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &hay, |b, hay| {
+            b.iter(|| ac.find_first(hay))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    c.bench_function("ids_engine_clean_packet", |b| {
+        let mut ids = IdsEngine::engine();
+        let payload = b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n";
+        let mut i = 0u16;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            ids.inspect(&flow(i), payload)
+        })
+    });
+    c.bench_function("protoid_classify", |b| {
+        b.iter(|| ProtoIdEngine::classify(b"GET / HTTP/1.1\r\n", 5000, 80))
+    });
+}
+
+criterion_group!(benches, bench_aho, bench_engines);
+criterion_main!(benches);

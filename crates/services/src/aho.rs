@@ -1,0 +1,238 @@
+//! A from-scratch Aho–Corasick multi-pattern matcher.
+//!
+//! This is the scanning core shared by the IDS, virus-scanning and
+//! content-inspection engines: all of them need "which of these N byte
+//! patterns occur in this payload?" in a single pass.
+
+/// A compiled Aho–Corasick automaton over byte patterns.
+///
+/// ```rust
+/// use livesec_services::AhoCorasick;
+/// let ac = AhoCorasick::new(&[b"he".as_ref(), b"she", b"his", b"hers"]);
+/// let hits = ac.find_all(b"ushers");
+/// // "she" at 1, "he" at 2, "hers" at 2.
+/// assert_eq!(hits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// goto function: per state, 256 transitions (dense — rule sets are
+    /// small and scanning speed matters).
+    goto_fn: Vec<[u32; 256]>,
+    /// Pattern indices that end at each state.
+    output: Vec<Vec<u32>>,
+    pattern_lens: Vec<usize>,
+}
+
+/// A single match: which pattern, and where it starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the pattern in the constructor slice.
+    pub pattern: usize,
+    /// Byte offset of the match start.
+    pub start: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl AhoCorasick {
+    /// Compiles an automaton from `patterns`.
+    ///
+    /// Empty patterns are permitted but never match.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let mut goto_fn: Vec<[u32; 256]> = vec![[NONE; 256]];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+
+        // Build the trie.
+        for (pi, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            pattern_lens.push(pat.len());
+            if pat.is_empty() {
+                continue;
+            }
+            let mut state = 0usize;
+            for &b in pat {
+                let next = goto_fn[state][b as usize];
+                state = if next == NONE {
+                    goto_fn.push([NONE; 256]);
+                    output.push(Vec::new());
+                    let new = (goto_fn.len() - 1) as u32;
+                    goto_fn[state][b as usize] = new;
+                    new as usize
+                } else {
+                    next as usize
+                };
+            }
+            output[state].push(pi as u32);
+        }
+
+        // BFS to build failure links and complete the goto function.
+        let mut fail = vec![0u32; goto_fn.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for entry in goto_fn[0].iter_mut() {
+            let s = *entry;
+            if s == NONE {
+                *entry = 0;
+            } else {
+                fail[s as usize] = 0;
+                queue.push_back(s as usize);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            // Indexing two different rows of goto_fn per iteration; an
+            // iterator form would fight the borrow checker for nothing.
+            #[allow(clippy::needless_range_loop)]
+            for b in 0..256usize {
+                let next = goto_fn[state][b];
+                if next == NONE {
+                    goto_fn[state][b] = goto_fn[fail[state] as usize][b];
+                } else {
+                    let f = goto_fn[fail[state] as usize][b];
+                    fail[next as usize] = f;
+                    let extra: Vec<u32> = output[f as usize].clone();
+                    output[next as usize].extend(extra);
+                    queue.push_back(next as usize);
+                }
+            }
+        }
+
+        // The failure links are fully folded into goto_fn above, so
+        // they need not be retained for matching.
+        let _ = fail;
+        AhoCorasick {
+            goto_fn,
+            output,
+            pattern_lens,
+        }
+    }
+
+    /// Number of automaton states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.goto_fn.len()
+    }
+
+    /// Returns every match in `haystack`, in end-position order.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.goto_fn[state][b as usize] as usize;
+            for &pi in &self.output[state] {
+                let len = self.pattern_lens[pi as usize];
+                hits.push(Hit {
+                    pattern: pi as usize,
+                    start: i + 1 - len,
+                });
+            }
+        }
+        hits
+    }
+
+    /// Returns the first matching pattern index, scanning left to right
+    /// (cheapest check for "is anything in here?").
+    pub fn find_first(&self, haystack: &[u8]) -> Option<Hit> {
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.goto_fn[state][b as usize] as usize;
+            if let Some(&pi) = self.output[state].first() {
+                let len = self.pattern_lens[pi as usize];
+                return Some(Hit {
+                    pattern: pi as usize,
+                    start: i + 1 - len,
+                });
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if any pattern occurs in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.find_first(haystack).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_ushers() {
+        let ac = AhoCorasick::new(&[b"he".as_ref(), b"she", b"his", b"hers"]);
+        let hits = ac.find_all(b"ushers");
+        let got: Vec<(usize, usize)> = hits.iter().map(|h| (h.pattern, h.start)).collect();
+        assert!(got.contains(&(1, 1)), "she at 1: {got:?}");
+        assert!(got.contains(&(0, 2)), "he at 2: {got:?}");
+        assert!(got.contains(&(3, 2)), "hers at 2: {got:?}");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = AhoCorasick::new(&[b"attack".as_ref(), b"virus"]);
+        assert!(!ac.is_match(b"perfectly ordinary traffic"));
+        assert_eq!(ac.find_first(b"nothing here"), None);
+    }
+
+    #[test]
+    fn overlapping_patterns() {
+        let ac = AhoCorasick::new(&[b"aa".as_ref(), b"aaa"]);
+        let hits = ac.find_all(b"aaaa");
+        // "aa" at 0,1,2 and "aaa" at 0,1.
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn match_at_boundaries() {
+        let ac = AhoCorasick::new(&[b"start".as_ref(), b"end"]);
+        let hits = ac.find_all(b"start middle end");
+        assert_eq!(hits[0], Hit { pattern: 0, start: 0 });
+        assert_eq!(hits[1], Hit { pattern: 1, start: 13 });
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0x13u8, 0x42, 0x00][..], &[0xff, 0xff][..]]);
+        assert!(ac.is_match(&[0x00, 0x13, 0x42, 0x00, 0x07]));
+        assert!(ac.is_match(&[0xff, 0xff]));
+        assert!(!ac.is_match(&[0x13, 0x42, 0x01]));
+    }
+
+    #[test]
+    fn empty_pattern_never_matches() {
+        let ac = AhoCorasick::new(&[b"".as_ref(), b"x"]);
+        let hits = ac.find_all(b"xyz");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pattern, 1);
+    }
+
+    #[test]
+    fn empty_haystack() {
+        let ac = AhoCorasick::new(&[b"x".as_ref()]);
+        assert!(ac.find_all(b"").is_empty());
+    }
+
+    #[test]
+    fn single_pattern_repeated_hits() {
+        let ac = AhoCorasick::new(&[b"ab".as_ref()]);
+        let hits = ac.find_all(b"ababab");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(
+            hits.iter().map(|h| h.start).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn find_first_is_leftmost_by_end() {
+        let ac = AhoCorasick::new(&[b"late".as_ref(), b"a"]);
+        let first = ac.find_first(b"late").unwrap();
+        assert_eq!(first.pattern, 1, "'a' ends first");
+    }
+
+    #[test]
+    fn prefix_of_another_pattern() {
+        let ac = AhoCorasick::new(&[b"abc".as_ref(), b"abcdef"]);
+        let hits = ac.find_all(b"abcdef");
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! VM-based security service elements.
+//!
+//! The Network-Periphery layer of LiveSec hosts *service elements*
+//! (SEs): virtual machines that provide security services off the data
+//! path. The controller steers selected flows through them by
+//! rewriting destination MACs; the SE inspects the traffic, sends it
+//! back, and reports results to the controller over a magic-tagged UDP
+//! control channel (paper §III-D.1).
+//!
+//! This crate provides:
+//!
+//! * [`SeMessage`] — the SE ↔ controller control protocol: periodic
+//!   `Online` messages carrying service type and load (CPU, memory,
+//!   packets/s), and `Event` reports carrying detection results, plus
+//!   the certification token the paper's §III-D.1 suggests.
+//! * [`AhoCorasick`] — a from-scratch multi-pattern matcher, the core
+//!   of the payload-scanning engines.
+//! * Inspection engines: [`IdsEngine`] (the Snort substitute),
+//!   [`ProtoIdEngine`] (the L7-filter substitute), [`FirewallEngine`],
+//!   [`VirusScanEngine`] and [`ContentInspectionEngine`].
+//! * [`ServiceElement`] — the host [`App`](livesec_switch::App) that
+//!   wraps any engine with the paper's bypass-mode forwarding and a
+//!   token-bucket capacity model (default 500 Mbps, the paper's
+//!   measured per-VM rate), so throughput caps and queueing emerge
+//!   from the model.
+
+pub mod aho;
+pub mod element;
+pub mod engines;
+pub mod msg;
+pub mod rules;
+
+pub use aho::AhoCorasick;
+pub use element::{SeCounters, ServiceElement};
+pub use engines::{
+    ContentInspectionEngine, Finding, FirewallEngine, FwAction, FwRule, IdsEngine, IdsRule,
+    Inspector, ProtoIdEngine, Severity, SignatureEngine, VirusScanEngine,
+};
+pub use msg::{SeMessage, ServiceType, Verdict, SE_CONTROL_MAC, SE_CONTROL_PORT};
+pub use rules::{parse_rules, RuleParseError};
+
+/// Convenient glob-import surface: `use livesec_services::prelude::*;`.
+pub mod prelude {
+    pub use crate::aho::AhoCorasick;
+    pub use crate::element::{SeCounters, ServiceElement};
+    pub use crate::engines::{
+        ContentInspectionEngine, Finding, FirewallEngine, FwAction, FwRule, IdsEngine, IdsRule,
+        Inspector, ProtoIdEngine, Severity, SignatureEngine, VirusScanEngine,
+    };
+    pub use crate::msg::{SeMessage, ServiceType, Verdict, SE_CONTROL_MAC, SE_CONTROL_PORT};
+    pub use crate::rules::{parse_rules, RuleParseError};
+}

@@ -1,0 +1,73 @@
+//! Micro-benchmark: raw event-loop throughput — frames per second the
+//! simulator can move over one saturated link.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livesec_net::{MacAddr, Packet, PacketBuilder};
+use livesec_sim::{Ctx, LinkSpec, Node, PortId, SimDuration, World};
+use std::any::Any;
+
+struct Streamer {
+    remaining: u32,
+    template: Packet,
+}
+
+impl Node for Streamer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_nanos(1), 1);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        ctx.send(PortId(1), self.template.clone());
+        ctx.set_timer(SimDuration::from_micros(12), 1);
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _pkt: Packet) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Sink;
+impl Node for Sink {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _pkt: Packet) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_frames(c: &mut Criterion) {
+    const FRAMES: u32 = 10_000;
+    let template = PacketBuilder::udp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+        .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+        .ports(1, 2)
+        .payload_len(1400)
+        .build();
+    let mut g = c.benchmark_group("event_loop");
+    g.throughput(Throughput::Elements(u64::from(FRAMES)));
+    g.sample_size(20);
+    g.bench_function("stream_10k_frames", |b| {
+        b.iter(|| {
+            let mut world = World::new(1);
+            let tx = world.add_node(Streamer {
+                remaining: FRAMES,
+                template: template.clone(),
+            });
+            let rx = world.add_node(Sink);
+            world.connect(tx, PortId(1), rx, PortId(1), LinkSpec::gigabit());
+            world.run_for(SimDuration::from_millis(200));
+            world.kernel().port_counters(rx, PortId(1)).rx_frames
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Measurement helpers: latency summaries and throughput meters.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An online summary of duration samples (latencies, RTTs).
+///
+/// Stores all samples so exact percentiles can be computed; the
+/// experiment scales here (thousands of pings) make that cheap.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl LatencySummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u64 = self.samples.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / self.samples.len() as u64))
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The `p`-th percentile (0.0..=100.0) by nearest-rank, or `None`
+    /// if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1)])
+    }
+
+    /// All samples, in insertion order (or sorted order if a percentile
+    /// was computed since the last insert).
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+}
+
+/// Measures achieved throughput from byte deliveries over a window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl ThroughputMeter {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` delivered at time `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.last = Some(at);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average goodput in bits per second over an explicit window.
+    ///
+    /// Use this (with the experiment's configured duration) rather than
+    /// first-to-last sample spacing when the source may idle.
+    pub fn bits_per_sec_over(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.bytes * 8) as f64 / window.as_secs_f64()
+    }
+
+    /// Average goodput in bits per second between the first and last
+    /// recorded delivery, or 0.0 with fewer than two samples.
+    pub fn bits_per_sec(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) if b > a => (self.bytes * 8) as f64 / b.since(a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Formats a bit rate human-readably (e.g. `827.3 Mbps`).
+pub fn format_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.1} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1} Kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = LatencySummary::new();
+        for ms in [5u64, 1, 3, 2, 4] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), Some(SimDuration::from_millis(3)));
+        assert_eq!(s.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(s.max(), Some(SimDuration::from_millis(5)));
+        assert_eq!(s.percentile(50.0), Some(SimDuration::from_millis(3)));
+        assert_eq!(s.percentile(100.0), Some(SimDuration::from_millis(5)));
+        assert_eq!(s.percentile(0.0), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let mut s = LatencySummary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range() {
+        let mut s = LatencySummary::new();
+        s.record(SimDuration::from_millis(1));
+        let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    fn throughput_over_window() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_nanos(0), 500_000);
+        m.record(SimTime::from_nanos(1_000_000_000), 500_000);
+        // 1 MB over 1 second = 8 Mbps.
+        assert_eq!(m.bits_per_sec_over(SimDuration::from_secs(1)), 8_000_000.0);
+        assert_eq!(m.bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn throughput_first_to_last() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.bits_per_sec(), 0.0);
+        m.record(SimTime::from_nanos(0), 1000);
+        assert_eq!(m.bits_per_sec(), 0.0); // single instant
+        m.record(SimTime::from_nanos(1_000_000), 1000);
+        assert!((m.bits_per_sec() - 16_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn format_bps_units() {
+        assert_eq!(format_bps(8.27e8), "827.0 Mbps");
+        assert_eq!(format_bps(8.0e9), "8.00 Gbps");
+        assert_eq!(format_bps(43_000.0), "43.0 Kbps");
+        assert_eq!(format_bps(12.0), "12 bps");
+    }
+}

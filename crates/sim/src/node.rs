@@ -1,0 +1,111 @@
+//! The [`Node`] behaviour trait and the [`Ctx`] handed to callbacks.
+
+use crate::ids::{NodeId, PortId};
+use crate::time::{SimDuration, SimTime};
+use crate::world::Kernel;
+use livesec_net::Packet;
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// Behaviour of a simulation node (switch, host, service element,
+/// controller).
+///
+/// All callbacks receive a [`Ctx`] through which the node interacts
+/// with the world: sending frames out of its ports, arming timers, and
+/// exchanging control-channel messages.
+///
+/// Implementors must also provide `as_any`/`as_any_mut` so callers can
+/// downcast nodes back to their concrete type after a run (e.g. to read
+/// a traffic sink's counters). The blanket pattern is:
+///
+/// ```rust,ignore
+/// fn as_any(&self) -> &dyn Any { self }
+/// fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// ```
+pub trait Node: Any {
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet);
+
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// A control-channel message arrived from `peer`.
+    ///
+    /// The control channel models the OpenFlow secure channel (and the
+    /// controller's management API): it is out-of-band with respect to
+    /// the data plane, with its own configurable latency.
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, bytes: &[u8]) {
+        let _ = (ctx, peer, bytes);
+    }
+
+    /// Called once when the simulation starts, before any event.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Upcast for downcasting to the concrete node type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting to the concrete node type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The per-callback handle through which a node acts on the world.
+pub struct Ctx<'a> {
+    pub(crate) kernel: &'a mut Kernel,
+    pub(crate) node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The id of the node being called.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmits `pkt` out of local port `port`.
+    ///
+    /// If no link is attached to the port, or the link's queue is full,
+    /// the frame is counted as dropped. Transmission, queueing and
+    /// propagation delays apply before the far end's
+    /// [`Node::on_frame`] fires.
+    pub fn send(&mut self, port: PortId, pkt: Packet) {
+        self.kernel.transmit(self.node, port, pkt);
+    }
+
+    /// Arms a one-shot timer; [`Node::on_timer`] fires with `token`
+    /// after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.kernel.schedule_timer(self.node, delay, token);
+    }
+
+    /// Sends a control-channel message to `peer`, delivered after the
+    /// world's configured control latency.
+    pub fn send_control(&mut self, peer: NodeId, bytes: Vec<u8>) {
+        self.kernel.send_control(self.node, peer, bytes);
+    }
+
+    /// The world's seeded random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.kernel.rng
+    }
+
+    /// Traffic counters for one of this node's own ports (e.g. to
+    /// answer OpenFlow port-stats requests).
+    pub fn port_counters(&self, port: PortId) -> crate::world::PortCounters {
+        self.kernel.port_counters(self.node, port)
+    }
+
+    /// Records `n` into the named scalar metric (see
+    /// [`crate::World::metric`]). Useful for cross-node counters that
+    /// don't warrant a dedicated field.
+    pub fn count(&mut self, metric: &'static str, n: u64) {
+        *self.kernel.metrics.entry(metric).or_insert(0) += n;
+    }
+}

@@ -1,0 +1,664 @@
+//! The [`World`]: nodes, links, the event queue, and the run loop.
+
+use crate::ids::{NodeId, PortId};
+use crate::link::{LinkDir, LinkSpec, Offer};
+use crate::node::{Ctx, Node};
+use crate::time::{SimDuration, SimTime};
+use livesec_net::Packet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// What happens when an event fires.
+#[derive(Debug)]
+enum EventKind {
+    /// Deliver a frame to `node` on `port`.
+    Frame {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
+    /// Fire a timer on `node`.
+    Timer { node: NodeId, token: u64 },
+    /// Deliver a control message to `node` from `peer`.
+    Control {
+        node: NodeId,
+        peer: NodeId,
+        bytes: Vec<u8>,
+    },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Per-port traffic counters, readable after (or during) a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames transmitted out of this port.
+    pub tx_frames: u64,
+    /// Bytes transmitted out of this port (wire lengths).
+    pub tx_bytes: u64,
+    /// Frames received on this port.
+    pub rx_frames: u64,
+    /// Bytes received on this port.
+    pub rx_bytes: u64,
+    /// Frames dropped at this port's egress queue (or for lack of a link).
+    pub drops: u64,
+}
+
+/// Mutable simulation state shared by all nodes: clock, event queue,
+/// links, RNG, counters.
+pub struct Kernel {
+    pub(crate) now: SimTime,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    links: HashMap<(NodeId, PortId), LinkDir>,
+    pub(crate) rng: StdRng,
+    control_latency: SimDuration,
+    ports: HashMap<(NodeId, PortId), PortCounters>,
+    pub(crate) metrics: HashMap<&'static str, u64>,
+    events_processed: u64,
+}
+
+impl Kernel {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+        let bytes = pkt.wire_len();
+        let counters = self.ports.entry((node, port)).or_default();
+        let Some(dir) = self.links.get_mut(&(node, port)) else {
+            counters.drops += 1;
+            return;
+        };
+        match dir.offer(self.now, bytes) {
+            Offer::Deliver(at) => {
+                let (to_node, to_port) = (dir.to_node, dir.to_port);
+                counters.tx_frames += 1;
+                counters.tx_bytes += bytes as u64;
+                self.push(
+                    at,
+                    EventKind::Frame {
+                        node: to_node,
+                        port: to_port,
+                        pkt,
+                    },
+                );
+            }
+            Offer::Drop => {
+                counters.drops += 1;
+            }
+        }
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.push(self.now + delay, EventKind::Timer { node, token });
+    }
+
+    pub(crate) fn send_control(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+        self.push(
+            self.now + self.control_latency,
+            EventKind::Control {
+                node: to,
+                peer: from,
+                bytes,
+            },
+        );
+    }
+
+    /// Counters for `(node, port)`; zeros if the port never saw traffic.
+    pub fn port_counters(&self, node: NodeId, port: PortId) -> PortCounters {
+        self.ports.get(&(node, port)).copied().unwrap_or_default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Statistics from a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events dispatched.
+    pub events: u64,
+    /// Simulated time at the end of the run.
+    pub end: SimTime,
+}
+
+/// The simulation world: a set of [`Node`]s wired by links, plus the
+/// shared [`Kernel`].
+///
+/// # Example
+///
+/// ```rust
+/// use livesec_sim::prelude::*;
+/// use livesec_net::prelude::*;
+///
+/// /// A node that echoes every frame back out of the port it came in on.
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+///         ctx.send(port, pkt);
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut world = World::new(42);
+/// let a = world.add_node(Echo);
+/// let b = world.add_node(Echo);
+/// world.connect(a, PortId(1), b, PortId(1), LinkSpec::gigabit());
+/// # let _ = world.run_for(SimDuration::from_millis(1));
+/// ```
+pub struct World {
+    kernel: Kernel,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+}
+
+impl World {
+    /// Creates an empty world with the given RNG seed and the default
+    /// 100 µs control-channel latency.
+    pub fn new(seed: u64) -> Self {
+        World {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                links: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                control_latency: SimDuration::from_micros(100),
+                ports: HashMap::new(),
+                metrics: HashMap::new(),
+                events_processed: 0,
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Sets the one-way latency of every control channel (the OpenFlow
+    /// secure channel between switches and the controller).
+    pub fn set_control_latency(&mut self, latency: SimDuration) {
+        self.kernel.control_latency = latency;
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: impl Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Connects `a.port_a` and `b.port_b` with a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint already has a link on that port, or if
+    /// a node id is unknown.
+    pub fn connect(&mut self, a: NodeId, port_a: PortId, b: NodeId, port_b: PortId, spec: LinkSpec) {
+        assert!(a.index() < self.nodes.len(), "unknown node {a}");
+        assert!(b.index() < self.nodes.len(), "unknown node {b}");
+        let fwd = self.kernel.links.insert(
+            (a, port_a),
+            LinkDir {
+                to_node: b,
+                to_port: port_b,
+                spec,
+                busy_until: SimTime::ZERO,
+            },
+        );
+        assert!(fwd.is_none(), "port {a}.{port_a} already connected");
+        let rev = self.kernel.links.insert(
+            (b, port_b),
+            LinkDir {
+                to_node: a,
+                to_port: port_a,
+                spec,
+                busy_until: SimTime::ZERO,
+            },
+        );
+        assert!(rev.is_none(), "port {b}.{port_b} already connected");
+    }
+
+    /// Tears down the link attached to `(node, port)` (both
+    /// directions). Frames already in flight still arrive; later sends
+    /// into either endpoint drop. Returns `false` if no link was
+    /// attached. This is the "unplug the cable" primitive behind VM
+    /// migration and failure injection.
+    pub fn disconnect(&mut self, node: NodeId, port: PortId) -> bool {
+        let Some(dir) = self.kernel.links.remove(&(node, port)) else {
+            return false;
+        };
+        self.kernel.links.remove(&(dir.to_node, dir.to_port));
+        true
+    }
+
+    /// Returns the `(node, port)` at the far end of the link attached
+    /// to `(node, port)`, if any.
+    pub fn peer_of(&self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        self.kernel
+            .links
+            .get(&(node, port))
+            .map(|d| (d.to_node, d.to_port))
+    }
+
+    /// Schedules an initial timer for `node` at absolute time `at`.
+    pub fn schedule_timer_at(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.kernel.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Runs until the event queue is empty or simulated time exceeds
+    /// `deadline`, whichever comes first. The clock ends at `deadline`
+    /// even if the queue drained earlier, so repeated runs compose.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
+        let stats = self.run_core(deadline);
+        if deadline > self.kernel.now {
+            self.kernel.now = deadline;
+        }
+        RunStats {
+            end: self.kernel.now,
+            ..stats
+        }
+    }
+
+    fn run_core(&mut self, deadline: SimTime) -> RunStats {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let id = NodeId(i as u32);
+                self.with_node(id, |node, ctx| node.on_start(ctx));
+            }
+        }
+        while let Some(Reverse(ev)) = self.kernel.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.kernel.queue.pop().expect("peeked");
+            self.kernel.now = ev.at;
+            self.kernel.events_processed += 1;
+            match ev.kind {
+                EventKind::Frame { node, port, pkt } => {
+                    let bytes = pkt.wire_len() as u64;
+                    let c = self.kernel.ports.entry((node, port)).or_default();
+                    c.rx_frames += 1;
+                    c.rx_bytes += bytes;
+                    self.with_node(node, |n, ctx| n.on_frame(ctx, port, pkt));
+                }
+                EventKind::Timer { node, token } => {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+                EventKind::Control { node, peer, bytes } => {
+                    self.with_node(node, |n, ctx| n.on_control(ctx, peer, &bytes));
+                }
+            }
+        }
+        RunStats {
+            events: self.kernel.events_processed,
+            end: self.kernel.now,
+        }
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> RunStats {
+        let deadline = self.kernel.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue drains completely, leaving the clock
+    /// at the last event (careful: periodic timers make this never
+    /// return).
+    pub fn run_to_quiescence(&mut self) -> RunStats {
+        self.run_core(SimTime::from_nanos(u64::MAX))
+    }
+
+    fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>) -> R) -> R {
+        let mut node = self.nodes[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("node {id} re-entered"));
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            node: id,
+        };
+        let r = f(node.as_mut(), &mut ctx);
+        self.nodes[id.index()] = Some(node);
+        r
+    }
+
+    /// Borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the type does not match.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node busy")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the type does not match.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node busy")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Read access to kernel state (time, port counters).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Value of a named scalar metric recorded via
+    /// [`crate::node::Ctx::count`].
+    pub fn metric(&self, name: &str) -> u64 {
+        self.kernel.metrics.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livesec_net::prelude::*;
+    use std::any::Any;
+
+    /// Counts frames and echoes them back.
+    struct Echo {
+        seen: u64,
+    }
+
+    impl Node for Echo {
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+            self.seen += 1;
+            if self.seen < 5 {
+                ctx.send(port, pkt);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one frame at start, counts echoes.
+    struct Pinger {
+        got: u64,
+        sent_at: SimTime,
+        rtt: Option<SimDuration>,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.sent_at = ctx.now();
+            let pkt = PacketBuilder::udp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+                .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+                .ports(1, 2)
+                .payload_len(100)
+                .build();
+            ctx.send(PortId(1), pkt);
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {
+            self.got += 1;
+            self.rtt = Some(ctx.now().since(self.sent_at));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut world = World::new(1);
+        let p = world.add_node(Pinger {
+            got: 0,
+            sent_at: SimTime::ZERO,
+            rtt: None,
+        });
+        let e = world.add_node(Echo { seen: 0 });
+        world.connect(p, PortId(1), e, PortId(1), LinkSpec::gigabit());
+        world.run_for(SimDuration::from_millis(10));
+        let pinger = world.node::<Pinger>(p);
+        assert_eq!(pinger.got, 1);
+        // RTT = 2 * (tx + prop). 164-byte frame at 1 Gbps = 1.312us tx.
+        let rtt = pinger.rtt.unwrap();
+        assert!(rtt > SimDuration::from_micros(10), "rtt = {rtt}");
+        assert!(rtt < SimDuration::from_micros(20), "rtt = {rtt}");
+        assert_eq!(world.node::<Echo>(e).seen, 1);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut world = World::new(1);
+        let p = world.add_node(Pinger {
+            got: 0,
+            sent_at: SimTime::ZERO,
+            rtt: None,
+        });
+        let e = world.add_node(Echo { seen: 0 });
+        world.connect(p, PortId(1), e, PortId(1), LinkSpec::gigabit());
+        world.run_for(SimDuration::from_millis(1));
+        let k = world.kernel();
+        assert_eq!(k.port_counters(p, PortId(1)).tx_frames, 1);
+        assert_eq!(k.port_counters(e, PortId(1)).rx_frames, 1);
+        assert_eq!(k.port_counters(e, PortId(1)).tx_frames, 1);
+        assert_eq!(k.port_counters(p, PortId(1)).rx_frames, 1);
+    }
+
+    #[test]
+    fn unconnected_port_drops() {
+        let mut world = World::new(1);
+        let p = world.add_node(Pinger {
+            got: 0,
+            sent_at: SimTime::ZERO,
+            rtt: None,
+        });
+        world.run_for(SimDuration::from_millis(1));
+        assert_eq!(world.kernel().port_counters(p, PortId(1)).drops, 1);
+        assert_eq!(world.node::<Pinger>(p).got, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut world = World::new(1);
+        let a = world.add_node(Echo { seen: 0 });
+        let b = world.add_node(Echo { seen: 0 });
+        world.connect(a, PortId(1), b, PortId(1), LinkSpec::gigabit());
+        world.connect(a, PortId(1), b, PortId(2), LinkSpec::gigabit());
+    }
+
+    #[test]
+    fn peer_of_reports_topology() {
+        let mut world = World::new(1);
+        let a = world.add_node(Echo { seen: 0 });
+        let b = world.add_node(Echo { seen: 0 });
+        world.connect(a, PortId(3), b, PortId(7), LinkSpec::gigabit());
+        assert_eq!(world.peer_of(a, PortId(3)), Some((b, PortId(7))));
+        assert_eq!(world.peer_of(b, PortId(7)), Some((a, PortId(3))));
+        assert_eq!(world.peer_of(a, PortId(9)), None);
+    }
+
+    #[test]
+    fn time_advances_to_deadline() {
+        let mut world = World::new(1);
+        world.run_for(SimDuration::from_secs(2));
+        assert_eq!(world.kernel().now(), SimTime::from_nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed| {
+            let mut world = World::new(seed);
+            let p = world.add_node(Pinger {
+                got: 0,
+                sent_at: SimTime::ZERO,
+                rtt: None,
+            });
+            let e = world.add_node(Echo { seen: 0 });
+            world.connect(p, PortId(1), e, PortId(1), LinkSpec::gigabit());
+            let stats = world.run_for(SimDuration::from_millis(5));
+            (stats.events, world.node::<Pinger>(p).rtt)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    /// Timers fire in order even when armed out of order.
+    struct TimerOrder {
+        fired: Vec<u64>,
+    }
+
+    impl Node for TimerOrder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(3), 3);
+            ctx.set_timer(SimDuration::from_millis(1), 1);
+            ctx.set_timer(SimDuration::from_millis(2), 2);
+            ctx.set_timer(SimDuration::from_millis(1), 11); // tie: FIFO by seq
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push(token);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timer_ordering_with_fifo_ties() {
+        let mut world = World::new(1);
+        let n = world.add_node(TimerOrder { fired: vec![] });
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<TimerOrder>(n).fired, vec![1, 11, 2, 3]);
+    }
+
+    /// Control-channel message exchange.
+    struct CtlEcho {
+        inbox: Vec<Vec<u8>>,
+    }
+
+    impl Node for CtlEcho {
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_control(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, bytes: &[u8]) {
+            self.inbox.push(bytes.to_vec());
+            if bytes != b"ack" {
+                ctx.send_control(peer, b"ack".to_vec());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct CtlSender {
+        peer: Option<NodeId>,
+        acked: bool,
+    }
+
+    impl Node for CtlSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(peer) = self.peer {
+                ctx.send_control(peer, b"hello".to_vec());
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_control(&mut self, _ctx: &mut Ctx<'_>, _peer: NodeId, bytes: &[u8]) {
+            if bytes == b"ack" {
+                self.acked = true;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn control_channel_delivers_with_latency() {
+        let mut world = World::new(1);
+        let e = world.add_node(CtlEcho { inbox: vec![] });
+        let s = world.add_node(CtlSender {
+            peer: Some(e),
+            acked: false,
+        });
+        world.set_control_latency(SimDuration::from_micros(250));
+        world.run_for(SimDuration::from_millis(1));
+        assert_eq!(world.node::<CtlEcho>(e).inbox, vec![b"hello".to_vec()]);
+        assert!(world.node::<CtlSender>(s).acked);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        struct M;
+        impl Node for M {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.count("things", 2);
+                ctx.count("things", 3);
+            }
+            fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut world = World::new(1);
+        world.add_node(M);
+        world.run_for(SimDuration::from_millis(1));
+        assert_eq!(world.metric("things"), 5);
+        assert_eq!(world.metric("missing"), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests: event ordering, time arithmetic, link accounting,
+//! and latency statistics.
+
+use livesec_net::{MacAddr, Packet, PacketBuilder};
+use livesec_sim::{
+    Ctx, LatencySummary, LinkSpec, Node, PortId, SimDuration, SimTime, World,
+};
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Records the order in which its timers fire.
+struct TimerRecorder {
+    to_arm: Vec<(u64, u64)>, // (delay_ns, token)
+    fired: Vec<(u64, u64)>,  // (at_ns, token)
+}
+
+impl Node for TimerRecorder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (delay, token) in &self.to_arm {
+            ctx.set_timer(SimDuration::from_nanos(*delay), *token);
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.fired.push((ctx.now().as_nanos(), token));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts received frames and bytes.
+struct Counter {
+    frames: u64,
+    bytes: u64,
+}
+
+impl Node for Counter {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        self.frames += 1;
+        self.bytes += pkt.wire_len() as u64;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Blasts `n` equal frames at start.
+struct Blaster {
+    n: u32,
+    payload: u32,
+}
+
+impl Node for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.n {
+            let pkt = PacketBuilder::udp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+                .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+                .ports(1, i as u16)
+                .payload_len(self.payload)
+                .build();
+            ctx.send(PortId(1), pkt);
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    /// Timers fire in nondecreasing time order, equal deadlines in FIFO
+    /// arming order, and every armed timer fires exactly once.
+    #[test]
+    fn timers_fire_in_order(delays in proptest::collection::vec(0u64..5_000_000, 1..32)) {
+        let to_arm: Vec<(u64, u64)> = delays.iter().copied().zip(0u64..).collect();
+        let mut world = World::new(1);
+        let n = world.add_node(TimerRecorder { to_arm: to_arm.clone(), fired: vec![] });
+        world.run_for(SimDuration::from_secs(1));
+        let fired = &world.node::<TimerRecorder>(n).fired;
+        prop_assert_eq!(fired.len(), to_arm.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order: {fired:?}");
+            if w[0].0 == w[1].0 {
+                // Same instant: FIFO by arming order (token encodes it).
+                prop_assert!(w[0].1 < w[1].1, "FIFO ties: {fired:?}");
+            }
+        }
+        // Each timer fired at start + its delay.
+        for (at, token) in fired {
+            prop_assert_eq!(*at, to_arm[*token as usize].0);
+        }
+    }
+
+    /// Frame delivery conserves frames up to queue drops, and the
+    /// tx/rx port counters agree with node observations.
+    #[test]
+    fn link_accounting_consistent(n in 1u32..64, payload in 0u32..1400, queue_kb in 1usize..64) {
+        let mut world = World::new(1);
+        let spec = LinkSpec {
+            rate_bps: 100_000_000,
+            delay: SimDuration::from_micros(5),
+            queue_bytes: queue_kb * 1024,
+        };
+        let tx = world.add_node(Blaster { n, payload });
+        let rx = world.add_node(Counter { frames: 0, bytes: 0 });
+        world.connect(tx, PortId(1), rx, PortId(1), spec);
+        world.run_for(SimDuration::from_secs(2));
+        let sent = world.kernel().port_counters(tx, PortId(1));
+        let got = world.kernel().port_counters(rx, PortId(1));
+        let counter = world.node::<Counter>(rx);
+        prop_assert_eq!(sent.tx_frames + sent.drops, u64::from(n), "every frame sent or dropped");
+        prop_assert_eq!(got.rx_frames, sent.tx_frames, "no loss after admission");
+        prop_assert_eq!(counter.frames, got.rx_frames);
+        prop_assert_eq!(counter.bytes, got.rx_bytes);
+    }
+
+    /// Identical seeds give identical runs; event counts match.
+    #[test]
+    fn determinism(seed in any::<u64>(), n in 1u32..32) {
+        let run = |seed| {
+            let mut world = World::new(seed);
+            let tx = world.add_node(Blaster { n, payload: 100 });
+            let rx = world.add_node(Counter { frames: 0, bytes: 0 });
+            world.connect(tx, PortId(1), rx, PortId(1), LinkSpec::gigabit());
+            let stats = world.run_for(SimDuration::from_millis(10));
+            (stats.events, world.node::<Counter>(rx).bytes)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// LatencySummary percentiles equal the naive sorted definition.
+    #[test]
+    fn percentile_matches_naive(samples in proptest::collection::vec(0u64..1_000_000, 1..64), p in 0.0f64..=100.0) {
+        let mut s = LatencySummary::new();
+        for &v in &samples {
+            s.record(SimDuration::from_nanos(v));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let expect = sorted[rank.saturating_sub(1).min(sorted.len() - 1)];
+        prop_assert_eq!(s.percentile(p), Some(SimDuration::from_nanos(expect)));
+        // Mean is between min and max.
+        let mean = s.mean().unwrap().as_nanos();
+        prop_assert!(mean >= *sorted.first().unwrap() && mean <= *sorted.last().unwrap());
+    }
+
+    /// Transmission time is monotone in size and antitone in rate.
+    #[test]
+    fn transmission_monotonicity(bytes in 1usize..100_000, rate in 1u64..10_000_000_000) {
+        let t = SimDuration::transmission(bytes, rate);
+        prop_assert!(SimDuration::transmission(bytes + 1, rate) >= t);
+        prop_assert!(SimDuration::transmission(bytes, rate + 1) <= t);
+        // Exact on powers of ten: bits * 1e9 / rate, rounded up.
+        let expect = ((bytes as u128 * 8 * 1_000_000_000).div_ceil(rate as u128)) as u64;
+        prop_assert_eq!(t.as_nanos(), expect);
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(a in 0u64..u32::MAX as u64, d in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur).since(t), dur);
+        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+        prop_assert_eq!((t + dur).saturating_since(t), dur);
+    }
+}

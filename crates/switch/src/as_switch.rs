@@ -1,0 +1,725 @@
+//! The Access-Switching layer switch: a software OpenFlow switch.
+
+use livesec_net::{wire, Packet};
+use livesec_openflow::{
+    apply_actions, lookup_key, FlowEntry, FlowModCommand, FlowRemovedReason, FlowStats,
+    OfMessage, OutPort, PacketInReason, PortStats, PortStatusReason, StatsBody,
+    StatsRequestKind, SwitchChannel,
+};
+use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration};
+use std::any::Any;
+use std::collections::HashSet;
+
+/// Timer token for the periodic housekeeping tick.
+const TICK: u64 = 1;
+/// Housekeeping ticks between keepalive echoes on the secure channel.
+const ECHO_EVERY_TICKS: u64 = 10;
+
+/// A software OpenFlow switch of the Access-Switching layer.
+///
+/// Models Open vSwitch as deployed in the paper (and, behind slower
+/// links, the Pantou OF Wi-Fi APs): a flow table driven entirely by the
+/// controller over a secure channel, with packet-ins for table misses.
+///
+/// Port conventions follow the deployment builder in `livesec`:
+/// port 1 is the uplink into the Legacy-Switching layer, ports 2.. are
+/// Network-Periphery access ports (hosts, service elements).
+pub struct AsSwitch {
+    channel: SwitchChannel,
+    table: livesec_openflow::FlowTable,
+    controller: Option<NodeId>,
+    n_ports: u32,
+    tick: SimDuration,
+    down_ports: HashSet<u32>,
+    pending_status: Vec<(PortStatusReason, u32)>,
+    table_limit: Option<usize>,
+    ticks: u64,
+    /// Frames forwarded by table hits (not via controller).
+    pub fast_path_frames: u64,
+    /// Packet-ins sent.
+    pub packet_ins: u64,
+    /// Flow-mod adds rejected because the table was full.
+    pub table_full_rejections: u64,
+}
+
+impl AsSwitch {
+    /// Creates a switch with the given datapath id and port count.
+    pub fn new(datapath_id: u64, n_ports: u32) -> Self {
+        AsSwitch {
+            channel: SwitchChannel::new(datapath_id, n_ports),
+            table: livesec_openflow::FlowTable::new(),
+            controller: None,
+            n_ports,
+            tick: SimDuration::from_millis(100),
+            down_ports: HashSet::new(),
+            pending_status: Vec::new(),
+            table_limit: None,
+            ticks: 0,
+            fast_path_frames: 0,
+            packet_ins: 0,
+            table_full_rejections: 0,
+        }
+    }
+
+    /// Caps the flow table at `limit` entries: further adds are
+    /// rejected (and counted), as a hardware TCAM or a configured OvS
+    /// limit would. Replacements of existing entries still succeed.
+    pub fn with_table_limit(mut self, limit: usize) -> Self {
+        self.table_limit = Some(limit);
+        self
+    }
+
+    /// Points the secure channel at the controller node.
+    pub fn with_controller(mut self, controller: NodeId) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Sets the housekeeping tick (flow expiry, port-status flush).
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// The switch's datapath id.
+    pub fn datapath_id(&self) -> u64 {
+        self.channel.datapath_id()
+    }
+
+    /// The flow table (for inspection in tests and monitors).
+    pub fn table(&self) -> &livesec_openflow::FlowTable {
+        &self.table
+    }
+
+    /// Keepalive echo replies received from the controller.
+    pub fn echo_replies(&self) -> u64 {
+        self.channel.echo_replies_seen
+    }
+
+    /// Administratively fails a port: frames in/out are dropped and a
+    /// port-status Delete is reported on the next tick.
+    pub fn fail_port(&mut self, port: u32) {
+        if self.down_ports.insert(port) {
+            self.pending_status.push((PortStatusReason::Delete, port));
+        }
+    }
+
+    /// Brings a failed port back; reported as a port-status Add.
+    pub fn recover_port(&mut self, port: u32) {
+        if self.down_ports.remove(&port) {
+            self.pending_status.push((PortStatusReason::Add, port));
+        }
+    }
+
+    fn send_to_controller(&mut self, ctx: &mut Ctx<'_>, msg: &OfMessage) {
+        if let Some(c) = self.controller {
+            let bytes = self.channel.send(msg);
+            ctx.send_control(c, bytes);
+        }
+    }
+
+    fn packet_in(&mut self, ctx: &mut Ctx<'_>, in_port: u32, reason: PacketInReason, pkt: &Packet) {
+        self.packet_ins += 1;
+        let msg = OfMessage::PacketIn {
+            in_port,
+            reason,
+            data: wire::serialize(pkt),
+        };
+        self.send_to_controller(ctx, &msg);
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>, dest: OutPort, in_port: Option<u32>, pkt: Packet) {
+        match dest {
+            OutPort::Physical(p) => {
+                if !self.down_ports.contains(&p) {
+                    ctx.send(PortId(p), pkt);
+                }
+            }
+            OutPort::InPort => {
+                if let Some(p) = in_port {
+                    if !self.down_ports.contains(&p) {
+                        ctx.send(PortId(p), pkt);
+                    }
+                }
+            }
+            OutPort::Flood => {
+                for p in 1..=self.n_ports {
+                    if Some(p) != in_port && !self.down_ports.contains(&p) {
+                        ctx.send(PortId(p), pkt.clone());
+                    }
+                }
+            }
+            OutPort::Controller => {
+                self.packet_in(ctx, in_port.unwrap_or(0), PacketInReason::Action, &pkt);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the flow-mod message fields
+    fn apply_flow_mod(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        command: FlowModCommand,
+        matcher: livesec_openflow::Match,
+        priority: u16,
+        actions: Vec<livesec_openflow::Action>,
+        idle_timeout: Option<u64>,
+        hard_timeout: Option<u64>,
+        cookie: u64,
+        notify_removed: bool,
+    ) {
+        let now = ctx.now().as_nanos();
+        match command {
+            FlowModCommand::Add => {
+                if let Some(limit) = self.table_limit {
+                    let replaces = self.table.contains_strict(&matcher, priority);
+                    if !replaces && self.table.len() >= limit {
+                        self.table_full_rejections += 1;
+                        return;
+                    }
+                }
+                let mut entry = FlowEntry::new(matcher, actions, priority).with_cookie(cookie);
+                entry.idle_timeout = idle_timeout;
+                entry.hard_timeout = hard_timeout;
+                entry.notify_removed = notify_removed;
+                self.table.insert_at(entry, now);
+            }
+            FlowModCommand::Modify => {
+                self.table.modify_actions(&matcher, false, &actions);
+            }
+            FlowModCommand::ModifyStrict => {
+                self.table.modify_actions(&matcher, true, &actions);
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = command == FlowModCommand::DeleteStrict;
+                let removed = self.table.remove(&matcher, strict, strict.then_some(priority));
+                for r in removed {
+                    if r.entry.notify_removed {
+                        let msg = OfMessage::FlowRemoved {
+                            matcher: r.entry.matcher,
+                            cookie: r.entry.cookie,
+                            priority: r.entry.priority,
+                            reason: FlowRemovedReason::Delete,
+                            packet_count: r.entry.packet_count,
+                            byte_count: r.entry.byte_count,
+                        };
+                        self.send_to_controller(ctx, &msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn answer_stats(&mut self, ctx: &mut Ctx<'_>, kind: StatsRequestKind) {
+        let now = ctx.now().as_nanos();
+        let body = match kind {
+            StatsRequestKind::Flow(matcher) => StatsBody::Flow(
+                self.table
+                    .iter()
+                    .filter(|e| matcher.subsumes(&e.matcher))
+                    .map(|e| FlowStats {
+                        matcher: e.matcher,
+                        priority: e.priority,
+                        cookie: e.cookie,
+                        packet_count: e.packet_count,
+                        byte_count: e.byte_count,
+                        duration: now.saturating_sub(e.created_at),
+                    })
+                    .collect(),
+            ),
+            StatsRequestKind::Port(which) => {
+                let ports: Vec<u32> = match which {
+                    Some(p) => vec![p],
+                    None => (1..=self.n_ports).collect(),
+                };
+                StatsBody::Port(
+                    ports
+                        .into_iter()
+                        .map(|p| {
+                            let c = ctx.port_counters(PortId(p));
+                            PortStats {
+                                port_no: p,
+                                rx_packets: c.rx_frames,
+                                tx_packets: c.tx_frames,
+                                rx_bytes: c.rx_bytes,
+                                tx_bytes: c.tx_bytes,
+                                drops: c.drops,
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            StatsRequestKind::Description => StatsBody::Description {
+                manufacturer: "LiveSec reproduction".into(),
+                hardware: "simulated x86 server, 4x GbE".into(),
+                software: "ovs-1.1.0-model".into(),
+            },
+        };
+        self.send_to_controller(ctx, &OfMessage::StatsReply(body));
+    }
+}
+
+impl Node for AsSwitch {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(c) = self.controller {
+            let hello = self.channel.hello();
+            ctx.send_control(c, hello);
+        }
+        ctx.set_timer(self.tick, TICK);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+        let in_port = port.number();
+        if self.down_ports.contains(&in_port) {
+            return;
+        }
+        let Some(key) = lookup_key(&pkt) else {
+            // LLDP and unknown EtherTypes always go to the controller.
+            self.packet_in(ctx, in_port, PacketInReason::NoMatch, &pkt);
+            return;
+        };
+        let now = ctx.now().as_nanos();
+        let bytes = pkt.wire_len() as u64;
+        let Some(entry) = self.table.lookup_counting(in_port, &key, now, bytes) else {
+            self.packet_in(ctx, in_port, PacketInReason::NoMatch, &pkt);
+            return;
+        };
+        let actions = entry.actions.clone();
+        self.fast_path_frames += 1;
+        let outcome = apply_actions(&pkt, &actions);
+        for (dest, out_pkt) in outcome.outputs {
+            self.emit(ctx, dest, Some(in_port), out_pkt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TICK {
+            return;
+        }
+        self.ticks += 1;
+        // Keepalive: probe the controller periodically; replies are
+        // counted by the channel (see `echo_replies_seen`).
+        if self.ticks.is_multiple_of(ECHO_EVERY_TICKS) {
+            self.send_to_controller(ctx, &OfMessage::EchoRequest(self.ticks));
+        }
+        // Flush pending port-status notifications.
+        let pending = std::mem::take(&mut self.pending_status);
+        for (reason, port_no) in pending {
+            self.send_to_controller(ctx, &OfMessage::PortStatus { reason, port_no });
+        }
+        // Expire flows.
+        let removed = self.table.expire(ctx.now().as_nanos());
+        for r in removed {
+            if r.entry.notify_removed {
+                let reason = match r.reason {
+                    livesec_openflow::table::RemovalReason::IdleTimeout => {
+                        FlowRemovedReason::IdleTimeout
+                    }
+                    livesec_openflow::table::RemovalReason::HardTimeout => {
+                        FlowRemovedReason::HardTimeout
+                    }
+                    livesec_openflow::table::RemovalReason::Delete => FlowRemovedReason::Delete,
+                };
+                let msg = OfMessage::FlowRemoved {
+                    matcher: r.entry.matcher,
+                    cookie: r.entry.cookie,
+                    priority: r.entry.priority,
+                    reason,
+                    packet_count: r.entry.packet_count,
+                    byte_count: r.entry.byte_count,
+                };
+                self.send_to_controller(ctx, &msg);
+            }
+        }
+        ctx.set_timer(self.tick, TICK);
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, bytes: &[u8]) {
+        let (replies, up) = match self.channel.receive(bytes) {
+            Ok(r) => r,
+            Err(_) => return, // malformed control traffic is dropped
+        };
+        for r in replies {
+            ctx.send_control(peer, r);
+        }
+        let Some(msg) = up else { return };
+        match msg {
+            OfMessage::FlowMod {
+                command,
+                matcher,
+                priority,
+                actions,
+                idle_timeout,
+                hard_timeout,
+                cookie,
+                notify_removed,
+            } => self.apply_flow_mod(
+                ctx,
+                command,
+                matcher,
+                priority,
+                actions,
+                idle_timeout,
+                hard_timeout,
+                cookie,
+                notify_removed,
+            ),
+            OfMessage::PacketOut {
+                in_port,
+                actions,
+                data,
+            } => {
+                if let Ok(pkt) = wire::parse(&data) {
+                    let outcome = apply_actions(&pkt, &actions);
+                    for (dest, out_pkt) in outcome.outputs {
+                        self.emit(ctx, dest, in_port, out_pkt);
+                    }
+                }
+            }
+            OfMessage::StatsRequest(kind) => self.answer_stats(ctx, kind),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livesec_net::{FlowKey, MacAddr, PacketBuilder};
+    use livesec_openflow::{codec, Action, Match};
+    use livesec_sim::{LinkSpec, World};
+
+    /// A controller stub that records packet-ins and can be pre-loaded
+    /// with messages to push to the switch on start.
+    struct StubController {
+        switch: Option<NodeId>,
+        outbox: Vec<OfMessage>,
+        packet_ins: Vec<(u32, Vec<u8>)>,
+        flow_removed: Vec<OfMessage>,
+        port_status: Vec<OfMessage>,
+    }
+
+    impl StubController {
+        fn new() -> Self {
+            StubController {
+                switch: None,
+                outbox: Vec::new(),
+                packet_ins: Vec::new(),
+                flow_removed: Vec::new(),
+                port_status: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for StubController {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(sw) = self.switch {
+                for (i, msg) in self.outbox.iter().enumerate() {
+                    ctx.send_control(sw, codec::encode(msg, i as u32));
+                }
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_control(&mut self, _ctx: &mut Ctx<'_>, _peer: NodeId, bytes: &[u8]) {
+            if let Ok((msg, _)) = codec::decode(bytes) {
+                match msg {
+                    OfMessage::PacketIn { in_port, data, .. } => {
+                        self.packet_ins.push((in_port, data));
+                    }
+                    OfMessage::FlowRemoved { .. } => self.flow_removed.push(msg),
+                    OfMessage::PortStatus { .. } => self.port_status.push(msg),
+                    _ => {}
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Records everything it receives.
+    struct Sink {
+        got: Vec<Packet>,
+    }
+
+    impl Node for Sink {
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+            self.got.push(pkt);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one packet at start.
+    struct OneShot {
+        pkt: Option<Packet>,
+    }
+
+    impl Node for OneShot {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            // Wait out the control-channel latency so flow-mods pushed
+            // at start are installed before the frame arrives.
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if let Some(pkt) = self.pkt.take() {
+                ctx.send(PortId(1), pkt);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn test_packet() -> Packet {
+        PacketBuilder::udp(MacAddr::from_u64(1), MacAddr::from_u64(2))
+            .ips("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .ports(1000, 2000)
+            .payload_len(100)
+            .build()
+    }
+
+    fn run(outbox: Vec<OfMessage>) -> (World, NodeId, NodeId, NodeId, NodeId) {
+        // host(OneShot) -- p2 switch p3 -- sink; controller via channel.
+        let mut world = World::new(1);
+        let ctrl = world.add_node(StubController::new());
+        let sw = world.add_node(AsSwitch::new(7, 4).with_controller(ctrl));
+        let src = world.add_node(OneShot {
+            pkt: Some(test_packet()),
+        });
+        let dst = world.add_node(Sink { got: vec![] });
+        world.connect(src, PortId(1), sw, PortId(2), LinkSpec::gigabit());
+        world.connect(dst, PortId(1), sw, PortId(3), LinkSpec::gigabit());
+        world.node_mut::<StubController>(ctrl).switch = Some(sw);
+        world.node_mut::<StubController>(ctrl).outbox = outbox;
+        (world, ctrl, sw, src, dst)
+    }
+
+    #[test]
+    fn table_miss_goes_to_controller() {
+        let (mut world, ctrl, sw, _src, dst) = run(vec![]);
+        world.run_for(SimDuration::from_millis(10));
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.packet_ins.len(), 1);
+        assert_eq!(c.packet_ins[0].0, 2, "arrived on port 2");
+        // The frame bytes round-trip through the wire codec.
+        let pkt = wire::parse(&c.packet_ins[0].1).unwrap();
+        assert_eq!(FlowKey::of(&pkt), FlowKey::of(&test_packet()));
+        assert!(world.node::<Sink>(dst).got.is_empty(), "not forwarded");
+        assert_eq!(world.node::<AsSwitch>(sw).packet_ins, 1);
+    }
+
+    #[test]
+    fn installed_flow_forwards_without_controller() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, ctrl, sw, _src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        )]);
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<Sink>(dst).got.len(), 1);
+        assert!(world.node::<StubController>(ctrl).packet_ins.is_empty());
+        assert_eq!(world.node::<AsSwitch>(sw).fast_path_frames, 1);
+        // Counters on the entry reflect the hit.
+        let e = world
+            .node::<AsSwitch>(sw)
+            .table()
+            .peek(2, &key)
+            .expect("entry present");
+        assert_eq!(e.packet_count, 1);
+    }
+
+    #[test]
+    fn drop_rule_blackholes() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, ctrl, _sw, _src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![], // empty action list = drop
+            10,
+        )]);
+        world.run_for(SimDuration::from_millis(10));
+        assert!(world.node::<Sink>(dst).got.is_empty());
+        assert!(world.node::<StubController>(ctrl).packet_ins.is_empty());
+    }
+
+    #[test]
+    fn rewrite_action_applies() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let se_mac = MacAddr::from_u64(0xfefe);
+        let (mut world, _ctrl, _sw, _src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![
+                Action::SetDlDst(se_mac),
+                Action::Output(OutPort::Physical(3)),
+            ],
+            10,
+        )]);
+        world.run_for(SimDuration::from_millis(10));
+        let got = &world.node::<Sink>(dst).got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].eth.dst, se_mac);
+    }
+
+    #[test]
+    fn flood_reaches_all_but_ingress() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, _ctrl, sw, src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Flood)],
+            10,
+        )]);
+        // Attach one more sink on port 4.
+        let extra = world.add_node(Sink { got: vec![] });
+        world.connect(extra, PortId(1), sw, PortId(4), LinkSpec::gigabit());
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<Sink>(dst).got.len(), 1);
+        assert_eq!(world.node::<Sink>(extra).got.len(), 1);
+        // Ingress node got nothing back (OneShot has no counters; check
+        // via port counters: switch port 2 transmitted 0 frames).
+        assert_eq!(
+            world.kernel().port_counters(sw, PortId(2)).tx_frames,
+            0,
+            "no reflection to ingress"
+        );
+        let _ = src;
+    }
+
+    #[test]
+    fn idle_timeout_reports_flow_removed() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let mut fm = OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        );
+        if let OfMessage::FlowMod {
+            idle_timeout,
+            notify_removed,
+            ..
+        } = &mut fm
+        {
+            *idle_timeout = Some(SimDuration::from_millis(50).as_nanos());
+            *notify_removed = true;
+        }
+        let (mut world, ctrl, sw, _src, _dst) = run(vec![fm]);
+        world.run_for(SimDuration::from_millis(500));
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.flow_removed.len(), 1);
+        assert!(world.node::<AsSwitch>(sw).table().is_empty());
+    }
+
+    #[test]
+    fn port_failure_reports_status_and_blocks_traffic() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, ctrl, sw, _src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        )]);
+        world.node_mut::<AsSwitch>(sw).fail_port(3);
+        world.run_for(SimDuration::from_millis(300));
+        assert!(world.node::<Sink>(dst).got.is_empty(), "egress is down");
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.port_status.len(), 1);
+        match &c.port_status[0] {
+            OfMessage::PortStatus { reason, port_no } => {
+                assert_eq!(*reason, PortStatusReason::Delete);
+                assert_eq!(*port_no, 3);
+            }
+            _ => panic!("expected port status"),
+        }
+    }
+
+    #[test]
+    fn packet_out_emits() {
+        let (mut world, _ctrl, _sw, _src, dst) = run(vec![OfMessage::PacketOut {
+            in_port: None,
+            actions: vec![Action::Output(OutPort::Physical(3))],
+            data: wire::serialize(&test_packet()),
+        }]);
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<Sink>(dst).got.len(), 1);
+    }
+
+    #[test]
+    fn table_limit_rejects_overflow_but_allows_replacement() {
+        let keys: Vec<FlowKey> = (0..3u16)
+            .map(|i| {
+                let mut k = FlowKey::of(&test_packet()).unwrap();
+                k.tp_src = 1000 + i;
+                k
+            })
+            .collect();
+        let mut outbox: Vec<OfMessage> = keys
+            .iter()
+            .map(|k| {
+                OfMessage::add_flow(
+                    Match::exact(2, k),
+                    vec![Action::Output(OutPort::Physical(3))],
+                    10,
+                )
+            })
+            .collect();
+        // A replacement of the first entry must still be allowed.
+        outbox.push(OfMessage::add_flow(
+            Match::exact(2, &keys[0]),
+            vec![Action::Output(OutPort::Physical(4))],
+            10,
+        ));
+        let mut world = World::new(1);
+        let ctrl = world.add_node(StubController::new());
+        let sw = world.add_node(
+            AsSwitch::new(7, 4)
+                .with_controller(ctrl)
+                .with_table_limit(2),
+        );
+        world.node_mut::<StubController>(ctrl).switch = Some(sw);
+        world.node_mut::<StubController>(ctrl).outbox = outbox;
+        world.run_for(SimDuration::from_millis(10));
+        let s = world.node::<AsSwitch>(sw);
+        assert_eq!(s.table().len(), 2, "third add rejected");
+        assert_eq!(s.table_full_rejections, 1);
+        // The replacement landed: entry 0 now outputs to port 4.
+        let e = s.table().peek(2, &keys[0]).unwrap();
+        assert_eq!(e.actions, vec![Action::Output(OutPort::Physical(4))]);
+    }
+
+    #[test]
+    fn lldp_always_packet_in() {
+        let probe = livesec_net::packet::lldp_frame(
+            MacAddr::from_u64(5),
+            livesec_net::LldpFrame::new(99, 1),
+        );
+        let mut world = World::new(1);
+        let ctrl = world.add_node(StubController::new());
+        let sw = world.add_node(AsSwitch::new(7, 4).with_controller(ctrl));
+        let src = world.add_node(OneShot { pkt: Some(probe) });
+        world.connect(src, PortId(1), sw, PortId(2), LinkSpec::gigabit());
+        world.node_mut::<StubController>(ctrl).switch = Some(sw);
+        world.run_for(SimDuration::from_millis(10));
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.packet_ins.len(), 1);
+        let pkt = wire::parse(&c.packet_ins[0].1).unwrap();
+        assert_eq!(pkt.lldp().unwrap().chassis_id, 99);
+    }
+}

@@ -1,0 +1,77 @@
+//! Distributed load balancing (the paper's §IV-B / §V-B.2): many users'
+//! web flows are dispatched over four IDS replicas; compare the four
+//! dispatch algorithms' load deviation.
+//!
+//! Run with: `cargo run --release --example load_balancing`
+
+use livesec_suite::prelude::*;
+use livesec::balance::{HashDispatch, LeastQueue, MinLoad, RoundRobin};
+
+fn deviation(per_se: &[u64]) -> f64 {
+    let mean = per_se.iter().sum::<u64>() as f64 / per_se.len() as f64;
+    per_se
+        .iter()
+        .map(|&x| (x as f64 - mean).abs() / mean.max(1.0))
+        .fold(0.0, f64::max)
+}
+
+fn run_with(balancer: LoadBalancer, label: &str) {
+    let n_se = 4;
+    let mut policy = PolicyTable::allow_all();
+    policy.push(
+        PolicyRule::named("ids-web")
+            .dst_port(80)
+            .chain(vec![ServiceType::IntrusionDetection]),
+    );
+    let mut b = CampusBuilder::new(11, 2 + n_se)
+        .with_policy(policy)
+        .with_balancer(balancer)
+        .configure_controller(|c| c.set_flow_idle_timeout(SimDuration::from_millis(400)));
+    let server = b.add_gateway_with_app(0, HttpServer::new());
+    let mut elements = Vec::new();
+    for s in 0..n_se {
+        elements.push(b.add_service_element(
+            2 + s,
+            ServiceElement::new(IdsEngine::engine())
+                .with_report_interval(SimDuration::from_millis(25)),
+        ));
+    }
+    for u in 0..16u64 {
+        b.add_user(
+            1,
+            HttpClient::new(server.ip, if u % 3 == 0 { 150_000 } else { 40_000 })
+                .with_think_time(SimDuration::from_millis(20 + u * 5))
+                .with_start_delay(SimDuration::from_millis(900 + 5 * u))
+                .with_rotating_ports()
+                .with_src_port(41_000 + (u as u16) * 131),
+        );
+    }
+    let mut campus = b.finish();
+    campus.world.run_for(SimDuration::from_secs(5));
+
+    type IdsSe = ServiceElement<SignatureEngine>;
+    let per_se: Vec<u64> = elements
+        .iter()
+        .map(|h| {
+            campus
+                .world
+                .node::<Host<IdsSe>>(h.node)
+                .app()
+                .counters()
+                .processed_packets
+        })
+        .collect();
+    println!(
+        "{label:<12} deviation {:>5.1}%   per-element packets {:?}",
+        deviation(&per_se) * 100.0,
+        per_se
+    );
+}
+
+fn main() {
+    println!("load deviation across 4 IDS replicas, 16 users (paper: min-load <=5%):");
+    run_with(LoadBalancer::new(RoundRobin::new(), Grain::Flow), "polling");
+    run_with(LoadBalancer::new(HashDispatch::new(), Grain::Flow), "hash");
+    run_with(LoadBalancer::new(LeastQueue::new(), Grain::Flow), "queuing");
+    run_with(LoadBalancer::new(MinLoad::new(), Grain::Flow), "min-load");
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Meta-crate for the LiveSec reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](https://github.com/)
+//! under `examples/` and the cross-crate integration tests under `tests/`.
+//! It re-exports the member crates under short names so that examples can
+//! write `use livesec_suite::prelude::*;`.
+//!
+//! The actual library surface lives in the member crates:
+//!
+//! * [`livesec_net`] — packet formats and flow keys
+//! * [`livesec_sim`] — the discrete-event network simulator
+//! * [`livesec_openflow`] — the OpenFlow-1.0-style protocol subset
+//! * [`livesec_switch`] — dataplane elements (AS switches, legacy switches, hosts)
+//! * [`livesec_services`] — VM-based security service elements
+//! * [`livesec`] — the LiveSec controller (the paper's contribution)
+//! * [`livesec_workloads`] — synthetic traffic generators and scenarios
+
+pub use livesec;
+pub use livesec_net;
+pub use livesec_openflow;
+pub use livesec_services;
+pub use livesec_sim;
+pub use livesec_switch;
+pub use livesec_workloads;
+
+/// Convenience re-exports for examples and integration tests.
+pub mod prelude {
+    pub use livesec::prelude::*;
+    pub use livesec_net::prelude::*;
+    pub use livesec_openflow::prelude::*;
+    pub use livesec_services::prelude::*;
+    pub use livesec_switch::prelude::*;
+    pub use livesec_workloads::prelude::*;
+}

@@ -1,0 +1,65 @@
+//! Integration: redundant legacy fabric + spanning tree (paper
+//! §III-C.1: "no matter whether loops exist in the legacy switching
+//! network, our solution ensures a loop-free access switching
+//! network").
+
+use livesec_suite::prelude::*;
+
+fn run_campus(redundant: bool) -> (u64, u32, bool) {
+    let mut b = if redundant {
+        CampusBuilder::with_redundant_legacy(31, 4, 3)
+    } else {
+        CampusBuilder::with_legacy_tiers(31, 4, 3)
+    };
+    let gw = b.add_gateway_with_app(0, HttpServer::new());
+    let user = b.add_user(2, HttpClient::new(gw.ip, 30_000).with_max_requests(15));
+    let mut campus = b.finish();
+    let stats = campus.world.run_for(SimDuration::from_secs(3));
+    let completed = campus
+        .world
+        .node::<Host<HttpClient>>(user.node)
+        .app()
+        .completed;
+    let full_mesh = campus.controller().topology().is_full_mesh();
+    (stats.events, completed, full_mesh)
+}
+
+#[test]
+fn redundant_fabric_is_loop_free_and_fully_functional() {
+    let (tree_events, tree_done, tree_mesh) = run_campus(false);
+    let (ring_events, ring_done, ring_mesh) = run_campus(true);
+
+    // Same work gets done over the redundant fabric.
+    assert_eq!(tree_done, 15);
+    assert_eq!(ring_done, 15);
+    assert!(tree_mesh && ring_mesh, "full-mesh discovery in both");
+
+    // No broadcast storm: event counts stay within the same order of
+    // magnitude (a loop would blow this up unboundedly or hit queue
+    // drops massively).
+    assert!(
+        ring_events < tree_events * 3,
+        "no storm: tree={tree_events} ring={ring_events}"
+    );
+}
+
+#[test]
+fn spanning_tree_actually_blocks_ring_ports() {
+    let b = CampusBuilder::with_redundant_legacy(31, 2, 3);
+    let campus = b.finish();
+    // 3 edges in a ring: 3 ring links exist, at least one blocked at
+    // both ends. Count blocked ports indirectly: broadcast from one AS
+    // switch must arrive at every other exactly once (no duplicates).
+    // We verify via a short run reaching quiescence without growth.
+    let mut campus = campus;
+    let s1 = campus.world.run_for(SimDuration::from_secs(1));
+    let s2 = campus.world.run_for(SimDuration::from_secs(1));
+    // Steady state: the second second processes a similar, bounded
+    // number of events (discovery beacons), not exponentially more.
+    let delta1 = s1.events;
+    let delta2 = s2.events - s1.events;
+    assert!(
+        delta2 <= delta1 * 2 + 1000,
+        "bounded steady-state events: {delta1} then {delta2}"
+    );
+}

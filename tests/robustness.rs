@@ -1,0 +1,132 @@
+//! Robustness: the controller must survive hostile or corrupted
+//! control-channel traffic and malformed service-element messages
+//! while continuing to serve the legitimate network.
+
+use livesec_suite::prelude::*;
+use livesec_net::{Packet, Payload};
+use livesec_services::{IdsEngine, ServiceElement, ServiceType, SE_CONTROL_MAC, SE_CONTROL_PORT};
+use livesec_switch::{App, Host, HostIo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+
+/// Floods the controller with random bytes over the control channel.
+struct ControlFuzzer {
+    controller: Option<NodeId>,
+    rng: StdRng,
+    remaining: u32,
+}
+
+impl Node for ControlFuzzer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_micros(200), 1);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let Some(ctrl) = self.controller else { return };
+        let len = self.rng.gen_range(0..64);
+        let mut bytes = vec![0u8; len];
+        self.rng.fill(&mut bytes[..]);
+        // Half the time, corrupt a real message instead of pure noise
+        // (deeper into the decoder).
+        if self.remaining.is_multiple_of(2) {
+            bytes = livesec_openflow::codec::encode(&livesec_openflow::OfMessage::Hello, 1);
+            if !bytes.is_empty() {
+                let pos = self.rng.gen_range(0..bytes.len());
+                bytes[pos] ^= self.rng.gen_range(1..=255);
+            }
+        }
+        ctx.send_control(ctrl, bytes);
+        ctx.set_timer(SimDuration::from_micros(200), 1);
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _pkt: Packet) {}
+    fn on_control(&mut self, _ctx: &mut Ctx<'_>, _peer: NodeId, _bytes: &[u8]) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sends garbage "SE control" payloads through the packet-in path.
+struct RogueSeNoise {
+    seq: u32,
+}
+
+impl App for RogueSeNoise {
+    fn on_start(&mut self, io: &mut HostIo<'_, '_>) {
+        io.set_timer(SimDuration::from_millis(50), 1);
+    }
+    fn on_timer(&mut self, io: &mut HostIo<'_, '_>, _t: u64) {
+        self.seq += 1;
+        // Magic prefix but bogus structure.
+        let mut payload = b"LSEC".to_vec();
+        payload.push((self.seq % 256) as u8);
+        payload.extend_from_slice(&self.seq.to_be_bytes());
+        let pkt = Packet::new(
+            livesec_net::EthernetHeader::new(io.mac(), SE_CONTROL_MAC, livesec_net::EtherType::Ipv4),
+            livesec_net::Body::Ipv4(livesec_net::Ipv4Packet::new(
+                livesec_net::Ipv4Header::new(io.ip(), std::net::Ipv4Addr::BROADCAST),
+                livesec_net::Transport::Udp(livesec_net::UdpDatagram::new(
+                    SE_CONTROL_PORT,
+                    SE_CONTROL_PORT,
+                    Payload::from(payload),
+                )),
+            )),
+        );
+        io.send_raw(pkt);
+        io.set_timer(SimDuration::from_millis(50), 1);
+    }
+}
+
+#[test]
+fn controller_survives_fuzzed_control_and_rogue_se_traffic() {
+    let mut policy = PolicyTable::allow_all();
+    policy.push(
+        PolicyRule::named("ids-web")
+            .dst_port(80)
+            .chain(vec![ServiceType::IntrusionDetection]),
+    );
+    let mut b = CampusBuilder::new(99, 2).with_policy(policy);
+    let gw = b.add_gateway_with_app(0, HttpServer::new());
+    b.add_service_element(0, ServiceElement::new(IdsEngine::engine()));
+    let user = b.add_user(
+        1,
+        HttpClient::new(gw.ip, 20_000)
+            .with_think_time(SimDuration::from_millis(100)),
+    );
+    // The rogue host pushes malformed SE messages through packet-in.
+    b.add_user(1, RogueSeNoise { seq: 0 });
+    let mut campus = b.finish();
+    // The fuzzer hammers the controller's secure channel directly.
+    let fuzzer = campus.world.add_node(ControlFuzzer {
+        controller: Some(campus.controller),
+        rng: StdRng::seed_from_u64(0xf0bb),
+        remaining: 5_000,
+    });
+    let _ = fuzzer;
+
+    campus.world.run_for(SimDuration::from_secs(3));
+
+    // The controller neither panicked nor stopped serving: the
+    // legitimate user browsed normally throughout.
+    let done = campus
+        .world
+        .node::<Host<HttpClient>>(user.node)
+        .app()
+        .completed;
+    assert!(done > 10, "legitimate traffic survived the noise: {done}");
+    let c = campus.controller();
+    assert!(c.topology().is_full_mesh(), "discovery unharmed");
+    assert!(
+        c.registry()
+            .online_of(ServiceType::IntrusionDetection)
+            .len()
+            == 1,
+        "real element still registered"
+    );
+}
