@@ -1,0 +1,226 @@
+//! Micro-benchmark of the flow-setup fast path: the cold path (policy
+//! lookup, balancer picks, forward + reverse program compilation)
+//! against the warm path (decision-cache hit plus the pick
+//! revalidation the controller performs on every hit).
+//!
+//! The two routines mirror `Controller::handle_flow` exactly — the
+//! warm path still runs the stateful balancer, because the controller
+//! does too (cache transparency) — so the ratio reported here is the
+//! real per-setup saving. The acceptance bar is warm ≥ 2× cold; see
+//! EXPERIMENTS.md for recorded numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use livesec::balance::{Grain, HashDispatch, LoadBalancer, SeRegistry};
+use livesec::cache::{CachedDecision, DecisionCache};
+use livesec::policy::{PolicyDecision, PolicyRule, PolicyTable};
+use livesec::routing::{compile_path, Hop};
+use livesec_net::{FlowKey, MacAddr};
+use livesec_services::{SeMessage, ServiceType};
+use livesec_sim::SimTime;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const N_FLOWS: u64 = 64;
+const N_SES: u64 = 4;
+const STEER_PRIORITY: u16 = 100;
+
+struct Fixture {
+    policy: PolicyTable,
+    registry: SeRegistry,
+    balancer: LoadBalancer,
+    locations: HashMap<MacAddr, (u64, u32)>,
+    keys: Vec<FlowKey>,
+}
+
+fn fixture() -> Fixture {
+    // The campus web chain: intrusion detection, then protocol
+    // identification (two replicated services, as in the paper's §V).
+    let mut policy = PolicyTable::allow_all();
+    policy.push(
+        PolicyRule::named("web-ids-protoid")
+            .proto(6)
+            .dst_port(80)
+            .chain(vec![
+                ServiceType::IntrusionDetection,
+                ServiceType::ProtocolIdentification,
+            ]),
+    );
+
+    let mut registry = SeRegistry::new();
+    let mut locations = HashMap::new();
+    for i in 0..N_SES {
+        for (j, service) in [
+            ServiceType::IntrusionDetection,
+            ServiceType::ProtocolIdentification,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mac = MacAddr::from_u64(0xe000 + 0x100 * j as u64 + i);
+            let msg = SeMessage::Online {
+                service,
+                cert: 0,
+                cpu: 10,
+                mem: 0,
+                pps: 0,
+                bps: 0,
+                total_pkts: 0,
+            };
+            registry.heartbeat(mac, &msg, SimTime::ZERO);
+            locations.insert(mac, (1 + (i + j as u64) % 3, 30 + 10 * j as u32 + i as u32));
+        }
+    }
+
+    let mut keys = Vec::new();
+    for f in 0..N_FLOWS {
+        let src = MacAddr::from_u64(0xa000 + f);
+        let dst = MacAddr::from_u64(0xb000 + f % 8);
+        locations.insert(src, (1 + f % 3, 2 + (f % 8) as u32));
+        locations.insert(dst, (1 + (f / 3) % 3, 12 + (f % 8) as u32));
+        keys.push(FlowKey {
+            vlan: None,
+            dl_src: src,
+            dl_dst: dst,
+            dl_type: 0x0800,
+            nw_src: format!("10.0.0.{}", 1 + f % 250).parse().unwrap(),
+            nw_dst: "10.0.255.254".parse().unwrap(),
+            nw_proto: 6,
+            tp_src: 40_000 + f as u16,
+            tp_dst: 80,
+        });
+    }
+
+    Fixture {
+        policy,
+        registry,
+        // Sticky per-user hashing: warm-path revalidation repeats the
+        // same pick, as in a steady production workload.
+        balancer: LoadBalancer::new(HashDispatch::new(), Grain::User),
+        locations,
+        keys,
+    }
+}
+
+fn hop(locations: &HashMap<MacAddr, (u64, u32)>, mac: MacAddr) -> Hop {
+    let (dpid, port) = locations[&mac];
+    Hop { mac, dpid, port }
+}
+
+/// The cold path of `Controller::handle_flow`: policy decision,
+/// balancer picks, and compilation of both steering programs.
+fn cold_setup(fx: &mut Fixture, key: &FlowKey) -> CachedDecision {
+    let (decision, rule) = fx.policy.decide(key);
+    let services = match decision {
+        PolicyDecision::Deny => {
+            return CachedDecision::Deny {
+                rule: rule.map(str::to_owned),
+            }
+        }
+        PolicyDecision::Allow => Vec::new(),
+        PolicyDecision::Chain(services) => services.clone(),
+    };
+    let mut elements = Vec::with_capacity(services.len());
+    for service in &services {
+        elements.push(
+            fx.balancer
+                .pick(&fx.registry, *service, key)
+                .expect("replicas online"),
+        );
+    }
+    let mut hops = Vec::with_capacity(elements.len() + 2);
+    hops.push(hop(&fx.locations, key.dl_src));
+    for mac in &elements {
+        hops.push(hop(&fx.locations, *mac));
+    }
+    hops.push(hop(&fx.locations, key.dl_dst));
+    let forward = compile_path(key, &hops, |_| Some(1), STEER_PRIORITY).expect("compiles");
+    let mut rev = hops.clone();
+    rev.reverse();
+    let reverse =
+        compile_path(&key.reversed(), &rev, |_| Some(1), STEER_PRIORITY).expect("compiles");
+    CachedDecision::Steer {
+        services,
+        elements,
+        forward: Rc::new(forward),
+        reverse: Rc::new(reverse),
+    }
+}
+
+/// The warm path: cache hit plus the same balancer revalidation the
+/// controller performs before trusting the memoized programs.
+fn warm_setup(fx: &mut Fixture, cache: &mut DecisionCache, key: &FlowKey) -> CachedDecision {
+    let ingress = fx.locations[&key.dl_src];
+    match cache.lookup(key, ingress) {
+        Some(CachedDecision::Steer {
+            services,
+            elements,
+            forward,
+            reverse,
+        }) => {
+            let mut picks = Vec::with_capacity(services.len());
+            for service in &services {
+                picks.push(
+                    fx.balancer
+                        .pick(&fx.registry, *service, key)
+                        .expect("replicas online"),
+                );
+            }
+            assert_eq!(picks, elements, "sticky picks must revalidate");
+            CachedDecision::Steer {
+                services,
+                elements,
+                forward,
+                reverse,
+            }
+        }
+        Some(deny @ CachedDecision::Deny { .. }) => deny,
+        None => {
+            let decision = cold_setup(fx, key);
+            cache.insert(*key, ingress, decision.clone());
+            decision
+        }
+    }
+}
+
+fn bench_flow_setup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_setup");
+    // Sub-microsecond routines: plenty of samples are cheap and keep
+    // the cold/warm ratio stable across runs.
+    g.sample_size(300);
+
+    let mut fx = fixture();
+    let keys = fx.keys.clone();
+    let mut i = 0usize;
+    g.bench_function("cold_compile", |b| {
+        b.iter(|| {
+            let key = keys[i % keys.len()];
+            i += 1;
+            black_box(cold_setup(&mut fx, &key))
+        })
+    });
+
+    let mut fx = fixture();
+    let keys = fx.keys.clone();
+    let mut cache = DecisionCache::new();
+    for key in &keys {
+        let decision = cold_setup(&mut fx, key);
+        cache.insert(*key, fx.locations[&key.dl_src], decision);
+    }
+    let mut i = 0usize;
+    g.bench_function("warm_cache_hit", |b| {
+        b.iter(|| {
+            let key = keys[i % keys.len()];
+            i += 1;
+            black_box(warm_setup(&mut fx, &mut cache, &key))
+        })
+    });
+    assert!(
+        cache.stats().hits > 0,
+        "warm benchmark must exercise the hit path"
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_setup);
+criterion_main!(benches);

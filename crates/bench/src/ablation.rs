@@ -232,9 +232,8 @@ mod tests {
             "farther controller, slower setup: {rows:?}"
         );
         // Steady-state forwarding never touches the controller.
-        let steady_delta = (far.steady_rtt.as_nanos() as f64
-            - near.steady_rtt.as_nanos() as f64)
-            .abs();
+        let steady_delta =
+            (far.steady_rtt.as_nanos() as f64 - near.steady_rtt.as_nanos() as f64).abs();
         assert!(
             steady_delta < near.steady_rtt.as_nanos() as f64 * 0.2,
             "steady state unaffected: {rows:?}"

@@ -116,7 +116,13 @@ pub fn run(
     let sum = |campus: &livesec::deploy::Campus| -> u64 {
         clients
             .iter()
-            .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+            .map(|c| {
+                campus
+                    .world
+                    .node::<Host<HttpClient>>(c.node)
+                    .app()
+                    .bytes_received
+            })
             .sum()
     };
     let before = sum(&campus);
@@ -147,10 +153,6 @@ mod tests {
             SimDuration::from_millis(300),
         );
         // 4 elements × 421 Mbps ≈ 1.7 Gbps; allow generous slack.
-        assert!(
-            r.goodput_bps > 1_200_000_000.0,
-            "goodput {}",
-            r.goodput_bps
-        );
+        assert!(r.goodput_bps > 1_200_000_000.0, "goodput {}", r.goodput_bps);
     }
 }

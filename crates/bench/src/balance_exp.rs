@@ -32,7 +32,12 @@ pub enum Algo {
 
 impl Algo {
     /// All algorithms, in paper order.
-    pub const ALL: [Algo; 4] = [Algo::RoundRobin, Algo::Hash, Algo::LeastQueue, Algo::MinLoad];
+    pub const ALL: [Algo; 4] = [
+        Algo::RoundRobin,
+        Algo::Hash,
+        Algo::LeastQueue,
+        Algo::MinLoad,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -133,11 +138,13 @@ pub fn run(
         // Fast heartbeats relative to flow lifetimes: the regime the
         // paper's deployment operates in (sessions of seconds, reports
         // sub-second). Stale load figures are what break min-load.
-        elements.push(b.add_service_element(
-            1 + s,
-            ServiceElement::new(IdsEngine::engine())
-                .with_report_interval(SimDuration::from_millis(25)),
-        ));
+        elements.push(
+            b.add_service_element(
+                1 + s,
+                ServiceElement::new(IdsEngine::engine())
+                    .with_report_interval(SimDuration::from_millis(25)),
+            ),
+        );
     }
     for u in 0..n_users {
         // Heterogeneous object sizes: some users pull 4x more than
@@ -153,7 +160,9 @@ pub fn run(
         );
     }
     let mut campus = b.finish();
-    campus.world.run_for(SimDuration::from_millis(1000) + duration);
+    campus
+        .world
+        .run_for(SimDuration::from_millis(1000) + duration);
 
     type IdsSe = ServiceElement<SignatureEngine>;
     let per_element: Vec<u64> = elements

@@ -92,7 +92,13 @@ pub fn run(design: Design, demand_pairs: usize, seed: u64, window: SimDuration) 
     let sum = |campus: &livesec::deploy::Campus| -> u64 {
         clients
             .iter()
-            .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+            .map(|c| {
+                campus
+                    .world
+                    .node::<Host<HttpClient>>(c.node)
+                    .app()
+                    .bytes_received
+            })
             .sum()
     };
     let before = sum(&campus);

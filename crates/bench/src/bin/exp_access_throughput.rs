@@ -5,7 +5,10 @@ use livesec_bench::{print_header, print_rate_row};
 use livesec_sim::SimDuration;
 
 fn main() {
-    print_header("E1", "access throughput (paper: OvS ~100 Mbps, Pantou ~43 Mbps)");
+    print_header(
+        "E1",
+        "access throughput (paper: OvS ~100 Mbps, Pantou ~43 Mbps)",
+    );
     let window = SimDuration::from_secs(1);
     for (label, kind, paper) in [
         ("wired user behind OvS", Access::WiredOvs, 100.0e6),

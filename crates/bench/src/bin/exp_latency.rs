@@ -9,8 +9,15 @@ fn main() {
     let r = latency::run(17, 200);
     println!("baseline (legacy only)     mean RTT: {}", r.baseline_rtt);
     println!("LiveSec (IDS steering)     mean RTT: {}", r.livesec_rtt);
-    println!("LiveSec first ping (setup)      RTT: {}", r.livesec_first_rtt);
-    println!("overhead: {:+.1}%   loss: {:.2}%", r.overhead * 100.0, r.livesec_loss * 100.0);
+    println!(
+        "LiveSec first ping (setup)      RTT: {}",
+        r.livesec_first_rtt
+    );
+    println!(
+        "overhead: {:+.1}%   loss: {:.2}%",
+        r.overhead * 100.0,
+        r.livesec_loss * 100.0
+    );
 
     let u = latency::run_unsteered(17, 200);
     println!();

@@ -11,8 +11,18 @@ use livesec_sim::SimDuration;
 fn main() {
     let schematic = std::env::args().any(|a| a == "--schematic");
     if schematic {
-        print_header("E9", "Figure 4 schematic: 2 hosts over 2 elements (min-load)");
-        let r = balance_exp::run(Algo::MinLoad, Grain::Flow, 2, 2, 9, SimDuration::from_secs(3));
+        print_header(
+            "E9",
+            "Figure 4 schematic: 2 hosts over 2 elements (min-load)",
+        );
+        let r = balance_exp::run(
+            Algo::MinLoad,
+            Grain::Flow,
+            2,
+            2,
+            9,
+            SimDuration::from_secs(3),
+        );
         println!("per-element packets: {:?}", r.per_element);
         println!("max deviation: {:.1}%", r.max_deviation * 100.0);
         return;

@@ -10,7 +10,10 @@ fn main() {
         "E2",
         "HTTP throughput vs number of IDS service elements on one OvS host",
     );
-    println!("{:>6} {:>14} {:>12} {:>14}", "n_se", "goodput", "per-SE", "paper ref");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "n_se", "goodput", "per-SE", "paper ref"
+    );
     let window = SimDuration::from_millis(600);
     let paper = |n: usize| match n {
         1 => "421 Mbps".to_owned(),

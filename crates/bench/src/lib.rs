@@ -24,9 +24,9 @@
 
 pub mod ablation;
 pub mod access;
-pub mod baseline;
 pub mod aggregate;
 pub mod balance_exp;
+pub mod baseline;
 pub mod latency;
 pub mod policy_demo;
 pub mod scaling;

@@ -37,8 +37,8 @@ pub struct ScalingResult {
 pub fn run(n_se: usize, seed: u64, window: SimDuration) -> ScalingResult {
     assert!(n_se >= 1, "need at least one element");
     let n_pairs = n_se + 2; // slight over-subscription saturates every SE
-    // Switch 0 hosts the SEs; each pair gets a client switch and a
-    // server switch of its own.
+                            // Switch 0 hosts the SEs; each pair gets a client switch and a
+                            // server switch of its own.
     let n_switches = 1 + 2 * n_pairs;
 
     let mut policy = PolicyTable::allow_all();
@@ -85,12 +85,24 @@ pub fn run(n_se: usize, seed: u64, window: SimDuration) -> ScalingResult {
     campus.world.run_for(SimDuration::from_millis(1800));
     let before: u64 = clients
         .iter()
-        .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+        .map(|c| {
+            campus
+                .world
+                .node::<Host<HttpClient>>(c.node)
+                .app()
+                .bytes_received
+        })
         .sum();
     campus.world.run_for(window);
     let after: u64 = clients
         .iter()
-        .map(|c| campus.world.node::<Host<HttpClient>>(c.node).app().bytes_received)
+        .map(|c| {
+            campus
+                .world
+                .node::<Host<HttpClient>>(c.node)
+                .app()
+                .bytes_received
+        })
         .sum();
 
     ScalingResult {

@@ -88,7 +88,11 @@ mod tests {
         let r = run(42);
         // Figure 7: users present and browsing/ssh identified.
         assert!(r.normal.users.len() >= 6, "{:?}", r.normal.users.len());
-        assert!(r.normal.alerts.is_empty(), "no attacks yet: {:?}", r.normal.alerts);
+        assert!(
+            r.normal.alerts.is_empty(),
+            "no attacks yet: {:?}",
+            r.normal.alerts
+        );
         // Figure 8: narrative complete.
         assert!(r.narrative.user_left, "leaver departed");
         assert!(r.narrative.bittorrent_seen, "bittorrent identified");

@@ -185,9 +185,8 @@ impl Dispatcher for MinLoad {
             .iter()
             .enumerate()
             .min_by(|(i, a), (j, b)| {
-                let score = |v: &SeView| {
-                    v.total_pkts as f64 + f64::from(v.recent_assignments) * per_flow
-                };
+                let score =
+                    |v: &SeView| v.total_pkts as f64 + f64::from(v.recent_assignments) * per_flow;
                 score(a)
                     .total_cmp(&score(b))
                     .then(a.outstanding_flows.cmp(&b.outstanding_flows))
@@ -522,7 +521,10 @@ mod tests {
             total_pkts: 30,
         };
         assert!(r.heartbeat(MacAddr::from_u64(1), &msg, SimTime::ZERO));
-        assert!(!r.heartbeat(MacAddr::from_u64(1), &msg, SimTime::ZERO), "not new");
+        assert!(
+            !r.heartbeat(MacAddr::from_u64(1), &msg, SimTime::ZERO),
+            "not new"
+        );
         assert_eq!(r.online_of(ServiceType::IntrusionDetection).len(), 1);
         assert_eq!(r.online_of(ServiceType::Firewall).len(), 0);
 

@@ -14,9 +14,10 @@
 //! * monitoring and replay ([`crate::monitor`]).
 
 use crate::balance::{LoadBalancer, SeRegistry};
+use crate::cache::{CachedDecision, DecisionCache};
 use crate::directory::DirectoryProxy;
 use crate::location::{LearnOutcome, LocationTable};
-use crate::monitor::{EventKind, Monitor};
+use crate::monitor::{EventKind, FastPathStats, Monitor};
 use crate::policy::{AppAction, PolicyDecision, PolicyTable};
 use crate::routing::{compile_path, Hop, SteeringProgram};
 use crate::topology::TopologyMap;
@@ -33,6 +34,7 @@ use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 /// Timer token for the controller's housekeeping tick.
 const TICK: u64 = 1;
@@ -47,6 +49,25 @@ const REVERSE_COOKIE: u64 = 2;
 const STEER_PRIORITY: u16 = 100;
 /// Priority of drop entries (wins over steering).
 const BLOCK_PRIORITY: u16 = 200;
+
+/// Control messages queued for one switch during the current event
+/// dispatch; flushed as a single concatenated payload.
+#[derive(Debug)]
+struct TxBatch {
+    node: NodeId,
+    buf: Vec<u8>,
+    msgs: u64,
+    has_flow_mod: bool,
+}
+
+/// The result of running the balancer over a policy chain.
+enum Picks {
+    /// One element per (available) service, in chain order.
+    Elements(Vec<MacAddr>),
+    /// A service had no online replica and fail-open is off; the flow
+    /// was denied.
+    Denied,
+}
 
 /// Book-keeping for one admitted flow.
 #[derive(Clone, Debug)]
@@ -114,6 +135,15 @@ pub struct Controller {
     directory: Option<DirectoryProxy>,
     active: HashMap<FlowKey, FlowRecord>,
     required_certs: Option<HashSet<u64>>,
+    /// The flow-setup fast path's decision cache (`None` = disabled,
+    /// every setup takes the cold path).
+    cache: Option<DecisionCache>,
+    /// Per-switch control messages queued during the current event
+    /// dispatch.
+    txq: Vec<TxBatch>,
+    batches_flushed: u64,
+    messages_batched: u64,
+    max_batch_len: u64,
 
     tick: SimDuration,
     lldp_every_ticks: u64,
@@ -155,6 +185,11 @@ impl Controller {
             directory: None,
             active: HashMap::new(),
             required_certs: None,
+            cache: Some(DecisionCache::new()),
+            txq: Vec::new(),
+            batches_flushed: 0,
+            messages_batched: 0,
+            max_batch_len: 0,
             tick: SimDuration::from_millis(100),
             lldp_every_ticks: 5,
             stats_every_ticks: 0,
@@ -240,6 +275,14 @@ impl Controller {
         self
     }
 
+    /// Enables or disables the flow-setup decision cache (default:
+    /// enabled). The cache is transparent — disabling it changes
+    /// throughput, never behaviour.
+    pub fn with_decision_cache(mut self, enabled: bool) -> Self {
+        self.set_decision_cache(enabled);
+        self
+    }
+
     /// The monitor (event database).
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
@@ -261,19 +304,51 @@ impl Controller {
     }
 
     /// Mutable access to the policy table (runtime reconfiguration).
+    ///
+    /// Handing out the mutable reference conservatively advances the
+    /// cache's policy epoch: any cached decision may be edited out
+    /// from under it.
     pub fn policy_mut(&mut self) -> &mut PolicyTable {
+        if let Some(c) = self.cache.as_mut() {
+            c.note_policy_change();
+        }
         &mut self.policy
     }
 
     /// Replaces the policy table in place (for builders that already
-    /// own the controller inside a world).
+    /// own the controller inside a world). Invalidates every cached
+    /// flow-setup decision.
     pub fn set_policy(&mut self, policy: PolicyTable) {
+        if let Some(c) = self.cache.as_mut() {
+            c.note_policy_change();
+        }
         self.policy = policy;
     }
 
-    /// Replaces the load balancer in place.
+    /// Replaces the load balancer in place. Drops the decision cache's
+    /// contents: cached picks came from the old algorithm.
     pub fn set_balancer(&mut self, balancer: LoadBalancer) {
+        if let Some(c) = self.cache.as_mut() {
+            c.clear();
+        }
         self.balancer = balancer;
+    }
+
+    /// Enables or disables the flow-setup decision cache in place
+    /// (default: enabled). Disabling drops all cached decisions but
+    /// keeps the counters' history via [`Controller::fast_path_stats`]
+    /// until re-enabled (a fresh cache starts counters at zero).
+    pub fn set_decision_cache(&mut self, enabled: bool) {
+        match (enabled, self.cache.is_some()) {
+            (true, false) => self.cache = Some(DecisionCache::new()),
+            (false, true) => self.cache = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the flow-setup decision cache is enabled.
+    pub fn decision_cache_enabled(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Enables certification with the given initial token set.
@@ -360,11 +435,8 @@ impl Controller {
     /// Per-user traffic totals over completed flows, sorted by bytes
     /// descending.
     pub fn user_traffic(&self) -> Vec<(MacAddr, TrafficTally)> {
-        let mut v: Vec<(MacAddr, TrafficTally)> = self
-            .user_traffic
-            .iter()
-            .map(|(k, t)| (*k, *t))
-            .collect();
+        let mut v: Vec<(MacAddr, TrafficTally)> =
+            self.user_traffic.iter().map(|(k, t)| (*k, *t)).collect();
         v.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(&b.0)));
         v
     }
@@ -400,35 +472,92 @@ impl Controller {
         serde_json::to_string_pretty(&self.nib_snapshot(now)).expect("NIB is serializable")
     }
 
-    fn send(&mut self, ctx: &mut Ctx<'_>, node: NodeId, msg: &OfMessage) {
-        let xid = self.xid;
-        self.xid = self.xid.wrapping_add(1);
-        ctx.send_control(node, codec::encode(msg, xid));
+    /// Counters of the flow-setup fast path: cache hits, misses,
+    /// invalidations, and the batching figures.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        let mut s = self
+            .cache
+            .as_ref()
+            .map(DecisionCache::stats)
+            .unwrap_or_default();
+        s.flow_setups = self.flows_installed;
+        s.batches_flushed = self.batches_flushed;
+        s.messages_batched = self.messages_batched;
+        s.max_batch_len = self.max_batch_len;
+        s
     }
 
-    fn send_to_dpid(&mut self, ctx: &mut Ctx<'_>, dpid: u64, msg: &OfMessage) {
-        if let Some(node) = self.topo.switch(dpid).map(|s| s.node) {
-            self.send(ctx, node, msg);
+    /// The fast-path counters as pretty JSON — polled next to
+    /// [`Controller::nib_json`] and the monitor event feed.
+    pub fn fast_path_json(&self) -> String {
+        self.fast_path_stats().to_json()
+    }
+
+    /// Queues `msg` for `node`; everything queued during one event
+    /// dispatch goes out as a single per-switch payload (see
+    /// [`Controller::flush`]).
+    fn send(&mut self, node: NodeId, msg: &OfMessage) {
+        let xid = self.xid;
+        self.xid = self.xid.wrapping_add(1);
+        let bytes = codec::encode(msg, xid);
+        let is_flow_mod = matches!(msg, OfMessage::FlowMod { .. });
+        self.messages_batched += 1;
+        match self.txq.iter_mut().find(|b| b.node == node) {
+            Some(b) => {
+                b.buf.extend_from_slice(&bytes);
+                b.msgs += 1;
+                b.has_flow_mod |= is_flow_mod;
+            }
+            None => self.txq.push(TxBatch {
+                node,
+                buf: bytes,
+                msgs: 1,
+                has_flow_mod: is_flow_mod,
+            }),
         }
     }
 
-    fn packet_out(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        dpid: u64,
-        in_port: Option<u32>,
-        actions: Vec<Action>,
-        pkt: &Packet,
-    ) {
+    /// Transmits everything queued by [`Controller::send`]: one
+    /// control payload per switch, in first-use order. A batch that
+    /// carries flow-mods is terminated with a barrier request, so the
+    /// switch acknowledges only after every entry of the batch is
+    /// applied — per-switch ordering is by in-order processing of the
+    /// concatenated frames, and the barrier delimits the transaction.
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.txq.is_empty() {
+            return;
+        }
+        for mut batch in std::mem::take(&mut self.txq) {
+            if batch.has_flow_mod {
+                let xid = self.xid;
+                self.xid = self.xid.wrapping_add(1);
+                batch
+                    .buf
+                    .extend_from_slice(&codec::encode(&OfMessage::BarrierRequest, xid));
+                batch.msgs += 1;
+            }
+            self.batches_flushed += 1;
+            self.max_batch_len = self.max_batch_len.max(batch.msgs);
+            ctx.send_control(batch.node, batch.buf);
+        }
+    }
+
+    fn send_to_dpid(&mut self, dpid: u64, msg: &OfMessage) {
+        if let Some(node) = self.topo.switch(dpid).map(|s| s.node) {
+            self.send(node, msg);
+        }
+    }
+
+    fn packet_out(&mut self, dpid: u64, in_port: Option<u32>, actions: Vec<Action>, pkt: &Packet) {
         let msg = OfMessage::PacketOut {
             in_port,
             actions,
             data: wire::serialize(pkt),
         };
-        self.send_to_dpid(ctx, dpid, &msg);
+        self.send_to_dpid(dpid, &msg);
     }
 
-    fn probe_switch(&mut self, ctx: &mut Ctx<'_>, dpid: u64) {
+    fn probe_switch(&mut self, dpid: u64) {
         let Some(info) = self.topo.switch(dpid).copied() else {
             return;
         };
@@ -443,7 +572,6 @@ impl Controller {
         for p in ports {
             let probe = lldp_frame(src, LldpFrame::new(dpid, p));
             self.packet_out(
-                ctx,
                 dpid,
                 None,
                 vec![Action::Output(livesec_openflow::OutPort::Physical(p))],
@@ -452,10 +580,10 @@ impl Controller {
         }
     }
 
-    fn probe_all(&mut self, ctx: &mut Ctx<'_>) {
+    fn probe_all(&mut self) {
         let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
         for dpid in dpids {
-            self.probe_switch(ctx, dpid);
+            self.probe_switch(dpid);
         }
     }
 
@@ -464,10 +592,7 @@ impl Controller {
             return; // an announcement echoed through the legacy fabric
         }
         let now = ctx.now();
-        match self
-            .locations
-            .learn(arp.sha, arp.spa, dpid, in_port, now)
-        {
+        match self.locations.learn(arp.sha, arp.spa, dpid, in_port, now) {
             LearnOutcome::New => {
                 self.monitor.record(
                     now,
@@ -477,9 +602,14 @@ impl Controller {
                         at: (dpid, in_port),
                     },
                 );
-                self.announce_location(ctx, dpid, arp.sha, arp.spa);
+                self.announce_location(dpid, arp.sha, arp.spa);
             }
             LearnOutcome::Moved { from } => {
+                // Steering programs bake in the host's old attachment
+                // point: drop every cached decision touching it.
+                if let Some(c) = self.cache.as_mut() {
+                    c.invalidate_mac(arp.sha);
+                }
                 self.monitor.record(
                     now,
                     EventKind::UserMoved {
@@ -488,7 +618,7 @@ impl Controller {
                         to: (dpid, in_port),
                     },
                 );
-                self.announce_location(ctx, dpid, arp.sha, arp.spa);
+                self.announce_location(dpid, arp.sha, arp.spa);
             }
             LearnOutcome::Refreshed => {}
         }
@@ -504,12 +634,9 @@ impl Controller {
                 };
                 self.arp_replies += 1;
                 self.packet_out(
-                    ctx,
                     dpid,
                     None,
-                    vec![Action::Output(livesec_openflow::OutPort::Physical(
-                        in_port,
-                    ))],
+                    vec![Action::Output(livesec_openflow::OutPort::Physical(in_port))],
                     &arp_frame(reply),
                 );
             }
@@ -520,11 +647,10 @@ impl Controller {
     /// re-emitting its gratuitous ARP through the ingress switch's
     /// uplink (PortLand-style location announcement). Without this the
     /// first cross-switch frame toward the host would flood.
-    fn announce_location(&mut self, ctx: &mut Ctx<'_>, dpid: u64, mac: MacAddr, ip: Ipv4Addr) {
+    fn announce_location(&mut self, dpid: u64, mac: MacAddr, ip: Ipv4Addr) {
         if let Some(up) = self.topo.uplink_of(dpid) {
             let g = arp_frame(ArpPacket::gratuitous(mac, ip));
             self.packet_out(
-                ctx,
                 dpid,
                 None,
                 vec![Action::Output(livesec_openflow::OutPort::Physical(up))],
@@ -557,12 +683,21 @@ impl Controller {
         self.locations.touch(src_mac, now);
         match msg {
             SeMessage::Online {
-                service, cpu, pps, bps, ..
+                service,
+                cpu,
+                pps,
+                bps,
+                ..
             } => {
                 let was_new = self.registry.heartbeat(src_mac, &msg, now);
                 if was_new {
-                    self.monitor
-                        .record(now, EventKind::SeOnline { mac: src_mac, service });
+                    self.monitor.record(
+                        now,
+                        EventKind::SeOnline {
+                            mac: src_mac,
+                            service,
+                        },
+                    );
                 }
                 if self.record_se_load {
                     self.monitor.record(
@@ -617,33 +752,33 @@ impl Controller {
     ) {
         let now = ctx.now();
         match verdict {
-                Verdict::Malicious { attack, severity } => {
-                    self.monitor.record(
-                        now,
-                        EventKind::AttackDetected {
-                            flow,
-                            attack: attack.clone(),
-                            severity,
-                            element: src_mac,
-                        },
-                    );
-                    self.block_flow(ctx, &flow, format!("attack:{attack}"));
+            Verdict::Malicious { attack, severity } => {
+                self.monitor.record(
+                    now,
+                    EventKind::AttackDetected {
+                        flow,
+                        attack: attack.clone(),
+                        severity,
+                        element: src_mac,
+                    },
+                );
+                self.block_flow(ctx, &flow, format!("attack:{attack}"));
+            }
+            Verdict::Application { app } => {
+                if let Some(rec) = self.active.get_mut(&flow) {
+                    rec.app = Some(app.clone());
                 }
-                Verdict::Application { app } => {
-                    if let Some(rec) = self.active.get_mut(&flow) {
-                        rec.app = Some(app.clone());
-                    }
-                    self.monitor.record(
-                        now,
-                        EventKind::AppIdentified {
-                            flow,
-                            app: app.clone(),
-                        },
-                    );
-                    if self.policy.app_action(&app) == Some(AppAction::Block) {
-                        self.block_flow(ctx, &flow, format!("app-policy:{app}"));
-                    }
+                self.monitor.record(
+                    now,
+                    EventKind::AppIdentified {
+                        flow,
+                        app: app.clone(),
+                    },
+                );
+                if self.policy.app_action(&app) == Some(AppAction::Block) {
+                    self.block_flow(ctx, &flow, format!("app-policy:{app}"));
                 }
+            }
             Verdict::PolicyViolation { policy } => {
                 self.block_flow(ctx, &flow, format!("policy:{policy}"));
             }
@@ -668,7 +803,7 @@ impl Controller {
             cookie: 0,
             notify_removed: false,
         };
-        self.send_to_dpid(ctx, loc.dpid, &msg);
+        self.send_to_dpid(loc.dpid, &msg);
         if let Some(rec) = self.active.get_mut(key) {
             rec.blocked = true;
         }
@@ -682,7 +817,7 @@ impl Controller {
         );
     }
 
-    fn handle_dhcp(&mut self, ctx: &mut Ctx<'_>, dpid: u64, in_port: u32, pkt: &Packet) {
+    fn handle_dhcp(&mut self, dpid: u64, in_port: u32, pkt: &Packet) {
         let Some(proxy) = self.directory.as_mut() else {
             return;
         };
@@ -709,7 +844,6 @@ impl Controller {
             )),
         );
         self.packet_out(
-            ctx,
             dpid,
             None,
             vec![Action::Output(livesec_openflow::OutPort::Physical(in_port))],
@@ -726,7 +860,7 @@ impl Controller {
         })
     }
 
-    fn install_program(&mut self, ctx: &mut Ctx<'_>, program: &SteeringProgram, cookie: Option<u64>) {
+    fn install_program(&mut self, program: &SteeringProgram, cookie: Option<u64>) {
         let idle = Some(self.flow_idle_timeout.as_nanos());
         for (i, entry) in program.entries.iter().enumerate() {
             let tag = if i == 0 { cookie } else { None };
@@ -740,7 +874,7 @@ impl Controller {
                 cookie: tag.unwrap_or(0),
                 notify_removed: tag.is_some(),
             };
-            self.send_to_dpid(ctx, entry.dpid, &msg);
+            self.send_to_dpid(entry.dpid, &msg);
         }
     }
 
@@ -752,7 +886,8 @@ impl Controller {
         let now = ctx.now();
         // Learn or refresh the sender's location from data traffic too.
         if self.locations.lookup(key.dl_src).is_none() {
-            self.locations.learn(key.dl_src, key.nw_src, dpid, in_port, now);
+            self.locations
+                .learn(key.dl_src, key.nw_src, dpid, in_port, now);
             self.monitor.record(
                 now,
                 EventKind::UserJoin {
@@ -761,7 +896,7 @@ impl Controller {
                     at: (dpid, in_port),
                 },
             );
-            self.announce_location(ctx, dpid, key.dl_src, key.nw_src);
+            self.announce_location(dpid, key.dl_src, key.nw_src);
         } else {
             self.locations.touch(key.dl_src, now);
         }
@@ -773,7 +908,57 @@ impl Controller {
             // A packet raced ahead of the flow-mods: forward it along
             // the already-computed ingress actions.
             let actions = rec.ingress_actions.clone();
-            self.packet_out(ctx, dpid, Some(in_port), actions, pkt);
+            self.packet_out(dpid, Some(in_port), actions, pkt);
+            return;
+        }
+
+        // Fast path: replay a memoized decision when nothing it
+        // depended on has changed. The cache is transparent — every
+        // monitor event and balancer call the cold path would make is
+        // made here too; only the policy lookup and the two
+        // compile_path runs are skipped.
+        let cached = match self.cache.as_mut() {
+            Some(c) => c.lookup(&key, (dpid, in_port)),
+            None => None,
+        };
+        if let Some(decision) = cached {
+            match decision {
+                CachedDecision::Deny { rule } => {
+                    self.deny_flow(now, dpid, in_port, &key, rule);
+                }
+                CachedDecision::Steer {
+                    services,
+                    elements,
+                    forward,
+                    reverse,
+                } => {
+                    // The balancer is stateful (round-robin counters,
+                    // stickiness, queue depths): run the picks exactly
+                    // as the cold path would, and reuse the compiled
+                    // programs only if they land on the same elements.
+                    match self.run_picks(now, dpid, in_port, &key, &services) {
+                        Picks::Denied => {
+                            if let Some(c) = self.cache.as_mut() {
+                                c.remove(&key);
+                            }
+                        }
+                        Picks::Elements(picks) if picks == elements => {
+                            self.finish_admit(
+                                ctx, dpid, in_port, pkt, key, services, elements, forward, reverse,
+                            );
+                        }
+                        Picks::Elements(picks) => {
+                            // The balancer moved (replicas came or
+                            // went): the cached programs are stale for
+                            // this setup; recompile for the new picks.
+                            if let Some(c) = self.cache.as_mut() {
+                                c.remove(&key);
+                            }
+                            self.admit(ctx, dpid, in_port, pkt, key, services, picks);
+                        }
+                    }
+                }
+            }
             return;
         }
 
@@ -782,63 +967,86 @@ impl Controller {
         let rule = rule.map(str::to_owned);
         match decision {
             PolicyDecision::Deny => {
-                let msg = OfMessage::FlowMod {
-                    command: FlowModCommand::Add,
-                    matcher: Match::exact(in_port, &key),
-                    priority: BLOCK_PRIORITY,
-                    actions: Vec::new(),
-                    idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
-                    hard_timeout: None,
-                    cookie: 0,
-                    notify_removed: false,
-                };
-                self.send_to_dpid(ctx, dpid, &msg);
-                self.monitor
-                    .record(now, EventKind::FlowDenied { flow: key, rule });
+                if let Some(c) = self.cache.as_mut() {
+                    c.insert(
+                        key,
+                        (dpid, in_port),
+                        CachedDecision::Deny { rule: rule.clone() },
+                    );
+                }
+                self.deny_flow(now, dpid, in_port, &key, rule);
             }
             PolicyDecision::Allow => {
                 self.admit(ctx, dpid, in_port, pkt, key, Vec::new(), Vec::new());
             }
             PolicyDecision::Chain(services) => {
-                let mut elements = Vec::with_capacity(services.len());
-                for service in &services {
-                    match self.balancer.pick(&self.registry, *service, &key) {
-                        Some(mac) => elements.push(mac),
-                        None => {
-                            if self.fail_open {
-                                // Skip the unavailable service.
-                                continue;
-                            }
-                            let msg = OfMessage::FlowMod {
-                                command: FlowModCommand::Add,
-                                matcher: Match::exact(in_port, &key),
-                                priority: BLOCK_PRIORITY,
-                                actions: Vec::new(),
-                                idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
-                                hard_timeout: None,
-                                cookie: 0,
-                                notify_removed: false,
-                            };
-                            self.send_to_dpid(ctx, dpid, &msg);
-                            self.monitor.record(
-                                now,
-                                EventKind::FlowDenied {
-                                    flow: key,
-                                    rule: Some(format!("no-online-element:{service}")),
-                                },
-                            );
-                            return;
-                        }
+                match self.run_picks(now, dpid, in_port, &key, &services) {
+                    Picks::Denied => {}
+                    Picks::Elements(elements) => {
+                        self.admit(ctx, dpid, in_port, pkt, key, services, elements);
                     }
                 }
-                let chain: Vec<ServiceType> = services
-                    .iter()
-                    .copied()
-                    .take(elements.len())
-                    .collect();
-                self.admit(ctx, dpid, in_port, pkt, key, chain, elements);
             }
         }
+    }
+
+    /// Installs a drop entry for a policy-denied flow and records the
+    /// denial.
+    fn deny_flow(
+        &mut self,
+        now: SimTime,
+        dpid: u64,
+        in_port: u32,
+        key: &FlowKey,
+        rule: Option<String>,
+    ) {
+        let msg = OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            matcher: Match::exact(in_port, key),
+            priority: BLOCK_PRIORITY,
+            actions: Vec::new(),
+            idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
+            hard_timeout: None,
+            cookie: 0,
+            notify_removed: false,
+        };
+        self.send_to_dpid(dpid, &msg);
+        self.monitor
+            .record(now, EventKind::FlowDenied { flow: *key, rule });
+    }
+
+    /// Runs the balancer over a policy chain — the stateful half of
+    /// flow setup, shared verbatim by the cold path and the cache-hit
+    /// revalidation so both make identical pick sequences.
+    fn run_picks(
+        &mut self,
+        now: SimTime,
+        dpid: u64,
+        in_port: u32,
+        key: &FlowKey,
+        services: &[ServiceType],
+    ) -> Picks {
+        let mut elements = Vec::with_capacity(services.len());
+        for service in services {
+            match self.balancer.pick(&self.registry, *service, key) {
+                Some(mac) => elements.push(mac),
+                None => {
+                    if self.fail_open {
+                        // Skip the unavailable service.
+                        continue;
+                    }
+                    self.deny_flow(
+                        now,
+                        dpid,
+                        in_port,
+                        key,
+                        Some(format!("no-online-element:{service}")),
+                    );
+                    return Picks::Denied;
+                }
+            }
+        }
+        Picks::Elements(elements)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -849,10 +1057,9 @@ impl Controller {
         in_port: u32,
         pkt: &Packet,
         key: FlowKey,
-        chain: Vec<ServiceType>,
+        services: Vec<ServiceType>,
         elements: Vec<MacAddr>,
     ) {
-        let now = ctx.now();
         let Some(src_hop) = self.hop_of(key.dl_src) else {
             return;
         };
@@ -873,18 +1080,55 @@ impl Controller {
         };
         let mut rev_hops = hops.clone();
         rev_hops.reverse();
-        let Ok(reverse) = compile_path(&key.reversed(), &rev_hops, uplink, STEER_PRIORITY)
-        else {
+        let Ok(reverse) = compile_path(&key.reversed(), &rev_hops, uplink, STEER_PRIORITY) else {
             return;
         };
+        let forward = Rc::new(forward);
+        let reverse = Rc::new(reverse);
 
-        self.install_program(ctx, &forward, Some(INGRESS_COOKIE));
-        self.install_program(ctx, &reverse, Some(REVERSE_COOKIE));
+        if let Some(c) = self.cache.as_mut() {
+            c.insert(
+                key,
+                (dpid, in_port),
+                CachedDecision::Steer {
+                    services: services.clone(),
+                    elements: elements.clone(),
+                    forward: Rc::clone(&forward),
+                    reverse: Rc::clone(&reverse),
+                },
+            );
+        }
+        self.finish_admit(
+            ctx, dpid, in_port, pkt, key, services, elements, forward, reverse,
+        );
+    }
+
+    /// Installs the compiled programs, releases the triggering packet,
+    /// and books the flow — shared by the cold path and cache hits.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_admit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dpid: u64,
+        in_port: u32,
+        pkt: &Packet,
+        key: FlowKey,
+        services: Vec<ServiceType>,
+        elements: Vec<MacAddr>,
+        forward: Rc<SteeringProgram>,
+        reverse: Rc<SteeringProgram>,
+    ) {
+        let now = ctx.now();
+        // Under fail-open a pick may have been skipped, so the
+        // installed chain is the picked prefix of the policy chain.
+        let chain: Vec<ServiceType> = services.iter().copied().take(elements.len()).collect();
+        self.install_program(&forward, Some(INGRESS_COOKIE));
+        self.install_program(&reverse, Some(REVERSE_COOKIE));
         // Release the triggering packet along the new path (the
         // flow-mods were queued first on the same channel, so they are
         // applied before this packet-out).
         let ingress_actions = forward.ingress_actions().to_vec();
-        self.packet_out(ctx, dpid, Some(in_port), ingress_actions.clone(), pkt);
+        self.packet_out(dpid, Some(in_port), ingress_actions.clone(), pkt);
 
         for mac in &elements {
             self.registry.adjust_outstanding(*mac, 1);
@@ -928,7 +1172,9 @@ impl Controller {
             (REVERSE_COOKIE, Some(k)) => k.reversed(),
             _ => return,
         };
-        let Some(rec) = self.active.get_mut(&key) else { return };
+        let Some(rec) = self.active.get_mut(&key) else {
+            return;
+        };
         if cookie == INGRESS_COOKIE {
             rec.fwd_done = Some((packets, bytes));
         } else {
@@ -968,11 +1214,13 @@ impl Controller {
     /// Removes a dead service element's steering state: its relay
     /// entries everywhere, the ingress entries of flows using it (so
     /// their next packet re-balances), and the active-flow records.
-    fn cleanup_se(&mut self, ctx: &mut Ctx<'_>, se_mac: MacAddr) {
+    fn cleanup_se(&mut self, se_mac: MacAddr) {
+        if let Some(c) = self.cache.as_mut() {
+            c.invalidate_mac(se_mac);
+        }
         let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
         for dpid in &dpids {
             self.send_to_dpid(
-                ctx,
                 *dpid,
                 &OfMessage::delete_flows(Match::any().with_dl_dst(se_mac)),
             );
@@ -989,13 +1237,11 @@ impl Controller {
                     self.registry.adjust_outstanding(*mac, -1);
                 }
                 self.send_to_dpid(
-                    ctx,
                     rec.ingress_dpid,
                     &OfMessage::delete_flows(Match::exact_any_port(&key)),
                 );
                 for dpid in &dpids {
                     self.send_to_dpid(
-                        ctx,
                         *dpid,
                         &OfMessage::delete_flows(Match::exact_any_port(&key.reversed())),
                     );
@@ -1004,25 +1250,26 @@ impl Controller {
         }
     }
 
-    fn handle_port_status(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        dpid: u64,
-        port: u32,
-        up: bool,
-    ) {
+    fn handle_port_status(&mut self, ctx: &mut Ctx<'_>, dpid: u64, port: u32, up: bool) {
         let now = ctx.now();
         self.monitor
             .record(now, EventKind::PortChange { dpid, port, up });
         if up {
             return;
         }
+        // Compiled programs may have routed through the dead port.
+        if let Some(c) = self.cache.as_mut() {
+            c.note_topology_change();
+        }
         let evicted = self.locations.evict_port(dpid, port);
         for mac in evicted {
+            if let Some(c) = self.cache.as_mut() {
+                c.invalidate_mac(mac);
+            }
             self.monitor.record(now, EventKind::UserLeave { mac });
             if self.registry.force_offline(mac) {
                 self.monitor.record(now, EventKind::SeOffline { mac });
-                self.cleanup_se(ctx, mac);
+                self.cleanup_se(mac);
             }
         }
     }
@@ -1057,9 +1304,21 @@ impl Controller {
         if let Some(lldp) = pkt.lldp() {
             let from = (lldp.chassis_id, lldp.port_id);
             let to = (dpid, in_port);
-            if from.0 != dpid && self.topo.observe_lldp(from, to) {
-                self.monitor
-                    .record(ctx.now(), EventKind::LinkDiscovered { from, to });
+            if from.0 != dpid {
+                // observe_lldp can silently re-point a switch's uplink
+                // even for an already-known link, so compare before and
+                // after rather than trusting its return value alone.
+                let uplink_before = self.topo.uplink_of(dpid);
+                let new_link = self.topo.observe_lldp(from, to);
+                if new_link || self.topo.uplink_of(dpid) != uplink_before {
+                    if let Some(c) = self.cache.as_mut() {
+                        c.note_topology_change();
+                    }
+                }
+                if new_link {
+                    self.monitor
+                        .record(ctx.now(), EventKind::LinkDiscovered { from, to });
+                }
             }
             return;
         }
@@ -1080,7 +1339,7 @@ impl Controller {
                 return;
             }
             if udp.dst_port == DhcpMessage::SERVER_PORT {
-                self.handle_dhcp(ctx, dpid, in_port, &pkt);
+                self.handle_dhcp(dpid, in_port, &pkt);
                 return;
             }
         }
@@ -1109,23 +1368,27 @@ impl Node for Controller {
         let now = ctx.now();
 
         if self.tick_count % self.lldp_every_ticks == 1 {
-            self.probe_all(ctx);
+            self.probe_all();
         }
         if self.stats_every_ticks > 0 && self.tick_count.is_multiple_of(self.stats_every_ticks) {
             let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
             for dpid in dpids {
-                self.send_to_dpid(ctx, dpid, &OfMessage::StatsRequest(StatsRequestKind::Port(None)));
+                self.send_to_dpid(dpid, &OfMessage::StatsRequest(StatsRequestKind::Port(None)));
             }
         }
         for mac in self.locations.expire(now, self.arp_timeout) {
+            if let Some(c) = self.cache.as_mut() {
+                c.invalidate_mac(mac);
+            }
             self.monitor.record(now, EventKind::UserLeave { mac });
         }
         let dead = self.registry.expire(now, self.se_timeout);
         for mac in dead {
             self.monitor.record(now, EventKind::SeOffline { mac });
-            self.cleanup_se(ctx, mac);
+            self.cleanup_se(mac);
         }
         ctx.set_timer(self.tick, TICK);
+        self.flush(ctx);
     }
 
     fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {
@@ -1138,8 +1401,8 @@ impl Node for Controller {
         };
         match msg {
             OfMessage::Hello => {
-                self.send(ctx, peer, &OfMessage::Hello);
-                self.send(ctx, peer, &OfMessage::FeaturesRequest);
+                self.send(peer, &OfMessage::Hello);
+                self.send(peer, &OfMessage::FeaturesRequest);
             }
             OfMessage::EchoRequest(v) => {
                 ctx.send_control(peer, codec::encode(&OfMessage::EchoReply(v), xid));
@@ -1149,10 +1412,13 @@ impl Node for Controller {
                 n_ports,
             } => {
                 if self.topo.add_switch(datapath_id, peer, n_ports) {
+                    if let Some(c) = self.cache.as_mut() {
+                        c.note_topology_change();
+                    }
                     self.monitor
                         .record(ctx.now(), EventKind::SwitchJoin { dpid: datapath_id });
                 }
-                self.probe_switch(ctx, datapath_id);
+                self.probe_switch(datapath_id);
             }
             OfMessage::PacketIn { in_port, data, .. } => {
                 self.handle_packet_in(ctx, peer, in_port, &data);
@@ -1179,6 +1445,8 @@ impl Node for Controller {
             }
             _ => {}
         }
+        // Transmit everything this event queued, one batch per switch.
+        self.flush(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -112,7 +112,10 @@ impl Campus {
     ///
     /// Panics if `to_switch` is out of range or out of access ports.
     pub fn migrate_user(&mut self, user: UserHandle, to_switch: usize) -> UserHandle {
-        assert!(to_switch < self.as_switches.len(), "unknown switch {to_switch}");
+        assert!(
+            to_switch < self.as_switches.len(),
+            "unknown switch {to_switch}"
+        );
         // Unplug at the old switch and signal the port down.
         self.world.disconnect(user.node, PortId(1));
         self.world
@@ -445,8 +448,13 @@ impl CampusBuilder {
             SwitchKind::Ovs => self.user_link,
             SwitchKind::WifiAp => LinkSpec::pantou_wifi(),
         };
-        self.world
-            .connect(node, PortId(1), self.as_switches[switch], PortId(port), link);
+        self.world.connect(
+            node,
+            PortId(1),
+            self.as_switches[switch],
+            PortId(port),
+            link,
+        );
         let handle = UserHandle {
             node,
             mac,

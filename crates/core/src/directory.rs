@@ -49,7 +49,11 @@ impl DirectoryProxy {
             return Some(*ip);
         }
         let host_bits = 32 - self.pool.prefix_len() as u32;
-        let capacity: u64 = if host_bits >= 32 { u64::MAX } else { 1u64 << host_bits };
+        let capacity: u64 = if host_bits >= 32 {
+            u64::MAX
+        } else {
+            1u64 << host_bits
+        };
         if u64::from(self.next_index) >= capacity.saturating_sub(1) {
             return None; // keep the broadcast address out of the pool
         }

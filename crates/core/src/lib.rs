@@ -38,6 +38,7 @@
 //! whole FIT-building-style testbed on the simulator).
 
 pub mod balance;
+pub mod cache;
 pub mod controller;
 pub mod deploy;
 pub mod directory;
@@ -48,11 +49,12 @@ pub mod routing;
 pub mod topology;
 
 pub use balance::{Dispatcher, Grain, LoadBalancer, SeRegistry, SeView};
+pub use cache::{CachedDecision, DecisionCache};
 pub use controller::{Controller, NibSnapshot, TrafficTally};
 pub use deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
 pub use directory::DirectoryProxy;
 pub use location::{Location, LocationTable};
-pub use monitor::{EventKind, Monitor, NetworkEvent, UiFrame, UiUser};
+pub use monitor::{EventKind, FastPathStats, Monitor, NetworkEvent, UiFrame, UiUser};
 pub use policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
 pub use routing::{SteeringProgram, SwitchEntry};
 pub use topology::TopologyMap;
@@ -60,11 +62,12 @@ pub use topology::TopologyMap;
 /// Convenient glob-import surface: `use livesec::prelude::*;`.
 pub mod prelude {
     pub use crate::balance::{Dispatcher, Grain, LoadBalancer, SeRegistry, SeView};
+    pub use crate::cache::{CachedDecision, DecisionCache};
     pub use crate::controller::{Controller, NibSnapshot, TrafficTally};
     pub use crate::deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
     pub use crate::directory::DirectoryProxy;
     pub use crate::location::{Location, LocationTable};
-    pub use crate::monitor::{EventKind, Monitor, NetworkEvent, UiFrame, UiUser};
+    pub use crate::monitor::{EventKind, FastPathStats, Monitor, NetworkEvent, UiFrame, UiUser};
     pub use crate::policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
     pub use crate::routing::{SteeringProgram, SwitchEntry};
     pub use crate::topology::TopologyMap;

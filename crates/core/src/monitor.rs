@@ -243,7 +243,9 @@ impl Monitor {
     /// Replays history: all events with `from <= at < to`, in order.
     /// This is the paper's "historical traffic replay" primitive.
     pub fn replay(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &NetworkEvent> {
-        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+        self.events
+            .iter()
+            .filter(move |e| e.at >= from && e.at < to)
     }
 
     /// Events of one type, in order.
@@ -294,12 +296,15 @@ impl Monitor {
                     f.links.insert((from.0, to.0));
                 }
                 EventKind::UserJoin { mac, ip, at } => {
-                    f.users.insert(*mac, UiUser {
-                        mac: *mac,
-                        ip: *ip,
-                        at: *at,
-                        app: None,
-                    });
+                    f.users.insert(
+                        *mac,
+                        UiUser {
+                            mac: *mac,
+                            ip: *ip,
+                            at: *at,
+                            app: None,
+                        },
+                    );
                 }
                 EventKind::UserMoved { mac, to, .. } => {
                     if let Some(u) = f.users.get_mut(mac) {
@@ -347,6 +352,42 @@ impl Monitor {
             }
         }
         f
+    }
+}
+
+/// Counters of the flow-setup fast path (decision cache + batched
+/// flow-mod emission) — surfaced as JSON next to the event feed so the
+/// optimisation's effect is observable without changing the event log
+/// itself (the golden-trace determinism tests require the event
+/// history to be byte-identical with the cache on and off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastPathStats {
+    /// Cache lookups that replayed a memoized decision.
+    pub hits: u64,
+    /// Cache lookups that fell through to the cold path.
+    pub misses: u64,
+    /// Entries dropped because something they depended on changed
+    /// (policy edit, topology change, migration, SE failure, or a
+    /// balancer pick that no longer matches).
+    pub invalidations: u64,
+    /// Decisions memoized.
+    pub insertions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Flow setups completed (steering programs installed).
+    pub flow_setups: u64,
+    /// Control-channel payloads flushed (one per switch per event).
+    pub batches_flushed: u64,
+    /// Messages that went out inside batches.
+    pub messages_batched: u64,
+    /// Largest number of messages in one batch.
+    pub max_batch_len: u64,
+}
+
+impl FastPathStats {
+    /// The JSON form a monitoring UI polls.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats are serializable")
     }
 }
 
@@ -475,7 +516,12 @@ mod tests {
                 at_dpid: 1,
             },
         );
-        m.record(t(40), EventKind::UserLeave { mac: MacAddr::from_u64(1) });
+        m.record(
+            t(40),
+            EventKind::UserLeave {
+                mac: MacAddr::from_u64(1),
+            },
+        );
         m
     }
 

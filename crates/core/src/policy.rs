@@ -292,7 +292,10 @@ mod tests {
         assert!(!rule.matches(&external), "wrong subnet");
         let mut udp = key(80);
         udp.nw_proto = 17;
-        assert!(!udp.nw_src.is_unspecified() && !rule.matches(&udp), "wrong proto");
+        assert!(
+            !udp.nw_src.is_unspecified() && !rule.matches(&udp),
+            "wrong proto"
+        );
     }
 
     #[test]

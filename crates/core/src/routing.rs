@@ -260,7 +260,11 @@ mod tests {
             "no rewrite needed: dl_dst is already the destination"
         );
         assert_eq!(p.entries[1].dpid, 2);
-        assert_eq!(p.entries[1].matcher.in_port, Some(1), "egress matches uplink");
+        assert_eq!(
+            p.entries[1].matcher.in_port,
+            Some(1),
+            "egress matches uplink"
+        );
         assert_eq!(
             p.entries[1].actions,
             vec![Action::Output(OutPort::Physical(3))]
@@ -271,13 +275,7 @@ mod tests {
     fn paper_four_entry_program() {
         // §IV-A: src@S1 → SE@S2 → gateway@S3 = exactly 4 entries.
         let se = hop(0xfe, 2, 4);
-        let p = compile_path(
-            &key(),
-            &[hop(0xa, 1, 2), se, hop(0xb, 3, 5)],
-            uplink1,
-            100,
-        )
-        .unwrap();
+        let p = compile_path(&key(), &[hop(0xa, 1, 2), se, hop(0xb, 3, 5)], uplink1, 100).unwrap();
         assert_eq!(p.entries.len(), 4);
 
         // (i) ingress: rewrite dl_dst to the SE, send to uplink.
@@ -383,12 +381,7 @@ mod tests {
             Err(RoutingError::TooFewHops)
         );
         assert_eq!(
-            compile_path(
-                &key(),
-                &[hop(0xa, 1, 2), hop(0xb, 2, 3)],
-                |_| None,
-                1
-            ),
+            compile_path(&key(), &[hop(0xa, 1, 2), hop(0xb, 2, 3)], |_| None, 1),
             Err(RoutingError::MissingUplink { dpid: 1 })
         );
     }
@@ -396,10 +389,7 @@ mod tests {
     #[test]
     fn ingress_actions_accessor() {
         let p = compile_path(&key(), &[hop(0xa, 1, 2), hop(0xb, 1, 3)], uplink1, 100).unwrap();
-        assert_eq!(
-            p.ingress_actions(),
-            &[Action::Output(OutPort::Physical(3))]
-        );
+        assert_eq!(p.ingress_actions(), &[Action::Output(OutPort::Physical(3))]);
         assert!(SteeringProgram::default().ingress_actions().is_empty());
     }
 }

@@ -152,7 +152,10 @@ fn users_and_ses_register_with_events() {
 fn direct_flow_crosses_switches() {
     let mut b = CampusBuilder::new(7, 2);
     b.add_gateway(0);
-    let user = b.add_user(1, Talker::new("10.0.255.254".parse().unwrap(), 7777, b"hello", 20));
+    let user = b.add_user(
+        1,
+        Talker::new("10.0.255.254".parse().unwrap(), 7777, b"hello", 20),
+    );
     let mut campus = b.finish();
     campus.world.run_for(SimDuration::from_secs(2));
     let talker = campus.world.node::<Host<Talker>>(user.node);
@@ -191,7 +194,11 @@ fn steered_flow_traverses_ids_and_gets_echoed() {
     // Replies flowed back to the user (reverse path is installed
     // as part of the same session, §III-C.3).
     let talker = campus.world.node::<Host<Talker>>(user.node);
-    assert!(talker.app().received >= 25, "echoes: {}", talker.app().received);
+    assert!(
+        talker.app().received >= 25,
+        "echoes: {}",
+        talker.app().received
+    );
 
     // Monitor recorded the steering decision.
     let c = campus.controller();
@@ -199,9 +206,9 @@ fn steered_flow_traverses_ids_and_gets_echoed() {
         .monitor()
         .of_tag("flow_start")
         .find_map(|e| match &e.kind {
-            EventKind::FlowStart { chain, elements, .. } if !chain.is_empty() => {
-                Some((chain.clone(), elements.clone()))
-            }
+            EventKind::FlowStart {
+                chain, elements, ..
+            } if !chain.is_empty() => Some((chain.clone(), elements.clone())),
             _ => None,
         })
         .expect("a steered flow started");
@@ -214,7 +221,10 @@ fn attack_is_detected_and_blocked_at_ingress() {
     let mut b = CampusBuilder::new(7, 3).with_policy(ids_policy());
     let gw = b.add_gateway_with_app(0, Echo { received: 0 });
     b.add_service_element(2, ServiceElement::new(IdsEngine::engine()));
-    let attacker = b.add_user(1, Talker::new(gw.ip, 80, b"GET /../../etc/passwd HTTP/1.1", 200));
+    let attacker = b.add_user(
+        1,
+        Talker::new(gw.ip, 80, b"GET /../../etc/passwd HTTP/1.1", 200),
+    );
     let mut campus = b.finish();
     campus.world.run_for(SimDuration::from_secs(4));
 
@@ -306,7 +316,11 @@ fn deny_policy_blocks_flow() {
     let c = campus.controller();
     assert!(c.monitor().of_tag("flow_denied").count() >= 1);
     let gw_host = campus.world.node::<Host<Echo>>(gw.node);
-    assert_eq!(gw_host.app().received, 0, "telnet never reached the gateway");
+    assert_eq!(
+        gw_host.app().received,
+        0,
+        "telnet never reached the gateway"
+    );
     let _ = user;
 }
 
@@ -371,11 +385,10 @@ fn certification_rejects_unauthorized_elements() {
     // Add a rogue SE out-of-band (no authorized cert).
     let rogue_mac = livesec_net::MacAddr::from_u64(0xbad);
     let rogue = ServiceElement::new(IdsEngine::engine()).with_cert(0xbad_cafe);
-    let rogue_node = campus.world.add_node(Host::new(
-        rogue_mac,
-        "10.0.200.1".parse().unwrap(),
-        rogue,
-    ));
+    let rogue_node =
+        campus
+            .world
+            .add_node(Host::new(rogue_mac, "10.0.200.1".parse().unwrap(), rogue));
     campus.world.connect(
         rogue_node,
         livesec_sim::PortId(1),
@@ -425,9 +438,10 @@ fn app_identification_triggers_aggregate_control() {
     campus.world.run_for(SimDuration::from_secs(4));
 
     let c = campus.controller();
-    let identified = c.monitor().of_tag("app_identified").any(|e| {
-        matches!(&e.kind, EventKind::AppIdentified { app, .. } if app == "bittorrent")
-    });
+    let identified = c
+        .monitor()
+        .of_tag("app_identified")
+        .any(|e| matches!(&e.kind, EventKind::AppIdentified { app, .. } if app == "bittorrent"));
     assert!(identified, "summary: {:?}", c.monitor().summary());
     assert!(
         c.monitor().of_tag("flow_blocked").count() >= 1,

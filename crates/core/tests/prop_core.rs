@@ -1,11 +1,13 @@
 //! Property tests: steering-program correctness via an abstract
-//! legacy-fabric interpreter, balancer invariants, and policy-table
-//! semantics.
+//! legacy-fabric interpreter, balancer invariants, policy-table
+//! semantics, and decision-cache coherence against a from-scratch
+//! oracle.
 
 use livesec::balance::{
     Dispatcher, Grain, HashDispatch, LeastQueue, LoadBalancer, MinLoad, RoundRobin, SeRegistry,
     SeView,
 };
+use livesec::cache::{CachedDecision, DecisionCache};
 use livesec::policy::{PolicyDecision, PolicyRule, PolicyTable};
 use livesec::routing::{compile_path, Hop, SwitchEntry};
 use livesec_net::{FlowKey, MacAddr};
@@ -14,6 +16,7 @@ use livesec_services::{SeMessage, ServiceType};
 use livesec_sim::SimTime;
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 fn base_key(dst_mac: MacAddr) -> FlowKey {
     FlowKey {
@@ -58,9 +61,9 @@ fn interpret(
         // compiler matches the SE's re-emission on the same port.
 
         // Find the matching entry at this switch/port.
-        let entry = entries.iter().find(|e| {
-            e.dpid == at.0 && e.matcher.matches(at.1, &cur)
-        })?;
+        let entry = entries
+            .iter()
+            .find(|e| e.dpid == at.0 && e.matcher.matches(at.1, &cur))?;
         // Apply rewrites and the single output.
         let mut out_port = None;
         for a in &entry.actions {
@@ -230,6 +233,130 @@ proptest! {
         for d in dispatchers.iter_mut() {
             let idx = d.pick(&key, user, &candidates);
             prop_assert!(idx < n, "{} returned {idx} of {n}", d.name());
+        }
+    }
+
+    /// A cache hit returns exactly what the cold path compiled: insert
+    /// the cold-path result for arbitrary hop placements, and the hit
+    /// must reproduce it bit for bit.
+    #[test]
+    fn cache_hit_equals_cold_path_compile(hops in arb_hops()) {
+        let key = base_key(hops.last().unwrap().mac);
+        let forward = compile_path(&key, &hops, |_| Some(1), 100).unwrap();
+        let mut rev_hops = hops.clone();
+        rev_hops.reverse();
+        let reverse = compile_path(&key.reversed(), &rev_hops, |_| Some(1), 100).unwrap();
+        let elements: Vec<MacAddr> = hops[1..hops.len() - 1].iter().map(|h| h.mac).collect();
+        let cold = CachedDecision::Steer {
+            services: vec![ServiceType::IntrusionDetection; elements.len()],
+            elements,
+            forward: Rc::new(forward),
+            reverse: Rc::new(reverse),
+        };
+        let ingress = (hops[0].dpid, hops[0].port);
+        let mut cache = DecisionCache::new();
+        cache.insert(key, ingress, cold.clone());
+        prop_assert_eq!(cache.lookup(&key, ingress), Some(cold));
+    }
+
+    /// Coherence under churn: replay a random interleaving of flow
+    /// setups, policy edits, topology changes, and host moves against
+    /// both the cache and a from-scratch oracle. Whenever the cache
+    /// hits, its answer must equal what compiling from current state
+    /// would produce — i.e. invalidation never leaves a stale entry
+    /// servable.
+    #[test]
+    fn invalidation_never_serves_stale(ops in proptest::collection::vec((0u8..4, 0u8..8), 1..80)) {
+        const N_HOSTS: u64 = 4;
+        let mut cache = DecisionCache::new();
+        // Oracle state: host locations, the fabric uplink port, and a
+        // set of denied destination ports.
+        let mut locations: HashMap<MacAddr, (u64, u32)> = (0..N_HOSTS)
+            .map(|i| (MacAddr::from_u64(0xa + i), (1 + i % 3, 20 + i as u32)))
+            .collect();
+        let mut uplink = 1u32;
+        let mut denied: Vec<u16> = Vec::new();
+
+        let flow_key = |src: MacAddr, dst: MacAddr, port: u16| {
+            let mut k = base_key(dst);
+            k.dl_src = src;
+            k.tp_dst = port;
+            k
+        };
+        let compute = |key: &FlowKey,
+                       locations: &HashMap<MacAddr, (u64, u32)>,
+                       uplink: u32,
+                       denied: &[u16]|
+         -> Option<CachedDecision> {
+            if denied.contains(&key.tp_dst) {
+                return Some(CachedDecision::Deny { rule: Some("denied-port".into()) });
+            }
+            let hop = |mac: MacAddr| {
+                let (dpid, port) = *locations.get(&mac)?;
+                Some(Hop { mac, dpid, port })
+            };
+            let hops = vec![hop(key.dl_src)?, hop(key.dl_dst)?];
+            let forward = compile_path(key, &hops, |_| Some(uplink), 100).ok()?;
+            let mut rev = hops.clone();
+            rev.reverse();
+            let reverse = compile_path(&key.reversed(), &rev, |_| Some(uplink), 100).ok()?;
+            Some(CachedDecision::Steer {
+                services: Vec::new(),
+                elements: Vec::new(),
+                forward: Rc::new(forward),
+                reverse: Rc::new(reverse),
+            })
+        };
+
+        for (op, arg) in ops {
+            match op {
+                // Flow setup: consult the cache like the controller
+                // does; verify any hit against the oracle, fill on
+                // miss.
+                0 => {
+                    let src = MacAddr::from_u64(0xa + u64::from(arg) % N_HOSTS);
+                    let dst = MacAddr::from_u64(0xa + u64::from(arg / 2) % N_HOSTS);
+                    if src == dst {
+                        continue;
+                    }
+                    let key = flow_key(src, dst, 80 + u16::from(arg % 4));
+                    let ingress = locations[&src];
+                    let fresh = compute(&key, &locations, uplink, &denied);
+                    match (cache.lookup(&key, ingress), fresh) {
+                        (Some(hit), fresh) => {
+                            prop_assert_eq!(
+                                Some(hit), fresh,
+                                "stale decision served for {:?}", key
+                            );
+                        }
+                        (None, Some(fresh)) => cache.insert(key, ingress, fresh),
+                        (None, None) => {}
+                    }
+                }
+                // Policy edit: toggle denial of one port, bump epoch.
+                1 => {
+                    let port = 80 + u16::from(arg % 4);
+                    match denied.iter().position(|p| *p == port) {
+                        Some(i) => { denied.remove(i); }
+                        None => denied.push(port),
+                    }
+                    cache.note_policy_change();
+                }
+                // Topology change: re-point the fabric uplink.
+                2 => {
+                    uplink = 1 + u32::from(arg % 5);
+                    cache.note_topology_change();
+                }
+                // Host migration: new attachment point, MAC
+                // invalidation.
+                _ => {
+                    let mac = MacAddr::from_u64(0xa + u64::from(arg) % N_HOSTS);
+                    let loc = locations.get_mut(&mac).unwrap();
+                    loc.0 = 1 + (loc.0 + u64::from(arg)) % 3;
+                    loc.1 = 20 + (loc.1 + 7) % 50;
+                    cache.invalidate_mac(mac);
+                }
+            }
         }
     }
 

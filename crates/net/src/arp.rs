@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn reply_mirrors_request() {
-        let req = ArpPacket::request(mac(1), "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap());
+        let req = ArpPacket::request(
+            mac(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+        );
         let rep = ArpPacket::reply_to(&req, mac(2));
         assert_eq!(rep.op, ArpOp::Reply);
         assert_eq!(rep.sha, mac(2));
@@ -132,7 +136,11 @@ mod tests {
     fn gratuitous_detection() {
         let g = ArpPacket::gratuitous(mac(7), "10.0.0.7".parse().unwrap());
         assert!(g.is_gratuitous());
-        let req = ArpPacket::request(mac(1), "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap());
+        let req = ArpPacket::request(
+            mac(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+        );
         assert!(!req.is_gratuitous());
     }
 }

@@ -34,15 +34,15 @@ pub enum Payload {
 /// Serde adapter for `bytes::Bytes` (serialized as a byte sequence).
 mod serde_bytes_compat {
     use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
+    use serde::{DeError, Deserialize, Serialize, Value};
 
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
+    pub fn to_value(b: &Bytes) -> Value {
+        b[..].to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
+    pub fn from_value(v: &Value) -> Result<Bytes, DeError> {
+        let bytes = Vec::<u8>::from_value(v)?;
+        Ok(Bytes::from(bytes))
     }
 }
 
@@ -333,11 +333,9 @@ impl PacketBuilder {
                 flags: self.flags,
                 payload: self.payload,
             }),
-            BuilderKind::Udp => Transport::Udp(UdpDatagram::new(
-                self.src_port,
-                self.dst_port,
-                self.payload,
-            )),
+            BuilderKind::Udp => {
+                Transport::Udp(UdpDatagram::new(self.src_port, self.dst_port, self.payload))
+            }
         };
         let mut eth = EthernetHeader::new(self.src_mac, self.dst_mac, EtherType::Ipv4);
         eth.vlan = self.vlan;

@@ -154,8 +154,7 @@ fn serialize_ipv4(out: &mut Vec<u8>, ip: &Ipv4Packet) {
             out.extend_from_slice(&[0, 0]); // checksum placeholder
             out.extend_from_slice(&[0, 0]); // urgent pointer
             put_payload(out, &tcp.payload);
-            let csum =
-                checksum_with_pseudo(ip.header.src, ip.header.dst, 6, &out[tstart..]);
+            let csum = checksum_with_pseudo(ip.header.src, ip.header.dst, 6, &out[tstart..]);
             out[tstart + 16..tstart + 18].copy_from_slice(&csum.to_be_bytes());
         }
         Transport::Udp(udp) => {
@@ -164,8 +163,7 @@ fn serialize_ipv4(out: &mut Vec<u8>, ip: &Ipv4Packet) {
             out.extend_from_slice(&(udp.wire_len() as u16).to_be_bytes());
             out.extend_from_slice(&[0, 0]); // checksum placeholder
             put_payload(out, &udp.payload);
-            let csum =
-                checksum_with_pseudo(ip.header.src, ip.header.dst, 17, &out[tstart..]);
+            let csum = checksum_with_pseudo(ip.header.src, ip.header.dst, 17, &out[tstart..]);
             out[tstart + 6..tstart + 8].copy_from_slice(&csum.to_be_bytes());
         }
         Transport::Icmp(icmp) => {
@@ -555,10 +553,7 @@ mod tests {
         let mut bytes = serialize(&pkt);
         let n = bytes.len();
         bytes[n - 1] ^= 0xff;
-        assert_eq!(
-            parse(&bytes),
-            Err(ParseError::BadChecksum { layer: "tcp" })
-        );
+        assert_eq!(parse(&bytes), Err(ParseError::BadChecksum { layer: "tcp" }));
     }
 
     #[test]

@@ -54,7 +54,9 @@ fn bench_codec(c: &mut Criterion) {
         cookie: 1,
         notify_removed: true,
     };
-    c.bench_function("codec_encode_flow_mod", |b| b.iter(|| codec::encode(&msg, 1)));
+    c.bench_function("codec_encode_flow_mod", |b| {
+        b.iter(|| codec::encode(&msg, 1))
+    });
     let bytes = codec::encode(&msg, 1);
     c.bench_function("codec_decode_flow_mod", |b| {
         b.iter(|| codec::decode(&bytes).expect("valid"))

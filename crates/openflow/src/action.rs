@@ -166,10 +166,7 @@ mod tests {
         let se = MacAddr::from_u64(0xfe);
         let out = apply_actions(
             &pkt(),
-            &[
-                Action::SetDlDst(se),
-                Action::Output(OutPort::Physical(4)),
-            ],
+            &[Action::SetDlDst(se), Action::Output(OutPort::Physical(4))],
         );
         assert_eq!(out.outputs.len(), 1);
         let (dest, modified) = &out.outputs[0];

@@ -6,7 +6,7 @@
 //! interesting messages (flow-mods, packet-outs, stats requests) are
 //! surfaced to the caller.
 
-use crate::codec::{decode, encode, CodecError};
+use crate::codec::{decode, decode_all, encode, CodecError};
 use crate::message::OfMessage;
 use std::fmt;
 
@@ -99,7 +99,46 @@ impl SwitchChannel {
     ) -> Result<(Vec<Vec<u8>>, Option<OfMessage>), ChannelError> {
         let (msg, xid) = decode(bytes)?;
         let mut replies = Vec::new();
-        let up = match msg {
+        let up = self.process(msg, xid, &mut replies);
+        Ok((replies, up))
+    }
+
+    /// Processes inbound bytes that may carry a whole batch of
+    /// concatenated messages (the controller's per-switch flow-mod
+    /// batches). Auto-replies are generated per message in arrival
+    /// order — in particular the reply to a batch-terminating
+    /// [`OfMessage::BarrierRequest`] is only encoded after every
+    /// preceding message in the batch was processed, which is what
+    /// makes the barrier an ordering guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Codec`] if any frame doesn't decode; no
+    /// message of a malformed batch is surfaced.
+    pub fn receive_all(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(Vec<Vec<u8>>, Vec<OfMessage>), ChannelError> {
+        let msgs = decode_all(bytes)?;
+        let mut replies = Vec::new();
+        let mut up = Vec::new();
+        for (msg, xid) in msgs {
+            if let Some(m) = self.process(msg, xid, &mut replies) {
+                up.push(m);
+            }
+        }
+        Ok((replies, up))
+    }
+
+    /// Handles one decoded message: answers protocol chores in place,
+    /// returns messages that need switch-specific handling.
+    fn process(
+        &mut self,
+        msg: OfMessage,
+        xid: u32,
+        replies: &mut Vec<Vec<u8>>,
+    ) -> Option<OfMessage> {
+        match msg {
             OfMessage::Hello => {
                 self.peer_hello_seen = true;
                 None
@@ -130,8 +169,7 @@ impl SwitchChannel {
                 None
             }
             other => Some(other),
-        };
-        Ok((replies, up))
+        }
     }
 }
 
@@ -213,5 +251,48 @@ mod tests {
         let (_, xa) = decode(&a).unwrap();
         let (_, xb) = decode(&b).unwrap();
         assert_eq!(xb, xa + 1);
+    }
+
+    #[test]
+    fn batched_payload_surfaces_messages_in_order_and_acks_barrier_last() {
+        let mut ch = SwitchChannel::new(1, 1);
+        let fm1 = OfMessage::add_flow(Match::any(), vec![], 1);
+        let fm2 = OfMessage::add_flow(Match::any(), vec![], 2);
+        let mut payload = encode(&fm1, 7);
+        payload.extend_from_slice(&encode(&fm2, 8));
+        payload.extend_from_slice(&encode(&OfMessage::BarrierRequest, 9));
+        let (replies, up) = ch.receive_all(&payload).unwrap();
+        assert_eq!(up, vec![fm1, fm2]);
+        assert_eq!(replies.len(), 1, "only the barrier is acknowledged");
+        let (msg, xid) = decode(&replies[0]).unwrap();
+        assert_eq!(msg, OfMessage::BarrierReply);
+        assert_eq!(xid, 9);
+    }
+
+    #[test]
+    fn batched_hello_establishes_and_answers_features() {
+        let mut ch = SwitchChannel::new(0xd, 8);
+        let mut payload = encode(&OfMessage::Hello, 1);
+        payload.extend_from_slice(&encode(&OfMessage::FeaturesRequest, 2));
+        let (replies, up) = ch.receive_all(&payload).unwrap();
+        assert!(ch.is_established());
+        assert!(up.is_empty());
+        assert_eq!(replies.len(), 1);
+        let (msg, _) = decode(&replies[0]).unwrap();
+        assert_eq!(
+            msg,
+            OfMessage::FeaturesReply {
+                datapath_id: 0xd,
+                n_ports: 8
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_batch_surfaces_nothing() {
+        let mut ch = SwitchChannel::new(1, 1);
+        let mut payload = encode(&OfMessage::add_flow(Match::any(), vec![], 1), 7);
+        payload.extend_from_slice(&[1, 2, 3]);
+        assert!(ch.receive_all(&payload).is_err());
     }
 }

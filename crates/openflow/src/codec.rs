@@ -678,6 +678,34 @@ pub fn decode(bytes: &[u8]) -> Result<(OfMessage, u32), CodecError> {
     Ok((msg, xid))
 }
 
+/// Decodes a payload carrying one or more concatenated messages, in
+/// order. Every frame is self-delimiting (the header carries the total
+/// frame length), so a batch is simply the frames back to back — this
+/// is how the controller ships per-switch flow-mod batches in a single
+/// control-channel send.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if any frame is malformed; frames decoded
+/// before the bad one are discarded (a batch is all-or-nothing, which
+/// keeps the barrier-delimited transaction semantics honest).
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<(OfMessage, u32)>, CodecError> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        if rest.len() < 10 {
+            return Err(CodecError::Truncated);
+        }
+        let len = u32::from_be_bytes([rest[2], rest[3], rest[4], rest[5]]) as usize;
+        if len < 10 || len > rest.len() {
+            return Err(CodecError::Truncated);
+        }
+        out.push(decode(&rest[..len])?);
+        rest = &rest[len..];
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,7 +839,9 @@ mod tests {
 
     #[test]
     fn roundtrip_stats() {
-        roundtrip(OfMessage::StatsRequest(StatsRequestKind::Flow(Match::any())));
+        roundtrip(OfMessage::StatsRequest(
+            StatsRequestKind::Flow(Match::any()),
+        ));
         roundtrip(OfMessage::StatsRequest(StatsRequestKind::Port(None)));
         roundtrip(OfMessage::StatsRequest(StatsRequestKind::Port(Some(4))));
         roundtrip(OfMessage::StatsRequest(StatsRequestKind::Description));
@@ -848,7 +878,10 @@ mod tests {
         bytes[1] = 200;
         assert_eq!(decode(&bytes), Err(CodecError::BadType(200)));
         let bytes = encode(&OfMessage::EchoRequest(1), 1);
-        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]
@@ -856,5 +889,56 @@ mod tests {
         let mut bytes = encode(&OfMessage::Hello, 1);
         bytes.push(0); // trailing garbage
         assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn decode_all_splits_a_batch() {
+        let msgs = [
+            OfMessage::add_flow(
+                sample_match(),
+                vec![Action::Output(OutPort::Physical(1))],
+                100,
+            ),
+            OfMessage::PacketOut {
+                in_port: Some(2),
+                actions: vec![Action::Output(OutPort::Physical(3))],
+                data: vec![1, 2, 3],
+            },
+            OfMessage::BarrierRequest,
+        ];
+        let mut payload = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            payload.extend_from_slice(&encode(m, i as u32 + 10));
+        }
+        let back = decode_all(&payload).unwrap();
+        assert_eq!(back.len(), 3);
+        for (i, (m, xid)) in back.iter().enumerate() {
+            assert_eq!(m, &msgs[i]);
+            assert_eq!(*xid, i as u32 + 10);
+        }
+    }
+
+    #[test]
+    fn decode_all_single_message_matches_decode() {
+        let bytes = encode(&OfMessage::EchoRequest(7), 42);
+        assert_eq!(decode_all(&bytes).unwrap(), vec![decode(&bytes).unwrap()]);
+    }
+
+    #[test]
+    fn decode_all_rejects_partial_and_corrupt_batches() {
+        assert_eq!(decode_all(&[1, 2, 3]), Err(CodecError::Truncated));
+        let mut payload = encode(&OfMessage::Hello, 1);
+        payload.extend_from_slice(&encode(&OfMessage::EchoRequest(1), 2));
+        // Chop the tail off the second frame.
+        assert_eq!(
+            decode_all(&payload[..payload.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+        // Corrupt the second frame's version byte.
+        let hello_len = encode(&OfMessage::Hello, 1).len();
+        let mut corrupt = payload.clone();
+        corrupt[hello_len] = 99;
+        assert_eq!(decode_all(&corrupt), Err(CodecError::BadVersion(99)));
+        assert!(decode_all(&[]).unwrap().is_empty());
     }
 }

@@ -316,9 +316,7 @@ impl fmt::Display for Match {
 pub fn lookup_key(pkt: &Packet) -> Option<FlowKey> {
     match &pkt.body {
         Body::Ipv4(_) => FlowKey::of(pkt),
-        Body::Arp(ArpPacket {
-            op, spa, tpa, ..
-        }) => Some(FlowKey {
+        Body::Arp(ArpPacket { op, spa, tpa, .. }) => Some(FlowKey {
             vlan: pkt.eth.vlan.map(|t| t.vid),
             dl_src: pkt.eth.src,
             dl_dst: pkt.eth.dst,

@@ -229,7 +229,10 @@ impl FlowTable {
         let mut best: Option<(u16, u64, usize)> = None; // (priority, Reverse-ish seq, idx)
         let consider = |best: &mut Option<(u16, u64, usize)>, i: usize, e: &FlowEntry| {
             let cand = (e.priority, u64::MAX - e.seq, i);
-            if best.map(|(p, s, _)| (cand.0, cand.1) > (p, s)).unwrap_or(true) {
+            if best
+                .map(|(p, s, _)| (cand.0, cand.1) > (p, s))
+                .unwrap_or(true)
+            {
                 *best = Some(cand);
             }
         };
@@ -287,27 +290,32 @@ impl FlowTable {
     }
 
     /// Evicts entries whose idle or hard timeout has expired at `now`.
+    ///
+    /// Entries are evicted oldest-first (by insertion sequence), so
+    /// the order of the resulting flow-removed notifications does not
+    /// depend on the hash index's iteration order.
     pub fn expire(&mut self, now: Nanos) -> Vec<RemovedEntry> {
-        let expired: Vec<(usize, RemovalReason)> = self
+        let mut expired: Vec<(u64, usize, RemovalReason)> = self
             .indices()
             .filter_map(|i| {
                 let e = self.slots[i].as_ref().expect("live index");
                 if let Some(hard) = e.hard_timeout {
                     if now >= e.created_at + hard {
-                        return Some((i, RemovalReason::HardTimeout));
+                        return Some((e.seq, i, RemovalReason::HardTimeout));
                     }
                 }
                 if let Some(idle) = e.idle_timeout {
                     if now >= e.last_used + idle {
-                        return Some((i, RemovalReason::IdleTimeout));
+                        return Some((e.seq, i, RemovalReason::IdleTimeout));
                     }
                 }
                 None
             })
             .collect();
+        expired.sort_unstable_by_key(|&(seq, ..)| seq);
         expired
             .into_iter()
-            .map(|(i, reason)| RemovedEntry {
+            .map(|(_, i, reason)| RemovedEntry {
                 entry: self.detach(i),
                 reason,
             })
@@ -320,21 +328,30 @@ impl FlowTable {
     ///   (if given) priority.
     /// * non-strict: remove every entry whose match is subsumed by
     ///   `matcher` (priority ignored).
-    pub fn remove(&mut self, matcher: &Match, strict: bool, priority: Option<u16>) -> Vec<RemovedEntry> {
-        let victims: Vec<usize> = self
+    pub fn remove(
+        &mut self,
+        matcher: &Match,
+        strict: bool,
+        priority: Option<u16>,
+    ) -> Vec<RemovedEntry> {
+        let mut victims: Vec<(u64, usize)> = self
             .indices()
-            .filter(|&i| {
+            .filter_map(|i| {
                 let e = self.slots[i].as_ref().expect("live index");
-                if strict {
+                let hit = if strict {
                     e.matcher == *matcher && priority.map(|p| p == e.priority).unwrap_or(true)
                 } else {
                     matcher.subsumes(&e.matcher)
-                }
+                };
+                hit.then_some((e.seq, i))
             })
             .collect();
+        // Oldest-first, like expire(): removal notifications must not
+        // inherit the hash index's iteration order.
+        victims.sort_unstable_by_key(|&(seq, _)| seq);
         victims
             .into_iter()
-            .map(|i| RemovedEntry {
+            .map(|(_, i)| RemovedEntry {
                 entry: self.detach(i),
                 reason: RemovalReason::Delete,
             })
@@ -520,7 +537,9 @@ mod tests {
         assert_eq!(removed.len(), 1);
         assert_eq!(t.len(), 1);
         // Wrong priority removes nothing.
-        assert!(t.remove(&Match::exact(1, &key(81)), true, Some(99)).is_empty());
+        assert!(t
+            .remove(&Match::exact(1, &key(81)), true, Some(99))
+            .is_empty());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use livesec_net::{FlowKey, Ipv4Net, MacAddr};
 use livesec_openflow::{
-    codec, Action, FlowEntry, FlowModCommand, FlowTable, Match, OfMessage, OutPort,
-    PacketInReason, VlanMatch,
+    codec, Action, FlowEntry, FlowModCommand, FlowTable, Match, OfMessage, OutPort, PacketInReason,
+    VlanMatch,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;

@@ -185,8 +185,20 @@ mod tests {
     fn match_at_boundaries() {
         let ac = AhoCorasick::new(&[b"start".as_ref(), b"end"]);
         let hits = ac.find_all(b"start middle end");
-        assert_eq!(hits[0], Hit { pattern: 0, start: 0 });
-        assert_eq!(hits[1], Hit { pattern: 1, start: 13 });
+        assert_eq!(
+            hits[0],
+            Hit {
+                pattern: 0,
+                start: 0
+            }
+        );
+        assert_eq!(
+            hits[1],
+            Hit {
+                pattern: 1,
+                start: 13
+            }
+        );
     }
 
     #[test]

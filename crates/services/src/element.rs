@@ -4,8 +4,8 @@
 use crate::engines::Inspector;
 use crate::msg::{SeMessage, SE_CONTROL_MAC, SE_CONTROL_PORT};
 use livesec_net::{
-    Body, EtherType, EthernetHeader, FlowKey, Ipv4Header, Ipv4Packet, Packet, Payload,
-    Transport, UdpDatagram,
+    Body, EtherType, EthernetHeader, FlowKey, Ipv4Header, Ipv4Packet, Packet, Payload, Transport,
+    UdpDatagram,
 };
 use livesec_sim::{SimDuration, SimTime};
 use livesec_switch::{App, HostIo};
@@ -202,8 +202,7 @@ impl<I: Inspector> App for ServiceElement<I> {
         }
         let bits = (pkt.wire_len() * 8) as u64;
         let scan_time = SimDuration::from_nanos(
-            ((bits as f64 / self.capacity_bps as f64) * 1e9 * self.inspector.cost_factor())
-                as u64,
+            ((bits as f64 / self.capacity_bps as f64) * 1e9 * self.inspector.cost_factor()) as u64,
         );
         let proc = self.per_packet_overhead + scan_time;
         let start = self.busy_until.max(now);
@@ -321,7 +320,11 @@ mod tests {
             .build()
     }
 
-    fn world_with_se(se: IdsSe, packets: Vec<Packet>, interval: SimDuration) -> (World, NodeId, NodeId) {
+    fn world_with_se(
+        se: IdsSe,
+        packets: Vec<Packet>,
+        interval: SimDuration,
+    ) -> (World, NodeId, NodeId) {
         let mut world = World::new(1);
         let harness = world.add_node(Harness {
             to_send: packets,
@@ -370,7 +373,11 @@ mod tests {
         // The packet is still forwarded (off-path reporting, not inline).
         assert_eq!(h.returned.len(), 1);
         assert_eq!(
-            world.node::<Host<IdsSe>>(se_node).app().counters().events_sent,
+            world
+                .node::<Host<IdsSe>>(se_node)
+                .app()
+                .counters()
+                .events_sent,
             1
         );
     }
@@ -380,11 +387,8 @@ mod tests {
         let se = ServiceElement::new(IdsEngine::engine()).with_inline_blocking();
         let attack = steered_packet(b"/etc/passwd");
         let clean = steered_packet(b"harmless");
-        let (mut world, harness, _) = world_with_se(
-            se,
-            vec![attack, clean.clone()],
-            SimDuration::from_millis(1),
-        );
+        let (mut world, harness, _) =
+            world_with_se(se, vec![attack, clean.clone()], SimDuration::from_millis(1));
         world.run_for(SimDuration::from_millis(50));
         let h = world.node::<Harness>(harness);
         assert_eq!(h.returned.len(), 1, "only the clean packet returns");
@@ -416,11 +420,8 @@ mod tests {
     fn overload_drops_when_backlog_exceeded() {
         // 1 Mbps capacity, flooded with back-to-back MTU packets.
         let se = ServiceElement::new(IdsEngine::engine()).with_capacity_bps(1_000_000);
-        let packets: Vec<Packet> = (0..50)
-            .map(|_| steered_packet(&vec![b'x'; 1400]))
-            .collect();
-        let (mut world, _, se_node) =
-            world_with_se(se, packets, SimDuration::from_micros(10));
+        let packets: Vec<Packet> = (0..50).map(|_| steered_packet(&vec![b'x'; 1400])).collect();
+        let (mut world, _, se_node) = world_with_se(se, packets, SimDuration::from_micros(10));
         world.run_for(SimDuration::from_secs(1));
         let c = world.node::<Host<IdsSe>>(se_node).app().counters();
         assert!(c.overload_drops > 0, "must shed load: {c:?}");
@@ -436,8 +437,7 @@ mod tests {
         let packets: Vec<Packet> = (0..500)
             .map(|_| steered_packet(&vec![b'x'; 1250]))
             .collect();
-        let (mut world, harness, _) =
-            world_with_se(se, packets, SimDuration::from_micros(200));
+        let (mut world, harness, _) = world_with_se(se, packets, SimDuration::from_micros(200));
         world.run_for(SimDuration::from_millis(200));
         let h = world.node::<Harness>(harness);
         let returned_bits: usize = h.returned.iter().map(|p| p.wire_len() * 8).sum();

@@ -236,9 +236,19 @@ impl VirusScanEngine {
                 b"X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR",
                 10,
             ),
-            mk(2002, "PE dropper stub", b"This program cannot be run in DOS mode", 6),
+            mk(
+                2002,
+                "PE dropper stub",
+                b"This program cannot be run in DOS mode",
+                6,
+            ),
             mk(2003, "Macro virus marker", b"AutoOpen\x00Macro", 7),
-            mk(2004, "Ransom note marker", b"YOUR FILES HAVE BEEN ENCRYPTED", 10),
+            mk(
+                2004,
+                "Ransom note marker",
+                b"YOUR FILES HAVE BEEN ENCRYPTED",
+                10,
+            ),
         ]
     }
 
@@ -256,9 +266,7 @@ pub struct ContentInspectionEngine;
 impl ContentInspectionEngine {
     /// Default data-loss-prevention keyword set.
     pub fn default_rules() -> Vec<IdsRule> {
-        let mk = |id, name: &str, pattern: &[u8]| {
-            IdsRule::new(id, name, pattern, Severity::new(5))
-        };
+        let mk = |id, name: &str, pattern: &[u8]| IdsRule::new(id, name, pattern, Severity::new(5));
         vec![
             mk(3001, "DLP: internal-only marker", b"INTERNAL USE ONLY"),
             mk(3002, "DLP: credential material", b"BEGIN RSA PRIVATE KEY"),
@@ -405,10 +413,7 @@ impl FwRule {
         self.src.map(|n| n.contains(flow.nw_src)).unwrap_or(true)
             && self.dst.map(|n| n.contains(flow.nw_dst)).unwrap_or(true)
             && self.proto.map(|p| p == flow.nw_proto).unwrap_or(true)
-            && self
-                .dst_port
-                .map(|p| p == flow.tp_dst)
-                .unwrap_or(true)
+            && self.dst_port.map(|p| p == flow.tp_dst).unwrap_or(true)
     }
 }
 
@@ -546,8 +551,14 @@ mod tests {
         let mut bt = vec![0x13u8];
         bt.extend_from_slice(b"BitTorrent protocol");
         assert_eq!(ProtoIdEngine::classify(&bt, 6881, 6881), Some("bittorrent"));
-        assert_eq!(ProtoIdEngine::classify(b"EHLO mail", 25, 5000), Some("smtp"));
-        assert_eq!(ProtoIdEngine::classify(b"\x16\x03\x01", 443, 5000), Some("tls"));
+        assert_eq!(
+            ProtoIdEngine::classify(b"EHLO mail", 25, 5000),
+            Some("smtp")
+        );
+        assert_eq!(
+            ProtoIdEngine::classify(b"\x16\x03\x01", 443, 5000),
+            Some("tls")
+        );
         assert_eq!(ProtoIdEngine::classify(b"anything", 5000, 53), Some("dns"));
         assert_eq!(ProtoIdEngine::classify(b"???", 5000, 5001), None);
     }
@@ -575,7 +586,10 @@ mod tests {
         let hit = av
             .inspect(&flow(80), b"X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR-STANDARD")
             .expect("EICAR");
-        assert!(matches!(hit.verdict, Verdict::Malicious { severity: 10, .. }));
+        assert!(matches!(
+            hit.verdict,
+            Verdict::Malicious { severity: 10, .. }
+        ));
     }
 
     #[test]

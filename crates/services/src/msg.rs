@@ -350,7 +350,9 @@ mod tests {
                 attack: "exploit.shellcode".into(),
                 severity: 9,
             },
-            Verdict::Application { app: "bittorrent".into() },
+            Verdict::Application {
+                app: "bittorrent".into(),
+            },
             Verdict::PolicyViolation {
                 policy: "no-dlp-keywords".into(),
             },

@@ -1,9 +1,9 @@
 //! Property tests: Aho–Corasick vs a naive scanner, and SE control
 //! message round-trips.
 
+use livesec_net::{FlowKey, MacAddr};
 use livesec_services::aho::Hit;
 use livesec_services::{AhoCorasick, SeMessage, ServiceType, Verdict};
-use livesec_net::{FlowKey, MacAddr};
 use proptest::prelude::*;
 
 fn naive_find_all(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<Hit> {
@@ -31,7 +31,10 @@ fn arb_patterns() -> impl Strategy<Value = Vec<Vec<u8>>> {
 }
 
 fn arb_haystack() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')], 0..64)
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')],
+        0..64,
+    )
 }
 
 proptest! {

@@ -5,9 +5,7 @@ use std::fmt;
 
 /// Identifies a node (switch, host, service element, controller) in a
 /// [`crate::World`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -32,9 +30,7 @@ impl fmt::Display for NodeId {
 
 /// A port number local to a node. Port numbering is the node's own
 /// business; switches conventionally start at 1, matching OpenFlow.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct PortId(pub u32);
 
 impl PortId {

@@ -130,10 +130,7 @@ mod tests {
         let mut d = dir(LinkSpec::gigabit());
         let got = d.offer(SimTime::ZERO, 1250);
         // 10 us transmission + 5 us propagation.
-        assert_eq!(
-            got,
-            Offer::Deliver(SimTime::from_nanos(15_000))
-        );
+        assert_eq!(got, Offer::Deliver(SimTime::from_nanos(15_000)));
     }
 
     #[test]

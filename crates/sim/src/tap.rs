@@ -47,7 +47,11 @@ impl Node for Tap {
             at_nanos: ctx.now().as_nanos(),
             packet: pkt.clone(),
         });
-        let out = if port == PortId(1) { PortId(2) } else { PortId(1) };
+        let out = if port == PortId(1) {
+            PortId(2)
+        } else {
+            PortId(1)
+        };
         ctx.send(out, pkt);
     }
 

@@ -222,7 +222,14 @@ impl World {
     ///
     /// Panics if either endpoint already has a link on that port, or if
     /// a node id is unknown.
-    pub fn connect(&mut self, a: NodeId, port_a: PortId, b: NodeId, port_b: PortId, spec: LinkSpec) {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        port_a: PortId,
+        b: NodeId,
+        port_b: PortId,
+        spec: LinkSpec,
+    ) {
         assert!(a.index() < self.nodes.len(), "unknown node {a}");
         assert!(b.index() < self.nodes.len(), "unknown node {b}");
         let fwd = self.kernel.links.insert(

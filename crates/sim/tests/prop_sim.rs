@@ -2,9 +2,7 @@
 //! and latency statistics.
 
 use livesec_net::{MacAddr, Packet, PacketBuilder};
-use livesec_sim::{
-    Ctx, LatencySummary, LinkSpec, Node, PortId, SimDuration, SimTime, World,
-};
+use livesec_sim::{Ctx, LatencySummary, LinkSpec, Node, PortId, SimDuration, SimTime, World};
 use proptest::prelude::*;
 use std::any::Any;
 

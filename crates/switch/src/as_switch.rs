@@ -2,9 +2,9 @@
 
 use livesec_net::{wire, Packet};
 use livesec_openflow::{
-    apply_actions, lookup_key, FlowEntry, FlowModCommand, FlowRemovedReason, FlowStats,
-    OfMessage, OutPort, PacketInReason, PortStats, PortStatusReason, StatsBody,
-    StatsRequestKind, SwitchChannel,
+    apply_actions, lookup_key, FlowEntry, FlowModCommand, FlowRemovedReason, FlowStats, OfMessage,
+    OutPort, PacketInReason, PortStats, PortStatusReason, StatsBody, StatsRequestKind,
+    SwitchChannel,
 };
 use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration};
 use std::any::Any;
@@ -192,7 +192,9 @@ impl AsSwitch {
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = command == FlowModCommand::DeleteStrict;
-                let removed = self.table.remove(&matcher, strict, strict.then_some(priority));
+                let removed = self
+                    .table
+                    .remove(&matcher, strict, strict.then_some(priority));
                 for r in removed {
                     if r.entry.notify_removed {
                         let msg = OfMessage::FlowRemoved {
@@ -335,14 +337,35 @@ impl Node for AsSwitch {
     }
 
     fn on_control(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, bytes: &[u8]) {
-        let (replies, up) = match self.channel.receive(bytes) {
+        // The controller may batch several messages into one payload
+        // (flow-mod batches end with a barrier); frames are processed
+        // strictly in order, so all entries of a batch are applied
+        // before its barrier is acknowledged.
+        let (replies, up) = match self.channel.receive_all(bytes) {
             Ok(r) => r,
             Err(_) => return, // malformed control traffic is dropped
         };
         for r in replies {
             ctx.send_control(peer, r);
         }
-        let Some(msg) = up else { return };
+        for msg in up {
+            self.handle_controller_message(ctx, msg);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl AsSwitch {
+    /// Applies one controller message that the secure channel surfaced
+    /// (everything the channel doesn't answer by itself).
+    fn handle_controller_message(&mut self, ctx: &mut Ctx<'_>, msg: OfMessage) {
         match msg {
             OfMessage::FlowMod {
                 command,
@@ -379,14 +402,6 @@ impl Node for AsSwitch {
             OfMessage::StatsRequest(kind) => self.answer_stats(ctx, kind),
             _ => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 

@@ -449,12 +449,7 @@ impl<A: App> Node for Host<A> {
         }
         if token == ARP_RETRY_TOKEN {
             // Retry unresolved targets; drop pendings that ran out.
-            let targets: Vec<Ipv4Addr> = self
-                .core
-                .pending
-                .iter()
-                .map(|(hop, _)| *hop)
-                .collect();
+            let targets: Vec<Ipv4Addr> = self.core.pending.iter().map(|(hop, _)| *hop).collect();
             for target in targets {
                 if self.core.arp_cache.contains_key(&target) {
                     continue;

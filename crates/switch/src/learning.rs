@@ -99,7 +99,8 @@ impl Node for LearningSwitch {
         }
         let now = ctx.now();
         let limit = self.age_limit;
-        self.table.retain(|_, (_, seen)| now.saturating_since(*seen) <= limit);
+        self.table
+            .retain(|_, (_, seen)| now.saturating_since(*seen) <= limit);
         ctx.set_timer(self.age_limit, AGE_TICK);
     }
 
@@ -228,7 +229,8 @@ mod tests {
     #[test]
     fn addresses_age_out() {
         let mut world = World::new(1);
-        let sw = world.add_node(LearningSwitch::new(2).with_age_limit(SimDuration::from_millis(50)));
+        let sw =
+            world.add_node(LearningSwitch::new(2).with_age_limit(SimDuration::from_millis(50)));
         let a = world.add_node(Endpoint::new(mac(1)));
         let b = world.add_node(Endpoint::new(mac(2)));
         world.connect(a, PortId(1), sw, PortId(1), LinkSpec::gigabit());

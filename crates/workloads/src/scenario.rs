@@ -124,6 +124,14 @@ pub struct ScenarioConfig {
     /// Location (ARP) timeout — short so a silent user "leaves"
     /// visibly within the run.
     pub arp_timeout: SimDuration,
+    /// Switch-entry idle timeout. Shorter than a client's think time
+    /// makes every request a fresh flow setup of the same key — the
+    /// regime the decision cache exists for.
+    pub flow_idle: SimDuration,
+    /// Whether the controller memoizes flow-setup decisions. The cache
+    /// is observably transparent — runs with it on and off produce the
+    /// same event history — so this exists for A/B tests and benches.
+    pub decision_cache: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -134,6 +142,8 @@ impl Default for ScenarioConfig {
             torrent_at: SimDuration::from_secs(4),
             attack_after_requests: 50,
             arp_timeout: SimDuration::from_secs(3),
+            flow_idle: SimDuration::from_secs(1),
+            decision_cache: true,
         }
     }
 }
@@ -167,10 +177,15 @@ impl CampusScenario {
         // Policy: every TCP flow is protocol-identified; web flows
         // additionally pass intrusion detection first.
         let mut policy = PolicyTable::allow_all();
-        policy.push(PolicyRule::named("web-ids-protoid").proto(6).dst_port(80).chain(vec![
-            ServiceType::IntrusionDetection,
-            ServiceType::ProtocolIdentification,
-        ]));
+        policy.push(
+            PolicyRule::named("web-ids-protoid")
+                .proto(6)
+                .dst_port(80)
+                .chain(vec![
+                    ServiceType::IntrusionDetection,
+                    ServiceType::ProtocolIdentification,
+                ]),
+        );
         policy.push(
             PolicyRule::named("tcp-protoid")
                 .proto(6)
@@ -178,14 +193,17 @@ impl CampusScenario {
         );
 
         let arp_timeout = cfg.arp_timeout;
+        let flow_idle = cfg.flow_idle;
+        let decision_cache = cfg.decision_cache;
         let mut b = CampusBuilder::new(cfg.seed, cfg.n_ovs)
             .with_policy(policy)
             .configure_controller(move |c| {
-                c.set_flow_idle_timeout(SimDuration::from_secs(1));
+                c.set_flow_idle_timeout(flow_idle);
                 // Short location timeout so departures show up.
                 c.set_arp_timeout(arp_timeout);
                 // Link-load sampling for the Figure-8 utilization view.
                 c.set_stats_polling(10);
+                c.set_decision_cache(decision_cache);
             });
 
         let gw = b.add_gateway_configured(0, HttpServer::new(), |h| {
@@ -216,19 +234,20 @@ impl CampusScenario {
         let mut web_users = Vec::new();
         // Two steady browsers.
         for i in 0..2 {
-            web_users.push(b.add_user_with(
-                ap,
-                HttpClient::new(gw.ip, 20_000)
-                    .with_think_time(SimDuration::from_millis(400))
-                    .with_src_port(41_000 + i as u16),
-                move |h| h.with_reannounce_interval(announce),
-            ));
+            web_users.push(
+                b.add_user_with(
+                    ap,
+                    HttpClient::new(gw.ip, 20_000)
+                        .with_think_time(SimDuration::from_millis(400))
+                        .with_src_port(41_000 + i as u16),
+                    move |h| h.with_reannounce_interval(announce),
+                ),
+            );
         }
         // The leaver: a browser whose machine departs mid-run; the
         // controller notices via ARP timeout (paper §III-C.2).
-        let depart_at = livesec_sim::SimTime::from_nanos(
-            cfg.torrent_at.as_nanos().saturating_sub(500_000_000),
-        );
+        let depart_at =
+            livesec_sim::SimTime::from_nanos(cfg.torrent_at.as_nanos().saturating_sub(500_000_000));
         let leaver = b.add_user_with(
             ap,
             HttpClient::new(gw.ip, 20_000)
@@ -240,9 +259,10 @@ impl CampusScenario {
             },
         );
         // The web→BitTorrent user (torrents toward the gateway).
-        let torrent_user = b.add_user_with(ap, WebThenTorrent::new(gw.ip, cfg.torrent_at), move |h| {
-            h.with_reannounce_interval(announce)
-        });
+        let torrent_user =
+            b.add_user_with(ap, WebThenTorrent::new(gw.ip, cfg.torrent_at), move |h| {
+                h.with_reannounce_interval(announce)
+            });
         // The SSH user.
         let ssh_user = b.add_user_with(ap, SshSession::new(ssh_server.ip), move |h| {
             h.with_reannounce_interval(announce)
@@ -308,9 +328,10 @@ mod tests {
         assert!(summary.get("flow_blocked").copied().unwrap_or(0) >= 1);
 
         // The leaver went quiet and was evicted by the ARP timeout.
-        let left = c.monitor().of_tag("user_leave").any(|e| {
-            matches!(&e.kind, EventKind::UserLeave { mac } if *mac == s.leaver.mac)
-        });
+        let left = c
+            .monitor()
+            .of_tag("user_leave")
+            .any(|e| matches!(&e.kind, EventKind::UserLeave { mac } if *mac == s.leaver.mac));
         assert!(left, "leaver departed; summary: {summary:?}");
     }
 }

@@ -33,11 +33,18 @@ fn main() {
             EventKind::FlowStart { flow, elements, .. } if !elements.is_empty() => {
                 println!("[{}] flow {flow} steered via {:?}", e.at, elements);
             }
-            EventKind::AttackDetected { attack, element, .. } => {
+            EventKind::AttackDetected {
+                attack, element, ..
+            } => {
                 println!("[{}] ATTACK \"{attack}\" reported by {element}", e.at);
             }
-            EventKind::FlowBlocked { reason, at_dpid, .. } => {
-                println!("[{}] flow blocked at ingress switch {at_dpid} ({reason})", e.at);
+            EventKind::FlowBlocked {
+                reason, at_dpid, ..
+            } => {
+                println!(
+                    "[{}] flow blocked at ingress switch {at_dpid} ({reason})",
+                    e.at
+                );
             }
             _ => {}
         }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example load_balancing`
 
-use livesec_suite::prelude::*;
 use livesec::balance::{HashDispatch, LeastQueue, MinLoad, RoundRobin};
+use livesec_suite::prelude::*;
 
 fn deviation(per_se: &[u64]) -> f64 {
     let mean = per_se.iter().sum::<u64>() as f64 / per_se.len() as f64;
@@ -30,11 +30,13 @@ fn run_with(balancer: LoadBalancer, label: &str) {
     let server = b.add_gateway_with_app(0, HttpServer::new());
     let mut elements = Vec::new();
     for s in 0..n_se {
-        elements.push(b.add_service_element(
-            2 + s,
-            ServiceElement::new(IdsEngine::engine())
-                .with_report_interval(SimDuration::from_millis(25)),
-        ));
+        elements.push(
+            b.add_service_element(
+                2 + s,
+                ServiceElement::new(IdsEngine::engine())
+                    .with_report_interval(SimDuration::from_millis(25)),
+            ),
+        );
     }
     for u in 0..16u64 {
         b.add_user(

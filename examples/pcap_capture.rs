@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example pcap_capture`
 
-use livesec_suite::prelude::*;
 use livesec_net::pcap::write_pcap;
+use livesec_suite::prelude::*;
 
 fn main() {
     let mut policy = PolicyTable::allow_all();
@@ -24,13 +24,9 @@ fn main() {
     // steered through the IDS crosses it, in both directions.
     campus.world.disconnect(se.node, PortId(1));
     let tap = campus.world.add_node(Tap::new());
-    campus.world.connect(
-        se.node,
-        PortId(1),
-        tap,
-        PortId(1),
-        LinkSpec::gigabit(),
-    );
+    campus
+        .world
+        .connect(se.node, PortId(1), tap, PortId(1), LinkSpec::gigabit());
     campus.world.connect(
         tap,
         PortId(2),
@@ -44,7 +40,11 @@ fn main() {
     let tap_node = campus.world.node::<Tap>(tap);
     println!("captured {} frames on the SE link", tap_node.len());
     for f in tap_node.capture().iter().take(6) {
-        let dir = if f.packet.eth.dst == se.mac { "->SE" } else { "SE->" };
+        let dir = if f.packet.eth.dst == se.mac {
+            "->SE"
+        } else {
+            "SE->"
+        };
         println!(
             "  t={:>12}ns {dir} {} -> {} ({} bytes)",
             f.at_nanos,

@@ -42,5 +42,8 @@ fn main() {
         element.app().counters().processed_packets,
         element.app().counters().events_sent
     );
-    println!("controller event summary: {:?}", campus.controller().monitor().summary());
+    println!(
+        "controller event summary: {:?}",
+        campus.controller().monitor().summary()
+    );
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+#
+#   ./scripts/check.sh
+#
+# Runs the release build, the full test suite, clippy with warnings
+# denied, and the formatting check, stopping at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo clippy --workspace -- -D warnings
+run cargo fmt --check
+
+echo "==> all checks passed"

@@ -37,23 +37,27 @@ fn fit_building_scale_deployment_runs_end_to_end() {
     // 30 wired users across the OvS, 10 wireless per AP.
     let mut users = Vec::new();
     for u in 0..30u64 {
-        users.push(b.add_user(
-            (u % 10) as usize,
-            HttpClient::new(gw.ip, 30_000)
-                .with_think_time(SimDuration::from_millis(50 + u * 3))
-                .with_start_delay(SimDuration::from_millis(900 + u * 11))
-                .with_src_port(42_000 + u as u16),
-        ));
+        users.push(
+            b.add_user(
+                (u % 10) as usize,
+                HttpClient::new(gw.ip, 30_000)
+                    .with_think_time(SimDuration::from_millis(50 + u * 3))
+                    .with_start_delay(SimDuration::from_millis(900 + u * 11))
+                    .with_src_port(42_000 + u as u16),
+            ),
+        );
     }
     for (ap, base) in [(ap1, 43_000u16), (ap2, 44_000u16)] {
         for u in 0..10u64 {
-            users.push(b.add_user(
-                ap,
-                HttpClient::new(gw.ip, 10_000)
-                    .with_think_time(SimDuration::from_millis(100 + u * 7))
-                    .with_start_delay(SimDuration::from_millis(950 + u * 13))
-                    .with_src_port(base + u as u16),
-            ));
+            users.push(
+                b.add_user(
+                    ap,
+                    HttpClient::new(gw.ip, 10_000)
+                        .with_think_time(SimDuration::from_millis(100 + u * 7))
+                        .with_start_delay(SimDuration::from_millis(950 + u * 13))
+                        .with_src_port(base + u as u16),
+                ),
+            );
         }
     }
     let mut campus = b.finish();
@@ -84,7 +88,10 @@ fn fit_building_scale_deployment_runs_end_to_end() {
         let host = campus.world.node::<Host<HttpClient>>(u.node);
         total_completed += host.app().completed;
     }
-    assert!(total_completed > 200, "completed {total_completed} requests");
+    assert!(
+        total_completed > 200,
+        "completed {total_completed} requests"
+    );
 
     // Every IDS element shared the load (min-load spread it).
     type AnySe = ServiceElement<SignatureEngine>;

@@ -86,7 +86,10 @@ fn service_element_migrates_and_keeps_serving() {
         .app()
         .counters()
         .processed_packets;
-    assert!(scrubbed_before > 50, "SE active before move: {scrubbed_before}");
+    assert!(
+        scrubbed_before > 50,
+        "SE active before move: {scrubbed_before}"
+    );
 
     // Migrate the SE VM to switch 2 (same MAC/IP, new attachment).
     let se_as_user = UserHandle {

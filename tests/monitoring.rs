@@ -5,8 +5,7 @@ use livesec_suite::prelude::*;
 
 #[test]
 fn link_load_polling_tracks_real_traffic() {
-    let mut b = CampusBuilder::new(13, 2)
-        .configure_controller(|c| c.set_stats_polling(5)); // every 500 ms
+    let mut b = CampusBuilder::new(13, 2).configure_controller(|c| c.set_stats_polling(5)); // every 500 ms
     let gw = b.add_gateway(0);
     let user = b.add_user(1, UdpBlaster::new(gw.ip, 50_000_000));
     let mut campus = b.finish();
@@ -105,9 +104,18 @@ fn service_aware_statistics_attribute_traffic_per_app_and_user() {
 
     // Per-user attribution: the web user moved more bytes.
     let users = c.user_traffic();
-    let web = users.iter().find(|(m, _)| *m == web_user.mac).map(|(_, t)| *t);
-    let ssh_u = users.iter().find(|(m, _)| *m == ssh_user.mac).map(|(_, t)| *t);
-    assert!(web.is_some() && ssh_u.is_some(), "both users tallied: {users:?}");
+    let web = users
+        .iter()
+        .find(|(m, _)| *m == web_user.mac)
+        .map(|(_, t)| *t);
+    let ssh_u = users
+        .iter()
+        .find(|(m, _)| *m == ssh_user.mac)
+        .map(|(_, t)| *t);
+    assert!(
+        web.is_some() && ssh_u.is_some(),
+        "both users tallied: {users:?}"
+    );
     assert!(web.unwrap().bytes > ssh_u.unwrap().bytes);
 
     // The NIB snapshot exports all of it as JSON.
@@ -158,5 +166,9 @@ fn se_load_reports_reflect_utilization() {
     // The registry mirrors the latest heartbeat.
     let view = c.registry().get(se.mac).expect("registered");
     assert!(view.online);
-    assert!(view.total_pkts > 1000, "cumulative work: {}", view.total_pkts);
+    assert!(
+        view.total_pkts > 1000,
+        "cumulative work: {}",
+        view.total_pkts
+    );
 }

@@ -2,10 +2,11 @@
 //! control-channel traffic and malformed service-element messages
 //! while continuing to serve the legitimate network.
 
-use livesec_suite::prelude::*;
-use livesec_net::{Packet, Payload};
+use livesec::balance::{Grain, HashDispatch, LoadBalancer};
+use livesec_net::{MacAddr, Packet, Payload};
 use livesec_services::{IdsEngine, ServiceElement, ServiceType, SE_CONTROL_MAC, SE_CONTROL_PORT};
-use livesec_switch::{App, Host, HostIo};
+use livesec_suite::prelude::*;
+use livesec_switch::{App, AsSwitch, Host, HostIo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -36,7 +37,7 @@ impl Node for ControlFuzzer {
             bytes = livesec_openflow::codec::encode(&livesec_openflow::OfMessage::Hello, 1);
             if !bytes.is_empty() {
                 let pos = self.rng.gen_range(0..bytes.len());
-                bytes[pos] ^= self.rng.gen_range(1..=255);
+                bytes[pos] ^= self.rng.gen_range(1u8..=255);
             }
         }
         ctx.send_control(ctrl, bytes);
@@ -68,7 +69,11 @@ impl App for RogueSeNoise {
         payload.push((self.seq % 256) as u8);
         payload.extend_from_slice(&self.seq.to_be_bytes());
         let pkt = Packet::new(
-            livesec_net::EthernetHeader::new(io.mac(), SE_CONTROL_MAC, livesec_net::EtherType::Ipv4),
+            livesec_net::EthernetHeader::new(
+                io.mac(),
+                SE_CONTROL_MAC,
+                livesec_net::EtherType::Ipv4,
+            ),
             livesec_net::Body::Ipv4(livesec_net::Ipv4Packet::new(
                 livesec_net::Ipv4Header::new(io.ip(), std::net::Ipv4Addr::BROADCAST),
                 livesec_net::Transport::Udp(livesec_net::UdpDatagram::new(
@@ -96,8 +101,7 @@ fn controller_survives_fuzzed_control_and_rogue_se_traffic() {
     b.add_service_element(0, ServiceElement::new(IdsEngine::engine()));
     let user = b.add_user(
         1,
-        HttpClient::new(gw.ip, 20_000)
-            .with_think_time(SimDuration::from_millis(100)),
+        HttpClient::new(gw.ip, 20_000).with_think_time(SimDuration::from_millis(100)),
     );
     // The rogue host pushes malformed SE messages through packet-in.
     b.add_user(1, RogueSeNoise { seq: 0 });
@@ -129,4 +133,168 @@ fn controller_survives_fuzzed_control_and_rogue_se_traffic() {
             == 1,
         "real element still registered"
     );
+}
+
+/// Failure injection: a service element crashes (its access port goes
+/// dark) in the middle of a burst of recurring flows. The decision
+/// cache must drop every entry steering through it, and subsequent
+/// setups must re-steer through the surviving replica.
+#[test]
+fn se_crash_mid_burst_invalidates_and_resteers() {
+    let mut policy = PolicyTable::allow_all();
+    policy.push(
+        PolicyRule::named("ids-web")
+            .dst_port(80)
+            .chain(vec![ServiceType::IntrusionDetection]),
+    );
+    let mut b = CampusBuilder::new(7, 2)
+        .with_policy(policy)
+        // Sticky per-user balancing: recurring setups repeat the same
+        // pick, so the cache genuinely serves hits before the crash.
+        .with_balancer(LoadBalancer::new(HashDispatch::new(), Grain::User))
+        // Idle timeout below the client's think time: every request is
+        // a fresh setup of the same flow key.
+        .configure_controller(|c| c.set_flow_idle_timeout(SimDuration::from_millis(300)));
+    let gw = b.add_gateway_with_app(0, HttpServer::new());
+    let ids_a = b.add_service_element(0, ServiceElement::new(IdsEngine::engine()));
+    let ids_b = b.add_service_element(1, ServiceElement::new(IdsEngine::engine()));
+    let user = b.add_user(
+        1,
+        HttpClient::new(gw.ip, 20_000).with_think_time(SimDuration::from_millis(400)),
+    );
+    let mut campus = b.finish();
+
+    campus.world.run_for(SimDuration::from_secs(3));
+    let before = campus.controller().fast_path_stats();
+    assert!(
+        before.hits > 0,
+        "warm-up produced no cache hits: {before:?}"
+    );
+    let starts_before = campus.controller().monitor().of_tag("flow_start").count();
+    assert!(starts_before > 1, "flows never recurred");
+
+    // Crash whichever element currently carries the user's flows.
+    let carried: Vec<MacAddr> = campus
+        .controller()
+        .monitor()
+        .of_tag("flow_start")
+        .filter_map(|e| match &e.kind {
+            EventKind::FlowStart { elements, .. } => elements.first().copied(),
+            _ => None,
+        })
+        .collect();
+    let dead_mac = *carried.last().expect("at least one steered flow");
+    let (dead, survivor) = if dead_mac == ids_a.mac {
+        (ids_a, ids_b)
+    } else {
+        (ids_b, ids_a)
+    };
+    campus
+        .world
+        .node_mut::<AsSwitch>(campus.as_switches[dead.switch])
+        .fail_port(dead.port);
+
+    campus.world.run_for(SimDuration::from_secs(3));
+    let c = campus.controller();
+    let after = c.fast_path_stats();
+    assert!(
+        after.invalidations > before.invalidations,
+        "the crash must invalidate cached steering: {before:?} -> {after:?}"
+    );
+    assert_eq!(
+        c.registry()
+            .online_of(ServiceType::IntrusionDetection)
+            .len(),
+        1,
+        "dead element still considered online"
+    );
+    // Every setup after the crash steers through the survivor only.
+    let resteered: Vec<Vec<MacAddr>> = c
+        .monitor()
+        .of_tag("flow_start")
+        .skip(starts_before)
+        .filter_map(|e| match &e.kind {
+            EventKind::FlowStart { elements, .. } => Some(elements.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!resteered.is_empty(), "no setups after the crash");
+    assert!(
+        resteered
+            .iter()
+            .rev()
+            .take(3)
+            .all(|els| els == &vec![survivor.mac]),
+        "late setups must steer through the survivor: {resteered:?}"
+    );
+    let done = campus
+        .world
+        .node::<Host<HttpClient>>(user.node)
+        .app()
+        .completed;
+    assert!(done > 5, "traffic survived the element crash: {done}");
+}
+
+/// Failure injection: a link status change (an uplink port drops)
+/// mid-burst. Compiled programs may depend on the topology, so the
+/// cache must invalidate everything it holds — and then refill and
+/// serve hits again once setups recompile.
+#[test]
+fn link_down_mid_burst_invalidates_and_recompiles() {
+    let mut b = CampusBuilder::new(11, 2)
+        .with_policy(PolicyTable::allow_all())
+        .configure_controller(|c| c.set_flow_idle_timeout(SimDuration::from_millis(300)));
+    let gw = b.add_gateway_with_app(0, HttpServer::new());
+    // All traffic stays on switch 0; switch 1 exists so one uplink can
+    // die without partitioning the flows we watch.
+    let user = b.add_user(
+        0,
+        HttpClient::new(gw.ip, 20_000).with_think_time(SimDuration::from_millis(400)),
+    );
+    let mut campus = b.finish();
+
+    campus.world.run_for(SimDuration::from_secs(3));
+    let before = campus.controller().fast_path_stats();
+    assert!(
+        before.hits > 0,
+        "warm-up produced no cache hits: {before:?}"
+    );
+
+    let idle_switch = campus.as_switches[1];
+    let dpid = campus
+        .controller()
+        .topology()
+        .dpid_of_node(idle_switch)
+        .expect("switch joined");
+    let uplink = campus
+        .controller()
+        .topology()
+        .uplink_of(dpid)
+        .expect("uplink discovered");
+    campus
+        .world
+        .node_mut::<AsSwitch>(idle_switch)
+        .fail_port(uplink);
+
+    campus.world.run_for(SimDuration::from_secs(3));
+    let c = campus.controller();
+    let after = c.fast_path_stats();
+    assert!(
+        after.invalidations > before.invalidations,
+        "link-down must invalidate cached programs: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.flow_setups > before.flow_setups,
+        "flows must keep being set up after the link change"
+    );
+    assert!(
+        after.hits > before.hits,
+        "the cache must refill and serve again after recompiling"
+    );
+    let done = campus
+        .world
+        .node::<Host<HttpClient>>(user.node)
+        .app()
+        .completed;
+    assert!(done > 10, "traffic unaffected by the idle uplink: {done}");
 }

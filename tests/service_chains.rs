@@ -1,8 +1,8 @@
 //! Integration: multi-element service chains, content inspection, and
 //! firewall elements — the "elastic service" breadth of §III-D.
 
-use livesec_suite::prelude::*;
 use livesec_services::{ContentInspectionEngine, FirewallEngine, FwAction, FwRule};
+use livesec_suite::prelude::*;
 
 /// Simple single-payload sender used by these tests.
 struct OneBurst {
@@ -84,9 +84,10 @@ fn two_element_chain_scrubs_in_order() {
     let c = campus.controller();
     assert!(c.monitor().of_tag("app_identified").count() >= 1);
     // And the flow-start event shows the ordered two-element chain.
-    let ok = c.monitor().of_tag("flow_start").any(|e| {
-        matches!(&e.kind, EventKind::FlowStart { chain, .. } if chain.len() == 2)
-    });
+    let ok = c
+        .monitor()
+        .of_tag("flow_start")
+        .any(|e| matches!(&e.kind, EventKind::FlowStart { chain, .. } if chain.len() == 2));
     assert!(ok, "chain recorded: {:?}", c.monitor().summary());
 }
 
@@ -115,10 +116,14 @@ fn content_inspection_blocks_dlp_violation() {
     campus.world.run_for(SimDuration::from_secs(4));
 
     let c = campus.controller();
-    let blocked = c.monitor().of_tag("flow_blocked").any(|e| {
-        matches!(&e.kind, EventKind::FlowBlocked { reason, .. } if reason.contains("policy:"))
-    });
-    assert!(blocked, "DLP violation blocked: {:?}", c.monitor().summary());
+    let blocked = c.monitor().of_tag("flow_blocked").any(
+        |e| matches!(&e.kind, EventKind::FlowBlocked { reason, .. } if reason.contains("policy:")),
+    );
+    assert!(
+        blocked,
+        "DLP violation blocked: {:?}",
+        c.monitor().summary()
+    );
     let leak = campus.world.node::<Host<OneBurst>>(leaker.node);
     assert!(
         leak.app().replies < 20,
@@ -217,5 +222,9 @@ fn virus_scanner_blocks_eicar_download() {
         c.monitor().summary()
     );
     let host = campus.world.node::<Host<OneBurst>>(mule.node);
-    assert!(host.app().replies < 10, "upload stopped: {}", host.app().replies);
+    assert!(
+        host.app().replies < 10,
+        "upload stopped: {}",
+        host.app().replies
+    );
 }

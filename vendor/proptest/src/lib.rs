@@ -1,0 +1,646 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same spelling at use sites — `proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert*!`, `any::<T>()`, range strategies,
+//! `prop_map`, `proptest::collection::vec`, `proptest::option::of` —
+//! but a much simpler engine: every test runs a fixed number of
+//! deterministic cases (seeded from the test name, overridable with
+//! `PROPTEST_CASES`) and failures report the case number instead of
+//! shrinking. That trade keeps the workspace free of network
+//! dependencies while preserving reproducibility, which is the
+//! property the LiveSec test suite actually leans on.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The per-case random source handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for producing values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree or shrinking:
+    /// a strategy simply generates a value from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy for heterogeneous unions.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Boxed strategy, usable as a `prop_oneof!` arm.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed arms (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> BoxedStrategy<T> {
+            Box::new(s)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            rng.gen_range(lo..hi)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($idx:tt $name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J, 10 K)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J, 10 K, 11 L)
+    }
+
+    /// String literals are regex strategies, as in upstream proptest.
+    ///
+    /// Supported syntax (enough for this workspace's generators, not a
+    /// full regex engine): literal characters, escaped literals,
+    /// `\d`/`\w`/`\s` classes, `[...]` classes with ranges and literal
+    /// `-` at either end, and the quantifiers `{n}`, `{n,m}`, `?`,
+    /// `*`, `+` (the unbounded ones capped at 8 repetitions).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_regex_atoms(self);
+            let mut out = String::new();
+            for (chars, min, max) in &atoms {
+                let n = rng.gen_range(*min..=*max);
+                for _ in 0..n {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn class_digit() -> Vec<char> {
+        ('0'..='9').collect()
+    }
+
+    fn class_word() -> Vec<char> {
+        ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(std::iter::once('_'))
+            .collect()
+    }
+
+    fn parse_regex_atoms(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unterminated `[` in regex `{pattern}`"));
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            for c in body[j]..=body[j + 2] {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling `\\` in regex `{pattern}`"));
+                    i += 2;
+                    match c {
+                        'd' => class_digit(),
+                        'w' => class_word(),
+                        's' => vec![' ', '\t'],
+                        other => vec![other],
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Quantifier?
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unterminated `{{` in regex `{pattern}`"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        None => {
+                            let n = body.trim().parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {n,m} quantifier"),
+                            hi.trim().parse().expect("bad {n,m} quantifier"),
+                        ),
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(!set.is_empty(), "empty character set in regex `{pattern}`");
+            atoms.push((set, min, max));
+        }
+        atoms
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types; built by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — arbitrary value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: exact, `a..b`, or `a..=b`.
+    pub trait IntoSizeRange {
+        /// Inclusive (min, max).
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vectors of values from `element`, with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Option` values: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::{Strategy, TestRng};
+    use rand::SeedableRng;
+
+    /// Error produced by a failing property body (`prop_assert*`).
+    pub type TestCaseError = String;
+
+    fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: generates `PROPTEST_CASES` inputs from a
+    /// seed derived from the test name and panics on the first failing
+    /// case (no shrinking).
+    pub fn run<S, F>(name: &str, strat: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for case in 0..case_count() {
+            let seed = base.wrapping_add((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::seed_from_u64(seed);
+            let input = strat.generate(&mut rng);
+            if let Err(msg) = body(input) {
+                panic!("proptest `{name}` failed on case {case} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+/// Everything tests import via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            // Upstream proptest! passes attributes through; the
+            // conventional `#[test]` is written by the caller.
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($arg:pat_param in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: `{:?}` != `{:?}`",
+                file!(), line!(), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: `{:?}` != `{:?}`: {}",
+                file!(), line!(), __l, __r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: both sides are `{:?}`",
+                file!(),
+                line!(),
+                __l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = (0u8..4, 10u64..=20, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = Strategy::generate(&strat, &mut rng);
+            assert!(a < 4);
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(any::<u8>(), 7usize);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u32..100, y in any::<u16>(), flag in crate::option::of(Just(1u8))) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(u32::from(y) + x, x + u32::from(y));
+            if let Some(f) = flag {
+                prop_assert_eq!(f, 1u8);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn small_pair()(a in 0u8..4, b in 0u8..4) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_smoke(p in small_pair()) {
+            prop_assert!(p.0 < 4 && p.1 < 4);
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace must build without network access, so instead of the
+//! real `serde` this crate provides a small Value-tree serialization
+//! framework with the same spelling at use sites:
+//!
+//! - `#[derive(Serialize, Deserialize)]` (re-exported from the
+//!   companion `serde_derive` proc-macro crate),
+//! - `Serialize`/`Deserialize` traits, here defined as conversions to
+//!   and from an in-memory [`Value`] tree,
+//! - `#[serde(skip)]` and `#[serde(with = "module")]` field attributes
+//!   (the only ones this workspace uses).
+//!
+//! `serde_json` (also vendored) renders a [`Value`] to JSON text and
+//! parses it back. Enum values use serde's externally-tagged layout so
+//! JSON output looks the way the real stack would print it (for
+//! example `"AttackDetected"` or `{"FlowStart": {...}}`), which the
+//! monitoring tests grep for.
+//!
+//! Unordered maps (`HashMap`/`HashSet`) are serialized in sorted order
+//! so that equal values always produce byte-identical output — the
+//! determinism golden-trace test depends on that property.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the intermediate tree between Rust data and a
+/// concrete format such as JSON.
+///
+/// Map keys are full [`Value`]s (not just strings) because the
+/// monitoring layer serializes maps keyed by tuples and MAC addresses;
+/// formats decide how to render non-string keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+/// Total order over values, used to sort `HashMap`/`HashSet` contents
+/// into a canonical serialization order. `F64` uses `total_cmp`.
+pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::U64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Seq(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::I64(x), Value::U64(y)) => {
+            if *x < 0 {
+                Ordering::Less
+            } else {
+                (*x as u64).cmp(y)
+            }
+        }
+        (Value::U64(x), Value::I64(y)) => {
+            if *y < 0 {
+                Ordering::Greater
+            } else {
+                x.cmp(&(*y as u64))
+            }
+        }
+        (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => seq_cmp(x, y),
+        (Value::Map(x), Value::Map(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+                let c = value_cmp(ka, kb);
+                if c != Ordering::Equal {
+                    return c;
+                }
+                let c = value_cmp(va, vb);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn seq_cmp(x: &[Value], y: &[Value]) -> Ordering {
+    for (a, b) in x.iter().zip(y.iter()) {
+        let c = value_cmp(a, b);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    x.len().cmp(&y.len())
+}
+
+/// Deserialization error: a human-readable description of the first
+/// mismatch between the value tree and the target type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated code in `serde_derive`.
+// ---------------------------------------------------------------------------
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+/// Expects `v` to be a map, in service of deserializing `what`.
+pub fn expect_map<'a>(v: &'a Value, what: &str) -> Result<&'a [(Value, Value)], DeError> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(DeError::custom(format!(
+            "expected map for {what}, found {}",
+            type_name(other)
+        ))),
+    }
+}
+
+/// Expects `v` to be a sequence, in service of deserializing `what`.
+pub fn expect_seq<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], DeError> {
+    match v {
+        Value::Seq(s) => Ok(s),
+        other => Err(DeError::custom(format!(
+            "expected sequence for {what}, found {}",
+            type_name(other)
+        ))),
+    }
+}
+
+/// Finds the entry named `name` in a string-keyed map.
+pub fn get_field<'a>(m: &'a [(Value, Value)], name: &str) -> Result<&'a Value, DeError> {
+    m.iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+/// Deserializes the field `name` out of a string-keyed map.
+pub fn de_field<T: Deserialize>(m: &[(Value, Value)], name: &str) -> Result<T, DeError> {
+    T::from_value(get_field(m, name)?).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+}
+
+/// Deserializes element `i` of a sequence.
+pub fn de_index<T: Deserialize>(s: &[Value], i: usize) -> Result<T, DeError> {
+    let v = s
+        .get(i)
+        .ok_or_else(|| DeError::custom(format!("missing tuple element {i}")))?;
+    T::from_value(v).map_err(|e| DeError::custom(format!("element {i}: {e}")))
+}
+
+/// Splits an externally-tagged enum value into `(variant_name,
+/// payload)`: `"A"` → `("A", None)`, `{"B": x}` → `("B", Some(x))`.
+pub fn variant_parts<'a>(
+    v: &'a Value,
+    what: &str,
+) -> Result<(&'a str, Option<&'a Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s, None)),
+        Value::Map(m) if m.len() == 1 => match &m[0] {
+            (Value::Str(tag), payload) => Ok((tag, Some(payload))),
+            _ => Err(DeError::custom(format!(
+                "enum {what}: variant tag must be a string"
+            ))),
+        },
+        other => Err(DeError::custom(format!(
+            "expected enum {what} (string or single-entry map), found {}",
+            type_name(other)
+        ))),
+    }
+}
+
+/// Asserts a unit variant carries no payload.
+pub fn no_payload(p: Option<&Value>, variant: &str) -> Result<(), DeError> {
+    match p {
+        None => Ok(()),
+        Some(Value::Null) => Ok(()),
+        Some(_) => Err(DeError::custom(format!(
+            "unit variant `{variant}` carries unexpected data"
+        ))),
+    }
+}
+
+/// Extracts the payload a data-carrying variant requires.
+pub fn need_payload<'a>(p: Option<&'a Value>, variant: &str) -> Result<&'a Value, DeError> {
+    p.ok_or_else(|| DeError::custom(format!("variant `{variant}` is missing its data")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and std impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            type_name(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative integer for unsigned type"))?,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            type_name(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_seq(v, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, found {got}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = expect_seq(v, "tuple")?;
+                Ok(($(de_index::<$name>(s, $idx)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::custom(format!("invalid IPv4 address `{s}`"))),
+            other => Err(DeError::custom(format!(
+                "expected IPv4 address string, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+fn map_to_value<'a, K, V, I>(iter: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Map(iter.map(|(k, v)| (k.to_value(), v.to_value())).collect())
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+            .collect(),
+        // Non-string-keyed maps render to JSON as arrays of pairs and
+        // parse back as sequences; accept that shape too.
+        Value::Seq(s) => s
+            .iter()
+            .map(|pair| {
+                let p = expect_seq(pair, "map entry")?;
+                if p.len() != 2 {
+                    return Err(DeError::custom("map entry must be a [key, value] pair"));
+                }
+                Ok((K::from_value(&p[0])?, V::from_value(&p[1])?))
+            })
+            .collect(),
+        other => Err(DeError::custom(format!(
+            "expected map, found {}",
+            type_name(other)
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| value_cmp(&a.0, &b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_seq(v, "BTreeSet")?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(value_cmp);
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_seq(v, "HashSet")?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u16::from_value(&42u16.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let arr: [u8; 6] = [1, 2, 3, 4, 5, 6];
+        assert_eq!(<[u8; 6]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        for i in (0..32u64).rev() {
+            m.insert(i, i * 2);
+        }
+        let v = m.to_value();
+        let Value::Map(entries) = v else { panic!() };
+        let keys: Vec<_> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(value_cmp);
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn tuple_keyed_map_roundtrips() {
+        let mut m = BTreeMap::new();
+        m.insert((1u64, 2u32), (3u64, 4u64));
+        let back: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ipv4_roundtrips() {
+        let ip: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        assert_eq!(Ipv4Addr::from_value(&ip.to_value()).unwrap(), ip);
+    }
+
+    #[test]
+    fn variant_helpers() {
+        let unit = Value::Str("A".into());
+        assert_eq!(variant_parts(&unit, "E").unwrap(), ("A", None));
+        let tagged = Value::Map(vec![(Value::Str("B".into()), Value::U64(9))]);
+        let (tag, payload) = variant_parts(&tagged, "E").unwrap();
+        assert_eq!(tag, "B");
+        assert_eq!(payload, Some(&Value::U64(9)));
+    }
+}

@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (a Value-tree model, see
+//! `vendor/serde`). Because the build must work without network
+//! access, this macro is written against `proc_macro` alone — no
+//! `syn`/`quote` — using a small hand-rolled parser that covers the
+//! shapes this workspace actually derives on:
+//!
+//! - non-generic structs (named, tuple, unit),
+//! - non-generic enums with unit / tuple / struct variants,
+//! - field attributes `#[serde(skip)]` and `#[serde(with = "path")]`.
+//!
+//! Enums serialize externally tagged, like upstream serde's default:
+//! `Unit` → `"Unit"`, `New(x)` → `{"New": x}`, `Tup(a, b)` →
+//! `{"Tup": [a, b]}`, `S { f }` → `{"S": {"f": ...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: Option<String>,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses the serde-relevant parts of one `#[...]` attribute group's
+/// inner tokens, merging into `attrs`. Non-serde attributes (doc
+/// comments, `#[default]`, ...) are ignored.
+fn parse_attr_group(tokens: &[TokenTree], attrs: &mut FieldAttrs) {
+    let Some(TokenTree::Ident(first)) = tokens.first() else {
+        return;
+    };
+    if first.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        match &items[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => {
+                    attrs.skip = true;
+                    i += 1;
+                }
+                "with" => {
+                    // with = "path::to::module"
+                    let lit = match (items.get(i + 1), items.get(i + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(l)))
+                            if eq.as_char() == '=' =>
+                        {
+                            l.to_string()
+                        }
+                        _ => panic!("serde(with) expects `with = \"module\"`"),
+                    };
+                    attrs.with = Some(lit.trim_matches('"').to_string());
+                    i += 3;
+                }
+                other => panic!("unsupported serde attribute `{other}` (vendored serde_derive)"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attribute groups at `i`, folding serde
+/// attrs into the returned `FieldAttrs`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        parse_attr_group(&inner, &mut attrs);
+        *i += 2;
+    }
+    attrs
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type at `i`: consumes tokens until a `,` at angle-bracket
+/// depth zero (or end of stream). Parens/brackets arrive as atomic
+/// groups, so only `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name: Some(name),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name: None, attrs });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant-level attributes (e.g. `#[default]`) are irrelevant here.
+        let _ = take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if one appears.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while let Some(tt) = tokens.get(i) {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of `struct`/`enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("unsupported enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (string-built, then parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+/// `to_value` expression for one field, honoring `with`/`skip`.
+fn ser_field_expr(expr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::to_value(&{expr})"),
+        None => format!("::serde::Serialize::to_value(&{expr})"),
+    }
+}
+
+/// Push statements serializing named `fields` (accessed via `prefix`,
+/// e.g. `self.` or an empty string for bound variables) into a map
+/// builder variable `__fields`.
+fn ser_named_fields(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let name = f.name.as_ref().unwrap();
+        let expr = ser_field_expr(&format!("{prefix}{name}"), &f.attrs);
+        out.push_str(&format!(
+            "__fields.push((::serde::Value::Str(::std::string::String::from(\"{name}\")), \
+             {expr}));\n"
+        ));
+    }
+    out
+}
+
+/// Deserialize-struct-literal body for named fields from map slice `__m`.
+fn de_named_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = f.name.as_ref().unwrap();
+        if f.attrs.skip {
+            out.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else if let Some(path) = &f.attrs.with {
+            out.push_str(&format!(
+                "{name}: {path}::from_value(::serde::get_field(__m, \"{name}\")?)?,\n"
+            ));
+        } else {
+            out.push_str(&format!("{name}: ::serde::de_field(__m, \"{name}\")?,\n"));
+        }
+    }
+    out
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => {
+                    format!(
+                        "{}::serde::Value::Map(__fields)",
+                        ser_named_fields(fields, "self.")
+                    )
+                }
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    ser_field_expr("self.0", &fields[0].attrs)
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| !f.attrs.skip)
+                        .map(|(i, f)| ser_field_expr(&format!("self.{i}"), &f.attrs))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = format!("::serde::Value::Str(::std::string::String::from(\"{vname}\"))");
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!("{name}::{vname} => {tag},\n"));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            ser_field_expr("__f0", &fields[0].attrs)
+                        } else {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, f)| !f.attrs.skip)
+                                .map(|(i, f)| ser_field_expr(&format!("__f{i}"), &f.attrs))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => \
+                             ::serde::Value::Map(vec![({tag}, {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let build = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {build} \
+                             ::serde::Value::Map(vec![({tag}, \
+                             ::serde::Value::Map(__fields))]) }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Named(fields) => format!(
+                    "let __m = ::serde::expect_map(__v, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    de_named_fields(fields)
+                ),
+                Shape::Tuple(fields) if fields.len() == 1 => match &fields[0].attrs.with {
+                    Some(path) => {
+                        format!("::std::result::Result::Ok({name}({path}::from_value(__v)?))")
+                    }
+                    None => format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                    ),
+                },
+                Shape::Tuple(fields) => {
+                    let items = de_tuple_items(fields);
+                    format!(
+                        "let __s = ::serde::expect_seq(__v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name}({items}))"
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "\"{vname}\" => {{ ::serde::no_payload(__payload, \"{vname}\")?; \
+                         ::std::result::Result::Ok({name}::{vname}) }}\n"
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        let inner = match &fields[0].attrs.with {
+                            Some(path) => format!("{path}::from_value(__p)?"),
+                            None => "::serde::Deserialize::from_value(__p)?".to_string(),
+                        };
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                             let __p = ::serde::need_payload(__payload, \"{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}({inner})) }}\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let items = de_tuple_items(fields);
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                             let __p = ::serde::need_payload(__payload, \"{vname}\")?; \
+                             let __s = ::serde::expect_seq(__p, \"{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}({items})) }}\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                             let __p = ::serde::need_payload(__payload, \"{vname}\")?; \
+                             let __m = ::serde::expect_map(__p, \"{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname} {{\n{}\n}}) }}\n",
+                            de_named_fields(fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "let (__tag, __payload) = ::serde::variant_parts(__v, \"{name}\")?;\n\
+                 match __tag {{\n{arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n}}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Comma-joined deserializers for tuple fields out of seq slice `__s`;
+/// skipped fields default and do not consume a sequence slot.
+fn de_tuple_items(fields: &[Field]) -> String {
+    let mut slot = 0usize;
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.attrs.skip {
+                "::std::default::Default::default()".to_string()
+            } else {
+                let expr = match &f.attrs.with {
+                    Some(path) => format!(
+                        "{path}::from_value(__s.get({slot}).ok_or_else(|| \
+                         ::serde::DeError::custom(\"missing tuple element\"))?)?"
+                    ),
+                    None => format!("::serde::de_index(__s, {slot})?"),
+                };
+                slot += 1;
+                expr
+            }
+        })
+        .collect();
+    items.join(", ")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("vendored serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("vendored serde_derive generated invalid Deserialize impl")
+}
