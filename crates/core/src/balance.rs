@@ -274,6 +274,10 @@ impl SeRegistry {
                 dead.push(v.mac);
             }
         }
+        // `elements` is a HashMap: when several elements expire in the
+        // same sweep (e.g. their switch was partitioned), the offline
+        // events and cleanups that follow must still be run-stable.
+        dead.sort_unstable();
         dead
     }
 

@@ -17,7 +17,7 @@ use crate::balance::{LoadBalancer, SeRegistry};
 use crate::cache::{CachedDecision, DecisionCache};
 use crate::directory::DirectoryProxy;
 use crate::location::{LearnOutcome, LocationTable};
-use crate::monitor::{EventKind, FastPathStats, Monitor};
+use crate::monitor::{EventKind, FastPathStats, HealthStats, Monitor};
 use crate::policy::{AppAction, PolicyDecision, PolicyTable};
 use crate::routing::{compile_path, Hop, SteeringProgram};
 use crate::topology::TopologyMap;
@@ -44,11 +44,27 @@ const INGRESS_COOKIE: u64 = 1;
 /// Cookie tagging the reverse-ingress entry (carries the response
 /// volume; both removals together finalize the session's statistics).
 const REVERSE_COOKIE: u64 = 2;
+/// Cookie tagging drop entries installed for detected attacks; part of
+/// the desired state the reconciliation audit restores.
+const BLOCK_COOKIE: u64 = 3;
+/// Cookie tagging drop entries for policy-denied flows. The controller
+/// keeps no record of denials (they self-expire via their idle
+/// timeout), so the audit must recognize and skip them.
+const DENY_COOKIE: u64 = 4;
 
 /// Priority of steering/forwarding entries.
 const STEER_PRIORITY: u16 = 100;
 /// Priority of drop entries (wins over steering).
 const BLOCK_PRIORITY: u16 = 200;
+
+/// How old a flow's installation must be before a packet-in for it is
+/// read as "the switch lost the entries" rather than "this packet
+/// raced the just-queued flow-mods". Races resolve within the control
+/// channel round-trip (well under a millisecond); anything past this
+/// guard means the flow-mods were eaten — e.g. by a partition shorter
+/// than the liveness timeout, which neither side ever notices — and
+/// the entries must be reinstalled from the flow record.
+const REPAIR_GUARD: SimDuration = SimDuration::from_millis(50);
 
 /// Control messages queued for one switch during the current event
 /// dispatch; flushed as a single concatenated payload.
@@ -76,12 +92,32 @@ struct FlowRecord {
     elements: Vec<MacAddr>,
     ingress_dpid: u64,
     ingress_actions: Vec<Action>,
+    /// The installed steering programs — the desired flow-table state
+    /// the reconciliation audit checks switches against.
+    forward: Rc<SteeringProgram>,
+    reverse: Rc<SteeringProgram>,
+    /// Drop entry installed for this flow: (dpid, matcher).
+    block: Option<(u64, Match)>,
+    /// When the programs were last (re)installed; packet-ins older
+    /// than [`REPAIR_GUARD`] past this trigger a reinstall.
+    installed_at: SimTime,
     app: Option<String>,
     blocked: bool,
     /// (packets, bytes) from the removed forward-ingress entry.
     fwd_done: Option<(u64, u64)>,
     /// (packets, bytes) from the removed reverse-ingress entry.
     rev_done: Option<(u64, u64)>,
+}
+
+/// One flow entry the controller believes a switch should hold — the
+/// unit of comparison for the reconciliation audit.
+struct DesiredEntry {
+    matcher: Match,
+    priority: u16,
+    cookie: u64,
+    actions: Vec<Action>,
+    idle_timeout: Option<u64>,
+    notify_removed: bool,
 }
 
 /// Accumulated traffic figures for one application label or user —
@@ -145,6 +181,37 @@ pub struct Controller {
     messages_batched: u64,
     max_batch_len: u64,
 
+    /// Last control message seen per registered switch (liveness).
+    switch_liveness: HashMap<u64, SimTime>,
+    /// Silence longer than this declares a switch dead.
+    switch_timeout: SimDuration,
+    /// Probe every registered switch with an echo request every this
+    /// many housekeeping ticks (0 = never probe).
+    echo_every_ticks: u64,
+    /// Every datapath id ever registered (survives deregistration).
+    known_dpids: HashSet<u64>,
+    /// Every controller-side peer node ever registered, with its dpid.
+    /// Never pruned: `topo.dpid_of_node` forgets deregistered switches,
+    /// and a reconnecting peer must still be recognized.
+    known_nodes: HashMap<NodeId, u64>,
+    /// Switches currently declared dead (for `SwitchUp` on return).
+    down_dpids: HashSet<u64>,
+    /// Standing attack-block drop entries per dpid (insertion order,
+    /// deduplicated). Unlike flow records these never expire: a block
+    /// outlives the flow it stopped and is reinstalled by audits after
+    /// crashes and partitions.
+    blocks: HashMap<u64, Vec<Match>>,
+    /// Switches with a flow-table audit in flight.
+    auditing: HashSet<u64>,
+    /// Audit every online switch every this many housekeeping ticks
+    /// (0 = only audit on reconnect). Reconnect audits cover faults
+    /// the liveness timeout noticed; this background sweep bounds how
+    /// long flow-mods eaten by a *shorter* partition — which neither
+    /// side ever observes — can keep the tables diverged.
+    audit_every_ticks: u64,
+    /// Fault-tolerance counters surfaced by `health_stats`.
+    health: HealthStats,
+
     tick: SimDuration,
     lldp_every_ticks: u64,
     stats_every_ticks: u64,
@@ -190,6 +257,16 @@ impl Controller {
             batches_flushed: 0,
             messages_batched: 0,
             max_batch_len: 0,
+            switch_liveness: HashMap::new(),
+            switch_timeout: SimDuration::from_secs(3),
+            echo_every_ticks: 10,
+            known_dpids: HashSet::new(),
+            known_nodes: HashMap::new(),
+            down_dpids: HashSet::new(),
+            blocks: HashMap::new(),
+            auditing: HashSet::new(),
+            audit_every_ticks: 50,
+            health: HealthStats::default(),
             tick: SimDuration::from_millis(100),
             lldp_every_ticks: 5,
             stats_every_ticks: 0,
@@ -261,10 +338,35 @@ impl Controller {
         self
     }
 
+    /// Sets the switch liveness timeout (default 3 s) — how long a
+    /// switch's secure channel may stay silent before the controller
+    /// declares it dead and evicts its state.
+    pub fn with_switch_timeout(mut self, d: SimDuration) -> Self {
+        self.switch_timeout = d;
+        self
+    }
+
+    /// Sets how often (in 100 ms housekeeping ticks) the controller
+    /// echo-probes every registered switch (default 10, i.e. every
+    /// second; 0 disables probing — liveness then rides on packet-ins
+    /// and the switches' own keepalives).
+    pub fn with_echo_every_ticks(mut self, every: u64) -> Self {
+        self.echo_every_ticks = every;
+        self
+    }
+
     /// Enables periodic port-stats polling every `every` housekeeping
     /// ticks (100 ms each); produces `LinkLoad` monitor events.
     pub fn with_stats_polling(mut self, every: u64) -> Self {
         self.stats_every_ticks = every;
+        self
+    }
+
+    /// Sets how often (in housekeeping ticks, 100 ms each) every
+    /// online switch gets a background flow-table audit; 0 audits
+    /// only on reconnect. Default: 50 (every 5 s).
+    pub fn with_audit_every_ticks(mut self, every: u64) -> Self {
+        self.audit_every_ticks = every;
         self
     }
 
@@ -384,6 +486,11 @@ impl Controller {
         self.se_timeout = d;
     }
 
+    /// Sets the switch liveness timeout in place.
+    pub fn set_switch_timeout(&mut self, d: SimDuration) {
+        self.switch_timeout = d;
+    }
+
     /// Enables the DHCP directory proxy in place.
     pub fn set_directory(&mut self, directory: DirectoryProxy) {
         self.directory = Some(directory);
@@ -491,6 +598,80 @@ impl Controller {
     /// [`Controller::nib_json`] and the monitor event feed.
     pub fn fast_path_json(&self) -> String {
         self.fast_path_stats().to_json()
+    }
+
+    /// Control-plane health counters: liveness probes, switch
+    /// down/up transitions, degraded-mode reports, and the
+    /// reconciliation audit figures.
+    pub fn health_stats(&self) -> HealthStats {
+        let mut h = self.health;
+        h.switches_online = self.topo.switch_count() as u64;
+        h.switches_known = self.known_dpids.len() as u64;
+        h
+    }
+
+    /// The health counters as pretty JSON.
+    pub fn health_json(&self) -> String {
+        self.health_stats().to_json()
+    }
+
+    /// The flow entries the controller believes `dpid` should hold, as
+    /// `(matcher, priority, cookie)` — what the reconciliation audit
+    /// enforces. Exposed so tests can compare against the switch's
+    /// actual table.
+    pub fn desired_entries(&self, dpid: u64) -> Vec<(Match, u16, u64)> {
+        let mut v: Vec<(Match, u16, u64)> = self
+            .desired_for(dpid)
+            .iter()
+            .map(|d| (d.matcher, d.priority, d.cookie))
+            .collect();
+        v.sort_by_key(|a| (a.1, a.0.to_string()));
+        v
+    }
+
+    /// Collects the desired flow-table state for one switch from the
+    /// active-flow records: every steering-program entry placed there
+    /// (tagged exactly as [`Controller::install_program`] tagged it)
+    /// plus any attack-block drop entries.
+    fn desired_for(&self, dpid: u64) -> Vec<DesiredEntry> {
+        let idle = Some(self.flow_idle_timeout.as_nanos());
+        let mut out = Vec::new();
+        for rec in self.active.values() {
+            for (program, cookie) in [
+                (&rec.forward, INGRESS_COOKIE),
+                (&rec.reverse, REVERSE_COOKIE),
+            ] {
+                for (i, entry) in program.entries.iter().enumerate() {
+                    if entry.dpid != dpid {
+                        continue;
+                    }
+                    let tag = (i == 0).then_some(cookie);
+                    out.push(DesiredEntry {
+                        matcher: entry.matcher,
+                        priority: entry.priority,
+                        cookie: tag.unwrap_or(0),
+                        actions: entry.actions.clone(),
+                        idle_timeout: idle,
+                        notify_removed: tag.is_some(),
+                    });
+                }
+            }
+        }
+        // Block entries come from the standing block registry, not the
+        // records: a blocked flow's record retires once its (shadowed)
+        // steering entries idle out, but the drop rule is security
+        // state that must survive that — and survive switch restarts.
+        for matcher in self.blocks.get(&dpid).into_iter().flatten() {
+            out.push(DesiredEntry {
+                matcher: *matcher,
+                priority: BLOCK_PRIORITY,
+                cookie: BLOCK_COOKIE,
+                actions: Vec::new(),
+                idle_timeout: None,
+                notify_removed: false,
+            });
+        }
+        out
     }
 
     /// Queues `msg` for `node`; everything queued during one event
@@ -800,12 +981,17 @@ impl Controller {
             actions: Vec::new(), // drop
             idle_timeout: None,
             hard_timeout: None,
-            cookie: 0,
+            cookie: BLOCK_COOKIE,
             notify_removed: false,
         };
         self.send_to_dpid(loc.dpid, &msg);
+        let standing = self.blocks.entry(loc.dpid).or_default();
+        if !standing.contains(&matcher) {
+            standing.push(matcher);
+        }
         if let Some(rec) = self.active.get_mut(key) {
             rec.blocked = true;
+            rec.block = Some((loc.dpid, matcher));
         }
         self.monitor.record(
             ctx.now(),
@@ -878,10 +1064,57 @@ impl Controller {
         }
     }
 
+    /// Reinstalls everything `key`'s record says should be in the
+    /// network — both steering programs and the block entry, if any.
+    /// Flow-mod `Add`s replace identical (match, priority) entries, so
+    /// repairing state that partially survived a fault is harmless.
+    fn repair_flow(&mut self, now: SimTime, key: &FlowKey) {
+        let Some(rec) = self.active.get_mut(key) else {
+            return;
+        };
+        rec.installed_at = now; // rate-limits repeated repairs
+        let forward = Rc::clone(&rec.forward);
+        let reverse = Rc::clone(&rec.reverse);
+        let block = rec.block;
+        self.health.flow_repairs += 1;
+        self.install_program(&forward, Some(INGRESS_COOKIE));
+        self.install_program(&reverse, Some(REVERSE_COOKIE));
+        if let Some((dpid, matcher)) = block {
+            self.send_to_dpid(
+                dpid,
+                &OfMessage::FlowMod {
+                    command: FlowModCommand::Add,
+                    matcher,
+                    priority: BLOCK_PRIORITY,
+                    actions: Vec::new(), // drop
+                    idle_timeout: None,
+                    hard_timeout: None,
+                    cookie: BLOCK_COOKIE,
+                    notify_removed: false,
+                },
+            );
+        }
+    }
+
     fn handle_flow(&mut self, ctx: &mut Ctx<'_>, dpid: u64, in_port: u32, pkt: &Packet) {
         let Some(key) = FlowKey::of(pkt) else { return };
         if Some(in_port) == self.topo.uplink_of(dpid) {
-            return; // mid-path packet; setup happens at the ingress
+            // Mid-path packets only miss when the switch lost entries
+            // the controller believes installed (flow-mods eaten by a
+            // control-channel fault): reinstall them from the record.
+            // Flow *setup* still only ever happens at the ingress.
+            let now = ctx.now();
+            for k in [key, key.reversed()] {
+                if self
+                    .active
+                    .get(&k)
+                    .is_some_and(|r| now.saturating_since(r.installed_at) > REPAIR_GUARD)
+                {
+                    self.repair_flow(now, &k);
+                    break;
+                }
+            }
+            return;
         }
         let now = ctx.now();
         // Learn or refresh the sender's location from data traffic too.
@@ -901,7 +1134,19 @@ impl Controller {
             self.locations.touch(key.dl_src, now);
         }
 
-        if let Some(rec) = self.active.get(&key) {
+        if self.active.contains_key(&key) {
+            // Past the guard this packet-in means the switch lost the
+            // flow's entries (including the block entry for blocked
+            // flows — their packets otherwise drop at the switch):
+            // reinstall before handling the packet itself.
+            if self
+                .active
+                .get(&key)
+                .is_some_and(|r| now.saturating_since(r.installed_at) > REPAIR_GUARD)
+            {
+                self.repair_flow(now, &key);
+            }
+            let rec = self.active.get(&key).expect("checked above");
             if rec.blocked {
                 return;
             }
@@ -1007,7 +1252,7 @@ impl Controller {
             actions: Vec::new(),
             idle_timeout: Some(self.flow_idle_timeout.as_nanos()),
             hard_timeout: None,
-            cookie: 0,
+            cookie: DENY_COOKIE,
             notify_removed: false,
         };
         self.send_to_dpid(dpid, &msg);
@@ -1140,6 +1385,10 @@ impl Controller {
                 elements: elements.clone(),
                 ingress_dpid: dpid,
                 ingress_actions,
+                forward,
+                reverse,
+                block: None,
+                installed_at: now,
                 app: None,
                 blocked: false,
                 fwd_done: None,
@@ -1225,12 +1474,14 @@ impl Controller {
                 &OfMessage::delete_flows(Match::any().with_dl_dst(se_mac)),
             );
         }
-        let affected: Vec<FlowKey> = self
+        let mut affected: Vec<FlowKey> = self
             .active
             .iter()
             .filter(|(_, rec)| rec.elements.contains(&se_mac))
             .map(|(k, _)| *k)
             .collect();
+        // `active` is a HashMap; keep the delete order run-stable.
+        affected.sort_unstable_by_key(|k| k.to_string());
         for key in affected {
             if let Some(rec) = self.active.remove(&key) {
                 for mac in &rec.elements {
@@ -1247,6 +1498,166 @@ impl Controller {
                     );
                 }
             }
+        }
+    }
+
+    /// Declares a switch dead after its liveness timeout: its hosts
+    /// depart (like SE expiry and port failure), flows entering there
+    /// are dropped from the books, its topology state is removed, and
+    /// the cache's topology epoch advances so no decision compiled
+    /// through it is ever replayed across the outage.
+    fn mark_switch_down(&mut self, now: SimTime, dpid: u64) {
+        self.health.switch_downs += 1;
+        self.down_dpids.insert(dpid);
+        self.monitor.record(now, EventKind::SwitchDown { dpid });
+        if let Some(c) = self.cache.as_mut() {
+            c.note_topology_change();
+        }
+        // evict_dpid iterates a BTreeMap, so departures are recorded in
+        // MAC order — deterministic across runs.
+        for mac in self.locations.evict_dpid(dpid) {
+            if let Some(c) = self.cache.as_mut() {
+                c.invalidate_mac(mac);
+            }
+            self.monitor.record(now, EventKind::UserLeave { mac });
+            if self.registry.force_offline(mac) {
+                self.monitor.record(now, EventKind::SeOffline { mac });
+                self.cleanup_se(mac);
+            }
+        }
+        // Flows that entered at the dead switch lost their ingress; no
+        // FlowEnd — their counters died with the switch.
+        let mut orphans: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter(|(_, rec)| rec.ingress_dpid == dpid)
+            .map(|(k, _)| *k)
+            .collect();
+        // HashMap iteration order is arbitrary; sort so the delete
+        // batches below are identical run to run.
+        orphans.sort_unstable_by_key(|k| k.to_string());
+        for key in orphans {
+            if let Some(rec) = self.active.remove(&key) {
+                for mac in &rec.elements {
+                    self.registry.adjust_outstanding(*mac, -1);
+                }
+                // The programs span other switches; without this, their
+                // mid-path entries would linger there as stale state no
+                // audit covers (the surviving switches never reconnect,
+                // so they are never reconciled). Deletes aimed at the
+                // dead switch itself are pointless but harmless — its
+                // channel is gone.
+                for program in [&rec.forward, &rec.reverse] {
+                    for entry in &program.entries {
+                        if entry.dpid == dpid {
+                            continue;
+                        }
+                        self.send_to_dpid(
+                            entry.dpid,
+                            &OfMessage::FlowMod {
+                                command: FlowModCommand::DeleteStrict,
+                                matcher: entry.matcher,
+                                priority: entry.priority,
+                                actions: Vec::new(),
+                                idle_timeout: None,
+                                hard_timeout: None,
+                                cookie: 0,
+                                notify_removed: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.topo.remove_switch(dpid);
+        self.switch_liveness.remove(&dpid);
+        self.auditing.remove(&dpid);
+    }
+
+    /// Starts a flow-table audit of a switch: one full flow-stats
+    /// sweep; the reply is reconciled against the desired state in
+    /// [`Controller::reconcile`]. The request is re-sent even when an
+    /// audit is already marked in flight — the earlier request or its
+    /// reply may itself have been lost to the very fault the audit is
+    /// meant to repair, and a stuck `auditing` flag must never block
+    /// the switch from ever being audited again.
+    fn audit_switch(&mut self, dpid: u64) {
+        if self.auditing.insert(dpid) {
+            self.health.audits += 1;
+        }
+        self.send_to_dpid(
+            dpid,
+            &OfMessage::StatsRequest(StatsRequestKind::Flow(Match::any())),
+        );
+    }
+
+    /// Compares a switch's reported flow table against the desired
+    /// state and repairs the delta: stale entries (installed before the
+    /// outage for flows since forgotten) are deleted, missing entries
+    /// (desired state wiped by a crash) are reinstalled. Deny entries
+    /// are skipped — the controller keeps no record of them and they
+    /// self-expire.
+    fn reconcile(&mut self, now: SimTime, dpid: u64, reported: &[livesec_openflow::FlowStats]) {
+        let desired = self.desired_for(dpid);
+        let want: HashSet<(Match, u16)> = desired.iter().map(|d| (d.matcher, d.priority)).collect();
+        let have: HashSet<(Match, u16)> = reported
+            .iter()
+            .filter(|s| s.cookie != DENY_COOKIE)
+            .map(|s| (s.matcher, s.priority))
+            .collect();
+        // Both sides come out of hash containers; sort the fix lists so
+        // the flow-mod order (and any FlowRemoved notifications they
+        // trigger) is identical across same-seed runs.
+        let sort_key = |m: &Match, p: u16| (p, m.to_string());
+        let mut stale: Vec<(Match, u16)> =
+            have.iter().filter(|k| !want.contains(k)).copied().collect();
+        stale.sort_by_key(|(m, p)| sort_key(m, *p));
+        let mut missing: Vec<&DesiredEntry> = desired
+            .iter()
+            .filter(|d| !have.contains(&(d.matcher, d.priority)))
+            .collect();
+        missing.sort_by_key(|d| sort_key(&d.matcher, d.priority));
+        let (removed, reinstalled) = (stale.len() as u64, missing.len() as u64);
+        for (matcher, priority) in stale {
+            self.send_to_dpid(
+                dpid,
+                &OfMessage::FlowMod {
+                    command: FlowModCommand::DeleteStrict,
+                    matcher,
+                    priority,
+                    actions: Vec::new(),
+                    idle_timeout: None,
+                    hard_timeout: None,
+                    cookie: 0,
+                    notify_removed: false,
+                },
+            );
+        }
+        for d in missing {
+            let msg = OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                matcher: d.matcher,
+                priority: d.priority,
+                actions: d.actions.clone(),
+                idle_timeout: d.idle_timeout,
+                hard_timeout: None,
+                cookie: d.cookie,
+                notify_removed: d.notify_removed,
+            };
+            self.send_to_dpid(dpid, &msg);
+        }
+        self.health.flows_removed += removed;
+        self.health.flows_reinstalled += reinstalled;
+        if removed + reinstalled > 0 {
+            self.health.resyncs += 1;
+            self.monitor.record(
+                now,
+                EventKind::Resync {
+                    dpid,
+                    removed,
+                    reinstalled,
+                },
+            );
         }
     }
 
@@ -1275,22 +1686,30 @@ impl Controller {
     }
 
     fn handle_stats(&mut self, now: SimTime, dpid: u64, body: StatsBody) {
-        if let StatsBody::Port(stats) = body {
-            for s in stats {
-                let prev = self
-                    .last_port_stats
-                    .insert((dpid, s.port_no), (s.tx_bytes, s.rx_bytes))
-                    .unwrap_or((0, 0));
-                self.monitor.record(
-                    now,
-                    EventKind::LinkLoad {
-                        dpid,
-                        port: s.port_no,
-                        tx_bytes: s.tx_bytes.saturating_sub(prev.0),
-                        rx_bytes: s.rx_bytes.saturating_sub(prev.1),
-                    },
-                );
+        match body {
+            StatsBody::Port(stats) => {
+                for s in stats {
+                    let prev = self
+                        .last_port_stats
+                        .insert((dpid, s.port_no), (s.tx_bytes, s.rx_bytes))
+                        .unwrap_or((0, 0));
+                    self.monitor.record(
+                        now,
+                        EventKind::LinkLoad {
+                            dpid,
+                            port: s.port_no,
+                            tx_bytes: s.tx_bytes.saturating_sub(prev.0),
+                            rx_bytes: s.rx_bytes.saturating_sub(prev.1),
+                        },
+                    );
+                }
             }
+            StatsBody::Flow(stats) => {
+                if self.auditing.remove(&dpid) {
+                    self.reconcile(now, dpid, &stats);
+                }
+            }
+            StatsBody::Description { .. } => {}
         }
     }
 
@@ -1370,6 +1789,36 @@ impl Node for Controller {
         if self.tick_count % self.lldp_every_ticks == 1 {
             self.probe_all();
         }
+        if self.echo_every_ticks > 0 && self.tick_count.is_multiple_of(self.echo_every_ticks) {
+            let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
+            for dpid in dpids {
+                self.health.echo_probes_sent += 1;
+                self.send_to_dpid(dpid, &OfMessage::EchoRequest(self.tick_count));
+            }
+        }
+        // Liveness sweep: a registered switch silent past the timeout
+        // is dead. Sorted — switch_liveness is a HashMap and the
+        // SwitchDown/UserLeave event order must be run-stable.
+        let mut dead: Vec<u64> = self
+            .switch_liveness
+            .iter()
+            .filter(|(_, last)| now.saturating_since(**last) > self.switch_timeout)
+            .map(|(dpid, _)| *dpid)
+            .collect();
+        dead.sort_unstable();
+        for dpid in dead {
+            self.mark_switch_down(now, dpid);
+        }
+        // Background reconciliation sweep: catches flow-mods silently
+        // eaten by control-channel faults too short for the liveness
+        // timeout to notice (no disconnect => no reconnect audit).
+        if self.audit_every_ticks > 0 && self.tick_count.is_multiple_of(self.audit_every_ticks) {
+            let mut dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
+            dpids.sort_unstable();
+            for dpid in dpids {
+                self.audit_switch(dpid);
+            }
+        }
         if self.stats_every_ticks > 0 && self.tick_count.is_multiple_of(self.stats_every_ticks) {
             let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
             for dpid in dpids {
@@ -1399,24 +1848,63 @@ impl Node for Controller {
         let Ok((msg, xid)) = codec::decode(bytes) else {
             return;
         };
+        // Any decodable message from a registered switch proves its
+        // secure channel is alive.
+        if let Some(dpid) = self.topo.dpid_of_node(peer) {
+            self.switch_liveness.insert(dpid, ctx.now());
+        }
         match msg {
             OfMessage::Hello => {
+                // A hello from a switch we already know means it lost
+                // the session (crash or degraded-mode reconnect).
+                if let Some(&dpid) = self.known_nodes.get(&peer) {
+                    self.health.degraded_reports += 1;
+                    self.monitor
+                        .record(ctx.now(), EventKind::DegradedMode { dpid });
+                }
                 self.send(peer, &OfMessage::Hello);
                 self.send(peer, &OfMessage::FeaturesRequest);
             }
             OfMessage::EchoRequest(v) => {
                 ctx.send_control(peer, codec::encode(&OfMessage::EchoReply(v), xid));
+                // A keepalive from a switch we deregistered (it never
+                // noticed the outage): kick a re-handshake so it
+                // re-registers and gets audited.
+                if self.topo.dpid_of_node(peer).is_none() && self.known_nodes.contains_key(&peer) {
+                    self.send(peer, &OfMessage::FeaturesRequest);
+                }
+            }
+            OfMessage::EchoReply(_) => {
+                self.health.echo_replies_seen += 1;
             }
             OfMessage::FeaturesReply {
                 datapath_id,
                 n_ports,
             } => {
-                if self.topo.add_switch(datapath_id, peer, n_ports) {
+                let rejoined = self.known_dpids.contains(&datapath_id);
+                let was_new = self.topo.add_switch(datapath_id, peer, n_ports);
+                self.known_dpids.insert(datapath_id);
+                self.known_nodes.insert(peer, datapath_id);
+                self.switch_liveness.insert(datapath_id, ctx.now());
+                if was_new {
                     if let Some(c) = self.cache.as_mut() {
                         c.note_topology_change();
                     }
-                    self.monitor
-                        .record(ctx.now(), EventKind::SwitchJoin { dpid: datapath_id });
+                    if !rejoined {
+                        self.monitor
+                            .record(ctx.now(), EventKind::SwitchJoin { dpid: datapath_id });
+                    }
+                }
+                if rejoined {
+                    if self.down_dpids.remove(&datapath_id) {
+                        self.health.switch_ups += 1;
+                        self.monitor
+                            .record(ctx.now(), EventKind::SwitchUp { dpid: datapath_id });
+                    }
+                    // The switch's table may have diverged during the
+                    // outage (crash wipes it; a partition strands
+                    // entries for flows since forgotten): audit it.
+                    self.audit_switch(datapath_id);
                 }
                 self.probe_switch(datapath_id);
             }

@@ -150,6 +150,23 @@ impl LocationTable {
         dead
     }
 
+    /// Removes every host attached to any port of `dpid` (dead-switch
+    /// handling); returns them.
+    pub fn evict_dpid(&mut self, dpid: u64) -> Vec<MacAddr> {
+        let dead: Vec<MacAddr> = self
+            .by_mac
+            .iter()
+            .filter(|(_, loc)| loc.dpid == dpid)
+            .map(|(mac, _)| *mac)
+            .collect();
+        for mac in &dead {
+            if let Some(loc) = self.by_mac.remove(mac) {
+                self.by_ip.remove(&loc.ip);
+            }
+        }
+        dead
+    }
+
     /// Number of known hosts.
     pub fn len(&self) -> usize {
         self.by_mac.len()
@@ -236,6 +253,18 @@ mod tests {
         let gone = lt.evict_port(1, 2);
         assert_eq!(gone, vec![mac(1)]);
         assert_eq!(lt.len(), 2);
+    }
+
+    #[test]
+    fn evict_dpid_removes_all_attached_hosts() {
+        let mut lt = LocationTable::new();
+        lt.learn(mac(1), ip(1), 1, 2, t(0));
+        lt.learn(mac(2), ip(2), 1, 3, t(0));
+        lt.learn(mac(3), ip(3), 2, 2, t(0));
+        let gone = lt.evict_dpid(1);
+        assert_eq!(gone, vec![mac(1), mac(2)]);
+        assert_eq!(lt.len(), 1);
+        assert!(lt.lookup_ip(ip(2)).is_none(), "ip index cleaned");
     }
 
     #[test]

@@ -149,6 +149,34 @@ pub enum EventKind {
         /// Received bytes since the previous sample.
         rx_bytes: u64,
     },
+    /// A switch's secure channel went silent past the liveness timeout;
+    /// the controller evicted its locations and routes.
+    SwitchDown {
+        /// The dead switch.
+        dpid: u64,
+    },
+    /// A switch the controller had declared down re-established its
+    /// secure channel.
+    SwitchUp {
+        /// The recovered switch.
+        dpid: u64,
+    },
+    /// A reconnecting switch reported in after operating without a
+    /// controller (it re-offered a hello, so by its own account it was
+    /// running in its configured fail mode).
+    DegradedMode {
+        /// The switch.
+        dpid: u64,
+    },
+    /// A reconciliation audit found and fixed a flow-table delta.
+    Resync {
+        /// The audited switch.
+        dpid: u64,
+        /// Stale entries deleted.
+        removed: u64,
+        /// Missing entries reinstalled.
+        reinstalled: u64,
+    },
 }
 
 impl EventKind {
@@ -171,6 +199,10 @@ impl EventKind {
             EventKind::SeLoad { .. } => "se_load",
             EventKind::PortChange { .. } => "port_change",
             EventKind::LinkLoad { .. } => "link_load",
+            EventKind::SwitchDown { .. } => "switch_down",
+            EventKind::SwitchUp { .. } => "switch_up",
+            EventKind::DegradedMode { .. } => "degraded_mode",
+            EventKind::Resync { .. } => "resync",
         }
     }
 }
@@ -348,6 +380,12 @@ impl Monitor {
                 } => {
                     f.link_load.insert((*dpid, *port), (*tx_bytes, *rx_bytes));
                 }
+                EventKind::SwitchDown { dpid } => {
+                    f.switches.remove(dpid);
+                }
+                EventKind::SwitchUp { dpid } => {
+                    f.switches.insert(*dpid);
+                }
                 _ => {}
             }
         }
@@ -385,6 +423,47 @@ pub struct FastPathStats {
 }
 
 impl FastPathStats {
+    /// The JSON form a monitoring UI polls.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats are serializable")
+    }
+}
+
+/// Control-plane health counters — the observable surface of the
+/// fault-tolerance layer (liveness probing, dead-switch handling, and
+/// flow-table reconciliation). Returned by `Controller::health_stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthStats {
+    /// Echo requests the controller sent to probe switch liveness.
+    pub echo_probes_sent: u64,
+    /// Echo replies received back from switches.
+    pub echo_replies_seen: u64,
+    /// Switches declared dead (liveness timeout exceeded).
+    pub switch_downs: u64,
+    /// Formerly-dead switches that re-established their channel.
+    pub switch_ups: u64,
+    /// Reconnecting switches that reported in after running degraded.
+    pub degraded_reports: u64,
+    /// Flow-table audits started (one stats sweep each).
+    pub audits: u64,
+    /// Audits that found and fixed a nonzero delta.
+    pub resyncs: u64,
+    /// Stale flow entries deleted by reconciliation.
+    pub flows_removed: u64,
+    /// Missing flow entries reinstalled by reconciliation.
+    pub flows_reinstalled: u64,
+    /// Flows whose entries were reinstalled from the data path: a
+    /// packet-in for an already-installed flow, past the race window,
+    /// means the switch lost the entries to a control-channel fault
+    /// too short for the liveness timeout to notice.
+    pub flow_repairs: u64,
+    /// Switches currently registered (secure channel up).
+    pub switches_online: u64,
+    /// Distinct switches ever seen by this controller.
+    pub switches_known: u64,
+}
+
+impl HealthStats {
     /// The JSON form a monitoring UI polls.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("stats are serializable")

@@ -51,9 +51,12 @@ impl TopologyMap {
     }
 
     /// Registers a switch after its features reply. Returns `true` if
-    /// it was new.
+    /// it was new. Re-registering a known switch (a reconnect after a
+    /// crash or partition) keeps its discovered uplink: the physical
+    /// cabling did not change just because the session did.
     pub fn add_switch(&mut self, dpid: u64, node: NodeId, n_ports: u32) -> bool {
         self.by_node.insert(node, dpid);
+        let uplink = self.switches.get(&dpid).and_then(|s| s.uplink);
         self.switches
             .insert(
                 dpid,
@@ -61,10 +64,22 @@ impl TopologyMap {
                     dpid,
                     node,
                     n_ports,
-                    uplink: None,
+                    uplink,
                 },
             )
             .is_none()
+    }
+
+    /// Deregisters a dead switch: its info and every logical link that
+    /// touches it are dropped. Returns `false` if the dpid was unknown.
+    /// The switch may re-register later via a fresh features reply.
+    pub fn remove_switch(&mut self, dpid: u64) -> bool {
+        let Some(info) = self.switches.remove(&dpid) else {
+            return false;
+        };
+        self.by_node.remove(&info.node);
+        self.links.retain(|l| l.from.0 != dpid && l.to.0 != dpid);
+        true
     }
 
     /// Records an LLDP observation: a probe from `(src_dpid,
@@ -171,6 +186,33 @@ mod tests {
         assert!(t.observe_lldp((2, 1), (1, 1)));
         assert_eq!(t.uplink_of(1), Some(1));
         assert_eq!(t.links().count(), 2);
+    }
+
+    #[test]
+    fn remove_switch_drops_info_and_links() {
+        let mut t = TopologyMap::new();
+        t.add_switch(1, node(10), 4);
+        t.add_switch(2, node(11), 4);
+        t.observe_lldp((1, 1), (2, 1));
+        t.observe_lldp((2, 1), (1, 1));
+        assert!(t.remove_switch(2));
+        assert!(!t.remove_switch(2), "already gone");
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(t.dpid_of_node(node(11)), None);
+        assert_eq!(t.links().count(), 0, "links touching it dropped");
+        // Re-registration works and is reported as new again.
+        assert!(t.add_switch(2, node(11), 4));
+    }
+
+    #[test]
+    fn readd_preserves_uplink() {
+        let mut t = TopologyMap::new();
+        t.add_switch(1, node(10), 4);
+        t.add_switch(2, node(11), 4);
+        t.observe_lldp((2, 1), (1, 3));
+        assert_eq!(t.uplink_of(1), Some(3));
+        assert!(!t.add_switch(1, node(10), 4), "reconnect, not new");
+        assert_eq!(t.uplink_of(1), Some(3), "uplink survives the session");
     }
 
     #[test]

@@ -77,6 +77,16 @@ impl SwitchChannel {
         self.send(&OfMessage::Hello)
     }
 
+    /// Resets the session as a crash-restart would: transaction ids
+    /// restart from 1, the peer's hello is forgotten, and the keepalive
+    /// counter zeroes. The switch identity (datapath id, port count)
+    /// survives — it is hardware, not session state.
+    pub fn reset(&mut self) {
+        self.next_xid = 1;
+        self.peer_hello_seen = false;
+        self.echo_replies_seen = 0;
+    }
+
     /// Encodes an outbound message with a fresh transaction id.
     pub fn send(&mut self, msg: &OfMessage) -> Vec<u8> {
         let xid = self.next_xid;
@@ -286,6 +296,21 @@ mod tests {
                 n_ports: 8
             }
         );
+    }
+
+    #[test]
+    fn reset_forgets_session_but_keeps_identity() {
+        let mut ch = SwitchChannel::new(0xabc, 24);
+        let hello = encode(&OfMessage::Hello, 1);
+        ch.receive(&hello).unwrap();
+        let _ = ch.send(&OfMessage::Hello);
+        assert!(ch.is_established());
+        ch.reset();
+        assert!(!ch.is_established(), "peer hello forgotten");
+        assert_eq!(ch.datapath_id(), 0xabc, "identity survives");
+        let a = ch.send(&OfMessage::Hello);
+        let (_, xid) = decode(&a).unwrap();
+        assert_eq!(xid, 1, "xids restart");
     }
 
     #[test]

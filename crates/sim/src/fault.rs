@@ -1,0 +1,150 @@
+//! Deterministic fault injection: the [`FaultPlan`].
+//!
+//! A fault plan is a seed-driven schedule of control-plane and link
+//! faults. Installing one into a [`crate::World`] enqueues each fault
+//! as an ordinary simulation event, so fault runs are exactly as
+//! deterministic as fault-free ones: the same seed and plan produce a
+//! byte-identical event history.
+
+use crate::ids::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// A single scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Partition `node`'s control channel: control messages to and
+    /// from it silently vanish until [`FaultKind::HealControl`].
+    PartitionControl {
+        /// The node whose secure channel is cut.
+        node: NodeId,
+    },
+    /// Heal a control-channel partition installed earlier.
+    HealControl {
+        /// The node whose secure channel is restored.
+        node: NodeId,
+    },
+    /// Take the data link attached to `(node, port)` down in both
+    /// directions. Unlike [`crate::World::disconnect`] the link object
+    /// survives and can come back with [`FaultKind::LinkUp`].
+    LinkDown {
+        /// Either endpoint of the link.
+        node: NodeId,
+        /// The port on that endpoint.
+        port: PortId,
+    },
+    /// Bring a flapped link back up.
+    LinkUp {
+        /// The endpoint named in the matching [`FaultKind::LinkDown`].
+        node: NodeId,
+        /// The port on that endpoint.
+        port: PortId,
+    },
+    /// Crash `node` and immediately restart it: the node's
+    /// [`crate::Node::on_crash_restart`] hook runs, wiping whatever
+    /// volatile state the node models (e.g. an OpenFlow flow table).
+    CrashRestart {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Corrupt the next `count` control messages sent *by* `node`
+    /// (one random byte each, drawn from the plan's dedicated RNG).
+    CorruptControl {
+        /// The sender whose frames get mangled.
+        node: NodeId,
+        /// How many outgoing control messages to corrupt.
+        count: u32,
+    },
+}
+
+/// A fault and the absolute simulated time at which it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-driven schedule of faults.
+///
+/// Build one with [`FaultPlan::new`] and [`FaultPlan::at`], then hand
+/// it to [`crate::World::install_fault_plan`]. The `seed` drives only
+/// the *corruption* RNG — it is deliberately separate from the world's
+/// traffic RNG so enabling faults never perturbs the random choices an
+/// otherwise-identical fault-free run would make.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault RNG (frame corruption).
+    pub seed: u64,
+    /// The scheduled faults, in whatever order they were added.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given corruption-RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules `kind` at absolute time `at` (builder style).
+    #[must_use]
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Schedules `kind` at absolute time `at` (in-place).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last scheduled fault, if any.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new(9)
+            .at(
+                SimTime::from_nanos(5),
+                FaultKind::PartitionControl { node: NodeId(1) },
+            )
+            .at(
+                SimTime::from_nanos(9),
+                FaultKind::HealControl { node: NodeId(1) },
+            );
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.last_at(), Some(SimTime::from_nanos(9)));
+        assert_eq!(
+            plan.events[0].kind,
+            FaultKind::PartitionControl { node: NodeId(1) }
+        );
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let plan = FaultPlan::new(0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.last_at(), None);
+    }
+}

@@ -33,6 +33,7 @@
 //! assert_eq!(stats.end, SimTime::from_nanos(1_000_000_000));
 //! ```
 
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod tap;
 pub mod time;
 pub mod world;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{NodeId, PortId};
 pub use link::LinkSpec;
 pub use metrics::{format_bps, LatencySummary, ThroughputMeter};
@@ -51,6 +53,7 @@ pub use world::{Kernel, PortCounters, RunStats, World};
 
 /// Convenient glob-import surface: `use livesec_sim::prelude::*;`.
 pub mod prelude {
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::ids::{NodeId, PortId};
     pub use crate::link::LinkSpec;
     pub use crate::metrics::{format_bps, LatencySummary, ThroughputMeter};

@@ -45,6 +45,18 @@ pub trait Node: Any {
         let _ = ctx;
     }
 
+    /// The node crashed and immediately restarted (a
+    /// [`crate::fault::FaultKind::CrashRestart`] fault fired).
+    ///
+    /// Implementations should wipe whatever state would not survive a
+    /// real power cycle — an OpenFlow switch loses its flow table and
+    /// secure-channel session, for instance — and re-run any boot-time
+    /// protocol (e.g. re-send `Hello`). The default does nothing:
+    /// stateless nodes shrug a restart off.
+    fn on_crash_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
     /// Upcast for downcasting to the concrete node type.
     fn as_any(&self) -> &dyn Any;
 

@@ -1,14 +1,15 @@
 //! The [`World`]: nodes, links, the event queue, and the run loop.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::ids::{NodeId, PortId};
 use crate::link::{LinkDir, LinkSpec, Offer};
 use crate::node::{Ctx, Node};
 use crate::time::{SimDuration, SimTime};
 use livesec_net::Packet;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -27,6 +28,8 @@ enum EventKind {
         peer: NodeId,
         bytes: Vec<u8>,
     },
+    /// Apply a scheduled fault (see [`crate::fault::FaultPlan`]).
+    Fault { kind: FaultKind },
 }
 
 struct Event {
@@ -79,6 +82,16 @@ pub struct Kernel {
     ports: HashMap<(NodeId, PortId), PortCounters>,
     pub(crate) metrics: HashMap<&'static str, u64>,
     events_processed: u64,
+    /// Nodes whose control channel is currently cut: messages to or
+    /// from them vanish (counted in the `fault_control_dropped` metric).
+    partitioned: HashSet<NodeId>,
+    /// Link endpoints currently flapped down; blocks both directions.
+    blocked_links: HashSet<(NodeId, PortId)>,
+    /// Per-sender budget of control frames still to corrupt.
+    corrupt_budget: HashMap<NodeId, u32>,
+    /// Dedicated RNG for fault effects — never shared with `rng`, so
+    /// fault runs don't perturb unrelated random draws.
+    fault_rng: StdRng,
 }
 
 impl Kernel {
@@ -91,11 +104,22 @@ impl Kernel {
 
     pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, pkt: Packet) {
         let bytes = pkt.wire_len();
+        if self.blocked_links.contains(&(node, port)) {
+            self.ports.entry((node, port)).or_default().drops += 1;
+            *self.metrics.entry("fault_frames_blocked").or_insert(0) += 1;
+            return;
+        }
         let counters = self.ports.entry((node, port)).or_default();
         let Some(dir) = self.links.get_mut(&(node, port)) else {
             counters.drops += 1;
             return;
         };
+        // A flap installed from either end blocks both directions.
+        if self.blocked_links.contains(&(dir.to_node, dir.to_port)) {
+            counters.drops += 1;
+            *self.metrics.entry("fault_frames_blocked").or_insert(0) += 1;
+            return;
+        }
         match dir.offer(self.now, bytes) {
             Offer::Deliver(at) => {
                 let (to_node, to_port) = (dir.to_node, dir.to_port);
@@ -120,7 +144,19 @@ impl Kernel {
         self.push(self.now + delay, EventKind::Timer { node, token });
     }
 
-    pub(crate) fn send_control(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+    pub(crate) fn send_control(&mut self, from: NodeId, to: NodeId, mut bytes: Vec<u8>) {
+        if self.partitioned.contains(&from) || self.partitioned.contains(&to) {
+            *self.metrics.entry("fault_control_dropped").or_insert(0) += 1;
+            return;
+        }
+        if let Some(budget) = self.corrupt_budget.get_mut(&from) {
+            if *budget > 0 && !bytes.is_empty() {
+                *budget -= 1;
+                let pos = self.fault_rng.gen_range(0..bytes.len());
+                bytes[pos] ^= self.fault_rng.gen_range(1u8..=255);
+                *self.metrics.entry("fault_control_corrupted").or_insert(0) += 1;
+            }
+        }
         self.push(
             self.now + self.control_latency,
             EventKind::Control {
@@ -197,6 +233,10 @@ impl World {
                 ports: HashMap::new(),
                 metrics: HashMap::new(),
                 events_processed: 0,
+                partitioned: HashSet::new(),
+                blocked_links: HashSet::new(),
+                corrupt_budget: HashMap::new(),
+                fault_rng: StdRng::seed_from_u64(seed ^ 0xfa_417),
             },
             nodes: Vec::new(),
             started: false,
@@ -324,11 +364,53 @@ impl World {
                 EventKind::Control { node, peer, bytes } => {
                     self.with_node(node, |n, ctx| n.on_control(ctx, peer, &bytes));
                 }
+                EventKind::Fault { kind } => self.apply_fault(kind),
             }
         }
         RunStats {
             events: self.kernel.events_processed,
             end: self.kernel.now,
+        }
+    }
+
+    /// Installs a [`FaultPlan`]: every scheduled fault becomes an
+    /// ordinary event in the queue, and the plan's seed (re)seeds the
+    /// dedicated corruption RNG. Faults scheduled in the past are
+    /// rejected with a panic in debug builds, like any other event.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.kernel.fault_rng = StdRng::seed_from_u64(plan.seed);
+        for ev in &plan.events {
+            self.kernel.push(ev.at, EventKind::Fault { kind: ev.kind });
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::PartitionControl { node } => {
+                self.kernel.partitioned.insert(node);
+                *self.kernel.metrics.entry("fault_partitions").or_insert(0) += 1;
+            }
+            FaultKind::HealControl { node } => {
+                self.kernel.partitioned.remove(&node);
+            }
+            FaultKind::LinkDown { node, port } => {
+                self.kernel.blocked_links.insert((node, port));
+                *self.kernel.metrics.entry("fault_link_flaps").or_insert(0) += 1;
+            }
+            FaultKind::LinkUp { node, port } => {
+                self.kernel.blocked_links.remove(&(node, port));
+            }
+            FaultKind::CrashRestart { node } => {
+                *self
+                    .kernel
+                    .metrics
+                    .entry("fault_crash_restarts")
+                    .or_insert(0) += 1;
+                self.with_node(node, |n, ctx| n.on_crash_restart(ctx));
+            }
+            FaultKind::CorruptControl { node, count } => {
+                *self.kernel.corrupt_budget.entry(node).or_insert(0) += count;
+            }
         }
     }
 

@@ -31,7 +31,7 @@ pub use apps::{
     AttackClient, BitTorrentPeer, DhcpClient, HttpClient, HttpServer, Pinger, SshSession,
     TcpEchoServer, UdpBlaster,
 };
-pub use scenario::{CampusScenario, ScenarioConfig};
+pub use scenario::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 
 /// Convenient glob-import surface: `use livesec_workloads::prelude::*;`.
 pub mod prelude {
@@ -39,5 +39,5 @@ pub mod prelude {
         AttackClient, BitTorrentPeer, DhcpClient, HttpClient, HttpServer, Pinger, SshSession,
         TcpEchoServer, UdpBlaster,
     };
-    pub use crate::scenario::{CampusScenario, ScenarioConfig};
+    pub use crate::scenario::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 }

@@ -11,7 +11,7 @@ use livesec::deploy::{Campus, CampusBuilder, SeHandle, UserHandle};
 use livesec::policy::{PolicyRule, PolicyTable};
 use livesec_net::{Packet, Payload, TcpFlags};
 use livesec_services::{IdsEngine, ProtoIdEngine, ServiceElement, ServiceType};
-use livesec_sim::SimDuration;
+use livesec_sim::{FaultKind, FaultPlan, SimDuration};
 use livesec_switch::{App, HostIo};
 use std::net::Ipv4Addr;
 
@@ -110,6 +110,60 @@ impl App for WebThenTorrent {
     fn on_packet(&mut self, _io: &mut HostIo<'_, '_>, _pkt: &Packet) {}
 }
 
+/// Scheduled control-plane faults for the campus scenario — the
+/// deterministic chaos the robustness suite runs under.
+///
+/// The default plan partitions every AS switch's secure channel once
+/// (staggered, each outage longer than both liveness timeouts so the
+/// switch degrades *and* the controller deregisters it), corrupts a
+/// few control frames right after each heal, and power-cycles one
+/// switch mid-run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the fault injector's corruption RNG.
+    pub fault_seed: u64,
+    /// When the first control-channel partition starts.
+    pub partition_at: SimDuration,
+    /// How long each partition lasts.
+    pub partition_len: SimDuration,
+    /// Delay between successive switches' partitions.
+    pub partition_stagger: SimDuration,
+    /// Index (into the builder's AS switches) of a switch to
+    /// power-cycle, if any.
+    pub crash_switch: Option<usize>,
+    /// When the power cycle happens.
+    pub crash_at: SimDuration,
+    /// Control frames to corrupt from each switch right after its
+    /// partition heals (exercises resynchronization through garbage).
+    pub corrupt_frames: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            fault_seed: 0xc4a05,
+            partition_at: SimDuration::from_secs(5),
+            partition_len: SimDuration::from_secs(4),
+            partition_stagger: SimDuration::from_secs(6),
+            crash_switch: Some(1),
+            crash_at: SimDuration::from_secs(6),
+            corrupt_frames: 2,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// When the last scheduled fault has healed, given `n_switches` AS
+    /// switches — run the world at least this long plus settling time
+    /// to observe full recovery.
+    pub fn last_heal(&self, n_switches: usize) -> SimDuration {
+        let stagger = self.partition_stagger.as_nanos() * n_switches.saturating_sub(1) as u64;
+        SimDuration::from_nanos(
+            self.partition_at.as_nanos() + stagger + self.partition_len.as_nanos(),
+        )
+    }
+}
+
 /// Configuration of the campus scenario.
 #[derive(Clone, Copy, Debug)]
 pub struct ScenarioConfig {
@@ -132,6 +186,8 @@ pub struct ScenarioConfig {
     /// is observably transparent — runs with it on and off produce the
     /// same event history — so this exists for A/B tests and benches.
     pub decision_cache: bool,
+    /// Scheduled control-plane faults (`None` = fault-free run).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -144,6 +200,7 @@ impl Default for ScenarioConfig {
             arp_timeout: SimDuration::from_secs(3),
             flow_idle: SimDuration::from_secs(1),
             decision_cache: true,
+            chaos: None,
         }
     }
 }
@@ -275,8 +332,48 @@ impl CampusScenario {
             move |h| h.with_reannounce_interval(announce),
         );
 
+        let mut campus = b.finish();
+
+        // Schedule the chaos plan against the finished topology: the
+        // faults are ordinary simulator events, so a faulty run is
+        // exactly as deterministic as a fault-free one.
+        if let Some(chaos) = cfg.chaos {
+            let mut plan = FaultPlan::new(chaos.fault_seed);
+            let mut at = chaos.partition_at.as_nanos();
+            for &sw in &campus.as_switches {
+                plan.push(
+                    livesec_sim::SimTime::from_nanos(at),
+                    FaultKind::PartitionControl { node: sw },
+                );
+                let heal = at + chaos.partition_len.as_nanos();
+                plan.push(
+                    livesec_sim::SimTime::from_nanos(heal),
+                    FaultKind::HealControl { node: sw },
+                );
+                if chaos.corrupt_frames > 0 {
+                    plan.push(
+                        livesec_sim::SimTime::from_nanos(heal),
+                        FaultKind::CorruptControl {
+                            node: sw,
+                            count: chaos.corrupt_frames,
+                        },
+                    );
+                }
+                at += chaos.partition_stagger.as_nanos();
+            }
+            if let Some(idx) = chaos.crash_switch {
+                if let Some(&sw) = campus.as_switches.get(idx) {
+                    plan.push(
+                        livesec_sim::SimTime::from_nanos(chaos.crash_at.as_nanos()),
+                        FaultKind::CrashRestart { node: sw },
+                    );
+                }
+            }
+            campus.world.install_fault_plan(&plan);
+        }
+
         CampusScenario {
-            campus: b.finish(),
+            campus,
             web_users,
             ssh_user,
             leaver,

@@ -16,6 +16,10 @@ run() {
 
 run cargo build --release
 run cargo test -q
+# Seeded chaos soak: the campus under scheduled partitions, crashes,
+# and frame corruption over fixed seeds — zero panics, clean
+# health-stat invariants, byte-identical same-seed histories.
+run cargo test -q --test chaos --test reconciliation
 run cargo clippy --workspace -- -D warnings
 run cargo fmt --check
 

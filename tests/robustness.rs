@@ -16,11 +16,13 @@ struct ControlFuzzer {
     controller: Option<NodeId>,
     rng: StdRng,
     remaining: u32,
+    /// Delay before the first fuzz frame (0 = immediately).
+    start_after: SimDuration,
 }
 
 impl Node for ControlFuzzer {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.set_timer(SimDuration::from_micros(200), 1);
+        ctx.set_timer(self.start_after + SimDuration::from_micros(200), 1);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
         if self.remaining == 0 {
@@ -31,14 +33,29 @@ impl Node for ControlFuzzer {
         let len = self.rng.gen_range(0..64);
         let mut bytes = vec![0u8; len];
         self.rng.fill(&mut bytes[..]);
-        // Half the time, corrupt a real message instead of pure noise
-        // (deeper into the decoder).
-        if self.remaining.is_multiple_of(2) {
-            bytes = livesec_openflow::codec::encode(&livesec_openflow::OfMessage::Hello, 1);
-            if !bytes.is_empty() {
-                let pos = self.rng.gen_range(0..bytes.len());
-                bytes[pos] ^= self.rng.gen_range(1u8..=255);
+        // Two thirds of the time, mangle a real message instead of
+        // sending pure noise (deeper into the decoder): either flip a
+        // byte, or truncate it mid-stream so the length prefix promises
+        // more bytes than arrive.
+        match self.remaining % 3 {
+            0 => {
+                bytes = livesec_openflow::codec::encode(&livesec_openflow::OfMessage::Hello, 1);
+                if !bytes.is_empty() {
+                    let pos = self.rng.gen_range(0..bytes.len());
+                    bytes[pos] ^= self.rng.gen_range(1u8..=255);
+                }
             }
+            1 => {
+                bytes = livesec_openflow::codec::encode(
+                    &livesec_openflow::OfMessage::EchoRequest(self.remaining as u64),
+                    1,
+                );
+                if bytes.len() > 1 {
+                    let cut = self.rng.gen_range(1..bytes.len());
+                    bytes.truncate(cut);
+                }
+            }
+            _ => {}
         }
         ctx.send_control(ctrl, bytes);
         ctx.set_timer(SimDuration::from_micros(200), 1);
@@ -111,6 +128,7 @@ fn controller_survives_fuzzed_control_and_rogue_se_traffic() {
         controller: Some(campus.controller),
         rng: StdRng::seed_from_u64(0xf0bb),
         remaining: 5_000,
+        start_after: SimDuration::from_micros(0),
     });
     let _ = fuzzer;
 
@@ -297,4 +315,81 @@ fn link_down_mid_burst_invalidates_and_recompiles() {
         .app()
         .completed;
     assert!(done > 10, "traffic unaffected by the idle uplink: {done}");
+}
+
+/// Hostile reconnect: a switch is partitioned past the liveness
+/// timeout, and the moment the partition heals, its first frames are
+/// corrupted *and* a fuzzer floods the controller with garbage. The
+/// controller must still re-register the switch, audit its table, and
+/// resume serving traffic — resynchronization works through noise.
+#[test]
+fn garbage_right_after_reconnect_still_resynchronizes() {
+    let mut b = CampusBuilder::new(13, 2).with_policy(PolicyTable::allow_all());
+    let gw = b.add_gateway_with_app(0, HttpServer::new());
+    let user = b.add_user(
+        1,
+        HttpClient::new(gw.ip, 20_000).with_think_time(SimDuration::from_millis(200)),
+    );
+    let mut campus = b.finish();
+    let victim = campus.as_switches[1];
+
+    // Partition for 4 s (past the 3 s liveness timeout), then mangle
+    // the switch's first post-heal frames — the reconnect hellos.
+    let heal_ns: u64 = 6_000_000_000;
+    let mut plan = FaultPlan::new(0x6a7ba6e);
+    plan.push(
+        SimTime::from_nanos(2_000_000_000),
+        FaultKind::PartitionControl { node: victim },
+    );
+    plan.push(
+        SimTime::from_nanos(heal_ns),
+        FaultKind::HealControl { node: victim },
+    );
+    plan.push(
+        SimTime::from_nanos(heal_ns),
+        FaultKind::CorruptControl {
+            node: victim,
+            count: 3,
+        },
+    );
+    campus.world.install_fault_plan(&plan);
+    // Independent garbage starts hammering the controller's channel at
+    // the same instant the switch tries to come back.
+    campus.world.add_node(ControlFuzzer {
+        controller: Some(campus.controller),
+        rng: StdRng::seed_from_u64(0x6a7b),
+        remaining: 5_000,
+        start_after: SimDuration::from_nanos(heal_ns),
+    });
+
+    // Three corrupted hellos push the reconnect several backoff steps
+    // out (worst case ~ heal + 7 s); run well past that.
+    campus.world.run_for(SimDuration::from_secs(18));
+
+    let c = campus.controller();
+    let h = c.health_stats();
+    assert!(h.switch_downs >= 1, "the partition was noticed: {h:?}");
+    assert_eq!(
+        h.switch_ups, h.switch_downs,
+        "the switch re-registered through the garbage: {h:?}"
+    );
+    assert!(
+        h.audits >= 1,
+        "the reconnect triggered a flow-table audit: {h:?}"
+    );
+    assert!(c.topology().is_full_mesh(), "discovery recovered");
+    let done = campus
+        .world
+        .node::<Host<HttpClient>>(user.node)
+        .app()
+        .completed;
+    assert!(done > 10, "legitimate traffic kept completing: {done}");
+    // The user (on the victim switch) kept getting flows set up after
+    // the heal, proving the resynchronized switch actually serves.
+    let after_heal = c
+        .monitor()
+        .of_tag("flow_start")
+        .filter(|e| e.at > SimTime::from_nanos(heal_ns))
+        .count();
+    assert!(after_heal > 0, "no flow setups after the heal");
 }
