@@ -12,6 +12,7 @@ use livesec_sim::{SimDuration, SimTime};
 use livesec_workloads::{CampusScenario, ScenarioConfig};
 
 /// The result of the visualization run.
+#[derive(Debug)]
 pub struct VizResult {
     /// Frame captured during the normal phase (Figure 7).
     pub normal: UiFrame,

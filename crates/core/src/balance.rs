@@ -10,7 +10,7 @@ use livesec_net::{FlowKey, MacAddr};
 use livesec_services::{SeMessage, ServiceType};
 use livesec_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// The controller's view of one service element.
@@ -214,7 +214,10 @@ pub enum Grain {
 /// heartbeat messages.
 #[derive(Debug, Default)]
 pub struct SeRegistry {
-    elements: HashMap<MacAddr, SeView>,
+    // Ordered: expiry sweeps and roster exports iterate this map, and
+    // the resulting SeOffline/cleanup order is observable in history
+    // (DESIGN.md §6).
+    elements: BTreeMap<MacAddr, SeView>,
 }
 
 impl SeRegistry {
@@ -267,6 +270,10 @@ impl SeRegistry {
     /// Marks elements that missed heartbeats for `timeout` as offline;
     /// returns the MACs that just went offline.
     pub fn expire(&mut self, now: SimTime, timeout: livesec_sim::SimDuration) -> Vec<MacAddr> {
+        // `elements` is a BTreeMap: when several elements expire in
+        // the same sweep (e.g. their switch was partitioned), the
+        // offline events and cleanups that follow come out in MAC
+        // order, run-stable by construction.
         let mut dead = Vec::new();
         for v in self.elements.values_mut() {
             if v.online && now.saturating_since(v.last_seen) > timeout {
@@ -274,10 +281,6 @@ impl SeRegistry {
                 dead.push(v.mac);
             }
         }
-        // `elements` is a HashMap: when several elements expire in the
-        // same sweep (e.g. their switch was partitioned), the offline
-        // events and cleanups that follow must still be run-stable.
-        dead.sort_unstable();
         dead
     }
 
@@ -295,14 +298,13 @@ impl SeRegistry {
     /// Online elements of the given service type, in deterministic
     /// (MAC) order.
     pub fn online_of(&self, service: ServiceType) -> Vec<SeView> {
-        let mut v: Vec<SeView> = self
-            .elements
+        // The map is keyed by MAC, so `values()` is already in
+        // deterministic MAC order.
+        self.elements
             .values()
             .filter(|e| e.online && e.service == service)
             .copied()
-            .collect();
-        v.sort_by_key(|e| e.mac);
-        v
+            .collect()
     }
 
     /// Adjusts the outstanding-flow count for an element. Positive
@@ -324,9 +326,7 @@ impl SeRegistry {
 
     /// All known elements in deterministic order.
     pub fn all(&self) -> Vec<SeView> {
-        let mut v: Vec<SeView> = self.elements.values().copied().collect();
-        v.sort_by_key(|e| e.mac);
-        v
+        self.elements.values().copied().collect()
     }
 }
 

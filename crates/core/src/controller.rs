@@ -32,7 +32,7 @@ use livesec_openflow::{
 use livesec_services::{SeMessage, ServiceType, Verdict, SE_CONTROL_PORT};
 use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -169,7 +169,10 @@ pub struct Controller {
     balancer: LoadBalancer,
     monitor: Monitor,
     directory: Option<DirectoryProxy>,
-    active: HashMap<FlowKey, FlowRecord>,
+    // Ordered: iteration order reaches flow-mod batches, the NIB
+    // snapshot and reconciliation, so it is part of the spec
+    // (DESIGN.md §6).
+    active: BTreeMap<FlowKey, FlowRecord>,
     required_certs: Option<HashSet<u64>>,
     /// The flow-setup fast path's decision cache (`None` = disabled,
     /// every setup takes the cold path).
@@ -182,7 +185,7 @@ pub struct Controller {
     max_batch_len: u64,
 
     /// Last control message seen per registered switch (liveness).
-    switch_liveness: HashMap<u64, SimTime>,
+    switch_liveness: BTreeMap<u64, SimTime>,
     /// Silence longer than this declares a switch dead.
     switch_timeout: SimDuration,
     /// Probe every registered switch with an echo request every this
@@ -222,8 +225,8 @@ pub struct Controller {
     record_se_load: bool,
     tick_count: u64,
     last_port_stats: HashMap<(u64, u32), (u64, u64)>,
-    app_traffic: HashMap<String, TrafficTally>,
-    user_traffic: HashMap<MacAddr, TrafficTally>,
+    app_traffic: BTreeMap<String, TrafficTally>,
+    user_traffic: BTreeMap<MacAddr, TrafficTally>,
 
     /// Packet-ins processed.
     pub packet_ins: u64,
@@ -235,6 +238,17 @@ pub struct Controller {
     pub se_msgs: u64,
     /// Service-element control messages rejected (bad certificate).
     pub rejected_se_msgs: u64,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("active_flows", &self.active.len())
+            .field("known_dpids", &self.known_dpids.len())
+            .field("packet_ins", &self.packet_ins)
+            .field("flows_installed", &self.flows_installed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Controller {
@@ -250,14 +264,14 @@ impl Controller {
             balancer: LoadBalancer::min_load(),
             monitor: Monitor::new(),
             directory: None,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             required_certs: None,
             cache: Some(DecisionCache::new()),
             txq: Vec::new(),
             batches_flushed: 0,
             messages_batched: 0,
             max_batch_len: 0,
-            switch_liveness: HashMap::new(),
+            switch_liveness: BTreeMap::new(),
             switch_timeout: SimDuration::from_secs(3),
             echo_every_ticks: 10,
             known_dpids: HashSet::new(),
@@ -277,8 +291,8 @@ impl Controller {
             record_se_load: true,
             tick_count: 0,
             last_port_stats: HashMap::new(),
-            app_traffic: HashMap::new(),
-            user_traffic: HashMap::new(),
+            app_traffic: BTreeMap::new(),
+            user_traffic: BTreeMap::new(),
             packet_ins: 0,
             flows_installed: 0,
             arp_replies: 0,
@@ -1474,14 +1488,14 @@ impl Controller {
                 &OfMessage::delete_flows(Match::any().with_dl_dst(se_mac)),
             );
         }
-        let mut affected: Vec<FlowKey> = self
+        let affected: Vec<FlowKey> = self
             .active
             .iter()
             .filter(|(_, rec)| rec.elements.contains(&se_mac))
             .map(|(k, _)| *k)
             .collect();
-        // `active` is a HashMap; keep the delete order run-stable.
-        affected.sort_unstable_by_key(|k| k.to_string());
+        // `active` is a BTreeMap: `affected` comes out in FlowKey
+        // order, so the delete order is run-stable by construction.
         for key in affected {
             if let Some(rec) = self.active.remove(&key) {
                 for mac in &rec.elements {
@@ -1527,15 +1541,14 @@ impl Controller {
         }
         // Flows that entered at the dead switch lost their ingress; no
         // FlowEnd — their counters died with the switch.
-        let mut orphans: Vec<FlowKey> = self
+        let orphans: Vec<FlowKey> = self
             .active
             .iter()
             .filter(|(_, rec)| rec.ingress_dpid == dpid)
             .map(|(k, _)| *k)
             .collect();
-        // HashMap iteration order is arbitrary; sort so the delete
-        // batches below are identical run to run.
-        orphans.sort_unstable_by_key(|k| k.to_string());
+        // `active` is a BTreeMap: the delete batches below run in
+        // FlowKey order, identical run to run.
         for key in orphans {
             if let Some(rec) = self.active.remove(&key) {
                 for mac in &rec.elements {
@@ -1609,6 +1622,7 @@ impl Controller {
         // the flow-mod order (and any FlowRemoved notifications they
         // trigger) is identical across same-seed runs.
         let sort_key = |m: &Match, p: u16| (p, m.to_string());
+        // livesec-lint: allow(unordered-iter, reason = "fix list is sorted by (priority, match) on the next statement")
         let mut stale: Vec<(Match, u16)> =
             have.iter().filter(|k| !want.contains(k)).copied().collect();
         stale.sort_by_key(|(m, p)| sort_key(m, *p));
@@ -1797,15 +1811,15 @@ impl Node for Controller {
             }
         }
         // Liveness sweep: a registered switch silent past the timeout
-        // is dead. Sorted — switch_liveness is a HashMap and the
-        // SwitchDown/UserLeave event order must be run-stable.
-        let mut dead: Vec<u64> = self
+        // is dead. switch_liveness is a BTreeMap, so the
+        // SwitchDown/UserLeave event order is dpid-ascending and
+        // run-stable by construction.
+        let dead: Vec<u64> = self
             .switch_liveness
             .iter()
             .filter(|(_, last)| now.saturating_since(**last) > self.switch_timeout)
             .map(|(dpid, _)| *dpid)
             .collect();
-        dead.sort_unstable();
         for dpid in dead {
             self.mark_switch_down(now, dpid);
         }

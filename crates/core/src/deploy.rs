@@ -83,6 +83,15 @@ pub struct Campus {
     user_link: LinkSpec,
 }
 
+impl std::fmt::Debug for Campus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campus")
+            .field("controller", &self.controller)
+            .field("as_switches", &self.as_switches.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Campus {
     /// Borrows the controller for inspection.
     pub fn controller(&self) -> &Controller {
@@ -182,6 +191,15 @@ pub struct CampusBuilder {
 /// Ports per AS switch: 1 uplink + up to 39 access ports (enough for
 /// the paper's 20 VMs plus users).
 const AS_PORTS: u32 = 40;
+
+impl std::fmt::Debug for CampusBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampusBuilder")
+            .field("as_switches", &self.as_switches.len())
+            .field("legacy", &self.legacy.len())
+            .finish_non_exhaustive()
+    }
+}
 
 impl CampusBuilder {
     /// Starts a campus with `n_ovs` AS switches uplinked into a single

@@ -1,0 +1,428 @@
+//! A hand-rolled Rust lexer — just enough fidelity for pattern rules.
+//!
+//! The lexer splits source text into identifiers, literals and
+//! single-character punctuation, with comments collected separately
+//! (rules consult them only for `livesec-lint:` allow annotations).
+//! It understands everything that could otherwise derail a naive
+//! scanner: string/char/byte literals, raw strings with arbitrary
+//! `#` fences, nested block comments, lifetimes vs. char literals,
+//! and raw identifiers. It does *not* build a syntax tree; rules
+//! operate on the flat token stream.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any literal: numbers, strings, chars, byte strings.
+    Literal,
+    /// A single punctuation character (`.`, `:`, `<`, `+`, ...).
+    Punct,
+}
+
+/// One lexeme with its position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of lexeme.
+    pub kind: TokenKind,
+    /// The lexeme text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Byte offset of the token start (used for adjacency checks,
+    /// e.g. telling `+=` apart from `+ =`).
+    pub start: usize,
+}
+
+/// A comment with its position, kept out of the main token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when the comment is the only thing on its line (after
+    /// whitespace) — such comments annotate the *next* code line.
+    pub own_line: bool,
+}
+
+/// Output of [`lex`]: code tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Never fails: unrecognized bytes are
+/// skipped, unterminated literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether only whitespace has been seen since the last newline
+    // (so a comment starting here is on its own line).
+    let mut line_blank = true;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_blank = true;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    own_line: line_blank,
+                });
+                line_blank = false;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let own = line_blank;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    own_line: own,
+                });
+                line_blank = false;
+            }
+            b'"' => {
+                let (end, nl) = scan_string(bytes, i + 1, 0);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                    start: i,
+                });
+                line += nl;
+                i = end;
+                line_blank = false;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (end, nl) = scan_prefixed_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                    start: i,
+                });
+                line += nl;
+                i = end;
+                line_blank = false;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident
+                // with no closing quote right after one scalar.
+                let (tok, end) = scan_quote(src, bytes, i, line);
+                out.tokens.push(tok);
+                i = end;
+                line_blank = false;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                // Raw identifier prefix r# is handled under the raw
+                // string branch guard, so here a plain ident.
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                    start,
+                });
+                line_blank = false;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // `1..2` range: stop the number before `..`.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                    start,
+                });
+                line_blank = false;
+            }
+            _ => {
+                if c.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                        start: i,
+                    });
+                }
+                i += 1;
+                line_blank = false;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `b'`, `br"`, `br#`
+/// (raw/byte string or byte char) as opposed to a plain identifier.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // For `r#...` the hashes must be followed by `"`: `r#type` is a
+    // raw *identifier*, not a raw string.
+    fn hashes_then_quote(bytes: &[u8], mut j: usize) -> bool {
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        bytes.get(j) == Some(&b'"')
+    }
+    match bytes[i] {
+        b'r' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'#') => hashes_then_quote(bytes, i + 1),
+            _ => false,
+        },
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => match bytes.get(i + 2) {
+                Some(b'"') => true,
+                Some(b'#') => hashes_then_quote(bytes, i + 2),
+                _ => false,
+            },
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a prefixed string/char literal starting at `i` (one of the
+/// shapes accepted by [`starts_raw_or_byte_string`]); returns
+/// (end offset, newlines consumed).
+fn scan_prefixed_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    // Skip the `r` / `b` / `br` prefix.
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    let raw = bytes[i..j].contains(&b'r');
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return (bytes.len(), 0);
+    }
+    if bytes[j] == b'\'' {
+        // Byte char literal b'x' or b'\n'.
+        j += 1;
+        if j < bytes.len() && bytes[j] == b'\\' {
+            j += 1;
+        }
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j.min(bytes.len() - 1) + 1, 0);
+    }
+    // String body (raw: no escapes, needs `"` + hashes to close).
+    j += 1; // opening quote
+    let mut nl = 0u32;
+    if raw {
+        while j < bytes.len() {
+            if bytes[j] == b'\n' {
+                nl += 1;
+            }
+            if bytes[j] == b'"'
+                && bytes[j + 1..].len() >= hashes
+                && bytes[j + 1..].iter().take(hashes).all(|&b| b == b'#')
+            {
+                return (j + 1 + hashes, nl);
+            }
+            j += 1;
+        }
+        (bytes.len(), nl)
+    } else {
+        let (end, more) = scan_string(bytes, j, nl);
+        (end, more)
+    }
+}
+
+/// Scans a non-raw string body from just after the opening quote;
+/// returns (offset past closing quote, newlines seen).
+fn scan_string(bytes: &[u8], mut j: usize, mut nl: u32) -> (usize, u32) {
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (bytes.len(), nl)
+}
+
+/// Scans from a `'`: either a lifetime (`'a`) or a char literal
+/// (`'a'`, `'\n'`). Returns the token and the end offset.
+fn scan_quote(src: &str, bytes: &[u8], i: usize, line: u32) -> (Token, usize) {
+    let mut j = i + 1;
+    if j < bytes.len() && bytes[j] == b'\\' {
+        // Definitely a char literal with an escape.
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        let end = (j + 1).min(bytes.len());
+        return (
+            Token {
+                kind: TokenKind::Literal,
+                text: src[i..end].to_string(),
+                line,
+                start: i,
+            },
+            end,
+        );
+    }
+    // Consume ident-ish chars; if a `'` follows exactly one char, it
+    // was a char literal, else a lifetime.
+    let body_start = j;
+    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' && j > body_start {
+        let end = j + 1;
+        (
+            Token {
+                kind: TokenKind::Literal,
+                text: src[i..end].to_string(),
+                line,
+                start: i,
+            },
+            end,
+        )
+    } else {
+        (
+            Token {
+                kind: TokenKind::Lifetime,
+                text: src[i..j].to_string(),
+                line,
+                start: i,
+            },
+            j,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("let mut x: HashMap<u64, Vec<u8>> = HashMap::new();");
+        assert_eq!(
+            idents("let mut x: HashMap<u64, Vec<u8>> = HashMap::new();"),
+            ["let", "mut", "x", "HashMap", "u64", "Vec", "u8", "HashMap", "new"]
+        );
+        assert!(l.tokens.iter().any(|t| t.text == "<"));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // The HashMap inside the string must not become an ident.
+        assert_eq!(idents(r#"let s = "HashMap iter()"; s"#), ["let", "s", "s"]);
+        assert_eq!(
+            idents(r##"let s = r#"Instant::now()"#; s"##),
+            ["let", "s", "s"]
+        );
+    }
+
+    #[test]
+    fn comments_are_separate() {
+        let l =
+            lex("// livesec-lint: allow(wall-clock, reason = \"x\")\nfoo();\n/* block */ bar();");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].own_line);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(!l.comments[1].own_line || l.comments[1].line == 3);
+        assert_eq!(idents("// c\nfoo();"), ["foo"]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        assert_eq!(idents("/* a /* b */ c */ x"), ["x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'y'"));
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nInstant");
+        let inst = l.tokens.iter().find(|t| t.text == "Instant").unwrap();
+        assert_eq!(inst.line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        assert_eq!(idents(r#"let b = b"SystemTime"; b"#), ["let", "b", "b"]);
+        assert_eq!(idents("let c = b'x'; c"), ["let", "c", "c"]);
+    }
+}

@@ -1,0 +1,99 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+#![warn(clippy::disallowed_methods, clippy::disallowed_types)]
+
+//! **livesec-lint** — the workspace determinism & invariant
+//! static-analysis pass.
+//!
+//! The LiveSec reproduction rests on one property: the discrete-event
+//! simulator is *deterministic* — same seed, byte-identical history.
+//! Every chaos, cache and reconciliation test asserts it. Both PR 1
+//! (HashMap-order flow eviction) and PR 2 (SE-registry expiry and
+//! cleanup order) shipped fixes for latent nondeterminism that was
+//! only caught at runtime. This crate catches that class of bug at
+//! *check time*: a hand-rolled Rust lexer ([`lexer`]) feeds a pattern
+//! engine ([`rules`]) that walks every workspace `.rs` file and flags
+//!
+//! * **unordered-iter** — iteration over `HashMap`/`HashSet` bindings
+//!   whose order can escape into events, flow-mods or history;
+//! * **wall-clock** — `Instant` / `SystemTime` (virtual `SimTime` is
+//!   the only clock);
+//! * **unseeded-rng** — `thread_rng`, `from_entropy`, `OsRng`,
+//!   `rand::random`;
+//! * **float-accum** — float `+=` accumulation and
+//!   `.sum::<f32/f64>()` in aggregation paths.
+//!
+//! Sites where unordered iteration is genuinely harmless carry an
+//! explicit, reasoned escape hatch:
+//!
+//! ```text
+//! // livesec-lint: allow(unordered-iter, reason = "order-insensitive fold")
+//! ```
+//!
+//! The grammar and the full determinism spec live in `DESIGN.md` §6.
+//! The binary (`cargo run -p livesec-lint --release`) is a tier-1
+//! gate in `scripts/check.sh`; `tests/workspace.rs` additionally
+//! asserts the live workspace passes with zero unannotated findings,
+//! so `cargo test` alone also fails on a fresh violation.
+//!
+//! The pass is deliberately dependency-free and syntax-level: no type
+//! inference, no HIR. It trades a small annotation burden (and a
+//! documented blind spot: a `HashMap` hidden behind a type alias or
+//! constructor function) for a checker that builds in milliseconds
+//! and cannot drift out of sync with vendored compiler internals.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_source, Finding, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// A finding tied to the file it was found in.
+#[derive(Clone, Debug)]
+pub struct FileFinding {
+    /// Path of the offending file (as given to [`lint_files`]).
+    pub path: PathBuf,
+    /// The finding itself.
+    pub finding: Finding,
+}
+
+impl std::fmt::Display for FileFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.finding.line,
+            self.finding.rule.name(),
+            self.finding.message
+        )
+    }
+}
+
+/// Lints every file in `paths`, in order. Unreadable files are
+/// reported as an error string rather than silently skipped.
+pub fn lint_files(paths: &[PathBuf]) -> Result<Vec<FileFinding>, String> {
+    let mut out = Vec::new();
+    for path in paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for finding in lint_source(&src) {
+            out.push(FileFinding {
+                path: path.clone(),
+                finding,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Walks the workspace at `root` and lints everything, returning
+/// findings sorted by path and line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<FileFinding>, String> {
+    let files =
+        walk::workspace_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    lint_files(&files)
+}

@@ -1,0 +1,68 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+//! The `livesec-lint` binary: lint the workspace, print findings,
+//! exit nonzero when any unannotated violation remains.
+//!
+//! ```text
+//! livesec-lint [ROOT]
+//! ```
+//!
+//! With no argument the workspace root is located by walking up from
+//! the current directory to the first `Cargo.toml` containing
+//! `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("usage: livesec-lint [ROOT]");
+        println!("Determinism & invariant static analysis for the LiveSec workspace.");
+        println!("Exits 1 when any unannotated finding remains (see DESIGN.md §6).");
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match livesec_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "livesec-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    match livesec_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("livesec-lint: workspace clean (0 findings)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                // Report paths relative to the root for stable output.
+                let rel = f.path.strip_prefix(&root).unwrap_or(&f.path);
+                println!(
+                    "{}:{}: [{}] {}",
+                    rel.display(),
+                    f.finding.line,
+                    f.finding.rule.name(),
+                    f.finding.message
+                );
+            }
+            eprintln!("livesec-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("livesec-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,778 @@
+//! The determinism rules and the annotation grammar.
+//!
+//! Every rule guards the simulator's core property: **byte-identical
+//! same-seed histories**. See `DESIGN.md` §6 for the rationale and
+//! the full allow-annotation grammar.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// The rules `livesec-lint` enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over a `HashMap`/`HashSet` binding without an
+    /// in-statement ordering step (sort / collect into an ordered or
+    /// unordered collection / order-insensitive terminal fold).
+    UnorderedIter,
+    /// Wall-clock time source (`Instant`, `SystemTime`): virtual
+    /// [`SimTime`] is the only clock the simulator may observe.
+    WallClock,
+    /// Unseeded or thread-local randomness (`thread_rng`,
+    /// `from_entropy`, `OsRng`, `rand::random`).
+    UnseededRng,
+    /// Float accumulation (`+=` with a float operand, or
+    /// `.sum::<f32/f64>()`): metrics must aggregate in integers and
+    /// convert to float only at the final division.
+    FloatAccum,
+    /// A `livesec-lint:` comment that does not parse — unknown rule
+    /// name, missing or empty `reason`, or malformed syntax.
+    BadAnnotation,
+    /// An allow annotation that suppressed nothing; stale allows
+    /// must be deleted so the escape hatch stays auditable.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The kebab-case name used in reports and allow annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::FloatAccum => "float-accum",
+            Rule::BadAnnotation => "bad-annotation",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Parses an annotation rule name; only suppressible rules are
+    /// legal targets of `allow(...)`.
+    fn from_allow_name(s: &str) -> Option<Rule> {
+        match s {
+            "unordered-iter" => Some(Rule::UnorderedIter),
+            "wall-clock" => Some(Rule::WallClock),
+            "unseeded-rng" => Some(Rule::UnseededRng),
+            "float-accum" => Some(Rule::FloatAccum),
+            _ => None,
+        }
+    }
+}
+
+/// One violation in one file.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description with a remediation hint.
+    pub message: String,
+}
+
+/// A parsed `// livesec-lint: allow(rule, reason = "...")` comment.
+#[derive(Debug)]
+struct Allow {
+    rule: Rule,
+    /// First line of code this annotation covers.
+    target_line: u32,
+    /// Last covered line: the same line for a trailing comment; a few
+    /// lines of slack for own-line comments, so rustfmt-wrapped
+    /// statements stay covered.
+    target_end: u32,
+    /// Where the annotation itself lives (for unused-allow reports).
+    ann_line: u32,
+    used: bool,
+}
+
+/// Methods whose call on an unordered collection exposes iteration
+/// order to the caller.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Sort-family calls: their presence downstream in the same statement
+/// restores a deterministic order.
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+];
+
+/// Order-insensitive terminal folds: the statement's value does not
+/// depend on iteration order. (`min`/`max` return the extreme *value*
+/// — ties are equal values — unlike `min_by_key`/`max_by_key`, which
+/// break ties by position and stay flagged.)
+const ORDER_FREE_TERMINALS: &[&str] = &[
+    "count", "len", "is_empty", "sum", "all", "any", "contains", "min", "max",
+];
+
+/// Collections whose `collect` target makes order irrelevant again:
+/// ordered ones re-sort, unordered ones never leaked order.
+const ORDER_SAFE_COLLECTS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap", "HashMap", "HashSet"];
+
+/// Wall-clock type names.
+const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
+
+/// Unseeded-randomness identifiers.
+const UNSEEDED_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
+
+/// Lints one file's source text and returns all unsuppressed
+/// findings, sorted by line then rule.
+pub fn lint_source(src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+
+    let mut findings = Vec::new();
+    let unordered = collect_unordered_bindings(toks);
+
+    check_unordered_iteration(toks, &unordered, &mut findings);
+    check_wall_clock(toks, &mut findings);
+    check_unseeded_rng(toks, &mut findings);
+    check_float_accum(toks, &mut findings);
+
+    // Findings can be produced by more than one detector for the same
+    // site (e.g. a `for` over `map.keys()`); dedupe per (line, rule).
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings.dedup_by_key(|f| (f.line, f.rule));
+
+    let (mut allows, mut bad) = parse_annotations(&lexed.comments, toks);
+    findings.retain(|f| {
+        for a in allows.iter_mut() {
+            if a.rule == f.rule && f.line >= a.target_line && f.line <= a.target_end {
+                a.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                line: a.ann_line,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "allow({}) suppresses nothing on line {}; delete the stale annotation",
+                    a.rule.name(),
+                    a.target_line
+                ),
+            });
+        }
+    }
+    findings.append(&mut bad);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Parses every `livesec-lint:` comment. Returns well-formed allows
+/// plus findings for malformed ones.
+fn parse_annotations(comments: &[Comment], toks: &[Token]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) are prose — they
+        // may *describe* the grammar without being annotations.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = c.text.find("livesec-lint") else {
+            continue;
+        };
+        let rest = &c.text[pos + "livesec-lint".len()..];
+        match parse_allow_body(rest) {
+            Ok(rule) => {
+                // A trailing comment covers its own line; a comment on
+                // its own line covers the statement starting on the
+                // next code line (with slack for wrapped statements).
+                let (target_line, target_end) = if c.own_line {
+                    let next = toks
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line + 1);
+                    (next, next + 3)
+                } else {
+                    (c.line, c.line)
+                };
+                allows.push(Allow {
+                    rule,
+                    target_line,
+                    target_end,
+                    ann_line: c.line,
+                    used: false,
+                });
+            }
+            Err(why) => bad.push(Finding {
+                line: c.line,
+                rule: Rule::BadAnnotation,
+                message: format!(
+                    "malformed livesec-lint annotation ({why}); expected \
+                     `// livesec-lint: allow(<rule>, reason = \"...\")`"
+                ),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses the `: allow(rule, reason = "...")` tail of an annotation.
+fn parse_allow_body(rest: &str) -> Result<Rule, String> {
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or_else(|| "missing `:` after livesec-lint".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after allow".to_string())?;
+    let close = rest.rfind(')').ok_or_else(|| "missing `)`".to_string())?;
+    let body = &rest[..close];
+    let (rule_name, tail) = body
+        .split_once(',')
+        .ok_or_else(|| "missing `, reason = ...`".to_string())?;
+    let rule = Rule::from_allow_name(rule_name.trim())
+        .ok_or_else(|| format!("unknown rule `{}`", rule_name.trim()))?;
+    let tail = tail.trim_start();
+    let tail = tail
+        .strip_prefix("reason")
+        .ok_or_else(|| "expected `reason`".to_string())?
+        .trim_start();
+    let tail = tail
+        .strip_prefix('=')
+        .ok_or_else(|| "expected `=` after reason".to_string())?
+        .trim_start();
+    let quoted = tail
+        .strip_prefix('"')
+        .and_then(|t| t.rfind('"').map(|e| &t[..e]))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    if quoted.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok(rule)
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file:
+/// struct fields, typed params/fields (`name: [&][mut] [path::]Hash*`)
+/// and `let` bindings whose initializer mentions `Hash*`.
+fn collect_unordered_bindings(toks: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+
+    // Pattern 1: `name : ... HashMap/HashSet` — walk back from the
+    // type name over path segments, wrappers, `&`, `mut`, lifetimes
+    // and `<` until a *single* colon, then take the ident before it.
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        let mut j = k;
+        let mut steps = 0;
+        while j > 0 && steps < 16 {
+            j -= 1;
+            steps += 1;
+            let p = &toks[j];
+            match p.kind {
+                TokenKind::Ident | TokenKind::Lifetime => {}
+                TokenKind::Punct if p.text == "<" || p.text == "&" => {}
+                TokenKind::Punct if p.text == ":" => {
+                    // `::` path separator? (adjacent colon on either side)
+                    let double =
+                        (j > 0 && toks[j - 1].text == ":" && toks[j - 1].start + 1 == p.start)
+                            || toks
+                                .get(j + 1)
+                                .is_some_and(|n| n.text == ":" && p.start + 1 == n.start);
+                    if double {
+                        continue;
+                    }
+                    if j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                        let name = toks[j - 1].text.clone();
+                        if !is_keyword(&name) && !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // Pattern 2: `let [mut] name = ... HashMap/HashSet ... ;`
+    let mut k = 0;
+    while k < toks.len() {
+        if toks[k].kind == TokenKind::Ident && toks[k].text == "let" {
+            let mut j = k + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j) {
+                if name_tok.kind == TokenKind::Ident && !is_keyword(&name_tok.text) {
+                    // Scan the initializer to the statement-ending `;`.
+                    let mut depth = 0i32;
+                    let mut m = j + 1;
+                    let mut saw_unordered = false;
+                    while let Some(t) = toks.get(m) {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth <= 0 => break,
+                            "HashMap" | "HashSet" if t.kind == TokenKind::Ident => {
+                                saw_unordered = true;
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    if saw_unordered && !names.contains(&name_tok.text) {
+                        names.push(name_tok.text.clone());
+                    }
+                    k = m;
+                    continue;
+                }
+            }
+        }
+        k += 1;
+    }
+    names
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "fn"
+            | "pub"
+            | "if"
+            | "else"
+            | "for"
+            | "in"
+            | "while"
+            | "loop"
+            | "match"
+            | "return"
+            | "self"
+            | "Self"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "use"
+            | "mod"
+            | "where"
+            | "move"
+            | "ref"
+            | "const"
+            | "static"
+            | "crate"
+            | "super"
+            | "dyn"
+            | "as"
+            | "break"
+            | "continue"
+    )
+}
+
+/// Flags order-escaping iteration over known unordered bindings.
+fn check_unordered_iteration(toks: &[Token], unordered: &[String], findings: &mut Vec<Finding>) {
+    // Detector A: `name.iter()` / `.keys()` / `.drain()` / ... chains.
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !unordered.iter().any(|n| n == &t.text) {
+            continue;
+        }
+        let Some(dot) = toks.get(k + 1) else { continue };
+        let Some(method) = toks.get(k + 2) else {
+            continue;
+        };
+        let Some(paren) = toks.get(k + 3) else {
+            continue;
+        };
+        if dot.text != "."
+            || method.kind != TokenKind::Ident
+            || !ITER_METHODS.contains(&method.text.as_str())
+            || paren.text != "("
+        {
+            continue;
+        }
+        if statement_restores_order(toks, k + 3) {
+            continue;
+        }
+        findings.push(Finding {
+            line: t.line,
+            rule: Rule::UnorderedIter,
+            message: format!(
+                "iteration order of `{}.{}()` is nondeterministic; use a BTree \
+                 collection, sort in this statement, or annotate with a reason",
+                t.text, method.text
+            ),
+        });
+    }
+
+    // Detector B: `for pat in [&[mut]] [path.]name {` with no call in
+    // the iterated expression (calls are handled by detector A).
+    let mut k = 0;
+    while k < toks.len() {
+        if !(toks[k].kind == TokenKind::Ident && toks[k].text == "for") {
+            k += 1;
+            continue;
+        }
+        // Find `in` at depth 0 (tuple patterns may contain parens).
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        let mut in_at = None;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" => break, // not a for-loop header after all
+                "in" if depth == 0 && t.kind == TokenKind::Ident => {
+                    in_at = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+            if j > k + 40 {
+                break;
+            }
+        }
+        let Some(in_at) = in_at else {
+            k += 1;
+            continue;
+        };
+        // Iterated expression: tokens until the body `{` at depth 0.
+        depth = 0;
+        let mut m = in_at + 1;
+        let mut expr_end = None;
+        while let Some(t) = toks.get(m) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    expr_end = Some(m);
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+            if m > in_at + 60 {
+                break;
+            }
+        }
+        let Some(expr_end) = expr_end else {
+            k = in_at + 1;
+            continue;
+        };
+        let expr = &toks[in_at + 1..expr_end];
+        let has_call = expr.iter().any(|t| t.text == "(");
+        let last_ident = expr.iter().rev().find(|t| t.kind == TokenKind::Ident);
+        if !has_call {
+            if let Some(li) = last_ident {
+                if unordered.iter().any(|n| n == &li.text) {
+                    findings.push(Finding {
+                        line: li.line,
+                        rule: Rule::UnorderedIter,
+                        message: format!(
+                            "`for` over `{}` observes nondeterministic iteration order; \
+                             use a BTree collection or annotate with a reason",
+                            li.text
+                        ),
+                    });
+                }
+            }
+        }
+        k = expr_end + 1;
+    }
+}
+
+/// True when the statement containing the iteration (scanning forward
+/// from `from`, the opening paren of the iter call) re-establishes a
+/// deterministic order: a sort-family call, an order-insensitive
+/// terminal fold, or a `collect` into an ordered/unordered target.
+fn statement_restores_order(toks: &[Token], from: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = from;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return false; // statement ended inside a call arg
+                }
+            }
+            ";" | "{" | "}" if depth == 0 => return false,
+            _ if t.kind == TokenKind::Ident && depth == 0 => {
+                // Only chain-level idents count: anything at depth ≥ 1
+                // sits inside call parens (closure bodies, arguments)
+                // and must not satisfy the ordering requirement.
+                let name = t.text.as_str();
+                if SORTERS.contains(&name) || ORDER_FREE_TERMINALS.contains(&name) {
+                    return true;
+                }
+                if name == "collect" {
+                    // Look for a turbofish naming a safe target.
+                    let mut m = j + 1;
+                    while let Some(n) = toks.get(m) {
+                        if n.kind == TokenKind::Ident {
+                            return ORDER_SAFE_COLLECTS.contains(&n.text.as_str());
+                        }
+                        if n.text == "(" || n.text == ";" {
+                            return false; // plain `collect()` — target unknown
+                        }
+                        m += 1;
+                    }
+                    return false;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Flags wall-clock sources.
+fn check_wall_clock(toks: &[Token], findings: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind == TokenKind::Ident && WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                line: t.line,
+                rule: Rule::WallClock,
+                message: format!(
+                    "`{}` reads the wall clock; simulator code must use virtual SimTime",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Flags unseeded / thread-local randomness.
+fn check_unseeded_rng(toks: &[Token], findings: &mut Vec<Finding>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hit = UNSEEDED_RNG_IDENTS.contains(&t.text.as_str())
+            || (t.text == "random"
+                && k >= 3
+                && toks[k - 1].text == ":"
+                && toks[k - 2].text == ":"
+                && toks[k - 3].text == "rand");
+        if hit {
+            findings.push(Finding {
+                line: t.line,
+                rule: Rule::UnseededRng,
+                message: format!(
+                    "`{}` draws unseeded randomness; all RNG must derive from the run seed",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Flags float accumulation: `x += <float expr>` and
+/// `.sum::<f32/f64>()` / `.product::<f32/f64>()`.
+fn check_float_accum(toks: &[Token], findings: &mut Vec<Finding>) {
+    for (k, t) in toks.iter().enumerate() {
+        // `.sum::<f64>()` / `.product::<f32>()`.
+        if t.kind == TokenKind::Ident && (t.text == "sum" || t.text == "product") {
+            let mut j = k + 1;
+            let mut ok = k > 0 && toks[k - 1].text == ".";
+            while ok {
+                match toks.get(j) {
+                    Some(n) if n.text == ":" || n.text == "<" => j += 1,
+                    Some(n) if n.kind == TokenKind::Ident => {
+                        if n.text == "f32" || n.text == "f64" {
+                            findings.push(Finding {
+                                line: t.line,
+                                rule: Rule::FloatAccum,
+                                message: format!(
+                                    "`.{}::<{}>()` accumulates floats whose result depends on \
+                                     order and rounding; aggregate in integers and divide once",
+                                    t.text, n.text
+                                ),
+                            });
+                        }
+                        ok = false;
+                    }
+                    _ => ok = false,
+                }
+            }
+        }
+        // `lhs += <rhs with float evidence>;`
+        if t.text == "+"
+            && toks
+                .get(k + 1)
+                .is_some_and(|n| n.text == "=" && n.start == t.start + 1)
+        {
+            let mut j = k + 2;
+            let mut depth = 0i32;
+            while let Some(n) = toks.get(j) {
+                match n.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    "f32" | "f64" if n.kind == TokenKind::Ident => {
+                        findings.push(Finding {
+                            line: t.line,
+                            rule: Rule::FloatAccum,
+                            message: "float `+=` accumulation is order- and rounding-sensitive; \
+                                      aggregate in integers and divide once"
+                                .to_string(),
+                        });
+                        break;
+                    }
+                    _ if n.kind == TokenKind::Literal && is_float_literal(&n.text) => {
+                        findings.push(Finding {
+                            line: t.line,
+                            rule: Rule::FloatAccum,
+                            message: "float `+=` accumulation is order- and rounding-sensitive; \
+                                      aggregate in integers and divide once"
+                                .to_string(),
+                        });
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+fn is_float_literal(s: &str) -> bool {
+    s.ends_with("f32")
+        || s.ends_with("f64")
+        || (s.contains('.') && s.chars().next().is_some_and(|c| c.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        lint_source(src).iter().map(|f| f.rule.name()).collect()
+    }
+
+    #[test]
+    fn flags_hashmap_field_iteration() {
+        let src = "struct S { m: HashMap<u64, u32> }\n\
+                   impl S { fn f(&self) { for (k, v) in &self.m { emit(k, v); } } }";
+        assert_eq!(rules_of(src), ["unordered-iter"]);
+    }
+
+    #[test]
+    fn flags_method_chain_without_order() {
+        let src = "fn f(m: &HashMap<u64, u32>) -> Vec<u64> {\n\
+                   let v: Vec<u64> = m.keys().copied().collect();\nv }";
+        assert_eq!(rules_of(src), ["unordered-iter"]);
+    }
+
+    #[test]
+    fn sorted_in_statement_passes() {
+        let src = "fn f(m: &HashMap<u64, u32>) { \
+                   let mut v: Vec<_> = m.keys().collect(); }";
+        assert_eq!(rules_of(src).len(), 1);
+        let ok = "fn f(m: &HashMap<u64, u32>) -> u32 { m.values().copied().sum() }";
+        assert!(rules_of(ok).is_empty());
+        let ok2 = "fn f(m: &HashMap<u64, u32>) -> BTreeMap<u64, u32> { \
+                   m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u32>>() }";
+        assert!(rules_of(ok2).is_empty());
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = "struct S { m: BTreeMap<u64, u32> }\n\
+                   impl S { fn f(&self) { for (k, v) in &self.m { emit(k, v); } } }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = "struct S { m: HashMap<u64, u32> }\n\
+                   impl S { fn f(&self) -> usize {\n\
+                   // livesec-lint: allow(unordered-iter, reason = \"order-free fold\")\n\
+                   let mut n = 0; for _ in self.m.drain() { n += 1; } n } }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "struct S { m: HashSet<u32> }\nimpl S { fn f(&mut self) {\n\
+                   self.m.retain(|x| *x > 1); // livesec-lint: allow(unordered-iter, reason = \"set-wise\")\n} }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad() {
+        let src = "// livesec-lint: allow(wall-clock)\nlet t = Instant::now();";
+        let r = rules_of(src);
+        assert!(r.contains(&"bad-annotation"));
+        assert!(r.contains(&"wall-clock"));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// livesec-lint: allow(wall-clock, reason = \"no clock here\")\nlet x = 1;";
+        assert_eq!(rules_of(src), ["unused-allow"]);
+    }
+
+    #[test]
+    fn wall_clock_and_rng() {
+        assert_eq!(rules_of("let t = Instant::now();"), ["wall-clock"]);
+        assert_eq!(rules_of("let t = SystemTime::now();"), ["wall-clock"]);
+        assert_eq!(rules_of("let r = thread_rng();"), ["unseeded-rng"]);
+        assert_eq!(
+            rules_of("let r = StdRng::from_entropy();"),
+            ["unseeded-rng"]
+        );
+        assert_eq!(rules_of("let x: u8 = rand::random();"), ["unseeded-rng"]);
+        assert!(rules_of("let r = StdRng::seed_from_u64(7);").is_empty());
+    }
+
+    #[test]
+    fn float_accum() {
+        assert_eq!(
+            rules_of("fn f(xs: &[u64]) { let mut t = 0.0; for x in xs { t += *x as f64; } }"),
+            ["float-accum"]
+        );
+        assert_eq!(
+            rules_of("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }"),
+            ["float-accum"]
+        );
+        assert!(
+            rules_of("fn f(xs: &[u64]) -> u64 { let mut t = 0; for x in xs { t += x; } t }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        assert!(
+            rules_of("// Instant::now() would be wrong here\nlet s = \"thread_rng\";").is_empty()
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixture-driven self-test: every rule must trip on its known-bad
+//! fixture and stay silent on its known-good twin.
+
+use livesec_lint::{lint_source, Rule};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn rules_in(name: &str) -> Vec<Rule> {
+    lint_source(&fixture(name))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[track_caller]
+fn assert_trips(name: &str, rule: Rule, at_least: usize) {
+    let rules = rules_in(name);
+    let n = rules.iter().filter(|r| **r == rule).count();
+    assert!(
+        n >= at_least,
+        "{name}: expected ≥{at_least} {} finding(s), got {n} in {rules:?}",
+        rule.name()
+    );
+}
+
+#[track_caller]
+fn assert_clean(name: &str) {
+    let findings = lint_source(&fixture(name));
+    assert!(
+        findings.is_empty(),
+        "{name}: expected no findings, got: {}",
+        findings
+            .iter()
+            .map(|f| format!("{}:[{}] {}", f.line, f.rule.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn unordered_iter_bad_trips() {
+    // Five distinct shapes: for-over-field, method chain, drain,
+    // retain with side effects, for-over-local-by-value.
+    assert_trips("unordered_iter_bad.rs", Rule::UnorderedIter, 5);
+}
+
+#[test]
+fn unordered_iter_good_is_clean() {
+    assert_clean("unordered_iter_good.rs");
+}
+
+#[test]
+fn wall_clock_bad_trips() {
+    assert_trips("wall_clock_bad.rs", Rule::WallClock, 2);
+}
+
+#[test]
+fn wall_clock_good_is_clean() {
+    assert_clean("wall_clock_good.rs");
+}
+
+#[test]
+fn unseeded_rng_bad_trips() {
+    // thread_rng, from_entropy, rand::random.
+    assert_trips("unseeded_rng_bad.rs", Rule::UnseededRng, 3);
+}
+
+#[test]
+fn unseeded_rng_good_is_clean() {
+    assert_clean("unseeded_rng_good.rs");
+}
+
+#[test]
+fn float_accum_bad_trips() {
+    // += cast, sum::<f64>, += float literal.
+    assert_trips("float_accum_bad.rs", Rule::FloatAccum, 3);
+}
+
+#[test]
+fn float_accum_good_is_clean() {
+    assert_clean("float_accum_good.rs");
+}
+
+#[test]
+fn annotation_bad_trips() {
+    assert_trips("annotation_bad.rs", Rule::BadAnnotation, 3);
+    assert_trips("annotation_bad.rs", Rule::UnusedAllow, 1);
+    // The malformed allow must NOT suppress the violation underneath.
+    assert_trips("annotation_bad.rs", Rule::WallClock, 1);
+}
+
+#[test]
+fn annotation_good_is_clean() {
+    assert_clean("annotation_good.rs");
+}
+
+#[test]
+fn regression_pr1_flow_eviction_shape_is_caught() {
+    assert_trips("regress_pr1_flow_eviction_bad.rs", Rule::UnorderedIter, 1);
+}
+
+#[test]
+fn regression_pr2_se_expiry_shape_is_caught() {
+    // Both the values_mut expiry sweep and the drain cleanup.
+    assert_trips("regress_pr2_se_expiry_bad.rs", Rule::UnorderedIter, 2);
+}

@@ -1,0 +1,23 @@
+// Fixture: malformed and stale annotations the bad-annotation and
+// unused-allow rules must flag.
+use std::time::Instant;
+
+pub fn no_reason() -> Instant {
+    // livesec-lint: allow(wall-clock)
+    Instant::now()
+}
+
+pub fn unknown_rule() -> u64 {
+    // livesec-lint: allow(wibbly-time, reason = "no such rule")
+    42
+}
+
+pub fn empty_reason() -> u64 {
+    // livesec-lint: allow(unordered-iter, reason = "  ")
+    7
+}
+
+pub fn stale() -> u64 {
+    // livesec-lint: allow(unseeded-rng, reason = "there is no rng on the next line at all")
+    9
+}

@@ -1,0 +1,22 @@
+// Fixture: well-formed, *used* annotations in both positions.
+use std::collections::HashMap;
+
+pub struct S {
+    m: HashMap<u64, u64>,
+}
+
+impl S {
+    pub fn f(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        // livesec-lint: allow(unordered-iter, reason = "drained values are re-sorted by the caller's BinaryHeap")
+        for (_, v) in self.m.drain() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+pub fn bench_only() -> u128 {
+    let t0 = std::time::Instant::now(); // livesec-lint: allow(wall-clock, reason = "host-side harness timing, never observed by the simulation")
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,19 @@
+// Fixture: float accumulation the float-accum rule must flag.
+
+pub fn mean_bps(samples: &[u64]) -> f64 {
+    let mut total = 0.0;
+    for s in samples {
+        total += *s as f64;
+    }
+    total / samples.len() as f64
+}
+
+pub fn load_sum(loads: &[f64]) -> f64 {
+    loads.iter().sum::<f64>()
+}
+
+pub fn smoothed(prev: f32, sample: f32) -> f32 {
+    let mut v = prev;
+    v += 0.1 * sample;
+    v
+}

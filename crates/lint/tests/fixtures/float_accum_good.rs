@@ -1,0 +1,14 @@
+// Fixture: integer aggregation with a single final float conversion —
+// the pattern the metrics crate uses.
+
+pub fn mean_bps(samples: &[u64]) -> f64 {
+    let mut total: u64 = 0;
+    for s in samples {
+        total += *s;
+    }
+    (total * 8) as f64 / samples.len() as f64
+}
+
+pub fn total_nanos(samples: &[u64]) -> u64 {
+    samples.iter().sum::<u64>()
+}

@@ -1,0 +1,35 @@
+// Regression fixture — the PR 1 bug shape.
+//
+// The seed FlowTable chose idle/hard-timeout eviction victims by
+// iterating its HashMap exact-match index, so the order of the
+// resulting flow-removed notifications (and the history records they
+// produced) differed between same-seed runs. PR 1 fixed it at runtime
+// by sorting victims by insertion seq; this fixture asserts the lint
+// would now catch the original shape at check time.
+use std::collections::HashMap;
+
+pub struct FlowEntry {
+    pub created_at: u64,
+    pub hard_timeout: Option<u64>,
+}
+
+pub struct FlowTable {
+    exact: HashMap<u64, FlowEntry>,
+}
+
+impl FlowTable {
+    // BUG SHAPE: eviction order = HashMap iteration order, and it
+    // escapes into the caller's notification stream.
+    pub fn expire(&mut self, now: u64, removed: &mut Vec<u64>) {
+        let expired: Vec<u64> = self
+            .exact
+            .iter()
+            .filter(|(_, e)| e.hard_timeout.map(|h| now >= e.created_at + h).unwrap_or(false))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            self.exact.remove(&k);
+            removed.push(k);
+        }
+    }
+}

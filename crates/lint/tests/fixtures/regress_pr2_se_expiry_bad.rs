@@ -1,0 +1,39 @@
+// Regression fixture — the PR 2 bug shape.
+//
+// The seed SE registry expired silent service elements by iterating
+// its HashMap of element views, so when several elements timed out in
+// one sweep (e.g. their switch was partitioned) the SeOffline events
+// and the cleanups they trigger were emitted in a different order on
+// different runs. PR 2 fixed it at runtime by sorting the dead list;
+// this fixture asserts the lint would now catch the original shape at
+// check time.
+use std::collections::HashMap;
+
+pub struct SeView {
+    pub mac: u64,
+    pub last_seen: u64,
+    pub online: bool,
+}
+
+pub struct SeRegistry {
+    elements: HashMap<u64, SeView>,
+}
+
+impl SeRegistry {
+    // BUG SHAPE: offline events pushed in HashMap iteration order.
+    pub fn expire(&mut self, now: u64, timeout: u64, events: &mut Vec<u64>) {
+        for v in self.elements.values_mut() {
+            if v.online && now - v.last_seen > timeout {
+                v.online = false;
+                events.push(v.mac);
+            }
+        }
+    }
+
+    // BUG SHAPE: cleanup also dropped state in drain order.
+    pub fn purge(&mut self, dropped: &mut Vec<u64>) {
+        for (mac, _) in self.elements.drain() {
+            dropped.push(mac);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+// Fixture: every shape of order-escaping HashMap/HashSet iteration
+// the unordered-iter rule must flag.
+use std::collections::{HashMap, HashSet};
+
+struct Books {
+    active: HashMap<u64, String>,
+    members: HashSet<u64>,
+}
+
+impl Books {
+    // `for` over a borrowed field.
+    fn emit_all(&self, out: &mut Vec<String>) {
+        for (_, v) in &self.active {
+            out.push(v.clone());
+        }
+    }
+
+    // Method-chain iteration collected into a Vec with no sort.
+    fn keys_in_arbitrary_order(&self) -> Vec<u64> {
+        self.active.keys().copied().collect::<Vec<u64>>()
+    }
+
+    // `drain` escapes order into the caller's event stream.
+    fn drain_em(&mut self, out: &mut Vec<String>) {
+        for (_, v) in self.active.drain() {
+            out.push(v);
+        }
+    }
+
+    // `retain` visits in arbitrary order; side effects escape.
+    fn retire(&mut self, log: &mut Vec<u64>) {
+        self.members.retain(|m| {
+            log.push(*m);
+            *m > 10
+        });
+    }
+}
+
+// Local let-binding, iterated by value.
+fn local_map(pairs: &[(u64, u64)]) -> Vec<u64> {
+    let mut m = HashMap::new();
+    for (k, v) in pairs {
+        m.insert(*k, *v);
+    }
+    let mut out = Vec::new();
+    for (k, _) in m {
+        out.push(k);
+    }
+    out
+}

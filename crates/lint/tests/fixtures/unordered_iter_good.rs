@@ -1,0 +1,48 @@
+// Fixture: iteration shapes the unordered-iter rule must accept —
+// ordered collections, in-statement sorts, order-insensitive folds,
+// and reasoned allow annotations.
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+struct Books {
+    active: BTreeMap<u64, String>,
+    members: BTreeSet<u64>,
+    index: HashMap<u64, u64>,
+    scratch: HashSet<u64>,
+}
+
+impl Books {
+    // BTreeMap iteration is deterministic.
+    fn emit_all(&self, out: &mut Vec<String>) {
+        for (_, v) in &self.active {
+            out.push(v.clone());
+        }
+        for m in &self.members {
+            out.push(m.to_string());
+        }
+    }
+
+    // Order-insensitive terminal folds over a HashMap are fine.
+    fn totals(&self) -> (usize, u64, bool) {
+        let n = self.index.len();
+        let total: u64 = self.index.values().copied().sum();
+        let any_big = self.index.values().any(|&v| v > 100);
+        (n, total, any_big)
+    }
+
+    // Collecting through an ordered set restores determinism within
+    // the statement.
+    fn sorted_keys(&self) -> Vec<u64> {
+        self.index.keys().copied().collect::<BTreeSet<u64>>().into_iter().collect()
+    }
+
+    // Collecting into an ordered target re-sorts.
+    fn as_btree(&self) -> BTreeMap<u64, u64> {
+        self.index.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>()
+    }
+
+    // A reasoned annotation is the explicit escape hatch.
+    fn prune(&mut self) {
+        // livesec-lint: allow(unordered-iter, reason = "pure predicate, set-wise result; no side effects escape")
+        self.scratch.retain(|v| *v != 0);
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: unseeded randomness the unseeded-rng rule must flag.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}
+
+pub fn seed_from_os() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

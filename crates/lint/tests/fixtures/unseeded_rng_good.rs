@@ -1,0 +1,11 @@
+// Fixture: seeded RNG derived from the run seed is the only legal
+// randomness.
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64() % 100
+}
+
+pub fn fork(parent: &mut StdRng) -> StdRng {
+    StdRng::seed_from_u64(parent.next_u64())
+}

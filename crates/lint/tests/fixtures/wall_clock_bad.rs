@@ -1,0 +1,15 @@
+// Fixture: wall-clock sources the wall-clock rule must flag.
+use std::time::{Instant, SystemTime};
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos()
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}

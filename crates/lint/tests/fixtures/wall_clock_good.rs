@@ -1,0 +1,11 @@
+// Fixture: virtual time is the only clock; mentioning the rule in
+// comments or strings must not trip it.
+// Instant::now() would be wrong here — and this comment is fine.
+
+pub struct SimTime(u64);
+
+pub fn now(clock: &SimTime) -> u64 {
+    let label = "not an Instant, not a SystemTime";
+    let _ = label;
+    clock.0
+}

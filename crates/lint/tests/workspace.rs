@@ -1,0 +1,47 @@
+//! Meta-test: the live workspace must pass its own determinism lint
+//! with zero unannotated findings.
+//!
+//! This runs inside plain `cargo test`, so a fresh HashMap-iteration
+//! or wall-clock violation fails the tier-1 gate even before
+//! `scripts/check.sh` reaches the dedicated lint step.
+
+use livesec_lint::{lint_workspace, walk::find_workspace_root};
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_zero_unannotated_findings() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root above crates/lint");
+    let findings = lint_workspace(&root).expect("workspace lint runs");
+    assert!(
+        findings.is_empty(),
+        "livesec-lint found {} unannotated violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_the_crates() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root");
+    let files = livesec_lint::walk::workspace_rs_files(&root).expect("walk");
+    // Sanity: the walk must actually see the workspace (a broken
+    // skip-list that excludes everything would vacuously "pass").
+    let covers = |suffix: &str| files.iter().any(|p| p.ends_with(suffix));
+    assert!(covers("crates/core/src/controller.rs"));
+    assert!(covers("crates/sim/src/world.rs"));
+    assert!(covers("crates/switch/src/learning.rs"));
+    assert!(covers("src/lib.rs"));
+    // ... and must skip vendored stubs and its own fixtures.
+    assert!(!files
+        .iter()
+        .any(|p| p.components().any(|c| c.as_os_str() == "vendor")));
+    assert!(!files
+        .iter()
+        .any(|p| p.components().any(|c| c.as_os_str() == "fixtures")));
+}

@@ -15,7 +15,12 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// The 9-tuple identifying a unidirectional flow.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// `Ord` is part of the determinism contract: controller state keyed
+/// by `FlowKey` lives in ordered maps so that iteration (and thus
+/// event, flow-mod and history order) is identical across same-seed
+/// runs. See `DESIGN.md` §6.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct FlowKey {
     /// VLAN id, or `None` for untagged traffic.
     pub vlan: Option<u16>,
@@ -99,7 +104,10 @@ impl fmt::Display for FlowKey {
 ///
 /// Normalization orders the `(ip, port, mac)` endpoint triples so the
 /// lexicographically smaller endpoint comes first.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// `Ord` for the same reason as [`FlowKey`]: session-keyed state must
+/// be iterable in a run-stable order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct SessionKey {
     /// VLAN id shared by both directions.
     pub vlan: Option<u16>,

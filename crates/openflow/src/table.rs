@@ -218,6 +218,13 @@ impl FlowTable {
     }
 
     fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        // Contract: every consumer either sorts by insertion `seq`
+        // before the order becomes observable (expire, remove) or
+        // reduces order-insensitively (find_strict matches at most one
+        // entry, best_candidate takes a strict max, modify_actions
+        // applies the same mutation to all hits). Keeping the exact
+        // index a HashMap keeps dataplane lookups O(1).
+        // livesec-lint: allow(unordered-iter, reason = "all consumers sort by seq or reduce order-insensitively")
         self.exact
             .values()
             .flatten()

@@ -62,6 +62,16 @@ pub struct ServiceElement<I: Inspector> {
     counters: SeCounters,
 }
 
+impl<I: Inspector> std::fmt::Debug for ServiceElement<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceElement")
+            .field("cert", &self.cert)
+            .field("capacity_bps", &self.capacity_bps)
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<I: Inspector> ServiceElement<I> {
     /// Wraps `inspector` with the paper's defaults: 500 Mbps capacity,
     /// 5 µs per-packet overhead, 20 ms maximum backlog, 100 ms report

@@ -70,6 +70,15 @@ pub struct Ctx<'a> {
     pub(crate) node: NodeId,
 }
 
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("now", &self.kernel.now)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {

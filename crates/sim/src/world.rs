@@ -94,6 +94,16 @@ pub struct Kernel {
     fault_rng: StdRng,
 }
 
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("queued_events", &self.queue.len())
+            .field("links", &self.links.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Kernel {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
@@ -216,6 +226,16 @@ pub struct World {
     kernel: Kernel,
     nodes: Vec<Option<Box<dyn Node>>>,
     started: bool,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("kernel", &self.kernel)
+            .field("nodes", &self.nodes.len())
+            .field("started", &self.started)
+            .finish()
+    }
 }
 
 impl World {

@@ -82,6 +82,16 @@ pub struct AsSwitch {
     pub crash_restarts: u64,
 }
 
+impl std::fmt::Debug for AsSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsSwitch")
+            .field("dpid", &self.channel.datapath_id())
+            .field("n_ports", &self.n_ports)
+            .field("flow_entries", &self.table.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl AsSwitch {
     /// Creates a switch with the given datapath id and port count.
     pub fn new(datapath_id: u64, n_ports: u32) -> Self {

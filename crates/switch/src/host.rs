@@ -93,6 +93,14 @@ pub struct HostIo<'a, 'b> {
     ctx: &'a mut Ctx<'b>,
 }
 
+impl std::fmt::Debug for HostIo<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostIo")
+            .field("ctx", &self.ctx)
+            .finish_non_exhaustive()
+    }
+}
+
 impl HostIo<'_, '_> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
@@ -243,6 +251,15 @@ impl HostIo<'_, '_> {
 pub struct Host<A: App> {
     core: HostCore,
     app: A,
+}
+
+impl<A: App> std::fmt::Debug for Host<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("mac", &self.core.mac)
+            .field("ip", &self.core.ip)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: App> Host<A> {

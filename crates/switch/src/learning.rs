@@ -3,7 +3,7 @@
 use livesec_net::Packet;
 use livesec_sim::{Ctx, Node, PortId, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Timer token for the aging sweep.
 const AGE_TICK: u64 = 1;
@@ -14,9 +14,13 @@ const AGE_TICK: u64 = 1;
 /// reachability between all Access-Switching switches and is entirely
 /// unaware of OpenFlow. Loop freedom in redundant topologies comes from
 /// [`crate::stp`], which marks blocked ports.
+#[derive(Debug)]
 pub struct LearningSwitch {
     n_ports: u32,
-    table: HashMap<livesec_net::MacAddr, (u32, SimTime)>,
+    // Ordered so the aging sweep in `on_timer` visits entries in
+    // MAC order (DESIGN.md §6); lookups are keyed, so the switch
+    // dataplane is unaffected.
+    table: BTreeMap<livesec_net::MacAddr, (u32, SimTime)>,
     blocked: HashSet<u32>,
     age_limit: SimDuration,
     /// Frames forwarded (unicast hits).
@@ -31,7 +35,7 @@ impl LearningSwitch {
     pub fn new(n_ports: u32) -> Self {
         LearningSwitch {
             n_ports,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             blocked: HashSet::new(),
             age_limit: SimDuration::from_secs(300),
             forwarded: 0,

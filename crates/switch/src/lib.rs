@@ -1,4 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_methods, clippy::disallowed_types)]
 
 //! Dataplane elements for the LiveSec reproduction.
 //!

@@ -206,6 +206,7 @@ impl Default for ScenarioConfig {
 }
 
 /// The assembled Figure-7/8 campus.
+#[derive(Debug)]
 pub struct CampusScenario {
     /// The testbed (run `campus.world` to advance time).
     pub campus: Campus,

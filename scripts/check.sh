@@ -15,6 +15,10 @@ run() {
 }
 
 run cargo build --release
+# Determinism & invariant static analysis (DESIGN.md §6): flags
+# HashMap-order iteration, wall-clock reads, unseeded RNG and float
+# accumulation; zero unannotated findings allowed.
+run cargo run -q -p livesec-lint --release
 run cargo test -q
 # Seeded chaos soak: the campus under scheduled partitions, crashes,
 # and frame corruption over fixed seeds — zero panics, clean
