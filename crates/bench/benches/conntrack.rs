@@ -1,0 +1,172 @@
+//! Micro-benchmark of the conntrack subsystem and the fast-pass saving.
+//!
+//! Two questions, measured separately:
+//!
+//! * Table mechanics at production scale — insert, lookup, and
+//!   timer-wheel expiry over a 100 000-entry [`ConnTable`].
+//! * The per-packet saving of the established-flow fast-pass: the
+//!   hairpin path (three switch-table traversals plus the service
+//!   element's tracker update per packet) against the fast-pass path
+//!   (two traversals, no tracker). The ratio is the real per-packet
+//!   saving behind EXPERIMENTS.md's SE-inspected-byte reduction.
+//!
+//! Simulated clocks only: every timestamp comes from a monotonic
+//! nanosecond counter, never the wall clock (DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use livesec_conntrack::{ConnKey, ConnTable};
+use livesec_net::{FlowKey, MacAddr, TcpFlags};
+use livesec_openflow::{Action, FlowEntry, FlowTable, Match, OutPort};
+
+const N_CONNS: u64 = 100_000;
+/// One simulated microsecond between observations: a 100k-entry table
+/// spans 100 ms of simulated traffic, well inside every idle timeout.
+const STEP: u64 = 1_000;
+
+fn key(f: u64) -> FlowKey {
+    FlowKey {
+        vlan: None,
+        dl_src: MacAddr::from_u64(0xa00_0000 + f),
+        dl_dst: MacAddr::from_u64(0xb00_0000 + f % 64),
+        dl_type: 0x0800,
+        nw_src: format!(
+            "10.{}.{}.{}",
+            1 + f / 65_025,
+            1 + (f / 255) % 255,
+            1 + f % 255
+        )
+        .parse()
+        .unwrap(),
+        nw_dst: "10.0.255.254".parse().unwrap(),
+        nw_proto: 6,
+        tp_src: 10_000 + (f % 50_000) as u16,
+        tp_dst: 80,
+    }
+}
+
+/// A table with `n` established connections, observed at `STEP`-spaced
+/// simulated timestamps starting from `t0`.
+fn filled(n: u64, t0: u64) -> (ConnTable, u64) {
+    let mut table = ConnTable::new().with_capacity(2 * n as usize);
+    let mut now = t0;
+    for f in 0..n {
+        let k = key(f);
+        table.observe(&k, Some(TcpFlags::SYN), &[], sim(now));
+        now += STEP;
+        table.observe(
+            &k.reversed(),
+            Some(TcpFlags::SYN | TcpFlags::ACK),
+            &[],
+            sim(now),
+        );
+        now += STEP;
+    }
+    (table, now)
+}
+
+fn sim(nanos: u64) -> livesec_sim::SimTime {
+    livesec_sim::SimTime::from_nanos(nanos)
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conntrack_table");
+    g.sample_size(60);
+
+    // Insert: a fresh SYN against a table already holding 100k flows.
+    let (mut table, mut now) = filled(N_CONNS, 0);
+    let mut f = N_CONNS;
+    g.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            now += STEP;
+            f += 1;
+            black_box(table.observe(&key(f), Some(TcpFlags::SYN), &[], sim(now)))
+        })
+    });
+
+    // Lookup: canonicalization plus map probe, cycling the 100k keys.
+    let (table, _) = filled(N_CONNS, 0);
+    let mut f = 0u64;
+    g.bench_function("lookup_100k", |b| {
+        b.iter(|| {
+            f += 1;
+            black_box(table.get(&ConnKey::of(&key(f % N_CONNS))))
+        })
+    });
+
+    // Expire: one timer-wheel sweep over the full table. Jumping far
+    // past every idle timeout makes each iteration drain whatever the
+    // previous left, so the cost amortizes to sweep + eviction work.
+    let (mut table, end) = filled(N_CONNS, 0);
+    let mut horizon = end;
+    g.bench_function("expire_sweep_100k", |b| {
+        b.iter(|| {
+            horizon += 120_000_000_000; // +120 simulated seconds
+            black_box(table.expire(sim(horizon)).len())
+        })
+    });
+
+    g.finish();
+}
+
+/// An exact-match steering entry forwarding `key` out a port.
+fn steer(k: &FlowKey, priority: u16) -> FlowEntry {
+    FlowEntry::new(
+        Match::exact_any_port(k),
+        vec![Action::Output(OutPort::Physical(2))],
+        priority,
+    )
+}
+
+fn bench_per_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conntrack_per_packet");
+    g.sample_size(200);
+
+    let k = key(7);
+
+    // Hairpin: ingress steer, the service element's switch, egress —
+    // three table traversals — plus the tracker update the firewall
+    // performs on every inspected packet.
+    let mut tables: Vec<FlowTable> = (0..3)
+        .map(|_| {
+            let mut t = FlowTable::new();
+            t.insert(steer(&k, 100));
+            t
+        })
+        .collect();
+    let (mut track, start) = filled(1, 0);
+    let mut now = start;
+    g.bench_function("hairpin_packet", |b| {
+        b.iter(|| {
+            now += STEP;
+            for t in &mut tables {
+                black_box(t.lookup(1, &k, now));
+            }
+            black_box(track.observe(&k, Some(TcpFlags::PSH | TcpFlags::ACK), &[0u8; 4], sim(now)))
+        })
+    });
+
+    // Fast-pass: the two on-path switches forward directly on the
+    // higher-priority entry; no service element, no tracker update.
+    let mut tables: Vec<FlowTable> = (0..2)
+        .map(|_| {
+            let mut t = FlowTable::new();
+            t.insert(steer(&k, 100));
+            t.insert(steer(&k, 150));
+            t
+        })
+        .collect();
+    let mut now = start;
+    g.bench_function("fastpass_packet", |b| {
+        b.iter(|| {
+            now += STEP;
+            for t in &mut tables {
+                black_box(t.lookup(1, &k, now));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table, bench_per_packet);
+criterion_main!(benches);

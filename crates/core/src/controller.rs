@@ -17,7 +17,7 @@ use crate::balance::{LoadBalancer, SeRegistry};
 use crate::cache::{CachedDecision, DecisionCache};
 use crate::directory::DirectoryProxy;
 use crate::location::{LearnOutcome, LocationTable};
-use crate::monitor::{EventKind, FastPathStats, HealthStats, Monitor};
+use crate::monitor::{ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor};
 use crate::policy::{AppAction, PolicyDecision, PolicyTable};
 use crate::routing::{compile_path, Hop, SteeringProgram};
 use crate::topology::TopologyMap;
@@ -51,9 +51,18 @@ const BLOCK_COOKIE: u64 = 3;
 /// keeps no record of denials (they self-expire via their idle
 /// timeout), so the audit must recognize and skip them.
 const DENY_COOKIE: u64 = 4;
+/// Cookie tagging the forward ingress entry of an established-flow
+/// fast-pass (direct path that bypasses the service-element hairpin).
+const FASTPASS_COOKIE: u64 = 5;
+/// Cookie tagging the reverse ingress entry of a fast-pass.
+const FASTPASS_REV_COOKIE: u64 = 6;
 
 /// Priority of steering/forwarding entries.
 const STEER_PRIORITY: u16 = 100;
+/// Priority of fast-pass entries: wins over steering (the established
+/// flow skips its chain) but loses to drop entries (a block always
+/// stops the flow, fast-passed or not).
+const FASTPASS_PRIORITY: u16 = 150;
 /// Priority of drop entries (wins over steering).
 const BLOCK_PRIORITY: u16 = 200;
 
@@ -107,6 +116,19 @@ struct FlowRecord {
     fwd_done: Option<(u64, u64)>,
     /// (packets, bytes) from the removed reverse-ingress entry.
     rev_done: Option<(u64, u64)>,
+}
+
+/// Book-keeping for one installed established-flow fast-pass: the
+/// compiled direct-path programs plus the policy/topology epochs they
+/// were compiled under. A record whose epochs fall behind the
+/// controller's is *stale* — the housekeeping tick tears it down and
+/// the reconciliation audit stops defending its entries.
+#[derive(Clone, Debug)]
+struct FastPassRecord {
+    forward: SteeringProgram,
+    reverse: SteeringProgram,
+    policy_epoch: u64,
+    topo_epoch: u64,
 }
 
 /// One flow entry the controller believes a switch should hold — the
@@ -215,6 +237,29 @@ pub struct Controller {
     /// Fault-tolerance counters surfaced by `health_stats`.
     health: HealthStats,
 
+    /// Installed established-flow fast-passes, keyed by the flow's
+    /// original direction. Ordered: iteration order reaches flow-mod
+    /// batches and the reconciliation audit (DESIGN.md §6).
+    fastpasses: BTreeMap<FlowKey, FastPassRecord>,
+    /// Flows a firewall element has reported established, with the
+    /// policy epoch of the report. Survives the fast-pass itself so a
+    /// flow whose entries were wiped by a switch restart gets its
+    /// fast-pass reinstalled on the next packet-in (the element only
+    /// reports each connection's establishment once).
+    established_conns: BTreeMap<FlowKey, u64>,
+    /// Whether established-flow fast-passes are installed at all.
+    fastpass_enabled: bool,
+    /// Idle timeout of fast-pass entries.
+    fastpass_idle: SimDuration,
+    /// Advances whenever the policy table may have changed; fast-pass
+    /// records compiled under an older epoch are stale.
+    policy_epoch: u64,
+    /// Advances whenever the topology may have changed (mirrors the
+    /// decision cache's topology epoch).
+    topo_epoch: u64,
+    /// Connection-tracking counters surfaced by `conntrack_stats`.
+    conntrack: ConnTrackStats,
+
     tick: SimDuration,
     lldp_every_ticks: u64,
     stats_every_ticks: u64,
@@ -281,6 +326,13 @@ impl Controller {
             auditing: HashSet::new(),
             audit_every_ticks: 50,
             health: HealthStats::default(),
+            fastpasses: BTreeMap::new(),
+            established_conns: BTreeMap::new(),
+            fastpass_enabled: true,
+            fastpass_idle: SimDuration::from_secs(5),
+            policy_epoch: 0,
+            topo_epoch: 0,
+            conntrack: ConnTrackStats::default(),
             tick: SimDuration::from_millis(100),
             lldp_every_ticks: 5,
             stats_every_ticks: 0,
@@ -399,6 +451,22 @@ impl Controller {
         self
     }
 
+    /// Enables or disables established-flow fast-passes (default:
+    /// enabled). When a firewall element reports a connection
+    /// established, the controller installs a direct bidirectional
+    /// path above steering priority so the rest of the connection
+    /// skips the service-element hairpin.
+    pub fn with_fastpass(mut self, enabled: bool) -> Self {
+        self.fastpass_enabled = enabled;
+        self
+    }
+
+    /// Sets the idle timeout of fast-pass entries (default 5 s).
+    pub fn with_fastpass_idle(mut self, d: SimDuration) -> Self {
+        self.fastpass_idle = d;
+        self
+    }
+
     /// The monitor (event database).
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
@@ -425,9 +493,7 @@ impl Controller {
     /// cache's policy epoch: any cached decision may be edited out
     /// from under it.
     pub fn policy_mut(&mut self) -> &mut PolicyTable {
-        if let Some(c) = self.cache.as_mut() {
-            c.note_policy_change();
-        }
+        self.bump_policy_epoch();
         &mut self.policy
     }
 
@@ -435,10 +501,29 @@ impl Controller {
     /// own the controller inside a world). Invalidates every cached
     /// flow-setup decision.
     pub fn set_policy(&mut self, policy: PolicyTable) {
+        self.bump_policy_epoch();
+        self.policy = policy;
+    }
+
+    /// Records that the policy table may have changed: advances the
+    /// decision cache's policy epoch and stales every fast-pass (a
+    /// connection admitted under the old policy may no longer be
+    /// allowed to bypass its chain).
+    fn bump_policy_epoch(&mut self) {
+        self.policy_epoch += 1;
         if let Some(c) = self.cache.as_mut() {
             c.note_policy_change();
         }
-        self.policy = policy;
+    }
+
+    /// Records that the topology may have changed: advances the
+    /// decision cache's topology epoch and stales every fast-pass
+    /// (its direct path was compiled through the old topology).
+    fn bump_topology_epoch(&mut self) {
+        self.topo_epoch += 1;
+        if let Some(c) = self.cache.as_mut() {
+            c.note_topology_change();
+        }
     }
 
     /// Replaces the load balancer in place. Drops the decision cache's
@@ -514,6 +599,31 @@ impl Controller {
     /// 100 ms).
     pub fn set_stats_polling(&mut self, every: u64) {
         self.stats_every_ticks = every;
+    }
+
+    /// Enables or disables established-flow fast-passes in place.
+    /// Disabling tears down every installed fast-pass (the entries
+    /// are deleted on the next flush; the flows fall back to their
+    /// steering programs).
+    pub fn set_fastpass(&mut self, enabled: bool) {
+        self.fastpass_enabled = enabled;
+        if !enabled {
+            let keys: Vec<FlowKey> = self.fastpasses.keys().copied().collect();
+            for key in keys {
+                self.conntrack.fastpass_invalidated += 1;
+                self.remove_fastpass(&key);
+            }
+        }
+    }
+
+    /// Whether established-flow fast-passes are enabled.
+    pub fn fastpass_enabled(&self) -> bool {
+        self.fastpass_enabled
+    }
+
+    /// Sets the idle timeout of fast-pass entries in place.
+    pub fn set_fastpass_idle(&mut self, d: SimDuration) {
+        self.fastpass_idle = d;
     }
 
     /// The directory proxy, if enabled (for lease inspection).
@@ -629,6 +739,20 @@ impl Controller {
         self.health_stats().to_json()
     }
 
+    /// Connection-tracking counters: establishments and closures
+    /// reported by firewall elements, SYN floods detected, and the
+    /// fast-pass installation/teardown/byte figures.
+    pub fn conntrack_stats(&self) -> ConnTrackStats {
+        let mut s = self.conntrack;
+        s.fastpass_active = self.fastpasses.len() as u64;
+        s
+    }
+
+    /// The connection-tracking counters as pretty JSON.
+    pub fn conntrack_json(&self) -> String {
+        self.conntrack_stats().to_json()
+    }
+
     /// The flow entries the controller believes `dpid` should hold, as
     /// `(matcher, priority, cookie)` — what the reconciliation audit
     /// enforces. Exposed so tests can compare against the switch's
@@ -666,6 +790,35 @@ impl Controller {
                         cookie: tag.unwrap_or(0),
                         actions: entry.actions.clone(),
                         idle_timeout: idle,
+                        notify_removed: tag.is_some(),
+                    });
+                }
+            }
+        }
+        // Fast-pass entries are desired state too — but only while
+        // their record's epochs are current. A stale record is about
+        // to be torn down by the housekeeping tick; defending its
+        // entries here would race that teardown.
+        let fp_idle = Some(self.fastpass_idle.as_nanos());
+        for rec in self.fastpasses.values() {
+            if rec.policy_epoch != self.policy_epoch || rec.topo_epoch != self.topo_epoch {
+                continue;
+            }
+            for (program, cookie) in [
+                (&rec.forward, FASTPASS_COOKIE),
+                (&rec.reverse, FASTPASS_REV_COOKIE),
+            ] {
+                for (i, entry) in program.entries.iter().enumerate() {
+                    if entry.dpid != dpid {
+                        continue;
+                    }
+                    let tag = (i == 0).then_some(cookie);
+                    out.push(DesiredEntry {
+                        matcher: entry.matcher,
+                        priority: entry.priority,
+                        cookie: tag.unwrap_or(0),
+                        actions: entry.actions.clone(),
+                        idle_timeout: fp_idle,
                         notify_removed: tag.is_some(),
                     });
                 }
@@ -957,6 +1110,20 @@ impl Controller {
                         element: src_mac,
                     },
                 );
+                if attack.starts_with("syn-flood") {
+                    // A flood rotates source ports, so the per-key
+                    // block below would stop only one probe: drop
+                    // everything from the source at its ingress.
+                    self.conntrack.syn_floods += 1;
+                    self.monitor.record(
+                        now,
+                        EventKind::SynFloodDetected {
+                            src: flow.nw_src,
+                            attack: attack.clone(),
+                        },
+                    );
+                    self.block_source(flow.dl_src);
+                }
                 self.block_flow(ctx, &flow, format!("attack:{attack}"));
             }
             Verdict::Application { app } => {
@@ -977,6 +1144,139 @@ impl Controller {
             Verdict::PolicyViolation { policy } => {
                 self.block_flow(ctx, &flow, format!("policy:{policy}"));
             }
+            Verdict::ConnEstablished => {
+                self.conntrack.established += 1;
+                self.monitor
+                    .record(now, EventKind::ConnEstablished { flow });
+                self.established_conns.insert(flow, self.policy_epoch);
+                self.install_fastpass(now, flow);
+            }
+            Verdict::ConnClosed => {
+                self.conntrack.closed += 1;
+                self.monitor.record(now, EventKind::ConnClosed { flow });
+                self.established_conns.remove(&flow);
+                self.remove_fastpass(&flow);
+            }
+        }
+    }
+
+    /// Installs a bidirectional direct-path fast-pass for an
+    /// established flow: two 2-hop steering programs (no service
+    /// hops, no MAC rewrites) above steering priority, so subsequent
+    /// packets of the connection bypass the service-element hairpin.
+    fn install_fastpass(&mut self, now: SimTime, key: FlowKey) {
+        if !self.fastpass_enabled || self.fastpasses.contains_key(&key) {
+            return;
+        }
+        let Some(src_hop) = self.hop_of(key.dl_src) else {
+            return;
+        };
+        let Some(dst_hop) = self.hop_of(key.dl_dst) else {
+            return;
+        };
+        let uplink = |d: u64| self.topo.uplink_of(d);
+        let Ok(forward) = compile_path(&key, &[src_hop, dst_hop], uplink, FASTPASS_PRIORITY) else {
+            return;
+        };
+        let Ok(reverse) = compile_path(
+            &key.reversed(),
+            &[dst_hop, src_hop],
+            uplink,
+            FASTPASS_PRIORITY,
+        ) else {
+            return;
+        };
+        self.install_fastpass_program(&forward, FASTPASS_COOKIE);
+        self.install_fastpass_program(&reverse, FASTPASS_REV_COOKIE);
+        self.fastpasses.insert(
+            key,
+            FastPassRecord {
+                forward,
+                reverse,
+                policy_epoch: self.policy_epoch,
+                topo_epoch: self.topo_epoch,
+            },
+        );
+        self.conntrack.fastpass_installed += 1;
+        self.monitor
+            .record(now, EventKind::FastPassInstalled { flow: key });
+    }
+
+    /// Queues one fast-pass program's flow-mods; the first entry is
+    /// cookie-tagged with removal notification so the idle-out of the
+    /// ingress entry reports the bytes that took the fast path.
+    fn install_fastpass_program(&mut self, program: &SteeringProgram, cookie: u64) {
+        let idle = Some(self.fastpass_idle.as_nanos());
+        for (i, entry) in program.entries.iter().enumerate() {
+            let tag = i == 0;
+            let msg = OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                matcher: entry.matcher,
+                priority: entry.priority,
+                actions: entry.actions.clone(),
+                idle_timeout: idle,
+                hard_timeout: None,
+                cookie: if tag { cookie } else { 0 },
+                notify_removed: tag,
+            };
+            self.send_to_dpid(entry.dpid, &msg);
+        }
+    }
+
+    /// Tears down a fast-pass: deletes both directions' entries and
+    /// drops the record. Idempotent — the switch's FlowRemoved
+    /// notification for an entry this very teardown deletes re-enters
+    /// here and finds the record already gone.
+    fn remove_fastpass(&mut self, key: &FlowKey) {
+        let Some(rec) = self.fastpasses.remove(key) else {
+            return;
+        };
+        for program in [&rec.forward, &rec.reverse] {
+            for entry in &program.entries {
+                self.send_to_dpid(
+                    entry.dpid,
+                    &OfMessage::FlowMod {
+                        command: FlowModCommand::DeleteStrict,
+                        matcher: entry.matcher,
+                        priority: entry.priority,
+                        actions: Vec::new(),
+                        idle_timeout: None,
+                        hard_timeout: None,
+                        cookie: 0,
+                        notify_removed: false,
+                    },
+                );
+            }
+        }
+        self.conntrack.fastpass_removed += 1;
+    }
+
+    /// Installs a source-wide drop at a host's ingress switch — the
+    /// response to a SYN flood, whose probes rotate source ports
+    /// faster than per-flow blocks could chase them. The drop joins
+    /// the standing block registry, so audits reinstall it after
+    /// crashes and partitions like any other block.
+    fn block_source(&mut self, mac: MacAddr) {
+        let Some(loc) = self.locations.lookup(mac).copied() else {
+            return;
+        };
+        let matcher = Match::any().with_dl_src(mac);
+        self.send_to_dpid(
+            loc.dpid,
+            &OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                matcher,
+                priority: BLOCK_PRIORITY,
+                actions: Vec::new(), // drop
+                idle_timeout: None,
+                hard_timeout: None,
+                cookie: BLOCK_COOKIE,
+                notify_removed: false,
+            },
+        );
+        let standing = self.blocks.entry(loc.dpid).or_default();
+        if !standing.contains(&matcher) {
+            standing.push(matcher);
         }
     }
 
@@ -1107,6 +1407,23 @@ impl Controller {
                     notify_removed: false,
                 },
             );
+        }
+        // The connection's fast-pass died with the same fault: bring
+        // it back alongside the steering programs (the firewall never
+        // re-reports an establishment it already reported).
+        let epoch = self.policy_epoch;
+        let remembered = [*key, key.reversed()]
+            .into_iter()
+            .find(|k| self.established_conns.get(k) == Some(&epoch));
+        if let Some(k) = remembered {
+            match self.fastpasses.get(&k).cloned() {
+                Some(fp) if fp.policy_epoch == epoch && fp.topo_epoch == self.topo_epoch => {
+                    self.install_fastpass_program(&fp.forward, FASTPASS_COOKIE);
+                    self.install_fastpass_program(&fp.reverse, FASTPASS_REV_COOKIE);
+                }
+                Some(_) => {} // stale record; the tick sweep owns it
+                None => self.install_fastpass(now, k),
+            }
         }
     }
 
@@ -1418,6 +1735,19 @@ impl Controller {
                 elements,
             },
         );
+        // A connection the firewall already reported established gets
+        // its fast-pass back on this packet-in — the element reports
+        // each establishment only once, so a fast-pass lost to a
+        // switch restart must be re-derived from the controller's own
+        // memory of the report (epoch-checked: a policy change voids
+        // that memory).
+        let epoch = self.policy_epoch;
+        let remembered = [key, key.reversed()]
+            .into_iter()
+            .find(|k| self.established_conns.get(k) == Some(&epoch));
+        if let Some(k) = remembered {
+            self.install_fastpass(now, k);
+        }
     }
 
     fn handle_flow_removed(
@@ -1433,6 +1763,16 @@ impl Controller {
         let key = match (cookie, matcher.exact_key()) {
             (INGRESS_COOKIE, Some(k)) => k,
             (REVERSE_COOKIE, Some(k)) => k.reversed(),
+            (FASTPASS_COOKIE, Some(k)) => {
+                self.conntrack.fastpass_bytes += bytes;
+                self.remove_fastpass(&k);
+                return;
+            }
+            (FASTPASS_REV_COOKIE, Some(k)) => {
+                self.conntrack.fastpass_bytes += bytes;
+                self.remove_fastpass(&k.reversed());
+                return;
+            }
             _ => return,
         };
         let Some(rec) = self.active.get_mut(&key) else {
@@ -1524,9 +1864,7 @@ impl Controller {
         self.health.switch_downs += 1;
         self.down_dpids.insert(dpid);
         self.monitor.record(now, EventKind::SwitchDown { dpid });
-        if let Some(c) = self.cache.as_mut() {
-            c.note_topology_change();
-        }
+        self.bump_topology_epoch();
         // evict_dpid iterates a BTreeMap, so departures are recorded in
         // MAC order — deterministic across runs.
         for mac in self.locations.evict_dpid(dpid) {
@@ -1683,9 +2021,7 @@ impl Controller {
             return;
         }
         // Compiled programs may have routed through the dead port.
-        if let Some(c) = self.cache.as_mut() {
-            c.note_topology_change();
-        }
+        self.bump_topology_epoch();
         let evicted = self.locations.evict_port(dpid, port);
         for mac in evicted {
             if let Some(c) = self.cache.as_mut() {
@@ -1744,9 +2080,7 @@ impl Controller {
                 let uplink_before = self.topo.uplink_of(dpid);
                 let new_link = self.topo.observe_lldp(from, to);
                 if new_link || self.topo.uplink_of(dpid) != uplink_before {
-                    if let Some(c) = self.cache.as_mut() {
-                        c.note_topology_change();
-                    }
+                    self.bump_topology_epoch();
                 }
                 if new_link {
                     self.monitor
@@ -1850,6 +2184,25 @@ impl Node for Controller {
             self.monitor.record(now, EventKind::SeOffline { mac });
             self.cleanup_se(mac);
         }
+        // Fast-pass invalidation sweep: records compiled under an
+        // older policy or topology epoch are torn down (the flow
+        // falls back to its steering program; a fresh establishment
+        // report or a repeat packet-in reinstalls it). fastpasses is
+        // a BTreeMap, so the teardown order is run-stable.
+        let (pe, te) = (self.policy_epoch, self.topo_epoch);
+        let stale: Vec<FlowKey> = self
+            .fastpasses
+            .iter()
+            .filter(|(_, r)| r.policy_epoch != pe || r.topo_epoch != te)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stale {
+            self.conntrack.fastpass_invalidated += 1;
+            self.remove_fastpass(&key);
+        }
+        // Establishment memory from before a policy change is void:
+        // the connection must be re-verdicted under the new policy.
+        self.established_conns.retain(|_, e| *e == pe);
         ctx.set_timer(self.tick, TICK);
         self.flush(ctx);
     }
@@ -1901,9 +2254,7 @@ impl Node for Controller {
                 self.known_nodes.insert(peer, datapath_id);
                 self.switch_liveness.insert(datapath_id, ctx.now());
                 if was_new {
-                    if let Some(c) = self.cache.as_mut() {
-                        c.note_topology_change();
-                    }
+                    self.bump_topology_epoch();
                     if !rejoined {
                         self.monitor
                             .record(ctx.now(), EventKind::SwitchJoin { dpid: datapath_id });

@@ -57,7 +57,9 @@ pub use controller::{Controller, NibSnapshot, TrafficTally};
 pub use deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
 pub use directory::DirectoryProxy;
 pub use location::{Location, LocationTable};
-pub use monitor::{EventKind, FastPathStats, Monitor, NetworkEvent, UiFrame, UiUser};
+pub use monitor::{
+    ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame, UiUser,
+};
 pub use policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
 pub use routing::{SteeringProgram, SwitchEntry};
 pub use topology::TopologyMap;
@@ -70,7 +72,10 @@ pub mod prelude {
     pub use crate::deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
     pub use crate::directory::DirectoryProxy;
     pub use crate::location::{Location, LocationTable};
-    pub use crate::monitor::{EventKind, FastPathStats, Monitor, NetworkEvent, UiFrame, UiUser};
+    pub use crate::monitor::{
+        ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame,
+        UiUser,
+    };
     pub use crate::policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
     pub use crate::routing::{SteeringProgram, SwitchEntry};
     pub use crate::topology::TopologyMap;

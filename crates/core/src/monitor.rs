@@ -177,6 +177,29 @@ pub enum EventKind {
         /// Missing entries reinstalled.
         reinstalled: u64,
     },
+    /// A stateful firewall element confirmed a connection established.
+    ConnEstablished {
+        /// The connection's opening-direction flow.
+        flow: FlowKey,
+    },
+    /// A tracked connection closed (teardown or idle expiry).
+    ConnClosed {
+        /// The connection's opening-direction flow.
+        flow: FlowKey,
+    },
+    /// A service element reported a SYN flood from one source.
+    SynFloodDetected {
+        /// The flooding source address.
+        src: Ipv4Addr,
+        /// The attack label from the SE report.
+        attack: String,
+    },
+    /// The controller installed an established-flow fast-pass: direct
+    /// bidirectional entries that bypass the service-element hairpin.
+    FastPassInstalled {
+        /// The connection's opening-direction flow.
+        flow: FlowKey,
+    },
 }
 
 impl EventKind {
@@ -203,6 +226,10 @@ impl EventKind {
             EventKind::SwitchUp { .. } => "switch_up",
             EventKind::DegradedMode { .. } => "degraded_mode",
             EventKind::Resync { .. } => "resync",
+            EventKind::ConnEstablished { .. } => "conn_established",
+            EventKind::ConnClosed { .. } => "conn_closed",
+            EventKind::SynFloodDetected { .. } => "syn_flood_detected",
+            EventKind::FastPassInstalled { .. } => "fast_pass_installed",
         }
     }
 }
@@ -386,6 +413,18 @@ impl Monitor {
                 EventKind::SwitchUp { dpid } => {
                     f.switches.insert(*dpid);
                 }
+                EventKind::ConnEstablished { .. } => {
+                    f.established_conns += 1;
+                }
+                EventKind::ConnClosed { .. } => {
+                    f.established_conns = f.established_conns.saturating_sub(1);
+                }
+                EventKind::SynFloodDetected { src, attack } => {
+                    f.alerts.push(format!("{attack} ({src})"));
+                }
+                EventKind::FastPassInstalled { .. } => {
+                    f.fastpasses += 1;
+                }
                 _ => {}
             }
         }
@@ -470,6 +509,38 @@ impl HealthStats {
     }
 }
 
+/// Counters of the connection-tracking / stateful-enforcement layer —
+/// established reports, SYN floods, and the established-flow fast-pass
+/// (direct entries bypassing the SE hairpin). Returned by
+/// `Controller::conntrack_stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnTrackStats {
+    /// `ConnEstablished` reports accepted from service elements.
+    pub established: u64,
+    /// `ConnClosed` reports accepted from service elements.
+    pub closed: u64,
+    /// SYN floods reported (one per flooding source per episode).
+    pub syn_floods: u64,
+    /// Fast-pass entry pairs installed.
+    pub fastpass_installed: u64,
+    /// Fast-pass entry pairs currently standing.
+    pub fastpass_active: u64,
+    /// Fast-passes torn down (conn close, expiry, or epoch sweep).
+    pub fastpass_removed: u64,
+    /// Fast-passes invalidated by a policy/topology epoch change.
+    pub fastpass_invalidated: u64,
+    /// Bytes that traversed fast-pass entries instead of the SE
+    /// hairpin (from FlowRemoved counters as the entries retire).
+    pub fastpass_bytes: u64,
+}
+
+impl ConnTrackStats {
+    /// The JSON form a monitoring UI polls.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats are serializable")
+    }
+}
+
 /// One user row of a [`UiFrame`].
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct UiUser {
@@ -500,6 +571,10 @@ pub struct UiFrame {
     pub alerts: Vec<String>,
     /// Latest per-port byte deltas.
     pub link_load: BTreeMap<(u64, u32), (u64, u64)>,
+    /// Connections currently confirmed established (stateful firewall).
+    pub established_conns: u64,
+    /// Established-flow fast-passes installed so far.
+    pub fastpasses: u64,
 }
 
 impl fmt::Display for UiFrame {
@@ -526,6 +601,13 @@ impl fmt::Display for UiFrame {
         writeln!(f, "service elements ({}):", self.elements.len())?;
         for (mac, (service, cpu)) in &self.elements {
             writeln!(f, "  {mac}  {service}  cpu={cpu}%")?;
+        }
+        if self.established_conns > 0 || self.fastpasses > 0 {
+            writeln!(
+                f,
+                "conntrack: {} established, {} fast-passes installed",
+                self.established_conns, self.fastpasses
+            )?;
         }
         if !self.alerts.is_empty() {
             writeln!(f, "alerts:")?;

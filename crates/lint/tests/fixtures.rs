@@ -110,3 +110,9 @@ fn regression_pr2_se_expiry_shape_is_caught() {
     // Both the values_mut expiry sweep and the drain cleanup.
     assert_trips("regress_pr2_se_expiry_bad.rs", Rule::UnorderedIter, 2);
 }
+
+#[test]
+fn regression_pr4_conntrack_lru_shape_is_caught() {
+    // Both the HashMap LRU-victim scan and the expiry-sweep emit.
+    assert_trips("regress_pr4_conntrack_lru_bad.rs", Rule::UnorderedIter, 2);
+}

@@ -1,0 +1,50 @@
+// Regression fixture — the PR 4 conntrack bug shape.
+//
+// An early conntrack draft kept connections in a HashMap and, when the
+// table hit capacity, scanned it for the least-recently-seen entry to
+// evict. With equal `last_seen` stamps (common under a bursty SYN
+// flood, where many probes land in the same tick) the scan's winner —
+// and therefore which victim's ConnClosed fired — depended on hash
+// iteration order, and so did the expiry sweep's event order. PR 4
+// ships a BTreeMap table keyed for deterministic tie-breaks; this
+// fixture asserts the lint would have caught the draft at check time.
+use std::collections::HashMap;
+
+pub struct Conn {
+    pub last_seen: u64,
+    pub established: bool,
+}
+
+pub struct ConnTable {
+    conns: HashMap<u64, Conn>,
+    capacity: usize,
+}
+
+impl ConnTable {
+    // BUG SHAPE: LRU victim chosen by scanning the HashMap; ties
+    // resolve in hash order, so the evicted key escapes to the caller
+    // in a run-dependent order.
+    pub fn evict_one(&mut self) -> Option<u64> {
+        if self.conns.len() < self.capacity {
+            return None;
+        }
+        let victim = self
+            .conns
+            .iter()
+            .min_by_key(|(_, c)| c.last_seen)
+            .map(|(k, _)| *k)?;
+        self.conns.remove(&victim);
+        Some(victim)
+    }
+
+    // BUG SHAPE: expiry sweep emits ConnClosed in iteration order.
+    pub fn expire(&mut self, now: u64, timeout: u64, closed: &mut Vec<u64>) {
+        for (key, conn) in &self.conns {
+            if conn.established && now - conn.last_seen > timeout {
+                closed.push(*key);
+            }
+        }
+        self.conns
+            .retain(|_, c| !c.established || now - c.last_seen <= timeout);
+    }
+}

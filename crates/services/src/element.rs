@@ -225,6 +225,20 @@ impl<I: Inspector> App for ServiceElement<I> {
     fn on_timer(&mut self, io: &mut HostIo<'_, '_>, token: u64) {
         match token {
             REPORT_TOKEN => {
+                // Engine housekeeping first: stateful engines expire
+                // idle connection state here and may produce findings
+                // (e.g. ConnClosed for fast-passed flows whose packets
+                // no longer traverse this element).
+                let now = io.now();
+                for finding in self.inspector.poll(now) {
+                    let msg = SeMessage::Event {
+                        cert: self.cert,
+                        flow: finding.flow,
+                        verdict: finding.verdict,
+                    };
+                    self.counters.events_sent += 1;
+                    self.send_control(io, &msg);
+                }
                 self.send_online(io);
                 io.set_timer(self.report_interval, REPORT_TOKEN);
             }
@@ -239,12 +253,7 @@ impl<I: Inspector> App for ServiceElement<I> {
 
                 let mut blocked = false;
                 if let Some(key) = FlowKey::of(&pkt) {
-                    let payload = pkt
-                        .ipv4()
-                        .and_then(|ip| ip.transport.payload())
-                        .map(|p| p.content())
-                        .unwrap_or(&[]);
-                    if let Some(finding) = self.inspector.inspect(&key, payload) {
+                    if let Some(finding) = self.inspector.inspect_packet(&key, &pkt, io.now()) {
                         let msg = SeMessage::Event {
                             cert: self.cert,
                             flow: finding.flow,

@@ -9,9 +9,12 @@
 
 use crate::aho::AhoCorasick;
 use crate::msg::{ServiceType, Verdict};
-use livesec_net::{FlowKey, Ipv4Net, SessionKey};
+use livesec_conntrack::{ConnEvent, ConnKey, ConnTable, ConnTimeouts, PacketState};
+use livesec_net::{FlowKey, Ipv4Net, Packet, SessionKey};
+use livesec_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::net::Ipv4Addr;
 
 /// Severity of a finding, 1 (informational) to 10 (critical).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -42,6 +45,27 @@ pub trait Inspector: 'static {
     /// report, or `None`. Engines are responsible for deduplicating
     /// per-flow reports.
     fn inspect(&mut self, flow: &FlowKey, payload: &[u8]) -> Option<Finding>;
+
+    /// Inspects one full packet with the simulation clock available.
+    /// Stateful engines (connection tracking) override this; the
+    /// default extracts the transport payload and delegates to
+    /// [`Inspector::inspect`].
+    fn inspect_packet(&mut self, flow: &FlowKey, pkt: &Packet, _now: SimTime) -> Option<Finding> {
+        let payload = pkt
+            .ipv4()
+            .and_then(|ip| ip.transport.payload())
+            .map(|p| p.content())
+            .unwrap_or(&[]);
+        self.inspect(flow, payload)
+    }
+
+    /// Periodic housekeeping, driven off the SE's report timer.
+    /// Stateful engines use it to expire idle connection state and
+    /// report the resulting findings (e.g. `ConnClosed` for fast-passed
+    /// flows whose packets no longer traverse the element).
+    fn poll(&mut self, _now: SimTime) -> Vec<Finding> {
+        Vec::new()
+    }
 
     /// Relative per-byte processing cost multiplier (1.0 = baseline).
     /// Protocol identification is cheaper per byte than deep signature
@@ -284,10 +308,16 @@ impl ContentInspectionEngine {
 /// The L7-filter-substitute protocol identification engine.
 ///
 /// Classifies flows by payload prefix patterns (and a port fallback),
-/// reporting each session's application once.
+/// reporting each connection's application once. The packet path keeps
+/// a connection-tracking table and classifies from the reassembled
+/// first bytes of *both* directions, so server-banner protocols (SMTP,
+/// SSH) identify even when the client speaks first with an
+/// unrecognizable payload.
 #[derive(Debug, Clone)]
 pub struct ProtoIdEngine {
     identified: HashSet<SessionKey>,
+    conntrack: ConnTable,
+    conn_identified: HashSet<ConnKey>,
     /// Sessions identified so far (diagnostics).
     pub identifications: u64,
 }
@@ -297,6 +327,8 @@ impl ProtoIdEngine {
     pub fn new() -> Self {
         ProtoIdEngine {
             identified: HashSet::new(),
+            conntrack: ConnTable::new(),
+            conn_identified: HashSet::new(),
             identifications: 0,
         }
     }
@@ -361,6 +393,43 @@ impl Inspector for ProtoIdEngine {
         })
     }
 
+    fn inspect_packet(&mut self, flow: &FlowKey, pkt: &Packet, now: SimTime) -> Option<Finding> {
+        let payload = pkt
+            .ipv4()
+            .and_then(|ip| ip.transport.payload())
+            .map(|p| p.content())
+            .unwrap_or(&[]);
+        let flags = pkt.tcp().map(|t| t.flags);
+        let obs = self.conntrack.observe(flow, flags, payload, now);
+        if self.conn_identified.contains(&obs.key) {
+            return None;
+        }
+        // Classify from the reassembled heads of both directions, not
+        // just this packet: a client whose first bytes say nothing
+        // still identifies once the server banner (SMTP "220", SSH
+        // version string) arrives in the reply head.
+        let conn = self.conntrack.get(&obs.key)?;
+        let first = *conn.first_key();
+        let (orig, reply) = conn.heads();
+        let app = Self::classify(orig, first.tp_src, first.tp_dst)
+            .or_else(|| Self::classify(reply, first.tp_dst, first.tp_src))?;
+        self.conn_identified.insert(obs.key);
+        self.identifications += 1;
+        Some(Finding {
+            flow: first,
+            verdict: Verdict::Application {
+                app: app.to_owned(),
+            },
+        })
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<Finding> {
+        for gone in self.conntrack.expire(now) {
+            self.conn_identified.remove(&gone.key);
+        }
+        Vec::new()
+    }
+
     fn cost_factor(&self) -> f64 {
         // Pattern checks on flow heads only: cheaper than full
         // signature scanning, reflected in the paper's lower aggregate
@@ -375,11 +444,51 @@ impl Inspector for ProtoIdEngine {
 pub enum FwAction {
     /// Let the flow pass.
     Allow,
+    /// Let the flow pass, and once its connection reaches an
+    /// established state report `ConnEstablished` so the controller can
+    /// install an inspection-bypassing fast-pass.
+    AllowEstablished,
     /// Report the flow for blocking.
     Deny,
 }
 
+impl FwAction {
+    fn is_deny(self) -> bool {
+        self == FwAction::Deny
+    }
+}
+
+/// Connection-state qualifier a stateful rule can match on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StateMatch {
+    /// Packets opening a connection (original direction, not yet
+    /// established).
+    New,
+    /// Packets of a tracked connection (replies, or any direction once
+    /// established).
+    Established,
+    /// Packets matching no admissible connection.
+    Invalid,
+}
+
+impl StateMatch {
+    fn admits(self, ps: PacketState) -> bool {
+        matches!(
+            (self, ps),
+            (StateMatch::New, PacketState::New)
+                | (StateMatch::Established, PacketState::Established)
+                | (StateMatch::Invalid, PacketState::Invalid)
+        )
+    }
+}
+
 /// One firewall rule over flow-key fields; `None` = any.
+///
+/// Rules are evaluated **first-match-wins**: the first rule whose every
+/// constraint accepts the packet decides the action, and later rules
+/// are never consulted. A rule chain where an earlier rule fully covers
+/// a later one (the later rule is *shadowed* and can never fire) is
+/// rejected at construction — see [`FirewallEngine::try_new`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FwRule {
     /// Rule name, reported on deny.
@@ -392,73 +501,216 @@ pub struct FwRule {
     pub proto: Option<u8>,
     /// Destination port constraint.
     pub dst_port: Option<u16>,
+    /// Connection-state qualifier (stateful matching).
+    pub state: Option<StateMatch>,
     /// What to do on match.
     pub action: FwAction,
 }
 
 impl FwRule {
-    /// A deny rule matching anything (useful as a default-deny tail).
-    pub fn deny_all(name: &str) -> Self {
+    /// A rule matching anything, with the given action. Narrow it with
+    /// the builder methods.
+    pub fn any(name: &str, action: FwAction) -> Self {
         FwRule {
             name: name.to_owned(),
             src: None,
             dst: None,
             proto: None,
             dst_port: None,
-            action: FwAction::Deny,
+            state: None,
+            action,
         }
     }
 
-    fn matches(&self, flow: &FlowKey) -> bool {
+    /// An allow rule matching anything.
+    pub fn allow(name: &str) -> Self {
+        Self::any(name, FwAction::Allow)
+    }
+
+    /// An allow rule that also admits the connection to the
+    /// established-flow fast-pass.
+    pub fn allow_established(name: &str) -> Self {
+        Self::any(name, FwAction::AllowEstablished)
+    }
+
+    /// A deny rule matching anything (useful as a default-deny tail).
+    pub fn deny_all(name: &str) -> Self {
+        Self::any(name, FwAction::Deny)
+    }
+
+    /// Constrains the source prefix.
+    pub fn src(mut self, net: Ipv4Net) -> Self {
+        self.src = Some(net);
+        self
+    }
+
+    /// Constrains the destination prefix.
+    pub fn dst(mut self, net: Ipv4Net) -> Self {
+        self.dst = Some(net);
+        self
+    }
+
+    /// Constrains the IP protocol.
+    pub fn proto(mut self, proto: u8) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Constrains the destination port.
+    pub fn dst_port(mut self, port: u16) -> Self {
+        self.dst_port = Some(port);
+        self
+    }
+
+    /// Constrains the connection state.
+    pub fn state(mut self, state: StateMatch) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    fn matches(&self, flow: &FlowKey, ps: PacketState) -> bool {
         self.src.map(|n| n.contains(flow.nw_src)).unwrap_or(true)
             && self.dst.map(|n| n.contains(flow.nw_dst)).unwrap_or(true)
             && self.proto.map(|p| p == flow.nw_proto).unwrap_or(true)
             && self.dst_port.map(|p| p == flow.tp_dst).unwrap_or(true)
+            && self.state.map(|s| s.admits(ps)).unwrap_or(true)
+    }
+
+    /// Whether every packet this rule's successor `other` could match
+    /// is already matched by `self` (i.e. `other` is shadowed).
+    fn covers(&self, other: &FwRule) -> bool {
+        fn net_covers(a: Option<Ipv4Net>, b: Option<Ipv4Net>) -> bool {
+            match (a, b) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => a.contains_net(&b),
+            }
+        }
+        fn eq_covers<T: PartialEq>(a: &Option<T>, b: &Option<T>) -> bool {
+            match (a, b) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => a == b,
+            }
+        }
+        net_covers(self.src, other.src)
+            && net_covers(self.dst, other.dst)
+            && eq_covers(&self.proto, &other.proto)
+            && eq_covers(&self.dst_port, &other.dst_port)
+            && eq_covers(&self.state, &other.state)
     }
 }
 
-/// A stateless first-match firewall engine.
+/// A first-match firewall engine with connection tracking.
+///
+/// Evaluation is strictly **first-match-wins** over the rule chain;
+/// packets of established connections that no rule claims are admitted
+/// (reverse-flow admission — the stateful-firewall semantic that lets
+/// "allow outbound web" imply "allow the replies"). The engine also
+/// watches for SYN floods: once a single source holds more than the
+/// configured number of half-open connections it is reported as
+/// malicious, once.
 #[derive(Debug, Clone)]
 pub struct FirewallEngine {
     rules: Vec<FwRule>,
     default_action: FwAction,
+    conntrack: ConnTable,
+    syn_flood_threshold: u32,
     reported: HashSet<SessionKey>,
+    established_reported: HashSet<ConnKey>,
+    flood_reported: HashSet<Ipv4Addr>,
     /// Flows denied so far (diagnostics).
     pub denials: u64,
+    /// SYN floods reported so far (diagnostics).
+    pub floods_detected: u64,
 }
 
 impl FirewallEngine {
     /// Creates a firewall with the given rule chain and default action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain contains a shadowed rule (see
+    /// [`FirewallEngine::try_new`]).
     pub fn new(rules: Vec<FwRule>, default_action: FwAction) -> Self {
-        FirewallEngine {
-            rules,
-            default_action,
-            reported: HashSet::new(),
-            denials: 0,
+        match Self::try_new(rules, default_action) {
+            Ok(fw) => fw,
+            Err(e) => panic!("invalid firewall rule chain: {e}"),
         }
     }
 
-    /// Evaluates a flow (stateless): the matched action.
+    /// Creates a firewall, rejecting chains where a broader earlier
+    /// rule fully covers a later one: under first-match-wins the later
+    /// rule could never fire, which is almost always a configuration
+    /// mistake (classically, a default-deny placed *before* the
+    /// allows).
+    pub fn try_new(rules: Vec<FwRule>, default_action: FwAction) -> Result<Self, String> {
+        for (i, earlier) in rules.iter().enumerate() {
+            for later in &rules[i + 1..] {
+                if earlier.covers(later) {
+                    return Err(format!(
+                        "rule \"{}\" is shadowed by earlier rule \"{}\" and can never match",
+                        later.name, earlier.name
+                    ));
+                }
+            }
+        }
+        Ok(FirewallEngine {
+            rules,
+            default_action,
+            conntrack: ConnTable::new(),
+            syn_flood_threshold: 16,
+            reported: HashSet::new(),
+            established_reported: HashSet::new(),
+            flood_reported: HashSet::new(),
+            denials: 0,
+            floods_detected: 0,
+        })
+    }
+
+    /// Sets the half-open-connections-per-source threshold above which
+    /// a SYN flood is reported (default 16).
+    pub fn with_syn_flood_threshold(mut self, threshold: u32) -> Self {
+        self.syn_flood_threshold = threshold;
+        self
+    }
+
+    /// Replaces the connection-table idle timeouts.
+    pub fn with_conn_timeouts(mut self, timeouts: ConnTimeouts) -> Self {
+        self.conntrack = ConnTable::new().with_timeouts(timeouts);
+        self
+    }
+
+    /// The connection-tracking table (read access for diagnostics).
+    pub fn conntrack(&self) -> &ConnTable {
+        &self.conntrack
+    }
+
+    /// Evaluates a flow header against the rule chain as a
+    /// connection-opening packet (the stateless view; first match
+    /// wins). Returns the action and the matched rule's name.
     pub fn evaluate(&self, flow: &FlowKey) -> (FwAction, Option<&str>) {
+        self.evaluate_stateful(flow, PacketState::New)
+    }
+
+    /// Evaluates a flow header with its conntrack classification.
+    /// First match wins; if no rule claims an `Established` packet it
+    /// is admitted regardless of the default action (reverse-flow
+    /// admission).
+    pub fn evaluate_stateful(&self, flow: &FlowKey, ps: PacketState) -> (FwAction, Option<&str>) {
         for rule in &self.rules {
-            if rule.matches(flow) {
+            if rule.matches(flow, ps) {
                 return (rule.action, Some(&rule.name));
             }
         }
-        (self.default_action, None)
-    }
-}
-
-impl Inspector for FirewallEngine {
-    fn service(&self) -> ServiceType {
-        ServiceType::Firewall
-    }
-
-    fn inspect(&mut self, flow: &FlowKey, _payload: &[u8]) -> Option<Finding> {
-        let (action, name) = self.evaluate(flow);
-        if action == FwAction::Allow {
-            return None;
+        if ps == PacketState::Established {
+            (FwAction::Allow, None)
+        } else {
+            (self.default_action, None)
         }
+    }
+
+    fn deny_finding(&mut self, flow: &FlowKey, name: Option<&str>) -> Option<Finding> {
         let policy = name.unwrap_or("default-deny").to_owned();
         if !self.reported.insert(flow.session()) {
             return None;
@@ -471,10 +723,109 @@ impl Inspector for FirewallEngine {
     }
 }
 
+impl Inspector for FirewallEngine {
+    fn service(&self) -> ServiceType {
+        ServiceType::Firewall
+    }
+
+    fn inspect(&mut self, flow: &FlowKey, _payload: &[u8]) -> Option<Finding> {
+        // Stateless path (no packet context): header evaluation only.
+        let (action, name) = self.evaluate(flow);
+        if !action.is_deny() {
+            return None;
+        }
+        let name = name.map(str::to_owned);
+        self.deny_finding(flow, name.as_deref())
+    }
+
+    fn inspect_packet(&mut self, flow: &FlowKey, pkt: &Packet, now: SimTime) -> Option<Finding> {
+        let payload = pkt
+            .ipv4()
+            .and_then(|ip| ip.transport.payload())
+            .map(|p| p.content())
+            .unwrap_or(&[]);
+        let flags = pkt.tcp().map(|t| t.flags);
+        let obs = self.conntrack.observe(flow, flags, payload, now);
+
+        // SYN-flood detection: too many half-open connections held by
+        // one source. Reported once per source.
+        let src = flow.nw_src;
+        if self.conntrack.half_open(src) > self.syn_flood_threshold
+            && self.flood_reported.insert(src)
+        {
+            self.floods_detected += 1;
+            return Some(Finding {
+                flow: *flow,
+                verdict: Verdict::Malicious {
+                    attack: format!("syn-flood from {src}"),
+                    severity: 9,
+                },
+            });
+        }
+
+        // Connection just became established: if its opening packet
+        // matched an AllowEstablished rule, tell the controller so it
+        // can fast-pass the rest of the connection. Once per connection.
+        if obs.event == Some(ConnEvent::Established) {
+            if let Some(conn) = self.conntrack.get(&obs.key) {
+                let first = *conn.first_key();
+                let (action, _) = self.evaluate_stateful(&first, PacketState::New);
+                if action == FwAction::AllowEstablished && self.established_reported.insert(obs.key)
+                {
+                    return Some(Finding {
+                        flow: first,
+                        verdict: Verdict::ConnEstablished,
+                    });
+                }
+            }
+        }
+
+        // In-path teardown (FIN exchange or RST) of an admitted
+        // connection: retract the fast-pass. Expiry handles the case
+        // where the teardown itself bypassed us (see poll).
+        if obs.event == Some(ConnEvent::Closed) && self.established_reported.remove(&obs.key) {
+            let first = self
+                .conntrack
+                .get(&obs.key)
+                .map(|c| *c.first_key())
+                .unwrap_or(*flow);
+            return Some(Finding {
+                flow: first,
+                verdict: Verdict::ConnClosed,
+            });
+        }
+
+        let (action, name) = self.evaluate_stateful(flow, obs.packet_state);
+        if !action.is_deny() {
+            return None;
+        }
+        let name = name.map(str::to_owned);
+        self.deny_finding(flow, name.as_deref())
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<Finding> {
+        // A fast-passed connection's packets bypass this element, so
+        // idle expiry is the only signal its fast-pass should come
+        // down; report ConnClosed for every expired connection we had
+        // admitted.
+        let mut out = Vec::new();
+        for gone in self.conntrack.expire(now) {
+            self.flood_reported.remove(&gone.flow.nw_src);
+            if self.established_reported.remove(&gone.key) {
+                out.push(Finding {
+                    flow: gone.flow,
+                    verdict: Verdict::ConnClosed,
+                });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use livesec_net::MacAddr;
+    use livesec_net::{MacAddr, PacketBuilder, TcpFlags};
 
     fn flow(tp_dst: u16) -> FlowKey {
         FlowKey {
@@ -603,35 +954,63 @@ mod tests {
 
     #[test]
     fn firewall_first_match_wins() {
+        // The FIRST rule whose constraints accept the packet decides;
+        // the default-deny tail only catches what nothing allowed.
         let fw = FirewallEngine::new(
             vec![
-                FwRule {
-                    name: "allow-web".into(),
-                    src: None,
-                    dst: None,
-                    proto: Some(6),
-                    dst_port: Some(80),
-                    action: FwAction::Allow,
-                },
+                FwRule::allow("allow-web").proto(6).dst_port(80),
                 FwRule::deny_all("default-deny"),
             ],
             FwAction::Allow,
         );
-        assert_eq!(fw.evaluate(&flow(80)).0, FwAction::Allow);
-        assert_eq!(fw.evaluate(&flow(23)).0, FwAction::Deny);
+        assert_eq!(fw.evaluate(&flow(80)), (FwAction::Allow, Some("allow-web")));
+        assert_eq!(
+            fw.evaluate(&flow(23)),
+            (FwAction::Deny, Some("default-deny"))
+        );
+    }
+
+    #[test]
+    fn firewall_rejects_shadowed_rules() {
+        // A default-deny placed BEFORE the allow covers it entirely:
+        // under first-match-wins the allow could never fire.
+        let shadowed = vec![
+            FwRule::deny_all("default-deny"),
+            FwRule::allow("allow-web").proto(6).dst_port(80),
+        ];
+        let err = FirewallEngine::try_new(shadowed, FwAction::Allow).unwrap_err();
+        assert!(err.contains("allow-web"), "{err}");
+        assert!(err.contains("shadowed"), "{err}");
+
+        // Broader prefix before narrower: also shadowed.
+        let prefix_shadow = vec![
+            FwRule::deny_all("deny-lab").src("10.0.0.0/16".parse().unwrap()),
+            FwRule::allow("allow-host").src("10.0.0.0/24".parse().unwrap()),
+        ];
+        assert!(FirewallEngine::try_new(prefix_shadow, FwAction::Allow).is_err());
+
+        // Distinct dimensions do NOT shadow: a state qualifier makes
+        // the later rule reachable.
+        let ok = vec![
+            FwRule::deny_all("deny-new").state(StateMatch::New),
+            FwRule::allow("allow-established").state(StateMatch::Established),
+        ];
+        assert!(FirewallEngine::try_new(ok, FwAction::Allow).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shadowed")]
+    fn firewall_new_panics_on_shadowed_chain() {
+        FirewallEngine::new(
+            vec![FwRule::deny_all("a"), FwRule::deny_all("b")],
+            FwAction::Allow,
+        );
     }
 
     #[test]
     fn firewall_prefix_rules() {
         let fw = FirewallEngine::new(
-            vec![FwRule {
-                name: "block-lab-subnet".into(),
-                src: Some("10.0.0.0/24".parse().unwrap()),
-                dst: None,
-                proto: None,
-                dst_port: None,
-                action: FwAction::Deny,
-            }],
+            vec![FwRule::deny_all("block-lab-subnet").src("10.0.0.0/24".parse().unwrap())],
             FwAction::Allow,
         );
         assert_eq!(fw.evaluate(&flow(80)).0, FwAction::Deny);
@@ -646,5 +1025,179 @@ mod tests {
         assert!(fw.inspect(&flow(80), b"").is_some());
         assert!(fw.inspect(&flow(80), b"").is_none());
         assert_eq!(fw.denials, 1);
+    }
+
+    fn tcp_packet(key: &FlowKey, flags: TcpFlags, payload: &[u8]) -> Packet {
+        PacketBuilder::tcp(key.dl_src, key.dl_dst)
+            .ips(key.nw_src, key.nw_dst)
+            .ports(key.tp_src, key.tp_dst)
+            .tcp_flags(flags)
+            .payload_bytes(payload)
+            .build()
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn firewall_admits_reverse_flow_of_established_connection() {
+        // Default-deny inbound, allow outbound web: the reply direction
+        // must pass without an explicit rule for it.
+        let mut fw = FirewallEngine::new(
+            vec![FwRule::allow("allow-out-web").proto(6).dst_port(80)],
+            FwAction::Deny,
+        );
+        let f = flow(80);
+        let syn = tcp_packet(&f, TcpFlags::SYN, &[]);
+        assert!(fw.inspect_packet(&f, &syn, t(0)).is_none(), "allowed out");
+        let rev = f.reversed();
+        let synack = tcp_packet(&rev, TcpFlags::SYN | TcpFlags::ACK, &[]);
+        assert!(
+            fw.inspect_packet(&rev, &synack, t(1)).is_none(),
+            "reply admitted without a matching rule"
+        );
+        assert_eq!(fw.denials, 0);
+
+        // An unrelated inbound connection attempt is still denied.
+        let mut inbound = f.reversed();
+        inbound.tp_src = 9999;
+        inbound.tp_dst = 9998;
+        let pkt = tcp_packet(&inbound, TcpFlags::SYN, &[]);
+        let finding = fw.inspect_packet(&inbound, &pkt, t(2)).expect("denied");
+        assert!(matches!(finding.verdict, Verdict::PolicyViolation { .. }));
+    }
+
+    #[test]
+    fn firewall_reports_established_once_for_allow_established() {
+        let mut fw = FirewallEngine::new(
+            vec![FwRule::allow_established("fastpass-web")
+                .proto(6)
+                .dst_port(80)],
+            FwAction::Deny,
+        );
+        let f = flow(80);
+        fw.inspect_packet(&f, &tcp_packet(&f, TcpFlags::SYN, &[]), t(0));
+        let rev = f.reversed();
+        fw.inspect_packet(
+            &rev,
+            &tcp_packet(&rev, TcpFlags::SYN | TcpFlags::ACK, &[]),
+            t(1),
+        );
+        let finding = fw
+            .inspect_packet(&f, &tcp_packet(&f, TcpFlags::ACK, &[]), t(2))
+            .expect("established report");
+        assert_eq!(finding.verdict, Verdict::ConnEstablished);
+        assert_eq!(finding.flow, f, "reported with the opening direction");
+        // More traffic on the same connection: no duplicate report.
+        assert!(fw
+            .inspect_packet(&f, &tcp_packet(&f, TcpFlags::ACK, b"data"), t(3))
+            .is_none());
+    }
+
+    #[test]
+    fn firewall_closes_admitted_connection_on_teardown_and_expiry() {
+        let mut fw = FirewallEngine::new(
+            vec![FwRule::allow_established("fastpass-web")
+                .proto(6)
+                .dst_port(80)],
+            FwAction::Allow,
+        );
+        let f = flow(80);
+        fw.inspect_packet(&f, &tcp_packet(&f, TcpFlags::SYN, &[]), t(0));
+        let rev = f.reversed();
+        fw.inspect_packet(
+            &rev,
+            &tcp_packet(&rev, TcpFlags::SYN | TcpFlags::ACK, &[]),
+            t(1),
+        );
+        fw.inspect_packet(&f, &tcp_packet(&f, TcpFlags::ACK, &[]), t(2));
+        // RST tears it down in-path: ConnClosed right away.
+        let finding = fw
+            .inspect_packet(&f, &tcp_packet(&f, TcpFlags::RST, &[]), t(3))
+            .expect("closed report");
+        assert_eq!(finding.verdict, Verdict::ConnClosed);
+
+        // Second connection goes quiet instead: poll() reports it.
+        let mut f2 = f;
+        f2.tp_src = 41_000;
+        fw.inspect_packet(&f2, &tcp_packet(&f2, TcpFlags::SYN, &[]), t(10));
+        let rev2 = f2.reversed();
+        fw.inspect_packet(
+            &rev2,
+            &tcp_packet(&rev2, TcpFlags::SYN | TcpFlags::ACK, &[]),
+            t(11),
+        );
+        fw.inspect_packet(&f2, &tcp_packet(&f2, TcpFlags::ACK, &[]), t(12));
+        let findings = fw.poll(t(200_000));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].verdict, Verdict::ConnClosed);
+        assert_eq!(findings[0].flow, f2);
+    }
+
+    #[test]
+    fn firewall_detects_syn_flood_once_per_source() {
+        let mut fw = FirewallEngine::new(vec![], FwAction::Allow).with_syn_flood_threshold(8);
+        let mut reports = Vec::new();
+        for i in 0..20u16 {
+            let mut f = flow(80);
+            f.tp_src = 30_000 + i;
+            let pkt = tcp_packet(&f, TcpFlags::SYN, &[]);
+            if let Some(finding) = fw.inspect_packet(&f, &pkt, t(i as u64)) {
+                reports.push(finding);
+            }
+        }
+        assert_eq!(reports.len(), 1, "one report per flooding source");
+        match &reports[0].verdict {
+            Verdict::Malicious { attack, severity } => {
+                assert!(attack.starts_with("syn-flood"), "{attack}");
+                assert_eq!(*severity, 9);
+            }
+            other => panic!("expected malicious, got {other:?}"),
+        }
+        assert_eq!(fw.floods_detected, 1);
+    }
+
+    #[test]
+    fn protoid_classifies_server_banner_from_reply_direction() {
+        // SMTP: the client's first bytes say nothing; the server banner
+        // identifies the protocol. The conntrack-backed path sees both
+        // directions' heads.
+        let mut engine = ProtoIdEngine::new();
+        let f = flow(25);
+        let hello = tcp_packet(&f, TcpFlags::PSH | TcpFlags::ACK, b"\r\n");
+        assert!(engine.inspect_packet(&f, &hello, t(0)).is_none());
+        let rev = f.reversed();
+        let banner = tcp_packet(
+            &rev,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"220 mail.example.com ESMTP SMTP ready",
+        );
+        let finding = engine.inspect_packet(&rev, &banner, t(1)).expect("smtp");
+        assert_eq!(finding.verdict, Verdict::Application { app: "smtp".into() });
+        assert_eq!(finding.flow, f, "tagged on the opening direction");
+
+        // SSH: same shape, server version string in the reply.
+        let mut g = flow(22);
+        g.nw_src = "10.0.0.7".parse().unwrap();
+        let first = tcp_packet(&g, TcpFlags::PSH | TcpFlags::ACK, b"\x00\x00");
+        assert!(engine.inspect_packet(&g, &first, t(2)).is_none());
+        let grev = g.reversed();
+        let vbanner = tcp_packet(&grev, TcpFlags::PSH | TcpFlags::ACK, b"SSH-2.0-OpenSSH_5.8");
+        let finding = engine.inspect_packet(&grev, &vbanner, t(3)).expect("ssh");
+        assert_eq!(finding.verdict, Verdict::Application { app: "ssh".into() });
+    }
+
+    #[test]
+    fn protoid_packet_path_reports_once_per_connection() {
+        let mut engine = ProtoIdEngine::new();
+        let f = flow(80);
+        let req = tcp_packet(&f, TcpFlags::PSH | TcpFlags::ACK, b"GET / HTTP/1.1");
+        assert!(engine.inspect_packet(&f, &req, t(0)).is_some());
+        assert!(engine.inspect_packet(&f, &req, t(1)).is_none());
+        let rev = f.reversed();
+        let resp = tcp_packet(&rev, TcpFlags::PSH | TcpFlags::ACK, b"HTTP/1.1 200 OK");
+        assert!(engine.inspect_packet(&rev, &resp, t(2)).is_none());
+        assert_eq!(engine.identifications, 1);
     }
 }

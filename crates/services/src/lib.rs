@@ -39,7 +39,7 @@ pub use aho::AhoCorasick;
 pub use element::{SeCounters, ServiceElement};
 pub use engines::{
     ContentInspectionEngine, Finding, FirewallEngine, FwAction, FwRule, IdsEngine, IdsRule,
-    Inspector, ProtoIdEngine, Severity, SignatureEngine, VirusScanEngine,
+    Inspector, ProtoIdEngine, Severity, SignatureEngine, StateMatch, VirusScanEngine,
 };
 pub use msg::{SeMessage, ServiceType, Verdict, SE_CONTROL_MAC, SE_CONTROL_PORT};
 pub use rules::{parse_rules, RuleParseError};
@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::element::{SeCounters, ServiceElement};
     pub use crate::engines::{
         ContentInspectionEngine, Finding, FirewallEngine, FwAction, FwRule, IdsEngine, IdsRule,
-        Inspector, ProtoIdEngine, Severity, SignatureEngine, VirusScanEngine,
+        Inspector, ProtoIdEngine, Severity, SignatureEngine, StateMatch, VirusScanEngine,
     };
     pub use crate::msg::{SeMessage, ServiceType, Verdict, SE_CONTROL_MAC, SE_CONTROL_PORT};
     pub use crate::rules::{parse_rules, RuleParseError};

@@ -94,6 +94,13 @@ pub enum Verdict {
         /// Violated policy description.
         policy: String,
     },
+    /// A stateful firewall confirmed the connection as established and
+    /// admissible: the controller may install an inspection-bypassing
+    /// fast-pass for it.
+    ConnEstablished,
+    /// A previously established connection closed (teardown or idle
+    /// expiry): any fast-pass for it must come down.
+    ConnClosed,
 }
 
 /// A message from a service element to the controller.
@@ -178,6 +185,8 @@ impl SeMessage {
                         out.push(2);
                         put_str(&mut out, policy);
                     }
+                    Verdict::ConnEstablished => out.push(3),
+                    Verdict::ConnClosed => out.push(4),
                 }
             }
         }
@@ -220,6 +229,8 @@ impl SeMessage {
                     2 => Verdict::PolicyViolation {
                         policy: r.string()?,
                     },
+                    3 => Verdict::ConnEstablished,
+                    4 => Verdict::ConnClosed,
                     _ => return None,
                 };
                 Some(SeMessage::Event {
@@ -356,6 +367,8 @@ mod tests {
             Verdict::PolicyViolation {
                 policy: "no-dlp-keywords".into(),
             },
+            Verdict::ConnEstablished,
+            Verdict::ConnClosed,
         ] {
             let msg = SeMessage::Event {
                 cert: 7,

@@ -747,6 +747,90 @@ impl App for AttackClient {
     }
 }
 
+/// A SYN flooder: bare SYN probes toward one victim port, each from a
+/// fresh source port, never completing a handshake — the half-open
+/// connection shape a stateful firewall's conntrack flags as a flood.
+#[derive(Debug)]
+pub struct SynFlood {
+    victim: Ipv4Addr,
+    victim_port: u16,
+    start_delay: SimDuration,
+    interval: SimDuration,
+    max_syns: Option<u32>,
+    src_port: u16,
+    /// SYN probes sent.
+    pub syns: u32,
+    /// Replies received (a blocked flood sees none).
+    pub replies: u32,
+}
+
+impl SynFlood {
+    /// Creates a flooder probing `victim:victim_port` every 5 ms after
+    /// a 1 s delay.
+    pub fn new(victim: Ipv4Addr, victim_port: u16) -> Self {
+        SynFlood {
+            victim,
+            victim_port,
+            start_delay: SimDuration::from_secs(1),
+            interval: SimDuration::from_millis(5),
+            max_syns: None,
+            src_port: 50_000,
+            syns: 0,
+            replies: 0,
+        }
+    }
+
+    /// Sets the start delay.
+    pub fn with_start_delay(mut self, d: SimDuration) -> Self {
+        self.start_delay = d;
+        self
+    }
+
+    /// Sets the probe interval.
+    pub fn with_interval(mut self, d: SimDuration) -> Self {
+        self.interval = d;
+        self
+    }
+
+    /// Stops after `n` probes.
+    pub fn with_max_syns(mut self, n: u32) -> Self {
+        self.max_syns = Some(n);
+        self
+    }
+}
+
+impl App for SynFlood {
+    fn on_start(&mut self, io: &mut HostIo<'_, '_>) {
+        io.set_timer(self.start_delay, 1);
+    }
+
+    fn on_timer(&mut self, io: &mut HostIo<'_, '_>, _token: u64) {
+        if let Some(max) = self.max_syns {
+            if self.syns >= max {
+                return;
+            }
+        }
+        self.syns += 1;
+        // A fresh source port per probe: every SYN is a new flow to
+        // the controller and a new half-open entry to the firewall.
+        self.src_port = 50_000 + (self.src_port - 49_999) % 10_000;
+        io.send_tcp(
+            self.victim,
+            self.src_port,
+            self.victim_port,
+            self.syns,
+            0,
+            TcpFlags::SYN,
+            Payload::from(Vec::new()),
+        );
+        io.set_timer(self.interval, 1);
+    }
+
+    fn on_packet(&mut self, _io: &mut HostIo<'_, '_>, _pkt: &Packet) {
+        self.replies += 1;
+    }
+}
+
 // ---------------------------------------------------------------- dhcp
 
 /// A DHCP client exercising the controller's directory proxy: runs the

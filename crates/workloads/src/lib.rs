@@ -22,6 +22,8 @@
 //!   downloader of Fig. 8).
 //! * [`AttackClient`] — web requests with embedded attack signatures
 //!   (the malicious access of Fig. 8).
+//! * [`SynFlood`] — half-open SYN probes from rotating source ports
+//!   (the stateful firewall's flood-detection workload).
 //! * [`DhcpClient`] — exercises the directory proxy's DHCP path.
 //!
 //! [`scenario`] assembles the paper's Fig. 6/7/8 campus from these
@@ -31,7 +33,7 @@ pub mod apps;
 pub mod scenario;
 
 pub use apps::{
-    AttackClient, BitTorrentPeer, DhcpClient, HttpClient, HttpServer, Pinger, SshSession,
+    AttackClient, BitTorrentPeer, DhcpClient, HttpClient, HttpServer, Pinger, SshSession, SynFlood,
     TcpEchoServer, UdpBlaster,
 };
 pub use scenario::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
@@ -40,7 +42,7 @@ pub use scenario::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 pub mod prelude {
     pub use crate::apps::{
         AttackClient, BitTorrentPeer, DhcpClient, HttpClient, HttpServer, Pinger, SshSession,
-        TcpEchoServer, UdpBlaster,
+        SynFlood, TcpEchoServer, UdpBlaster,
     };
     pub use crate::scenario::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 }

@@ -24,6 +24,10 @@ run cargo test -q
 # and frame corruption over fixed seeds — zero panics, clean
 # health-stat invariants, byte-identical same-seed histories.
 run cargo test -q --test chaos --test reconciliation
+# Stateful-enforcement end-to-end: SYN flood detected by conntrack,
+# source-wide drop installed at the ingress, flood stops counting —
+# while a legitimate fast-passed transfer completes alongside.
+run cargo run -q --release --example stateful_firewall
 run cargo clippy --workspace -- -D warnings
 run cargo fmt --check
 

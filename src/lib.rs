@@ -17,10 +17,12 @@
 //! * [`livesec_openflow`] — the OpenFlow-1.0-style protocol subset
 //! * [`livesec_switch`] — dataplane elements (AS switches, legacy switches, hosts)
 //! * [`livesec_services`] — VM-based security service elements
+//! * [`livesec_conntrack`] — stateful connection tracking
 //! * [`livesec`] — the LiveSec controller (the paper's contribution)
 //! * [`livesec_workloads`] — synthetic traffic generators and scenarios
 
 pub use livesec;
+pub use livesec_conntrack;
 pub use livesec_net;
 pub use livesec_openflow;
 pub use livesec_services;

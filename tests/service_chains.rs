@@ -143,14 +143,7 @@ fn firewall_element_denies_matching_flows() {
     let mut b = CampusBuilder::new(9, 2).with_policy(policy);
     let gw = b.add_gateway_with_app(0, TcpEchoServer::new());
     let fw = FirewallEngine::new(
-        vec![FwRule {
-            name: "no-telnet".into(),
-            src: None,
-            dst: None,
-            proto: Some(6),
-            dst_port: Some(23),
-            action: FwAction::Deny,
-        }],
+        vec![FwRule::deny_all("no-telnet").proto(6).dst_port(23)],
         FwAction::Allow,
     );
     b.add_service_element(0, ServiceElement::new(fw));

@@ -12,6 +12,10 @@
 //! `harness = false` bench targets), every benchmark runs exactly one
 //! iteration so the suite stays fast.
 
+// The determinism contract (clippy.toml disallowed lists) exempts
+// vendored stubs: a bench harness measures real elapsed time.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
