@@ -576,11 +576,9 @@ impl ConnTable {
         let ck = ConnKey::of(key);
         let ep = (key.nw_src, if key.nw_proto == 1 { 0 } else { key.tp_src });
 
-        if !self.conns.contains_key(&ck) {
+        let Some(conn) = self.conns.get_mut(&ck) else {
             return self.observe_new(ck, key, ep, flags, payload, now);
-        }
-
-        let conn = self.conns.get_mut(&ck).expect("entry present");
+        };
         let dir = if conn.initiator == ep {
             ConnDir::Original
         } else {
@@ -756,7 +754,9 @@ impl ConnTable {
                 self.wheel.insert((now_slot + 1, seq), ck);
                 continue;
             }
-            let conn = self.conns.remove(&ck).expect("entry present");
+            let Some(conn) = self.conns.remove(&ck) else {
+                continue;
+            };
             self.lru.remove(&(conn.last_seen, conn.seq));
             self.state_counts[conn.state.index()] -= 1;
             self.note_half_open(conn.initiator.0, Some(conn.state), None);
@@ -783,7 +783,9 @@ impl ConnTable {
             if conn.seq != seq {
                 continue; // stale position
             }
-            let conn = self.conns.remove(&ck).expect("entry present");
+            let Some(conn) = self.conns.remove(&ck) else {
+                continue;
+            };
             self.state_counts[conn.state.index()] -= 1;
             self.note_half_open(conn.initiator.0, Some(conn.state), None);
             self.evictions += 1;

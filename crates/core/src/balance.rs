@@ -141,8 +141,7 @@ impl Dispatcher for LeastQueue {
             .iter()
             .enumerate()
             .min_by_key(|(i, v)| (v.outstanding_flows, *i))
-            .map(|(i, _)| i)
-            .expect("candidates is non-empty")
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -192,8 +191,7 @@ impl Dispatcher for MinLoad {
                     .then(a.outstanding_flows.cmp(&b.outstanding_flows))
                     .then(i.cmp(j))
             })
-            .map(|(i, _)| i)
-            .expect("candidates is non-empty")
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {

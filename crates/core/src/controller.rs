@@ -40,31 +40,31 @@ use std::rc::Rc;
 const TICK: u64 = 1;
 
 /// Cookie tagging the forward-ingress entry of each flow.
-const INGRESS_COOKIE: u64 = 1;
+pub const INGRESS_COOKIE: u64 = 1;
 /// Cookie tagging the reverse-ingress entry (carries the response
 /// volume; both removals together finalize the session's statistics).
-const REVERSE_COOKIE: u64 = 2;
+pub const REVERSE_COOKIE: u64 = 2;
 /// Cookie tagging drop entries installed for detected attacks; part of
 /// the desired state the reconciliation audit restores.
-const BLOCK_COOKIE: u64 = 3;
+pub const BLOCK_COOKIE: u64 = 3;
 /// Cookie tagging drop entries for policy-denied flows. The controller
 /// keeps no record of denials (they self-expire via their idle
 /// timeout), so the audit must recognize and skip them.
-const DENY_COOKIE: u64 = 4;
+pub const DENY_COOKIE: u64 = 4;
 /// Cookie tagging the forward ingress entry of an established-flow
 /// fast-pass (direct path that bypasses the service-element hairpin).
-const FASTPASS_COOKIE: u64 = 5;
+pub const FASTPASS_COOKIE: u64 = 5;
 /// Cookie tagging the reverse ingress entry of a fast-pass.
-const FASTPASS_REV_COOKIE: u64 = 6;
+pub const FASTPASS_REV_COOKIE: u64 = 6;
 
 /// Priority of steering/forwarding entries.
-const STEER_PRIORITY: u16 = 100;
+pub const STEER_PRIORITY: u16 = 100;
 /// Priority of fast-pass entries: wins over steering (the established
 /// flow skips its chain) but loses to drop entries (a block always
 /// stops the flow, fast-passed or not).
-const FASTPASS_PRIORITY: u16 = 150;
+pub const FASTPASS_PRIORITY: u16 = 150;
 /// Priority of drop entries (wins over steering).
-const BLOCK_PRIORITY: u16 = 200;
+pub const BLOCK_PRIORITY: u16 = 200;
 
 /// How old a flow's installation must be before a packet-in for it is
 /// read as "the switch lost the entries" rather than "this packet
@@ -225,7 +225,7 @@ pub struct Controller {
     /// deduplicated). Unlike flow records these never expire: a block
     /// outlives the flow it stopped and is reinstalled by audits after
     /// crashes and partitions.
-    blocks: HashMap<u64, Vec<Match>>,
+    blocks: BTreeMap<u64, Vec<Match>>,
     /// Switches with a flow-table audit in flight.
     auditing: HashSet<u64>,
     /// Audit every online switch every this many housekeeping ticks
@@ -322,7 +322,7 @@ impl Controller {
             known_dpids: HashSet::new(),
             known_nodes: HashMap::new(),
             down_dpids: HashSet::new(),
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             auditing: HashSet::new(),
             audit_every_ticks: 50,
             health: HealthStats::default(),
@@ -497,6 +497,11 @@ impl Controller {
         &mut self.policy
     }
 
+    /// Read-only access to the policy table (no epoch bump).
+    pub fn policy(&self) -> &PolicyTable {
+        &self.policy
+    }
+
     /// Replaces the policy table in place (for builders that already
     /// own the controller inside a world). Invalidates every cached
     /// flow-setup decision.
@@ -566,6 +571,7 @@ impl Controller {
     pub fn authorize_cert(&mut self, cert: u64) {
         self.required_certs
             .as_mut()
+            // livesec-lint: allow(unwrap-in-prod, reason = "documented API-misuse panic: silently authorizing nothing would be worse")
             .expect("enable certification before authorizing tokens")
             .insert(cert);
     }
@@ -651,6 +657,41 @@ impl Controller {
         self.active.get(key).and_then(|r| r.app.as_deref())
     }
 
+    /// The current `(policy_epoch, topology_epoch)` pair. Fast-pass
+    /// entries compiled under older epochs are stale and must be gone
+    /// (or on their way out) — the verifier's invariant 5.
+    pub fn epochs(&self) -> (u64, u64) {
+        (self.policy_epoch, self.topo_epoch)
+    }
+
+    /// The standing block registry as `(dpid, matcher)` pairs, sorted
+    /// by dpid with per-switch insertion order preserved — the drop
+    /// state the verifier proves unreachable-from-every-ingress.
+    pub fn standing_blocks(&self) -> Vec<(u64, Match)> {
+        self.blocks
+            .iter()
+            .flat_map(|(d, ms)| ms.iter().map(|m| (*d, *m)))
+            .collect()
+    }
+
+    /// Every installed fast-pass: the flow key plus the policy and
+    /// topology epochs its direct path was compiled under.
+    pub fn fastpass_records(&self) -> Vec<(FlowKey, u64, u64)> {
+        self.fastpasses
+            .iter()
+            .map(|(k, r)| (*k, r.policy_epoch, r.topo_epoch))
+            .collect()
+    }
+
+    /// Every active flow record: key, service chain, and whether an
+    /// attack verdict blocked it.
+    pub fn active_records(&self) -> Vec<(FlowKey, Vec<ServiceType>, bool)> {
+        self.active
+            .iter()
+            .map(|(k, r)| (*k, r.chain.clone(), r.blocked))
+            .collect()
+    }
+
     /// Per-application traffic totals over completed flows (§IV-C
     /// service-aware statistics), sorted by bytes descending.
     pub fn app_traffic(&self) -> Vec<(String, TrafficTally)> {
@@ -700,7 +741,7 @@ impl Controller {
 
     /// The NIB as pretty JSON — the feed a topology UI polls.
     pub fn nib_json(&self, now: SimTime) -> String {
-        serde_json::to_string_pretty(&self.nib_snapshot(now)).expect("NIB is serializable")
+        serde_json::to_string_pretty(&self.nib_snapshot(now)).unwrap_or_default()
     }
 
     /// Counters of the flow-setup fast path: cache hits, misses,
@@ -1465,19 +1506,18 @@ impl Controller {
             self.locations.touch(key.dl_src, now);
         }
 
-        if self.active.contains_key(&key) {
-            // Past the guard this packet-in means the switch lost the
-            // flow's entries (including the block entry for blocked
-            // flows — their packets otherwise drop at the switch):
-            // reinstall before handling the packet itself.
-            if self
-                .active
-                .get(&key)
-                .is_some_and(|r| now.saturating_since(r.installed_at) > REPAIR_GUARD)
-            {
-                self.repair_flow(now, &key);
-            }
-            let rec = self.active.get(&key).expect("checked above");
+        // Past the guard a packet-in for an active flow means the
+        // switch lost the flow's entries (including the block entry
+        // for blocked flows — their packets otherwise drop at the
+        // switch): reinstall before handling the packet itself.
+        let repair_due = self
+            .active
+            .get(&key)
+            .is_some_and(|r| now.saturating_since(r.installed_at) > REPAIR_GUARD);
+        if repair_due {
+            self.repair_flow(now, &key);
+        }
+        if let Some(rec) = self.active.get(&key) {
             if rec.blocked {
                 return;
             }
@@ -1786,7 +1826,9 @@ impl Controller {
         let (Some((fp, fb)), Some((rp, rb))) = (rec.fwd_done, rec.rev_done) else {
             return; // wait for the other direction to idle out
         };
-        let rec = self.active.remove(&key).expect("present above");
+        let Some(rec) = self.active.remove(&key) else {
+            return;
+        };
         for mac in &rec.elements {
             self.registry.adjust_outstanding(*mac, -1);
         }

@@ -316,8 +316,8 @@ impl CampusBuilder {
             gateway: None,
             next_mac: 0x0016_3e00_0001,
             next_host_index: 256, // leave 10.0.0.x for infrastructure
-            subnet: "10.0.0.0/16".parse().expect("valid subnet"),
-            gateway_ip: "10.0.255.254".parse().expect("valid ip"),
+            subnet: Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 16),
+            gateway_ip: Ipv4Addr::new(10, 0, 255, 254),
             certification: false,
             user_link: LinkSpec::fast_ethernet(),
             se_link: LinkSpec::gigabit(),

@@ -323,7 +323,7 @@ impl Monitor {
 
     /// Serializes every event as a JSON array — the feed a WebUI polls.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.events).expect("events are serializable")
+        serde_json::to_string_pretty(&self.events).unwrap_or_default()
     }
 
     /// Parses a feed previously produced by [`Monitor::to_json`].
@@ -464,7 +464,7 @@ pub struct FastPathStats {
 impl FastPathStats {
     /// The JSON form a monitoring UI polls.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("stats are serializable")
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 }
 
@@ -505,7 +505,7 @@ pub struct HealthStats {
 impl HealthStats {
     /// The JSON form a monitoring UI polls.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("stats are serializable")
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 }
 
@@ -537,7 +537,7 @@ pub struct ConnTrackStats {
 impl ConnTrackStats {
     /// The JSON form a monitoring UI polls.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("stats are serializable")
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 }
 

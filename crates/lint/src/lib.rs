@@ -22,7 +22,11 @@
 //! * **unseeded-rng** — `thread_rng`, `from_entropy`, `OsRng`,
 //!   `rand::random`;
 //! * **float-accum** — float `+=` accumulation and
-//!   `.sum::<f32/f64>()` in aggregation paths.
+//!   `.sum::<f32/f64>()` in aggregation paths;
+//! * **unwrap-in-prod** — `.unwrap()` / `.expect()` outside
+//!   `#[cfg(test)]` code in the production crates (`core`, `switch`,
+//!   `conntrack`), where one panic takes down the controller or the
+//!   dataplane it simulates.
 //!
 //! Sites where unordered iteration is genuinely harmless carry an
 //! explicit, reasoned escape hatch:
@@ -47,9 +51,26 @@ pub mod lexer;
 pub mod rules;
 pub mod walk;
 
-pub use rules::{lint_source, Finding, Rule};
+pub use rules::{lint_source, lint_source_with, Finding, LintOptions, Rule};
 
 use std::path::{Path, PathBuf};
+
+/// Crate source trees where a panic is a controller or dataplane
+/// outage, so `unwrap-in-prod` applies.
+const PROD_CRATE_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/switch/src",
+    "crates/conntrack/src",
+];
+
+/// The per-file lint options for a workspace path: production crates
+/// additionally get the `unwrap-in-prod` rule.
+pub fn options_for(path: &Path) -> LintOptions {
+    let p = path.to_string_lossy();
+    LintOptions {
+        unwrap_in_prod: PROD_CRATE_DIRS.iter().any(|d| p.contains(d)),
+    }
+}
 
 /// A finding tied to the file it was found in.
 #[derive(Clone, Debug)]
@@ -80,7 +101,7 @@ pub fn lint_files(paths: &[PathBuf]) -> Result<Vec<FileFinding>, String> {
     for path in paths {
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        for finding in lint_source(&src) {
+        for finding in lint_source_with(&src, &options_for(path)) {
             out.push(FileFinding {
                 path: path.clone(),
                 finding,

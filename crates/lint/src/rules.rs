@@ -23,6 +23,12 @@ pub enum Rule {
     /// `.sum::<f32/f64>()`): metrics must aggregate in integers and
     /// convert to float only at the final division.
     FloatAccum,
+    /// `.unwrap()` / `.expect()` outside `#[cfg(test)]` code in the
+    /// production crates (`core`, `switch`, `conntrack`): one panic
+    /// takes down the whole controller or dataplane. Opt-in via
+    /// [`LintOptions::unwrap_in_prod`]; [`crate::lint_files`] enables
+    /// it for production-crate paths.
+    UnwrapInProd,
     /// A `livesec-lint:` comment that does not parse — unknown rule
     /// name, missing or empty `reason`, or malformed syntax.
     BadAnnotation,
@@ -39,6 +45,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::UnseededRng => "unseeded-rng",
             Rule::FloatAccum => "float-accum",
+            Rule::UnwrapInProd => "unwrap-in-prod",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -52,9 +59,20 @@ impl Rule {
             "wall-clock" => Some(Rule::WallClock),
             "unseeded-rng" => Some(Rule::UnseededRng),
             "float-accum" => Some(Rule::FloatAccum),
+            "unwrap-in-prod" => Some(Rule::UnwrapInProd),
             _ => None,
         }
     }
+}
+
+/// Per-file switches for rules that only apply to some of the
+/// workspace (today just [`Rule::UnwrapInProd`], which is scoped to
+/// the production crates). [`lint_source`] uses the default — every
+/// optional rule off — so generic callers keep the old behavior.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LintOptions {
+    /// Enable the [`Rule::UnwrapInProd`] check.
+    pub unwrap_in_prod: bool,
 }
 
 /// One violation in one file.
@@ -129,9 +147,16 @@ const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
 /// Unseeded-randomness identifiers.
 const UNSEEDED_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
 
+/// Lints one file's source text with the default options (optional
+/// rules off) and returns all unsuppressed findings, sorted by line
+/// then rule.
+pub fn lint_source(src: &str) -> Vec<Finding> {
+    lint_source_with(src, &LintOptions::default())
+}
+
 /// Lints one file's source text and returns all unsuppressed
 /// findings, sorted by line then rule.
-pub fn lint_source(src: &str) -> Vec<Finding> {
+pub fn lint_source_with(src: &str, opts: &LintOptions) -> Vec<Finding> {
     let lexed = lex(src);
     let toks = &lexed.tokens;
 
@@ -142,6 +167,9 @@ pub fn lint_source(src: &str) -> Vec<Finding> {
     check_wall_clock(toks, &mut findings);
     check_unseeded_rng(toks, &mut findings);
     check_float_accum(toks, &mut findings);
+    if opts.unwrap_in_prod {
+        check_unwrap_in_prod(toks, &mut findings);
+    }
 
     // Findings can be produced by more than one detector for the same
     // site (e.g. a `for` over `map.keys()`); dedupe per (line, rule).
@@ -660,6 +688,92 @@ fn check_float_accum(toks: &[Token], findings: &mut Vec<Finding>) {
                 j += 1;
             }
         }
+    }
+}
+
+/// Token-index ranges belonging to `#[cfg(test)]` items: from the
+/// attribute to the end of the item it gates (the matching close of
+/// the first `{`, or the first `;` if the item is brace-less).
+fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut k = 0;
+    while k + 6 < toks.len() {
+        let is_attr = toks[k].text == "#"
+            && toks[k + 1].text == "["
+            && toks[k + 2].text == "cfg"
+            && toks[k + 3].text == "("
+            && toks[k + 4].text == "test"
+            && toks[k + 5].text == ")"
+            && toks[k + 6].text == "]";
+        if !is_attr {
+            k += 1;
+            continue;
+        }
+        // Skip to the gated item's body. A `;` at depth 0 before any
+        // `{` means a brace-less item (e.g. `#[cfg(test)] use ...;`).
+        let mut j = k + 7;
+        let mut depth = 0i32;
+        let mut end = toks.len().saturating_sub(1);
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                ";" if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                "{" => {
+                    depth += 1;
+                    // Brace-match to the item's close.
+                    let mut m = j + 1;
+                    while let Some(n) = toks.get(m) {
+                        match n.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end = m.min(toks.len().saturating_sub(1));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((k, end));
+        k = end + 1;
+    }
+    ranges
+}
+
+/// Flags `.unwrap()` / `.expect(` calls outside `#[cfg(test)]` code.
+fn check_unwrap_in_prod(toks: &[Token], findings: &mut Vec<Finding>) {
+    let test_ranges = cfg_test_ranges(toks);
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        let is_call =
+            k > 0 && toks[k - 1].text == "." && toks.get(k + 1).is_some_and(|n| n.text == "(");
+        if !is_call {
+            continue;
+        }
+        if test_ranges.iter().any(|&(s, e)| k >= s && k <= e) {
+            continue;
+        }
+        findings.push(Finding {
+            line: t.line,
+            rule: Rule::UnwrapInProd,
+            message: format!(
+                "`.{}()` in production code panics the whole controller/dataplane on \
+                 the unexpected case; handle it, or annotate why it is infallible",
+                t.text
+            ),
+        });
     }
 }
 

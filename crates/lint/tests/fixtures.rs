@@ -1,8 +1,13 @@
 //! Fixture-driven self-test: every rule must trip on its known-bad
 //! fixture and stay silent on its known-good twin.
 
-use livesec_lint::{lint_source, Rule};
+use livesec_lint::{lint_source, lint_source_with, LintOptions, Rule};
 use std::path::PathBuf;
+
+/// Options with every optional rule switched on.
+const ALL_RULES: LintOptions = LintOptions {
+    unwrap_in_prod: true,
+};
 
 fn fixture(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -98,6 +103,34 @@ fn annotation_bad_trips() {
 #[test]
 fn annotation_good_is_clean() {
     assert_clean("annotation_good.rs");
+}
+
+#[test]
+fn unwrap_in_prod_bad_trips() {
+    // get().unwrap(), parse().expect(), chained unwrap.
+    let findings = lint_source_with(&fixture("unwrap_in_prod_bad.rs"), &ALL_RULES);
+    let n = findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnwrapInProd)
+        .count();
+    assert_eq!(n, 3, "expected 3 unwrap-in-prod findings: {findings:#?}");
+}
+
+#[test]
+fn unwrap_in_prod_good_is_clean() {
+    let findings = lint_source_with(&fixture("unwrap_in_prod_good.rs"), &ALL_RULES);
+    assert!(findings.is_empty(), "expected no findings: {findings:#?}");
+}
+
+#[test]
+fn unwrap_in_prod_is_off_by_default() {
+    // The same bad fixture is silent under default options: the rule
+    // is scoped to production crates by `lint_files`, not global.
+    let findings = lint_source(&fixture("unwrap_in_prod_bad.rs"));
+    assert!(
+        findings.is_empty(),
+        "rule leaked into defaults: {findings:#?}"
+    );
 }
 
 #[test]

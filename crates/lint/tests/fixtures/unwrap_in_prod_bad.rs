@@ -1,0 +1,23 @@
+//! Known-bad fixture for `unwrap-in-prod`: panicking extractors in
+//! production (non-test) code paths.
+
+pub fn lookup(map: &std::collections::BTreeMap<u64, u32>, k: u64) -> u32 {
+    // Bad: a missing key panics the controller.
+    *map.get(&k).unwrap()
+}
+
+pub fn parse(port: &str) -> u16 {
+    // Bad: malformed input panics the dataplane.
+    port.parse().expect("valid port")
+}
+
+pub struct Registry {
+    slots: Vec<Option<u32>>,
+}
+
+impl Registry {
+    pub fn first(&self) -> u32 {
+        // Bad: an empty registry panics.
+        self.slots.first().copied().flatten().unwrap()
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-good twin of `unwrap_in_prod_bad.rs`: handled fallibility in
+//! production code, unwraps confined to `#[cfg(test)]` items, and a
+//! reasoned allow for a documented contract.
+
+pub fn lookup(map: &std::collections::BTreeMap<u64, u32>, k: u64) -> u32 {
+    map.get(&k).copied().unwrap_or_default()
+}
+
+pub fn parse(port: &str) -> Option<u16> {
+    port.parse().ok()
+}
+
+pub fn contract(v: &[u32]) -> u32 {
+    // livesec-lint: allow(unwrap-in-prod, reason = "documented contract: callers never pass an empty slice")
+    *v.first().expect("caller guarantees non-empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        let p: u16 = "80".parse().expect("test data is valid");
+        assert_eq!(p, 80);
+    }
+}
+
+#[cfg(test)]
+fn test_helper() -> u32 {
+    "7".parse().unwrap()
+}

@@ -293,7 +293,9 @@ fn get_match(r: &mut Reader<'_>) -> Result<Match, CodecError> {
     if has(9) {
         m.tp_dst = Some(r.u16()?);
     }
-    Ok(m)
+    // A peer may encode a /0 prefix where it means "wildcard"; the
+    // decoded match must compare equal to the wildcarded spelling.
+    Ok(m.normalized())
 }
 
 fn put_out_port(w: &mut Writer, p: OutPort) {

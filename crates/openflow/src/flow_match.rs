@@ -121,15 +121,17 @@ impl Match {
         self
     }
 
-    /// Sets the source IP prefix constraint.
+    /// Sets the source IP prefix constraint. A `/0` prefix accepts
+    /// every address, so it normalizes to the wildcard.
     pub fn with_nw_src(mut self, net: Ipv4Net) -> Self {
-        self.nw_src = Some(net);
+        self.nw_src = (net.prefix_len() > 0).then_some(net);
         self
     }
 
-    /// Sets the destination IP prefix constraint.
+    /// Sets the destination IP prefix constraint. A `/0` prefix
+    /// accepts every address, so it normalizes to the wildcard.
     pub fn with_nw_dst(mut self, net: Ipv4Net) -> Self {
-        self.nw_dst = Some(net);
+        self.nw_dst = (net.prefix_len() > 0).then_some(net);
         self
     }
 
@@ -262,6 +264,75 @@ impl Match {
             tp_src: self.tp_src.expect("checked"),
             tp_dst: self.tp_dst.expect("checked"),
         })
+    }
+
+    /// Canonicalizes constraints that accept everything: a `/0` IP
+    /// prefix matches every address, so `Some(0.0.0.0/0)` is the
+    /// wildcard wearing a concrete-looking residue. Two matches that
+    /// accept the same packets must compare (and hash) equal for the
+    /// verifier's header-space algebra, so the builders, the codec
+    /// decoder, and [`Match::intersect`] all route through here.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        if self.nw_src.is_some_and(|n| n.prefix_len() == 0) {
+            self.nw_src = None;
+        }
+        if self.nw_dst.is_some_and(|n| n.prefix_len() == 0) {
+            self.nw_dst = None;
+        }
+        self
+    }
+
+    /// The match accepting exactly the packets accepted by both `self`
+    /// and `other`, or `None` when no packet satisfies both.
+    ///
+    /// Field-wise meet is exact here because every field constraint is
+    /// an interval (a point or a CIDR prefix): two prefixes are either
+    /// nested or disjoint, so the intersection of two matches is again
+    /// a single match.
+    pub fn intersect(&self, other: &Match) -> Option<Match> {
+        fn meet<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> Result<Option<T>, ()> {
+            match (a, b) {
+                (None, x) | (x, None) => Ok(x),
+                (Some(x), Some(y)) if x == y => Ok(Some(x)),
+                _ => Err(()),
+            }
+        }
+        fn meet_net(a: Option<Ipv4Net>, b: Option<Ipv4Net>) -> Result<Option<Ipv4Net>, ()> {
+            match (a, b) {
+                (None, x) | (x, None) => Ok(x),
+                (Some(x), Some(y)) if x.contains_net(&y) => Ok(Some(y)),
+                (Some(x), Some(y)) if y.contains_net(&x) => Ok(Some(x)),
+                _ => Err(()),
+            }
+        }
+        let a = self.normalized();
+        let b = other.normalized();
+        let met = Match {
+            in_port: meet(a.in_port, b.in_port).ok()?,
+            dl_src: meet(a.dl_src, b.dl_src).ok()?,
+            dl_dst: meet(a.dl_dst, b.dl_dst).ok()?,
+            dl_vlan: meet(a.dl_vlan, b.dl_vlan).ok()?,
+            dl_type: meet(a.dl_type, b.dl_type).ok()?,
+            nw_src: meet_net(a.nw_src, b.nw_src).ok()?,
+            nw_dst: meet_net(a.nw_dst, b.nw_dst).ok()?,
+            nw_proto: meet(a.nw_proto, b.nw_proto).ok()?,
+            tp_src: meet(a.tp_src, b.tp_src).ok()?,
+            tp_dst: meet(a.tp_dst, b.tp_dst).ok()?,
+        };
+        Some(met)
+    }
+
+    /// Whether some packet satisfies both matches.
+    pub fn overlaps(&self, other: &Match) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Whether every packet matched by `other` is also matched by
+    /// `self` — [`Match::subsumes`] under its header-space name, but
+    /// insensitive to `/0`-prefix residue on either side.
+    pub fn covers(&self, other: &Match) -> bool {
+        self.normalized().subsumes(&other.normalized())
     }
 }
 

@@ -60,6 +60,7 @@ pub mod action;
 pub mod channel;
 pub mod codec;
 pub mod flow_match;
+pub mod header_space;
 pub mod message;
 pub mod table;
 
@@ -67,6 +68,7 @@ pub use action::{apply_actions, Action, ActionOutcome, OutPort};
 pub use channel::{ChannelError, SwitchChannel};
 pub use codec::{decode, encode, CodecError};
 pub use flow_match::{lookup_key, Match, VlanMatch};
+pub use header_space::{HeaderClass, MatchSet};
 pub use message::{
     FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
     PortStatusReason, StatsBody, StatsRequestKind,
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::channel::{ChannelError, SwitchChannel};
     pub use crate::codec::{decode, encode, CodecError};
     pub use crate::flow_match::{lookup_key, Match, VlanMatch};
+    pub use crate::header_space::{HeaderClass, MatchSet};
     pub use crate::message::{
         FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
         PortStatusReason, StatsBody, StatsRequestKind,

@@ -396,6 +396,15 @@ impl FlowTable {
     pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
         self.slots.iter().filter_map(|s| s.as_ref())
     }
+
+    /// All live entries in install order (oldest first) — the order
+    /// that decides equal-priority ties in [`FlowTable::lookup`], and
+    /// therefore the order a dataplane verifier must reason in.
+    pub fn entries_in_install_order(&self) -> Vec<&FlowEntry> {
+        let mut v: Vec<&FlowEntry> = self.iter().collect();
+        v.sort_by_key(|e| e.seq);
+        v
+    }
 }
 
 #[cfg(test)]

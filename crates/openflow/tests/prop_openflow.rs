@@ -3,8 +3,8 @@
 
 use livesec_net::{FlowKey, Ipv4Net, MacAddr};
 use livesec_openflow::{
-    codec, Action, FlowEntry, FlowModCommand, FlowTable, Match, OfMessage, OutPort, PacketInReason,
-    VlanMatch,
+    codec, Action, FlowEntry, FlowModCommand, FlowTable, HeaderClass, Match, MatchSet, OfMessage,
+    OutPort, PacketInReason, VlanMatch,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -192,6 +192,96 @@ proptest! {
         };
         let (back, _) = codec::decode(&codec::encode(&msg, 1)).unwrap();
         prop_assert_eq!(back, msg);
+    }
+
+    /// The meet is the AND of the operands: `a ∩ b` matches a packet
+    /// exactly when both do, and a `None` meet means no packet
+    /// satisfies both.
+    #[test]
+    fn intersection_is_the_meet(
+        a in arb_match(),
+        b in arb_match(),
+        key in arb_key(),
+        in_port in 1u32..4,
+    ) {
+        let both = a.matches(in_port, &key) && b.matches(in_port, &key);
+        match a.intersect(&b) {
+            Some(i) => {
+                prop_assert_eq!(i.matches(in_port, &key), both);
+                // The meet sits below both operands.
+                prop_assert!(a.covers(&i));
+                prop_assert!(b.covers(&i));
+            }
+            None => prop_assert!(!both),
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_idempotent(a in arb_match(), b in arb_match()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&a), Some(a.normalized()));
+        prop_assert_eq!(a.intersect(&Match::any()), Some(a.normalized()));
+    }
+
+    /// `covers` is sound against concrete packets and agrees with
+    /// `overlaps` on the easy direction.
+    #[test]
+    fn covers_is_sound(a in arb_match(), b in arb_match(), key in arb_key(), in_port in 1u32..4) {
+        if a.covers(&b) {
+            if b.matches(in_port, &key) {
+                prop_assert!(a.matches(in_port, &key));
+            }
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    /// Normalization never changes which packets a match accepts.
+    #[test]
+    fn normalization_preserves_semantics(m in arb_match(), key in arb_key(), in_port in 1u32..4) {
+        prop_assert_eq!(m.normalized().matches(in_port, &key), m.matches(in_port, &key));
+    }
+
+    /// Difference-of-cubes subtraction is set difference: after
+    /// `D = a - b`, a packet is in `D` exactly when `a` matches it
+    /// and `b` does not; and any witness `D` extracts really is in
+    /// `D`.
+    #[test]
+    fn header_class_subtraction_is_set_difference(
+        a in arb_match(),
+        b in arb_match(),
+        key in arb_key(),
+        in_port in 1u32..4,
+    ) {
+        let mut d = HeaderClass::of(a);
+        d.subtract(&b);
+        let expected = a.matches(in_port, &key) && !b.matches(in_port, &key);
+        prop_assert_eq!(d.contains(in_port, &key), expected);
+        if let Some((wp, wk)) = d.witness() {
+            prop_assert!(d.contains(wp, &wk));
+            prop_assert!(a.matches(wp, &wk));
+            prop_assert!(!b.matches(wp, &wk));
+        } else {
+            // No witness claims emptiness: the sampled packet must
+            // not be in the difference either.
+            prop_assert!(!expected);
+        }
+    }
+
+    /// Subtracting a region and re-adding the removed overlap
+    /// recovers the original coverage: `(a - b) ∪ (a ∩ b) = a`.
+    #[test]
+    fn subtract_then_readd_recovers_coverage(
+        a in arb_match(),
+        b in arb_match(),
+        key in arb_key(),
+        in_port in 1u32..4,
+    ) {
+        let mut s = MatchSet::of(a);
+        s.subtract(&b);
+        if let Some(i) = a.intersect(&b) {
+            s.add(i);
+        }
+        prop_assert_eq!(s.contains(in_port, &key), a.matches(in_port, &key));
     }
 
     #[test]

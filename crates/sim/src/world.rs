@@ -92,6 +92,9 @@ pub struct Kernel {
     /// Dedicated RNG for fault effects — never shared with `rng`, so
     /// fault runs don't perturb unrelated random draws.
     fault_rng: StdRng,
+    /// Every fault applied so far, in application order — the hook a
+    /// dataplane auditor uses to re-verify invariants after each heal.
+    fault_log: Vec<(SimTime, FaultKind)>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -257,6 +260,7 @@ impl World {
                 blocked_links: HashSet::new(),
                 corrupt_budget: HashMap::new(),
                 fault_rng: StdRng::seed_from_u64(seed ^ 0xfa_417),
+                fault_log: Vec::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -405,6 +409,7 @@ impl World {
     }
 
     fn apply_fault(&mut self, kind: FaultKind) {
+        self.kernel.fault_log.push((self.kernel.now, kind));
         match kind {
             FaultKind::PartitionControl { node } => {
                 self.kernel.partitioned.insert(node);
@@ -491,6 +496,34 @@ impl World {
     /// Read access to kernel state (time, port counters).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// Every fault applied so far, in application order. A dataplane
+    /// auditor hooks here: each [`FaultKind::HealControl`],
+    /// [`FaultKind::LinkUp`], or [`FaultKind::CrashRestart`] entry
+    /// marks a moment after which the forwarding state must converge
+    /// back to policy, so audits re-run after every logged heal.
+    pub fn fault_log(&self) -> &[(SimTime, FaultKind)] {
+        &self.kernel.fault_log
+    }
+
+    /// The times of faults after which the network is expected to
+    /// *recover* (heals, link-ups, crash-restarts) — the audit points
+    /// of the chaos suite's post-heal verification hook.
+    pub fn heal_times(&self) -> Vec<SimTime> {
+        self.kernel
+            .fault_log
+            .iter()
+            .filter(|(_, k)| {
+                matches!(
+                    k,
+                    FaultKind::HealControl { .. }
+                        | FaultKind::LinkUp { .. }
+                        | FaultKind::CrashRestart { .. }
+                )
+            })
+            .map(|(t, _)| *t)
+            .collect()
     }
 
     /// Value of a named scalar metric recorded via

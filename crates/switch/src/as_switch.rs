@@ -188,6 +188,22 @@ impl AsSwitch {
         &self.table
     }
 
+    /// Number of physical ports (1-based numbering).
+    pub fn n_ports(&self) -> u32 {
+        self.n_ports
+    }
+
+    /// A point-in-time copy of the flow table in install order — the
+    /// per-switch half of a dataplane verifier's snapshot, taken by
+    /// value so auditing never borrows the live switch.
+    pub fn table_snapshot(&self) -> Vec<livesec_openflow::FlowEntry> {
+        self.table
+            .entries_in_install_order()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
     /// Keepalive echo replies received from the controller.
     pub fn echo_replies(&self) -> u64 {
         self.channel.echo_replies_seen

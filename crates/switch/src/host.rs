@@ -381,7 +381,9 @@ impl<A: App> Host<A> {
     }
 
     fn handle_echo_request(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, msg: &IcmpMessage) {
-        let ip = pkt.ipv4().expect("echo request is IPv4");
+        let Some(ip) = pkt.ipv4() else {
+            return; // ICMP only ever arrives inside an IPv4 packet
+        };
         let reply = Packet::new(
             livesec_net::EthernetHeader::new(
                 self.core.mac,

@@ -1,0 +1,491 @@
+//! The six dataplane invariants and the [`audit`] entry point.
+//!
+//! Each check works the same way: carve the header space into the
+//! equivalence classes an invariant cares about (using the
+//! difference-of-cubes algebra from `livesec_openflow::header_space`),
+//! extract one concrete witness packet per class, and replay it
+//! through the snapshot's flow tables with [`crate::trace`]. A
+//! violation always carries that witness, so every finding is a
+//! reproducible packet, not a symbolic claim.
+
+use crate::snapshot::Snapshot;
+use crate::trace::{trace, TraceEnd};
+use livesec::controller::FASTPASS_PRIORITY;
+use livesec_net::{FlowKey, Ipv4Net, MacAddr};
+use livesec_openflow::{HeaderClass, Match};
+use livesec_services::ServiceType;
+use std::fmt;
+
+/// A concrete packet demonstrating a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// Switch the packet is injected at.
+    pub dpid: u64,
+    /// Ingress port.
+    pub in_port: u32,
+    /// Header fields.
+    pub key: FlowKey,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = &self.key;
+        write!(
+            f,
+            "@dpid {} port {}: {} -> {} | {}:{} -> {}:{} proto {}",
+            self.dpid,
+            self.in_port,
+            k.dl_src,
+            k.dl_dst,
+            k.nw_src,
+            k.tp_src,
+            k.nw_dst,
+            k.tp_dst,
+            k.nw_proto
+        )
+    }
+}
+
+/// One refuted invariant, with the witness packet that refutes it.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// Invariant 1: a packet covered by a standing block was
+    /// delivered to an endpoint.
+    BlockedReachable {
+        /// The switch holding the block.
+        block_dpid: u64,
+        /// The block's matcher.
+        matcher: Match,
+        /// The packet that got through.
+        witness: Witness,
+        /// Where it was delivered.
+        delivered_to: MacAddr,
+    },
+    /// Invariant 2: a packet revisits a forwarding state.
+    ForwardingLoop {
+        /// Switch whose entry starts the looping trace.
+        dpid: u64,
+        /// The looping packet.
+        witness: Witness,
+        /// The `(dpid, in_port)` path it took.
+        path: Vec<(u64, u32)>,
+    },
+    /// Invariant 3: an admitted (unblocked) flow does not reach its
+    /// destination.
+    Blackhole {
+        /// The flow's key (as traced; reverse flows appear reversed).
+        flow: FlowKey,
+        /// The injected packet.
+        witness: Witness,
+        /// How the trace actually ended.
+        end: TraceEnd,
+    },
+    /// Invariant 4: a flow whose policy names a service chain reaches
+    /// egress without traversing an element of each required type in
+    /// order.
+    ChainSkipped {
+        /// The flow's key.
+        flow: FlowKey,
+        /// The chain the policy requires.
+        required: Vec<ServiceType>,
+        /// What the packet actually traversed.
+        traversed: Vec<ServiceType>,
+        /// The packet.
+        witness: Witness,
+    },
+    /// Invariant 5: a fast-pass entry whose record is missing or was
+    /// compiled under superseded policy/topology epochs.
+    StaleFastPass {
+        /// Switch holding the entry.
+        dpid: u64,
+        /// The entry's matcher.
+        matcher: Match,
+        /// The record's epochs, when a record exists at all.
+        record_epochs: Option<(u64, u64)>,
+        /// The controller's current epochs.
+        current_epochs: (u64, u64),
+        /// A packet the stale entry would capture.
+        witness: Witness,
+    },
+    /// Invariant 6: two same-priority entries overlap with different
+    /// actions — the later installation can never win in the overlap.
+    ShadowedRule {
+        /// Switch holding both entries.
+        dpid: u64,
+        /// The shared priority.
+        priority: u16,
+        /// The earlier entry (wins ties).
+        winner: Match,
+        /// The later, masked entry.
+        masked: Match,
+        /// A packet in the overlap.
+        witness: Witness,
+    },
+}
+
+impl Violation {
+    /// Short invariant tag for summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Violation::BlockedReachable { .. } => "blocked-reachable",
+            Violation::ForwardingLoop { .. } => "forwarding-loop",
+            Violation::Blackhole { .. } => "blackhole",
+            Violation::ChainSkipped { .. } => "chain-skipped",
+            Violation::StaleFastPass { .. } => "stale-fastpass",
+            Violation::ShadowedRule { .. } => "shadowed-rule",
+        }
+    }
+
+    /// The witness packet demonstrating the violation.
+    pub fn witness(&self) -> &Witness {
+        match self {
+            Violation::BlockedReachable { witness, .. }
+            | Violation::ForwardingLoop { witness, .. }
+            | Violation::Blackhole { witness, .. }
+            | Violation::ChainSkipped { witness, .. }
+            | Violation::StaleFastPass { witness, .. }
+            | Violation::ShadowedRule { witness, .. } => witness,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BlockedReachable {
+                block_dpid,
+                matcher,
+                witness,
+                delivered_to,
+            } => write!(
+                f,
+                "[blocked-reachable] block ({matcher}) at dpid {block_dpid} evaded; \
+                     witness {witness} delivered to {delivered_to}"
+            ),
+            Violation::ForwardingLoop {
+                dpid,
+                witness,
+                path,
+            } => write!(
+                f,
+                "[forwarding-loop] starting at dpid {dpid}; witness {witness}; path {path:?}"
+            ),
+            Violation::Blackhole { flow, witness, end } => write!(
+                f,
+                "[blackhole] admitted flow {} -> {} ends '{end}'; witness {witness}",
+                flow.dl_src, flow.dl_dst
+            ),
+            Violation::ChainSkipped {
+                flow,
+                required,
+                traversed,
+                witness,
+            } => write!(
+                f,
+                "[chain-skipped] flow {} -> {} requires {required:?} but traversed \
+                     {traversed:?}; witness {witness}",
+                flow.dl_src, flow.dl_dst
+            ),
+            Violation::StaleFastPass {
+                dpid,
+                matcher,
+                record_epochs,
+                current_epochs,
+                witness,
+            } => write!(
+                f,
+                "[stale-fastpass] entry ({matcher}) at dpid {dpid} has record epochs \
+                     {record_epochs:?} vs current {current_epochs:?}; witness {witness}"
+            ),
+            Violation::ShadowedRule {
+                dpid,
+                priority,
+                winner,
+                masked,
+                witness,
+            } => write!(
+                f,
+                "[shadowed-rule] dpid {dpid} priority {priority}: ({masked}) is masked by \
+                     earlier ({winner}); witness {witness}"
+            ),
+        }
+    }
+}
+
+/// Runs all six invariant checks against a snapshot and returns every
+/// violation found (empty = all invariants proven for this snapshot).
+pub fn audit(snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_shadowed_rules(snap, &mut out);
+    check_stale_fastpass(snap, &mut out);
+    check_loops(snap, &mut out);
+    check_flows(snap, &mut out);
+    check_blocked_unreachable(snap, &mut out);
+    out
+}
+
+/// Invariant 6: within one table, a later entry overlapping an
+/// earlier one at equal priority with *different actions* can never
+/// win in the overlap — the installation order silently decides, so
+/// report the masked rule. Equal-action overlaps (two drop rules) are
+/// harmless and ignored.
+fn check_shadowed_rules(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for sw in &snap.switches {
+        for (j, later) in sw.entries.iter().enumerate() {
+            for earlier in &sw.entries[..j] {
+                if earlier.priority != later.priority
+                    || earlier.actions == later.actions
+                    || !earlier.matcher.overlaps(&later.matcher)
+                {
+                    continue;
+                }
+                let overlap = earlier
+                    .matcher
+                    .intersect(&later.matcher)
+                    .unwrap_or(later.matcher);
+                let Some((in_port, key)) = HeaderClass::of(overlap).witness() else {
+                    continue;
+                };
+                out.push(Violation::ShadowedRule {
+                    dpid: sw.dpid,
+                    priority: later.priority,
+                    winner: earlier.matcher,
+                    masked: later.matcher,
+                    witness: Witness {
+                        dpid: sw.dpid,
+                        in_port,
+                        key,
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 5: every entry at fast-pass priority must be backed by a
+/// fast-pass record compiled under the *current* policy and topology
+/// epochs. An entry with no record, or with a record whose epochs
+/// fell behind, forwards established traffic under superseded policy.
+fn check_stale_fastpass(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for sw in &snap.switches {
+        for e in &sw.entries {
+            if e.priority != FASTPASS_PRIORITY {
+                continue;
+            }
+            let record = e.matcher.exact_key().and_then(|k| {
+                snap.fastpasses
+                    .iter()
+                    .find(|(fk, _, _)| *fk == k || fk.reversed() == k)
+            });
+            let record_epochs = record.map(|(_, pe, te)| (*pe, *te));
+            if record_epochs == Some(snap.epochs) {
+                continue;
+            }
+            let Some((in_port, key)) = HeaderClass::of(e.matcher).witness() else {
+                continue;
+            };
+            out.push(Violation::StaleFastPass {
+                dpid: sw.dpid,
+                matcher: e.matcher,
+                record_epochs,
+                current_epochs: snap.epochs,
+                witness: Witness {
+                    dpid: sw.dpid,
+                    in_port,
+                    key,
+                },
+            });
+        }
+    }
+}
+
+/// The region of header space where `entries[idx]` actually wins the
+/// table lookup: its own matcher minus every matcher that beats it
+/// (higher priority, or equal priority installed earlier).
+fn winner_region(entries: &[livesec_openflow::FlowEntry], idx: usize) -> HeaderClass {
+    let mut region = HeaderClass::of(entries[idx].matcher);
+    for (i, other) in entries.iter().enumerate() {
+        let beats = other.priority > entries[idx].priority
+            || (other.priority == entries[idx].priority && i < idx);
+        if beats {
+            region.subtract(&other.matcher);
+        }
+    }
+    region
+}
+
+/// Invariant 2: no forwarding loops. Every installed entry that can
+/// win a lookup is a potential first hop; trace one witness from each
+/// such winner region and flag traces that revisit a state.
+fn check_loops(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for sw in &snap.switches {
+        for (idx, e) in sw.entries.iter().enumerate() {
+            if e.actions.is_empty() {
+                continue; // a drop cannot start a loop
+            }
+            let Some((in_port, key)) = winner_region(&sw.entries, idx).witness() else {
+                continue; // fully shadowed: never wins a lookup
+            };
+            let t = trace(snap, sw.dpid, in_port, key);
+            if matches!(t.end, TraceEnd::Loop { .. }) {
+                out.push(Violation::ForwardingLoop {
+                    dpid: sw.dpid,
+                    witness: Witness {
+                        dpid: sw.dpid,
+                        in_port,
+                        key,
+                    },
+                    path: t.steps.iter().map(|s| (s.dpid, s.in_port)).collect(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether `required` appears as an in-order subsequence of the
+/// traversed service types.
+fn chain_satisfied(required: &[ServiceType], traversed: &[ServiceType]) -> bool {
+    let mut want = required.iter();
+    let mut next = want.next();
+    for t in traversed {
+        if Some(t) == next {
+            next = want.next();
+        }
+    }
+    next.is_none()
+}
+
+/// Whether the controller's policy still admits this flow key (the
+/// audit tolerates flows whose records outlive a tightened policy —
+/// their entries idle out — but chain checks only apply to admitted
+/// traffic).
+fn flow_is_blocked_on_ingress(snap: &Snapshot, dpid: u64, in_port: u32, key: &FlowKey) -> bool {
+    snap.blocks
+        .iter()
+        .any(|(d, m)| *d == dpid && m.matches(in_port, key))
+}
+
+/// Invariants 3 and 4, one trace per direction of each active flow:
+/// an admitted flow must reach its destination (no blackhole), and a
+/// chained flow must traverse an element of each required type in
+/// order before egress (waypoint enforcement) — unless a
+/// current-epoch fast-pass sanctions the bypass.
+fn check_flows(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for flow in &snap.flows {
+        if flow.blocked {
+            continue; // invariant 1 owns blocked flows
+        }
+        let fastpassed = snap
+            .fastpasses
+            .iter()
+            .any(|(k, pe, te)| *k == flow.key && (*pe, *te) == snap.epochs);
+        let directions = [
+            (flow.key, flow.chain.clone()),
+            (
+                flow.key.reversed(),
+                flow.chain.iter().rev().copied().collect::<Vec<_>>(),
+            ),
+        ];
+        for (key, chain) in directions {
+            let Some(src) = snap.host_of(key.dl_src) else {
+                continue; // source no longer located; entries idle out
+            };
+            if flow_is_blocked_on_ingress(snap, src.dpid, src.port, &key) {
+                continue; // administratively blocked (e.g. source-wide)
+            }
+            let witness = Witness {
+                dpid: src.dpid,
+                in_port: src.port,
+                key,
+            };
+            let t = trace(snap, src.dpid, src.port, key);
+            match &t.end {
+                TraceEnd::Delivered { mac, .. } if *mac == key.dl_dst => {
+                    if !fastpassed && !chain_satisfied(&chain, &t.traversed_types()) {
+                        out.push(Violation::ChainSkipped {
+                            flow: key,
+                            required: chain.clone(),
+                            traversed: t.traversed_types(),
+                            witness,
+                        });
+                    }
+                }
+                // A miss (or explicit punt) packet-ins to the
+                // controller, which reinstalls or re-admits — the
+                // system's designed reactive fallback, not a
+                // blackhole. Happens legitimately when one direction
+                // of a half-idle flow expires before its record.
+                TraceEnd::Miss { .. } | TraceEnd::ToController { .. } => {}
+                // Loops are owned (and reported) by invariant 2.
+                TraceEnd::Loop { .. } => {}
+                end if end.is_admin_drop() => {} // blocked after admission
+                end => out.push(Violation::Blackhole {
+                    flow: key,
+                    witness,
+                    end: end.clone(),
+                }),
+            }
+        }
+    }
+}
+
+/// Invariant 1: traffic covered by a standing block must not reach
+/// any endpoint from any ingress. For each block, enumerate every
+/// plausible ingress and every located destination, concretize a
+/// packet the blocked party could send there, and demand the trace
+/// does not deliver it.
+fn check_blocked_unreachable(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for (bdpid, matcher) in &snap.blocks {
+        // Ingress candidates: the matcher's pinned port, else the
+        // blocked source's attachment, else every host port on the
+        // block's switch.
+        let ingresses: Vec<(u64, u32)> = if let Some(p) = matcher.in_port {
+            vec![(*bdpid, p)]
+        } else if let Some(loc) = matcher.dl_src.and_then(|m| snap.host_of(m)) {
+            vec![(loc.dpid, loc.port)]
+        } else {
+            snap.hosts
+                .iter()
+                .filter(|h| h.dpid == *bdpid)
+                .map(|h| (h.dpid, h.port))
+                .collect()
+        };
+        // Destination candidates: pin the matcher to each located
+        // endpoint in turn; a block with exact headers pins itself.
+        for dst in &snap.hosts {
+            if Some(dst.mac) == matcher.dl_src {
+                continue;
+            }
+            let pinned = Match::any()
+                .with_dl_dst(dst.mac)
+                .with_nw_dst(Ipv4Net::host(dst.ip));
+            let Some(target) = matcher.intersect(&pinned) else {
+                continue; // the block cannot cover traffic to dst
+            };
+            for (dpid, in_port) in &ingresses {
+                let cls = HeaderClass::of(target.with_in_port(*in_port));
+                let Some((in_port, key)) = cls.witness() else {
+                    continue;
+                };
+                let t = trace(snap, *dpid, in_port, key);
+                let delivered = match &t.end {
+                    TraceEnd::Delivered { mac, .. } => Some(*mac),
+                    TraceEnd::Flooded { .. } => Some(dst.mac),
+                    _ => None,
+                };
+                if let Some(mac) = delivered {
+                    out.push(Violation::BlockedReachable {
+                        block_dpid: *bdpid,
+                        matcher: *matcher,
+                        witness: Witness {
+                            dpid: *dpid,
+                            in_port,
+                            key,
+                        },
+                        delivered_to: mac,
+                    });
+                }
+            }
+        }
+    }
+}

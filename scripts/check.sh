@@ -19,6 +19,11 @@ run cargo build --release
 # HashMap-order iteration, wall-clock reads, unseeded RNG and float
 # accumulation; zero unannotated findings allowed.
 run cargo run -q -p livesec-lint --release
+# Header-space invariant verifier (DESIGN.md §8): snapshot the
+# emitted flow tables of the baseline scenario and prove the six
+# dataplane invariants (blocked-unreachable, no loops, no blackholes,
+# waypoint enforcement, fast-pass freshness, no silent shadowing).
+run cargo run -q -p livesec-verify --release -- --scenario baseline
 run cargo test -q
 # Seeded chaos soak: the campus under scheduled partitions, crashes,
 # and frame corruption over fixed seeds — zero panics, clean

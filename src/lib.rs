@@ -20,6 +20,7 @@
 //! * [`livesec_conntrack`] — stateful connection tracking
 //! * [`livesec`] — the LiveSec controller (the paper's contribution)
 //! * [`livesec_workloads`] — synthetic traffic generators and scenarios
+//! * [`livesec_verify`] — header-space invariant verifier for the emitted dataplane
 
 pub use livesec;
 pub use livesec_conntrack;
@@ -28,6 +29,7 @@ pub use livesec_openflow;
 pub use livesec_services;
 pub use livesec_sim;
 pub use livesec_switch;
+pub use livesec_verify;
 pub use livesec_workloads;
 
 /// Convenience re-exports for examples and integration tests.

@@ -7,6 +7,7 @@
 //! and the whole faulty run must stay byte-for-byte deterministic.
 
 use livesec_suite::prelude::*;
+use livesec_verify::audit_settled;
 use livesec_workloads::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 
 /// AS switches in the default campus: 3 OvS + the Wi-Fi AP.
@@ -74,8 +75,17 @@ fn faulted_campus_heals_and_resteers_every_flow() {
     // be eaten by the scheduled frame corruption, so worst-case
     // reconnect lands around heal + 7 s (capped backoff), then the
     // audit and LLDP rediscovery need a beat.
-    let s = run_chaos(42, chaos, last_heal + SimDuration::from_secs(9));
+    let mut s = run_chaos(42, chaos, last_heal + SimDuration::from_secs(9));
     assert_recovered(&s);
+
+    // The recovered dataplane is not just alive — it is *provably
+    // correct*: the header-space audit finds no violation of the six
+    // invariants in the emitted flow tables.
+    let violations = audit_settled(&mut s.campus, 30, SimDuration::from_millis(100));
+    assert!(
+        violations.is_empty(),
+        "post-recovery dataplane audit found violations: {violations:#?}"
+    );
 
     let c = s.campus.controller();
     let summary = c.monitor().summary();
@@ -152,14 +162,34 @@ fn faulted_history_is_deterministic_byte_for_byte() {
 }
 
 /// Seeded chaos soak (wired into `scripts/check.sh`): three fixed
-/// seeds, zero panics, and clean health-stat invariants at the end of
-/// every run.
+/// seeds, zero panics, clean health-stat invariants at the end of
+/// every run, and a clean header-space audit after *every* heal the
+/// simulator logs — not just the final state.
 #[test]
 fn chaos_soak_over_fixed_seeds() {
     for seed in [7u64, 99, 4242] {
         let chaos = quick_chaos();
         let run_for = chaos.last_heal(N_SWITCHES as usize) + SimDuration::from_secs(9);
-        let s = run_chaos(seed, chaos, run_for);
+        let mut s = CampusScenario::build(ScenarioConfig {
+            seed,
+            chaos: Some(chaos),
+            ..ScenarioConfig::default()
+        });
+        let mut audited_heals = 0usize;
+        while s.campus.world.kernel().now().as_nanos() < run_for.as_nanos() {
+            s.campus.world.run_for(SimDuration::from_secs(1));
+            let heals = s.campus.world.heal_times().len();
+            if heals > audited_heals {
+                audited_heals = heals;
+                let violations = audit_settled(&mut s.campus, 30, SimDuration::from_millis(100));
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed}: audit after heal #{audited_heals} found \
+                     violations: {violations:#?}"
+                );
+            }
+        }
+        assert!(audited_heals >= 1, "seed {seed}: no heal was ever logged");
         assert_recovered(&s);
     }
 }
