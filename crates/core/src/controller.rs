@@ -16,6 +16,7 @@
 use crate::balance::{LoadBalancer, SeRegistry};
 use crate::cache::{CachedDecision, DecisionCache};
 use crate::directory::DirectoryProxy;
+use crate::engine::EngineDecision;
 use crate::location::{LearnOutcome, LocationTable};
 use crate::monitor::{ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor};
 use crate::policy::{AppAction, PolicyDecision, PolicyTable};
@@ -199,6 +200,22 @@ pub struct Controller {
     /// The flow-setup fast path's decision cache (`None` = disabled,
     /// every setup takes the cold path).
     cache: Option<DecisionCache>,
+    /// Append-only journal of MAC invalidations, consumed by the
+    /// sharded control plane: each shard replays the suffix past its
+    /// own cursor into its decision cache before handling a message.
+    /// Empty (and never written) unless the plane enabled journaling.
+    mac_invalidations: Vec<MacAddr>,
+    /// Whether [`Controller::invalidate_mac`] journals into
+    /// `mac_invalidations` (only the sharded plane consumes it).
+    journal_invalidations: bool,
+    /// Advances whenever the whole decision cache must be dropped
+    /// (e.g. the balancer was replaced, so cached picks are void);
+    /// lagging shard caches clear when they observe a newer value.
+    cache_flush_epoch: u64,
+    /// `(key, ingress dpid, egress dpid)` of the most recent flow
+    /// admission — taken by the sharded plane to count flows whose
+    /// ingress and egress land on different shards (handoffs).
+    last_setup: Option<(FlowKey, u64, u64)>,
     /// Per-switch control messages queued during the current event
     /// dispatch.
     txq: Vec<TxBatch>,
@@ -312,6 +329,10 @@ impl Controller {
             active: BTreeMap::new(),
             required_certs: None,
             cache: Some(DecisionCache::new()),
+            mac_invalidations: Vec::new(),
+            journal_invalidations: false,
+            cache_flush_epoch: 0,
+            last_setup: None,
             txq: Vec::new(),
             batches_flushed: 0,
             messages_batched: 0,
@@ -531,9 +552,73 @@ impl Controller {
         }
     }
 
+    /// Drops every cached decision touching `mac` and, when the
+    /// sharded plane enabled journaling, appends the invalidation to
+    /// the journal so inactive shards' caches replay it later.
+    pub(crate) fn invalidate_mac(&mut self, mac: MacAddr) {
+        if self.journal_invalidations {
+            self.mac_invalidations.push(mac);
+        }
+        if let Some(c) = self.cache.as_mut() {
+            c.invalidate_mac(mac);
+        }
+    }
+
+    /// Turns the MAC-invalidation journal on (the sharded plane) or
+    /// off (the default; nobody would ever drain it).
+    pub(crate) fn set_invalidation_journal(&mut self, on: bool) {
+        self.journal_invalidations = on;
+    }
+
+    /// Journal length — the cursor value an up-to-date shard holds.
+    pub(crate) fn mac_log_len(&self) -> usize {
+        self.mac_invalidations.len()
+    }
+
+    /// The journal suffix past `cursor` (a shard's unreplayed tail).
+    pub(crate) fn mac_log_since(&self, cursor: usize) -> &[MacAddr] {
+        &self.mac_invalidations[cursor..]
+    }
+
+    /// Discards the first `n` journal entries once every live shard's
+    /// cursor has passed them (the plane re-bases cursors itself).
+    pub(crate) fn drain_mac_log(&mut self, n: usize) {
+        self.mac_invalidations.drain(..n);
+    }
+
+    /// The whole-cache flush epoch (see `cache_flush_epoch`).
+    pub(crate) fn cache_flush_epoch(&self) -> u64 {
+        self.cache_flush_epoch
+    }
+
+    /// The dpid a controller-side peer registered with, if it finished
+    /// the features handshake at some point (never pruned).
+    pub(crate) fn dpid_of_peer(&self, peer: NodeId) -> Option<u64> {
+        self.known_nodes.get(&peer).copied()
+    }
+
+    /// Mutable access to the monitor (the plane stamps shard ids).
+    pub(crate) fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Swaps the active decision cache with `slot` — how the sharded
+    /// plane gives each shard its own cache while sharing one
+    /// controller. Swapping `None` models a disabled cache.
+    pub(crate) fn swap_cache(&mut self, slot: &mut Option<DecisionCache>) {
+        std::mem::swap(&mut self.cache, slot);
+    }
+
+    /// Takes the `(key, ingress dpid, egress dpid)` of the flow
+    /// admitted during the current dispatch, if any.
+    pub(crate) fn take_last_setup(&mut self) -> Option<(FlowKey, u64, u64)> {
+        self.last_setup.take()
+    }
+
     /// Replaces the load balancer in place. Drops the decision cache's
     /// contents: cached picks came from the old algorithm.
     pub fn set_balancer(&mut self, balancer: LoadBalancer) {
+        self.cache_flush_epoch += 1;
         if let Some(c) = self.cache.as_mut() {
             c.clear();
         }
@@ -912,7 +997,7 @@ impl Controller {
     /// switch acknowledges only after every entry of the batch is
     /// applied — per-switch ordering is by in-order processing of the
     /// concatenated frames, and the barrier delimits the transaction.
-    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+    pub(crate) fn flush(&mut self, ctx: &mut Ctx<'_>) {
         if self.txq.is_empty() {
             return;
         }
@@ -996,9 +1081,7 @@ impl Controller {
             LearnOutcome::Moved { from } => {
                 // Steering programs bake in the host's old attachment
                 // point: drop every cached decision touching it.
-                if let Some(c) = self.cache.as_mut() {
-                    c.invalidate_mac(arp.sha);
-                }
+                self.invalidate_mac(arp.sha);
                 self.monitor.record(
                     now,
                     EventKind::UserMoved {
@@ -1578,11 +1661,12 @@ impl Controller {
             return;
         }
 
-        let (decision, rule) = self.policy.decide(&key);
-        let decision = decision.clone();
-        let rule = rule.map(str::to_owned);
-        match decision {
-            PolicyDecision::Deny => {
+        // Cold path: the pure decision engine runs the policy lookup,
+        // the balancer picks, and the path compilation against this
+        // controller's state store; the side effects (flow-mods,
+        // monitor events, books) stay here.
+        match crate::engine::decide(self, &key) {
+            EngineDecision::Deny { rule } => {
                 if let Some(c) = self.cache.as_mut() {
                     c.insert(
                         key,
@@ -1592,16 +1676,34 @@ impl Controller {
                 }
                 self.deny_flow(now, dpid, in_port, &key, rule);
             }
-            PolicyDecision::Allow => {
-                self.admit(ctx, dpid, in_port, pkt, key, Vec::new(), Vec::new());
+            EngineDecision::ChainUnavailable { rule } => {
+                self.deny_flow(now, dpid, in_port, &key, Some(rule));
             }
-            PolicyDecision::Chain(services) => {
-                match self.run_picks(now, dpid, in_port, &key, &services) {
-                    Picks::Denied => {}
-                    Picks::Elements(elements) => {
-                        self.admit(ctx, dpid, in_port, pkt, key, services, elements);
-                    }
+            EngineDecision::Unroutable => {
+                // Discovery not converged or a host unknown: the
+                // sender re-ARPs and retries.
+            }
+            EngineDecision::Steer {
+                services,
+                elements,
+                forward,
+                reverse,
+            } => {
+                if let Some(c) = self.cache.as_mut() {
+                    c.insert(
+                        key,
+                        (dpid, in_port),
+                        CachedDecision::Steer {
+                            services: services.clone(),
+                            elements: elements.clone(),
+                            forward: Rc::clone(&forward),
+                            reverse: Rc::clone(&reverse),
+                        },
+                    );
                 }
+                self.finish_admit(
+                    ctx, dpid, in_port, pkt, key, services, elements, forward, reverse,
+                );
             }
         }
     }
@@ -1735,6 +1837,7 @@ impl Controller {
         reverse: Rc<SteeringProgram>,
     ) {
         let now = ctx.now();
+        let egress_dpid = forward.entries.last().map_or(dpid, |e| e.dpid);
         // Under fail-open a pick may have been skipped, so the
         // installed chain is the picked prefix of the policy chain.
         let chain: Vec<ServiceType> = services.iter().copied().take(elements.len()).collect();
@@ -1767,6 +1870,7 @@ impl Controller {
             },
         );
         self.flows_installed += 1;
+        self.last_setup = Some((key, dpid, egress_dpid));
         self.monitor.record(
             now,
             EventKind::FlowStart {
@@ -1860,9 +1964,7 @@ impl Controller {
     /// entries everywhere, the ingress entries of flows using it (so
     /// their next packet re-balances), and the active-flow records.
     fn cleanup_se(&mut self, se_mac: MacAddr) {
-        if let Some(c) = self.cache.as_mut() {
-            c.invalidate_mac(se_mac);
-        }
+        self.invalidate_mac(se_mac);
         let dpids: Vec<u64> = self.topo.switches().map(|s| s.dpid).collect();
         for dpid in &dpids {
             self.send_to_dpid(
@@ -1910,9 +2012,7 @@ impl Controller {
         // evict_dpid iterates a BTreeMap, so departures are recorded in
         // MAC order — deterministic across runs.
         for mac in self.locations.evict_dpid(dpid) {
-            if let Some(c) = self.cache.as_mut() {
-                c.invalidate_mac(mac);
-            }
+            self.invalidate_mac(mac);
             self.monitor.record(now, EventKind::UserLeave { mac });
             if self.registry.force_offline(mac) {
                 self.monitor.record(now, EventKind::SeOffline { mac });
@@ -1974,7 +2074,7 @@ impl Controller {
     /// reply may itself have been lost to the very fault the audit is
     /// meant to repair, and a stuck `auditing` flag must never block
     /// the switch from ever being audited again.
-    fn audit_switch(&mut self, dpid: u64) {
+    pub(crate) fn audit_switch(&mut self, dpid: u64) {
         if self.auditing.insert(dpid) {
             self.health.audits += 1;
         }
@@ -2066,9 +2166,7 @@ impl Controller {
         self.bump_topology_epoch();
         let evicted = self.locations.evict_port(dpid, port);
         for mac in evicted {
-            if let Some(c) = self.cache.as_mut() {
-                c.invalidate_mac(mac);
-            }
+            self.invalidate_mac(mac);
             self.monitor.record(now, EventKind::UserLeave { mac });
             if self.registry.force_offline(mac) {
                 self.monitor.record(now, EventKind::SeOffline { mac });
@@ -2164,6 +2262,33 @@ impl Default for Controller {
     }
 }
 
+/// The controller *is* a state store: the decision engine reads
+/// policy, balancer, locations and topology straight out of the live
+/// NIB. A standalone [`crate::store::NetworkState`] offers the same
+/// view without a controller (benches, unit tests).
+impl crate::store::StateStore for Controller {
+    fn decide_policy(&self, key: &FlowKey) -> (PolicyDecision, Option<String>) {
+        let (decision, rule) = self.policy.decide(key);
+        (decision.clone(), rule.map(str::to_owned))
+    }
+
+    fn pick_element(&mut self, service: ServiceType, key: &FlowKey) -> Option<MacAddr> {
+        self.balancer.pick(&self.registry, service, key)
+    }
+
+    fn hop_of(&self, mac: MacAddr) -> Option<Hop> {
+        Controller::hop_of(self, mac)
+    }
+
+    fn uplink_of(&self, dpid: u64) -> Option<u32> {
+        self.topo.uplink_of(dpid)
+    }
+
+    fn fail_open(&self) -> bool {
+        self.fail_open
+    }
+}
+
 impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(self.tick, TICK);
@@ -2216,9 +2341,7 @@ impl Node for Controller {
             }
         }
         for mac in self.locations.expire(now, self.arp_timeout) {
-            if let Some(c) = self.cache.as_mut() {
-                c.invalidate_mac(mac);
-            }
+            self.invalidate_mac(mac);
             self.monitor.record(now, EventKind::UserLeave { mac });
         }
         let dead = self.registry.expire(now, self.se_timeout);

@@ -93,14 +93,44 @@ impl std::fmt::Debug for Campus {
 }
 
 impl Campus {
-    /// Borrows the controller for inspection.
+    /// Borrows the controller for inspection. On a sharded campus
+    /// (built with [`CampusBuilder::with_shards`]) this is the plane's
+    /// shared controller, so monitoring and NIB inspection look the
+    /// same at every shard count.
     pub fn controller(&self) -> &Controller {
-        self.world.node::<Controller>(self.controller)
+        match self.world.try_node::<Controller>(self.controller) {
+            Some(c) => c,
+            None => self
+                .world
+                .node::<crate::plane::ShardedControlPlane>(self.controller)
+                .controller(),
+        }
     }
 
     /// Mutably borrows the controller (e.g. to change policy mid-run).
+    /// Works on both plain and sharded campuses; on a sharded one the
+    /// edit propagates to every shard through the epoch tags.
     pub fn controller_mut(&mut self) -> &mut Controller {
-        self.world.node_mut::<Controller>(self.controller)
+        // Two lookups to satisfy the borrow checker: probe, then borrow.
+        if self.world.try_node::<Controller>(self.controller).is_some() {
+            return self.world.node_mut::<Controller>(self.controller);
+        }
+        self.world
+            .node_mut::<crate::plane::ShardedControlPlane>(self.controller)
+            .controller_mut()
+    }
+
+    /// The sharded control plane, if this campus was built with
+    /// [`CampusBuilder::with_shards`].
+    pub fn shard_plane(&self) -> Option<&crate::plane::ShardedControlPlane> {
+        self.world
+            .try_node::<crate::plane::ShardedControlPlane>(self.controller)
+    }
+
+    /// Mutable access to the sharded control plane, if any.
+    pub fn shard_plane_mut(&mut self) -> Option<&mut crate::plane::ShardedControlPlane> {
+        self.world
+            .try_node_mut::<crate::plane::ShardedControlPlane>(self.controller)
     }
 
     /// Borrows an AS switch.
@@ -186,6 +216,7 @@ pub struct CampusBuilder {
     gateway_link: LinkSpec,
     uplink: LinkSpec,
     next_edge: usize,
+    shards: Option<u32>,
 }
 
 /// Ports per AS switch: 1 uplink + up to 39 access ports (enough for
@@ -324,6 +355,7 @@ impl CampusBuilder {
             gateway_link: LinkSpec::gigabit(),
             uplink,
             next_edge: 0,
+            shards: None,
         };
         for _ in 0..n_ovs {
             builder.add_as_switch(SwitchKind::Ovs);
@@ -355,6 +387,19 @@ impl CampusBuilder {
         self.world
             .node_mut::<Controller>(self.controller)
             .set_required_certs(std::collections::HashSet::new());
+        self
+    }
+
+    /// Shards the control plane: at [`CampusBuilder::finish`] the
+    /// controller is wrapped into an `n`-shard
+    /// [`crate::ShardedControlPlane`] (n ≥ 1; even `n = 1` wraps, which
+    /// is how the determinism suite pins the plane against the plain
+    /// controller). All `configure_controller`-style calls still apply
+    /// — they run on the controller before it is wrapped, and
+    /// [`Campus::controller`] keeps working afterwards.
+    pub fn with_shards(mut self, n: u32) -> Self {
+        assert!(n >= 1, "a control plane needs at least one shard");
+        self.shards = Some(n);
         self
     }
 
@@ -583,7 +628,17 @@ impl CampusBuilder {
     }
 
     /// Finalizes the testbed.
-    pub fn finish(self) -> Campus {
+    pub fn finish(mut self) -> Campus {
+        if let Some(n) = self.shards {
+            // Wrap the (fully configured) controller into the sharded
+            // plane. The node id stays the same, so every switch's
+            // control channel keeps pointing at the control plane.
+            let inner = std::mem::take(self.world.node_mut::<Controller>(self.controller));
+            self.world.replace_node(
+                self.controller,
+                crate::plane::ShardedControlPlane::new(inner, n),
+            );
+        }
         Campus {
             world: self.world,
             controller: self.controller,

@@ -1,0 +1,253 @@
+//! The pure flow-setup decision engine (DESIGN.md §9).
+//!
+//! [`decide`] runs the side-effect-free half of what the monolithic
+//! controller's cold path used to do inline: the policy lookup, the
+//! balancer picks, the hop lookups, and the compilation of both
+//! steering programs — in exactly that order, against whatever
+//! [`StateStore`] it is handed. The caller (the controller, or a
+//! shard of the sharded control plane) owns the side effects: cache
+//! inserts, flow-mods, monitor events, and the flow books.
+//!
+//! The only state the engine mutates is the balancer (through
+//! [`StateStore::pick_element`]), because dispatch is inherently
+//! stateful; it makes the same pick sequence the monolithic path made,
+//! which is what keeps event histories byte-identical across the
+//! refactor.
+
+use crate::controller::STEER_PRIORITY;
+use crate::policy::PolicyDecision;
+use crate::routing::{compile_path, SteeringProgram};
+use crate::store::StateStore;
+use livesec_net::{FlowKey, MacAddr};
+use livesec_services::ServiceType;
+use std::rc::Rc;
+
+/// The outcome of a flow-setup decision.
+#[derive(Clone, Debug)]
+pub enum EngineDecision {
+    /// The policy denies the flow; install a drop at the ingress.
+    Deny {
+        /// Name of the matching policy rule, if any.
+        rule: Option<String>,
+    },
+    /// A chained service has no online replica and the store is
+    /// fail-closed; deny with the synthesized rule string.
+    ChainUnavailable {
+        /// The `no-online-element:<service>` denial reason.
+        rule: String,
+    },
+    /// A host is unlocated or discovery hasn't converged; do nothing
+    /// (the sender re-ARPs and retries).
+    Unroutable,
+    /// Admit: steer the flow through `elements` along the compiled
+    /// programs.
+    Steer {
+        /// The policy chain (may be longer than `elements` under
+        /// fail-open; the installed chain is the picked prefix).
+        services: Vec<ServiceType>,
+        /// The picked replica per available service, in chain order.
+        elements: Vec<MacAddr>,
+        /// The forward steering program.
+        forward: Rc<SteeringProgram>,
+        /// The reverse steering program.
+        reverse: Rc<SteeringProgram>,
+    },
+}
+
+/// Decides a flow's fate against `store`.
+///
+/// Operation order is part of the controller's determinism spec
+/// (DESIGN.md §6): policy decision, then one balancer pick per chained
+/// service (skipping unavailable services only under fail-open), then
+/// hop lookups (source, destination, elements), then forward and
+/// reverse program compilation.
+pub fn decide<S: StateStore + ?Sized>(store: &mut S, key: &FlowKey) -> EngineDecision {
+    let (decision, rule) = store.decide_policy(key);
+    let services = match decision {
+        PolicyDecision::Deny => return EngineDecision::Deny { rule },
+        PolicyDecision::Allow => Vec::new(),
+        PolicyDecision::Chain(services) => services,
+    };
+
+    let mut elements = Vec::with_capacity(services.len());
+    for service in &services {
+        match store.pick_element(*service, key) {
+            Some(mac) => elements.push(mac),
+            None => {
+                if store.fail_open() {
+                    // Skip the unavailable service.
+                    continue;
+                }
+                return EngineDecision::ChainUnavailable {
+                    rule: format!("no-online-element:{service}"),
+                };
+            }
+        }
+    }
+
+    let Some(src_hop) = store.hop_of(key.dl_src) else {
+        return EngineDecision::Unroutable;
+    };
+    let Some(dst_hop) = store.hop_of(key.dl_dst) else {
+        return EngineDecision::Unroutable; // destination will re-ARP
+    };
+    let mut hops = Vec::with_capacity(elements.len() + 2);
+    hops.push(src_hop);
+    for mac in &elements {
+        let Some(h) = store.hop_of(*mac) else {
+            return EngineDecision::Unroutable;
+        };
+        hops.push(h);
+    }
+    hops.push(dst_hop);
+
+    let uplink = |d: u64| store.uplink_of(d);
+    let Ok(forward) = compile_path(key, &hops, uplink, STEER_PRIORITY) else {
+        return EngineDecision::Unroutable;
+    };
+    let mut rev_hops = hops.clone();
+    rev_hops.reverse();
+    let Ok(reverse) = compile_path(&key.reversed(), &rev_hops, uplink, STEER_PRIORITY) else {
+        return EngineDecision::Unroutable;
+    };
+    EngineDecision::Steer {
+        services,
+        elements,
+        forward: Rc::new(forward),
+        reverse: Rc::new(reverse),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PolicyRule, PolicyTable};
+    use crate::store::NetworkState;
+    use livesec_services::SeMessage;
+    use livesec_sim::SimTime;
+
+    fn key(src: u64, dst: u64, dst_port: u16) -> FlowKey {
+        FlowKey {
+            vlan: None,
+            dl_src: MacAddr::from_u64(src),
+            dl_dst: MacAddr::from_u64(dst),
+            dl_type: 0x0800,
+            nw_src: "10.0.0.1".parse().unwrap(),
+            nw_dst: "10.0.0.2".parse().unwrap(),
+            nw_proto: 6,
+            tp_src: 40_000,
+            tp_dst: dst_port,
+        }
+    }
+
+    fn store_with_hosts() -> NetworkState {
+        let mut s = NetworkState::new();
+        s.locate(MacAddr::from_u64(0xa1), 1, 2);
+        s.locate(MacAddr::from_u64(0xb1), 2, 3);
+        s.set_uplink(1, 40);
+        s.set_uplink(2, 40);
+        s
+    }
+
+    #[test]
+    fn allow_compiles_a_direct_path() {
+        let mut s = store_with_hosts();
+        match decide(&mut s, &key(0xa1, 0xb1, 80)) {
+            EngineDecision::Steer {
+                services,
+                elements,
+                forward,
+                reverse,
+            } => {
+                assert!(services.is_empty());
+                assert!(elements.is_empty());
+                assert_eq!(forward.entries.first().map(|e| e.dpid), Some(1));
+                assert_eq!(forward.entries.last().map(|e| e.dpid), Some(2));
+                assert_eq!(reverse.entries.first().map(|e| e.dpid), Some(2));
+            }
+            other => panic!("expected Steer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_rule_surfaces_by_name() {
+        let mut s = store_with_hosts();
+        let mut policy = PolicyTable::allow_all();
+        policy.push(PolicyRule::named("no-web").proto(6).dst_port(80).deny());
+        s.policy = policy;
+        match decide(&mut s, &key(0xa1, 0xb1, 80)) {
+            EngineDecision::Deny { rule } => assert_eq!(rule.as_deref(), Some("no-web")),
+            other => panic!("expected Deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_without_replicas_fails_closed_then_open() {
+        let mut s = store_with_hosts();
+        let mut policy = PolicyTable::allow_all();
+        policy.push(
+            PolicyRule::named("web-ids")
+                .proto(6)
+                .dst_port(80)
+                .chain(vec![ServiceType::IntrusionDetection]),
+        );
+        s.policy = policy;
+        match decide(&mut s, &key(0xa1, 0xb1, 80)) {
+            EngineDecision::ChainUnavailable { rule } => {
+                assert!(rule.starts_with("no-online-element:"), "rule: {rule}");
+            }
+            other => panic!("expected ChainUnavailable, got {other:?}"),
+        }
+        s.fail_open = true;
+        match decide(&mut s, &key(0xa1, 0xb1, 80)) {
+            EngineDecision::Steer {
+                services, elements, ..
+            } => {
+                assert_eq!(services.len(), 1);
+                assert!(elements.is_empty(), "fail-open skips the missing pick");
+            }
+            other => panic!("expected Steer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_steers_through_a_picked_element() {
+        let mut s = store_with_hosts();
+        let mut policy = PolicyTable::allow_all();
+        policy.push(
+            PolicyRule::named("web-ids")
+                .proto(6)
+                .dst_port(80)
+                .chain(vec![ServiceType::IntrusionDetection]),
+        );
+        s.policy = policy;
+        let se = MacAddr::from_u64(0xe1);
+        s.registry.heartbeat(
+            se,
+            &SeMessage::Online {
+                service: ServiceType::IntrusionDetection,
+                cert: 0,
+                cpu: 10,
+                mem: 0,
+                pps: 0,
+                bps: 0,
+                total_pkts: 0,
+            },
+            SimTime::ZERO,
+        );
+        s.locate(se, 1, 30);
+        match decide(&mut s, &key(0xa1, 0xb1, 80)) {
+            EngineDecision::Steer { elements, .. } => assert_eq!(elements, vec![se]),
+            other => panic!("expected Steer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_destination_is_unroutable() {
+        let mut s = store_with_hosts();
+        assert!(matches!(
+            decide(&mut s, &key(0xa1, 0xcc, 80)),
+            EngineDecision::Unroutable
+        ));
+    }
+}

@@ -45,10 +45,14 @@ pub mod cache;
 pub mod controller;
 pub mod deploy;
 pub mod directory;
+pub mod engine;
 pub mod location;
 pub mod monitor;
+pub mod plane;
 pub mod policy;
+pub mod ring;
 pub mod routing;
+pub mod store;
 pub mod topology;
 
 pub use balance::{Dispatcher, Grain, LoadBalancer, SeRegistry, SeView};
@@ -56,12 +60,16 @@ pub use cache::{CachedDecision, DecisionCache};
 pub use controller::{Controller, NibSnapshot, TrafficTally};
 pub use deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
 pub use directory::DirectoryProxy;
+pub use engine::EngineDecision;
 pub use location::{Location, LocationTable};
 pub use monitor::{
     ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame, UiUser,
 };
+pub use plane::{ShardStats, ShardedControlPlane};
 pub use policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
+pub use ring::HashRing;
 pub use routing::{SteeringProgram, SwitchEntry};
+pub use store::{NetworkState, StateStore};
 pub use topology::TopologyMap;
 
 /// Convenient glob-import surface: `use livesec::prelude::*;`.
@@ -71,13 +79,17 @@ pub mod prelude {
     pub use crate::controller::{Controller, NibSnapshot, TrafficTally};
     pub use crate::deploy::{Campus, CampusBuilder, NullApp, SeHandle, UserHandle};
     pub use crate::directory::DirectoryProxy;
+    pub use crate::engine::EngineDecision;
     pub use crate::location::{Location, LocationTable};
     pub use crate::monitor::{
         ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame,
         UiUser,
     };
+    pub use crate::plane::{ShardStats, ShardedControlPlane};
     pub use crate::policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
+    pub use crate::ring::HashRing;
     pub use crate::routing::{SteeringProgram, SwitchEntry};
+    pub use crate::store::{NetworkState, StateStore};
     pub use crate::topology::TopologyMap;
     pub use livesec_sim::prelude::*;
 }

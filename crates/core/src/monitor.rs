@@ -200,6 +200,20 @@ pub enum EventKind {
         /// The connection's opening-direction flow.
         flow: FlowKey,
     },
+    /// A controller shard died (sharded control plane only; never
+    /// emitted in a fault-free run).
+    ShardDown {
+        /// The shard that died.
+        shard: u32,
+    },
+    /// A surviving shard adopted a dead shard's switch during shard
+    /// failover (sharded control plane only).
+    SwitchAdopted {
+        /// The adopted switch.
+        dpid: u64,
+        /// The surviving shard that now owns it.
+        by: u32,
+    },
 }
 
 impl EventKind {
@@ -230,17 +244,60 @@ impl EventKind {
             EventKind::ConnClosed { .. } => "conn_closed",
             EventKind::SynFloodDetected { .. } => "syn_flood_detected",
             EventKind::FastPassInstalled { .. } => "fast_pass_installed",
+            EventKind::ShardDown { .. } => "shard_down",
+            EventKind::SwitchAdopted { .. } => "switch_adopted",
         }
     }
 }
 
 /// One timestamped event.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct NetworkEvent {
     /// When it happened.
     pub at: SimTime,
+    /// The controller shard that recorded it. Always 0 on an unsharded
+    /// controller; serialization skips the zero so single-controller
+    /// histories keep their pre-sharding byte layout.
+    pub shard: u32,
     /// What happened.
     pub kind: EventKind,
+}
+
+// Hand-written (the vendored serde_derive has no `skip_serializing_if`):
+// the `shard` key appears only when non-zero, so unsharded histories
+// serialize exactly as they did before sharding existed.
+impl serde::Serialize for NetworkEvent {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![(
+            serde::Value::Str(String::from("at")),
+            serde::Serialize::to_value(&self.at),
+        )];
+        if self.shard != 0 {
+            fields.push((
+                serde::Value::Str(String::from("shard")),
+                serde::Value::U64(u64::from(self.shard)),
+            ));
+        }
+        fields.push((
+            serde::Value::Str(String::from("kind")),
+            serde::Serialize::to_value(&self.kind),
+        ));
+        serde::Value::Map(fields)
+    }
+}
+
+impl serde::Deserialize for NetworkEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = serde::expect_map(v, "NetworkEvent")?;
+        Ok(NetworkEvent {
+            at: serde::de_field(m, "at")?,
+            shard: match serde::get_field(m, "shard") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            kind: serde::de_field(m, "kind")?,
+        })
+    }
 }
 
 impl fmt::Display for NetworkEvent {
@@ -267,6 +324,10 @@ impl fmt::Display for NetworkEvent {
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Monitor {
     events: Vec<NetworkEvent>,
+    /// The shard id stamped onto events recorded from now on. Routing
+    /// state of the sharded control plane, not part of the feed.
+    #[serde(skip)]
+    shard: u32,
 }
 
 impl Monitor {
@@ -275,13 +336,24 @@ impl Monitor {
         Self::default()
     }
 
+    /// Sets the shard id stamped onto subsequently recorded events.
+    /// The sharded control plane calls this as it activates a shard;
+    /// an unsharded controller leaves it at 0.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
+    }
+
     /// Records an event.
     pub fn record(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(
             self.events.last().map(|e| e.at <= at).unwrap_or(true),
             "events must be recorded in time order"
         );
-        self.events.push(NetworkEvent { at, kind });
+        self.events.push(NetworkEvent {
+            at,
+            shard: self.shard,
+            kind,
+        });
     }
 
     /// All events, in time order.
@@ -326,6 +398,22 @@ impl Monitor {
         serde_json::to_string_pretty(&self.events).unwrap_or_default()
     }
 
+    /// Like [`Monitor::to_json`] but with every shard tag zeroed — the
+    /// "history modulo shard ids" form the sharding determinism tests
+    /// compare across shard counts.
+    pub fn to_json_untagged(&self) -> String {
+        let untagged: Vec<NetworkEvent> = self
+            .events
+            .iter()
+            .map(|e| NetworkEvent {
+                at: e.at,
+                shard: 0,
+                kind: e.kind.clone(),
+            })
+            .collect();
+        serde_json::to_string_pretty(&untagged).unwrap_or_default()
+    }
+
     /// Parses a feed previously produced by [`Monitor::to_json`].
     ///
     /// # Errors
@@ -334,6 +422,7 @@ impl Monitor {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         Ok(Monitor {
             events: serde_json::from_str(s)?,
+            shard: 0,
         })
     }
 

@@ -54,6 +54,16 @@ pub enum FaultKind {
         /// How many outgoing control messages to corrupt.
         count: u32,
     },
+    /// Kill controller shard `shard` of the sharded control plane
+    /// running at `node`: the plane's [`crate::Node::on_shard_down`]
+    /// hook runs, and surviving shards adopt the dead shard's
+    /// switches. A no-op on nodes that don't model shards.
+    ShardDown {
+        /// The node hosting the sharded control plane.
+        node: NodeId,
+        /// The shard to kill.
+        shard: u32,
+    },
 }
 
 /// A fault and the absolute simulated time at which it fires.

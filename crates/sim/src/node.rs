@@ -57,6 +57,17 @@ pub trait Node: Any {
         let _ = ctx;
     }
 
+    /// A controller shard hosted by this node died (a
+    /// [`crate::fault::FaultKind::ShardDown`] fault fired).
+    ///
+    /// Only meaningful for nodes that model a sharded control plane;
+    /// such nodes should fail the shard over (surviving shards adopt
+    /// its switches and reconcile their tables). The default does
+    /// nothing: unsharded nodes have no shard to lose.
+    fn on_shard_down(&mut self, ctx: &mut Ctx<'_>, shard: u32) {
+        let _ = (ctx, shard);
+    }
+
     /// Upcast for downcasting to the concrete node type.
     fn as_any(&self) -> &dyn Any;
 

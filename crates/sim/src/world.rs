@@ -280,6 +280,23 @@ impl World {
         id
     }
 
+    /// Replaces the node at `id` with another implementation, keeping
+    /// the id (and thus all links and queued events) intact. Only
+    /// legal before the simulation starts — swapping behaviour under a
+    /// running event stream would not be a reproducible experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the world has already started.
+    pub fn replace_node(&mut self, id: NodeId, node: impl Node) {
+        assert!(
+            !self.started,
+            "replace_node after the simulation started would fork history"
+        );
+        assert!(id.index() < self.nodes.len(), "unknown node {id}");
+        self.nodes[id.index()] = Some(Box::new(node));
+    }
+
     /// Connects `a.port_a` and `b.port_b` with a bidirectional link.
     ///
     /// # Panics
@@ -436,6 +453,10 @@ impl World {
             FaultKind::CorruptControl { node, count } => {
                 *self.kernel.corrupt_budget.entry(node).or_insert(0) += count;
             }
+            FaultKind::ShardDown { node, shard } => {
+                *self.kernel.metrics.entry("fault_shard_downs").or_insert(0) += 1;
+                self.with_node(node, |n, ctx| n.on_shard_down(ctx, shard));
+            }
         }
     }
 
@@ -491,6 +512,34 @@ impl World {
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch")
+    }
+
+    /// Borrows a node downcast to `T`, or `None` if the node is of a
+    /// different concrete type (unlike [`World::node`], which panics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn try_node<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node busy")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a node downcast to `T`, or `None` on a type
+    /// mismatch (unlike [`World::node_mut`], which panics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn try_node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node busy")
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Read access to kernel state (time, port counters).

@@ -107,6 +107,16 @@ pub enum Violation {
         /// A packet the stale entry would capture.
         witness: Witness,
     },
+    /// Invariant 7 (sharded control planes only): a registered switch
+    /// is not owned by exactly one live shard — either orphaned (no
+    /// owner: its packet-ins go nowhere useful) or multiply owned
+    /// (two shards would race on its table).
+    ShardCoverage {
+        /// The switch in question.
+        dpid: u64,
+        /// The live shards claiming it (empty = orphaned).
+        owners: Vec<u32>,
+    },
     /// Invariant 6: two same-priority entries overlap with different
     /// actions — the later installation can never win in the overlap.
     ShadowedRule {
@@ -133,18 +143,22 @@ impl Violation {
             Violation::ChainSkipped { .. } => "chain-skipped",
             Violation::StaleFastPass { .. } => "stale-fastpass",
             Violation::ShadowedRule { .. } => "shadowed-rule",
+            Violation::ShardCoverage { .. } => "shard-coverage",
         }
     }
 
-    /// The witness packet demonstrating the violation.
-    pub fn witness(&self) -> &Witness {
+    /// The witness packet demonstrating the violation, for the
+    /// header-space invariants. `None` for control-plane-structural
+    /// violations ([`Violation::ShardCoverage`]), which have no packet.
+    pub fn witness(&self) -> Option<&Witness> {
         match self {
             Violation::BlockedReachable { witness, .. }
             | Violation::ForwardingLoop { witness, .. }
             | Violation::Blackhole { witness, .. }
             | Violation::ChainSkipped { witness, .. }
             | Violation::StaleFastPass { witness, .. }
-            | Violation::ShadowedRule { witness, .. } => witness,
+            | Violation::ShadowedRule { witness, .. } => Some(witness),
+            Violation::ShardCoverage { .. } => None,
         }
     }
 }
@@ -208,20 +222,50 @@ impl fmt::Display for Violation {
                 "[shadowed-rule] dpid {dpid} priority {priority}: ({masked}) is masked by \
                      earlier ({winner}); witness {witness}"
             ),
+            Violation::ShardCoverage { dpid, owners } => write!(
+                f,
+                "[shard-coverage] dpid {dpid} owned by live shards {owners:?} \
+                     (must be exactly one)"
+            ),
         }
     }
 }
 
-/// Runs all six invariant checks against a snapshot and returns every
+/// Runs all invariant checks against a snapshot and returns every
 /// violation found (empty = all invariants proven for this snapshot).
 pub fn audit(snap: &Snapshot) -> Vec<Violation> {
     let mut out = Vec::new();
+    check_shard_coverage(snap, &mut out);
     check_shadowed_rules(snap, &mut out);
     check_stale_fastpass(snap, &mut out);
     check_loops(snap, &mut out);
     check_flows(snap, &mut out);
     check_blocked_unreachable(snap, &mut out);
     out
+}
+
+/// Invariant 7 (merged per-shard snapshots only): the consistent-hash
+/// ring must cover the dataplane — every switch in the snapshot owned
+/// by exactly one live shard. An unsharded snapshot (`shards` empty)
+/// is vacuously fine.
+fn check_shard_coverage(snap: &Snapshot, out: &mut Vec<Violation>) {
+    if snap.shards.is_empty() {
+        return;
+    }
+    for sw in &snap.switches {
+        let owners: Vec<u32> = snap
+            .shards
+            .iter()
+            .filter(|s| s.alive && s.owned.contains(&sw.dpid))
+            .map(|s| s.id)
+            .collect();
+        if owners.len() != 1 {
+            out.push(Violation::ShardCoverage {
+                dpid: sw.dpid,
+                owners,
+            });
+        }
+    }
 }
 
 /// Invariant 6: within one table, a later entry overlapping an

@@ -16,7 +16,7 @@
 //! symbolically carve the header space into equivalence classes
 //! (wildcard-aware, on `livesec_openflow`'s match algebra), extract a
 //! concrete witness packet per class, and replay each witness through
-//! the tables to prove or refute six invariants:
+//! the tables to prove or refute seven invariants:
 //!
 //! 1. **Blocked unreachable** — traffic covered by a standing block
 //!    is not delivered to any endpoint from any ingress.

@@ -8,7 +8,7 @@
 //! livesec-verify --scenario chaos-heal     # audit after fault heals
 //! ```
 //!
-//! Exits 0 when all six invariants are proven, 1 when any violation
+//! Exits 0 when all invariants are proven, 1 when any violation
 //! survives settling, 2 on usage errors.
 
 use livesec_sim::SimDuration;
@@ -64,7 +64,7 @@ fn main() {
         for inv in INVARIANTS {
             println!("  proved: {inv}");
         }
-        println!("ok: all six invariants hold");
+        println!("ok: all invariants hold");
     } else {
         for v in &violations {
             println!("{v}");

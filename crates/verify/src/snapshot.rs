@@ -53,7 +53,20 @@ pub struct FlowView {
     pub blocked: bool,
 }
 
-/// Everything the six invariants are judged against.
+/// One control-plane shard's contribution to a merged snapshot:
+/// identity, liveness, and the switches the consistent-hash ring
+/// currently assigns to it.
+#[derive(Clone, Debug)]
+pub struct ShardView {
+    /// The shard id.
+    pub id: u32,
+    /// Whether the shard is alive (dead shards own nothing).
+    pub alive: bool,
+    /// Dpids of the registered switches this shard owns, ascending.
+    pub owned: Vec<u64>,
+}
+
+/// Everything the invariants are judged against.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
     /// All switches, sorted by dpid.
@@ -71,6 +84,11 @@ pub struct Snapshot {
     pub fastpasses: Vec<(FlowKey, u64, u64)>,
     /// The controller's current `(policy_epoch, topology_epoch)`.
     pub epochs: (u64, u64),
+    /// On a sharded campus, the per-shard views this merged snapshot
+    /// was assembled from (the shared NIB means the switch tables,
+    /// hosts and flows above are already the union). Empty when the
+    /// controller is unsharded.
+    pub shards: Vec<ShardView>,
 }
 
 impl Snapshot {
@@ -119,6 +137,21 @@ impl Snapshot {
             })
             .collect();
 
+        let shards = c
+            .shard_plane()
+            .map(|plane| {
+                plane
+                    .shard_stats()
+                    .into_iter()
+                    .map(|s| ShardView {
+                        id: s.id,
+                        alive: s.alive,
+                        owned: s.owned,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
         Snapshot {
             switches,
             hosts,
@@ -127,6 +160,7 @@ impl Snapshot {
             flows,
             fastpasses: ctl.fastpass_records(),
             epochs: ctl.epochs(),
+            shards,
         }
     }
 

@@ -188,6 +188,11 @@ pub struct ScenarioConfig {
     pub decision_cache: bool,
     /// Scheduled control-plane faults (`None` = fault-free run).
     pub chaos: Option<ChaosConfig>,
+    /// Controller shards. `0` (the default) runs the plain unsharded
+    /// controller; `n ≥ 1` wraps it into an n-shard
+    /// [`livesec::ShardedControlPlane`] (so `1` exercises the plane
+    /// itself against the single-controller baseline).
+    pub shards: u32,
 }
 
 impl Default for ScenarioConfig {
@@ -201,6 +206,7 @@ impl Default for ScenarioConfig {
             flow_idle: SimDuration::from_secs(1),
             decision_cache: true,
             chaos: None,
+            shards: 0,
         }
     }
 }
@@ -263,6 +269,9 @@ impl CampusScenario {
                 c.set_stats_polling(10);
                 c.set_decision_cache(decision_cache);
             });
+        if cfg.shards > 0 {
+            b = b.with_shards(cfg.shards);
+        }
 
         let gw = b.add_gateway_configured(0, HttpServer::new(), |h| {
             h.with_reannounce_interval(SimDuration::from_secs(1))

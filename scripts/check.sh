@@ -20,15 +20,26 @@ run cargo build --release
 # accumulation; zero unannotated findings allowed.
 run cargo run -q -p livesec-lint --release
 # Header-space invariant verifier (DESIGN.md §8): snapshot the
-# emitted flow tables of the baseline scenario and prove the six
+# emitted flow tables of the baseline scenario and prove the seven
 # dataplane invariants (blocked-unreachable, no loops, no blackholes,
-# waypoint enforcement, fast-pass freshness, no silent shadowing).
+# waypoint enforcement, fast-pass freshness, no silent shadowing,
+# exactly-one-shard coverage).
 run cargo run -q -p livesec-verify --release -- --scenario baseline
 run cargo test -q
 # Seeded chaos soak: the campus under scheduled partitions, crashes,
 # and frame corruption over fixed seeds — zero panics, clean
 # health-stat invariants, byte-identical same-seed histories.
 run cargo test -q --test chaos --test reconciliation
+# Sharded control plane (DESIGN.md §9): the golden-trace gate — a
+# 1-shard plane byte-identical to the plain controller, shards 1/2/4
+# identical modulo shard tags — plus ring properties, cross-shard
+# handoff, and mid-attack shard failover with a clean merged audit.
+run cargo test -q --test determinism --test shard_ring --test shard_handoff --test shard_failover
+# Scale-out smoke bench: 100k packet-ins partitioned over 1/2/4/8
+# shards; must clear >=3x throughput at 4 shards and (re)write
+# BENCH_shards.json.
+run cargo bench -q -p livesec-bench --bench shard_scaling -- --smoke
+test -s BENCH_shards.json
 # Stateful-enforcement end-to-end: SYN flood detected by conntrack,
 # source-wide drop installed at the ingress, flood stops counting —
 # while a legitimate fast-passed transfer completes alongside.

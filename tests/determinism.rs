@@ -58,6 +58,63 @@ fn decision_cache_is_invisible_in_the_event_history() {
     );
 }
 
+/// Runs the scenario under an n-shard control plane (`shards = 0`
+/// means the plain unsharded controller) and returns the monitor
+/// history both as recorded (shard-tagged) and with the tags scrubbed.
+fn sharded_history(seed: u64, shards: u32, secs: u64) -> (String, String) {
+    let mut s = CampusScenario::build(ScenarioConfig {
+        seed,
+        shards,
+        flow_idle: SimDuration::from_millis(300),
+        ..ScenarioConfig::default()
+    });
+    s.campus.world.run_for(SimDuration::from_secs(secs));
+    let m = s.campus.controller().monitor();
+    (m.to_json(), m.to_json_untagged())
+}
+
+/// The sharding golden trace, part 1: a 1-shard plane is the plain
+/// controller. Not just "same events" — the serialized history must be
+/// byte-identical, tags included (a single shard is shard 0, and zero
+/// tags are not serialized), so pre-sharding baselines stay valid.
+#[test]
+fn one_shard_plane_matches_the_single_controller_baseline() {
+    let (plain, _) = sharded_history(42, 0, 6);
+    let (one_shard, one_shard_untagged) = sharded_history(42, 1, 6);
+    assert_eq!(
+        plain, one_shard,
+        "a 1-shard plane must be byte-identical to the unsharded controller"
+    );
+    assert_eq!(one_shard, one_shard_untagged, "one shard never tags");
+}
+
+/// The sharding golden trace, part 2: shard count is invisible. The
+/// baseline (3 s, steady traffic) and service-chain (6 s, torrent
+/// switch + attack verdict landed) scenarios must produce identical
+/// histories at 1, 2 and 4 shards — modulo the shard-id tags, which
+/// are routing bookkeeping, not behaviour.
+#[test]
+fn histories_agree_across_shard_counts_modulo_tags() {
+    for secs in [3u64, 6] {
+        let (plain, _) = sharded_history(42, 0, secs);
+        let mut tagged_somewhere = false;
+        for shards in [1u32, 2, 4] {
+            let (tagged, untagged) = sharded_history(42, shards, secs);
+            assert_eq!(
+                plain, untagged,
+                "{shards}-shard history diverged from the unsharded run ({secs}s scenario)"
+            );
+            tagged_somewhere |= tagged != untagged;
+        }
+        // The comparison is only meaningful if routing actually spread
+        // events over non-zero shards somewhere.
+        assert!(
+            tagged_somewhere,
+            "no event was ever handled off shard 0 ({secs}s scenario)"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_still_reproduce_the_same_shape() {
     // Different seeds change identities/ordering details but the

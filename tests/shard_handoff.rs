@@ -1,0 +1,137 @@
+//! Cross-shard flow handoff. When a flow's ingress switch and egress
+//! switch hash to different shards, the ingress owner sets up the
+//! whole end-to-end steering program against the shared NIB and books
+//! a handoff. The path must be exactly as consistent as the unsharded
+//! one — which the header-space audit proves — and a policy epoch bump
+//! made while one shard is active must invalidate every *other*
+//! shard's cached decisions for the same flows.
+
+use livesec_suite::prelude::*;
+use livesec_verify::audit_settled;
+use livesec_workloads::{CampusScenario, HttpClient, HttpServer, ScenarioConfig};
+
+fn sharded_scenario(shards: u32) -> CampusScenario {
+    CampusScenario::build(ScenarioConfig {
+        seed: 42,
+        shards,
+        // Short idle timeout: recurring flows re-enter setup, so the
+        // per-shard decision caches actually fill and get consulted.
+        flow_idle: SimDuration::from_millis(300),
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn cross_shard_flows_get_consistent_end_to_end_paths() {
+    let mut s = sharded_scenario(4);
+    s.campus.world.run_for(SimDuration::from_secs(5));
+
+    let plane = s.campus.shard_plane().expect("campus is sharded");
+    assert!(
+        plane.handoffs() > 0,
+        "no flow ever crossed shards: {:?}",
+        plane.shard_stats()
+    );
+
+    // The shard map is non-trivial: the campus's switches really are
+    // owned by more than one shard.
+    let stats = plane.shard_stats();
+    let owners_with_switches = stats.iter().filter(|st| !st.owned.is_empty()).count();
+    assert!(
+        owners_with_switches >= 2,
+        "ring put every switch on one shard: {stats:?}"
+    );
+
+    // Consistency is the audit's job: every admitted flow (cross-shard
+    // or not) must reach its destination through its required chain,
+    // and every blocked one must stay blocked.
+    let violations = audit_settled(&mut s.campus, 30, SimDuration::from_millis(100));
+    assert!(violations.is_empty(), "audit found: {violations:#?}");
+}
+
+/// Regression: a policy epoch bump must reach *every* shard's decision
+/// cache, not just the shard that happens to run next. Before epochs
+/// were tracked per shard, a lagging shard could keep serving cached
+/// steering decisions compiled under a superseded policy.
+#[test]
+fn policy_epoch_bump_invalidates_other_shards_cache_entries() {
+    // The canned scenario's clients all sit on the Wi-Fi AP, so only
+    // one shard's cache ever warms. Build a campus with HTTP clients
+    // on two switches the ring assigns to *different* shards, so the
+    // propagation claim is actually about two caches.
+    let mut b = CampusBuilder::new(7, 3)
+        .configure_controller(|c| {
+            c.set_flow_idle_timeout(SimDuration::from_millis(300));
+        })
+        .with_shards(4);
+    let gw = b.add_gateway_configured(0, HttpServer::new(), |h| {
+        h.with_reannounce_interval(SimDuration::from_secs(1))
+    });
+    for (switch, port) in [(0usize, 41_000u16), (1, 41_001)] {
+        b.add_user_with(
+            switch,
+            HttpClient::new(gw.ip, 20_000)
+                .with_think_time(SimDuration::from_millis(400))
+                .with_src_port(port),
+            |h| h.with_reannounce_interval(SimDuration::from_secs(1)),
+        );
+    }
+    let mut campus = b.finish();
+    campus.world.run_for(SimDuration::from_secs(4));
+
+    let before = campus
+        .shard_plane()
+        .expect("campus is sharded")
+        .shard_stats();
+    let warm: Vec<u32> = before
+        .iter()
+        .filter(|st| st.cache.as_ref().is_some_and(|c| c.entries > 0))
+        .map(|st| st.id)
+        .collect();
+    assert!(
+        warm.len() >= 2,
+        "need ≥2 shards with warm caches to test propagation: {before:?}"
+    );
+
+    // Bump the policy on the shared store (no shard is active here —
+    // propagation happens through the epoch tags alone).
+    campus.controller_mut().set_policy(PolicyTable::allow_all());
+
+    campus.world.run_for(SimDuration::from_secs(2));
+    let after = campus
+        .shard_plane()
+        .expect("campus is sharded")
+        .shard_stats();
+
+    let mut shards_invalidated = 0;
+    for st in &after {
+        let old = before
+            .iter()
+            .find(|o| o.id == st.id)
+            .and_then(|o| o.cache.as_ref().map(|c| c.invalidations))
+            .unwrap_or(0);
+        let new = st.cache.as_ref().map(|c| c.invalidations).unwrap_or(0);
+        if warm.contains(&st.id) && new > old {
+            shards_invalidated += 1;
+        }
+    }
+    assert!(
+        shards_invalidated >= 2,
+        "the epoch bump reached only {shards_invalidated} warm shard(s): before {before:?} after {after:?}"
+    );
+
+    // And the caches refill under the new policy — decisions are
+    // re-made, not resurrected.
+    let inserted_before: u64 = before
+        .iter()
+        .filter_map(|st| st.cache.as_ref().map(|c| c.insertions))
+        .sum();
+    let inserted_after: u64 = after
+        .iter()
+        .filter_map(|st| st.cache.as_ref().map(|c| c.insertions))
+        .sum();
+    assert!(
+        inserted_after > inserted_before,
+        "no shard re-cached decisions under the new policy"
+    );
+}

@@ -1,6 +1,6 @@
 //! The header-space verifier, positively and negatively.
 //!
-//! Positive: `verify::audit` proves all six invariants on the live
+//! Positive: `verify::audit` proves all seven invariants on the live
 //! scenarios (baseline and service-chain here; the post-chaos-heal
 //! audits run inside `tests/chaos.rs`, after every logged heal).
 //!
@@ -109,6 +109,7 @@ fn tiny_snapshot(entries: Vec<FlowEntry>) -> Snapshot {
         flows: Vec::new(),
         fastpasses: Vec::new(),
         epochs: (1, 1),
+        shards: Vec::new(),
     }
 }
 
