@@ -13,6 +13,9 @@
 //!   ([`crate::balance`]),
 //! * monitoring and replay ([`crate::monitor`]).
 
+use crate::accountability::{
+    flow_sig, AccountabilityDetector, AccountabilityStats, Deviation, PathProof, ProofSource,
+};
 use crate::balance::{LoadBalancer, SeRegistry};
 use crate::cache::{CachedDecision, DecisionCache};
 use crate::directory::DirectoryProxy;
@@ -33,7 +36,7 @@ use livesec_openflow::{
 use livesec_services::{SeMessage, ServiceType, Verdict, SE_CONTROL_PORT};
 use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -277,6 +280,20 @@ pub struct Controller {
     /// Connection-tracking counters surfaced by `conntrack_stats`.
     conntrack: ConnTrackStats,
 
+    /// Replays forwarding attestations against controller-issued path
+    /// proofs and names deviating switches (DESIGN.md §11).
+    detector: AccountabilityDetector,
+    /// Switches quarantined for a confirmed forwarding deviation.
+    /// Every control message from a quarantined switch is dropped at
+    /// the door — including the hello/echo traffic that would
+    /// otherwise re-register it — until an operator releases it.
+    quarantined: BTreeSet<u64>,
+    /// Whether a confirmed deviation quarantines the switch
+    /// automatically (default: on).
+    auto_quarantine: bool,
+    /// Control messages dropped at the quarantine gate.
+    quarantine_drops: u64,
+
     tick: SimDuration,
     lldp_every_ticks: u64,
     stats_every_ticks: u64,
@@ -354,6 +371,10 @@ impl Controller {
             policy_epoch: 0,
             topo_epoch: 0,
             conntrack: ConnTrackStats::default(),
+            detector: AccountabilityDetector::new(),
+            quarantined: BTreeSet::new(),
+            auto_quarantine: true,
+            quarantine_drops: 0,
             tick: SimDuration::from_millis(100),
             lldp_every_ticks: 5,
             stats_every_ticks: 0,
@@ -485,6 +506,16 @@ impl Controller {
     /// Sets the idle timeout of fast-pass entries (default 5 s).
     pub fn with_fastpass_idle(mut self, d: SimDuration) -> Self {
         self.fastpass_idle = d;
+        self
+    }
+
+    /// Enables or disables automatic quarantine of switches the
+    /// accountability detector convicts (default: enabled). With it
+    /// off, deviations are still detected and recorded
+    /// ([`EventKind::PathProofViolated`]) but the switch stays in
+    /// service — observe-only mode.
+    pub fn with_auto_quarantine(mut self, enabled: bool) -> Self {
+        self.auto_quarantine = enabled;
         self
     }
 
@@ -877,6 +908,114 @@ impl Controller {
     /// The connection-tracking counters as pretty JSON.
     pub fn conntrack_json(&self) -> String {
         self.conntrack_stats().to_json()
+    }
+
+    /// Accountability counters: attestations replayed, deviations
+    /// confirmed, and quarantines performed (DESIGN.md §11).
+    pub fn accountability_stats(&self) -> AccountabilityStats {
+        let mut s = self.detector.stats();
+        s.quarantined_now = self.quarantined.len() as u64;
+        s.quarantine_gate_drops = self.quarantine_drops;
+        s
+    }
+
+    /// The accountability counters as pretty JSON.
+    pub fn accountability_json(&self) -> String {
+        self.accountability_stats().to_json()
+    }
+
+    /// The accountability detector (test observability).
+    pub fn detector(&self) -> &AccountabilityDetector {
+        &self.detector
+    }
+
+    /// Switches currently quarantined for forwarding deviations,
+    /// ascending.
+    pub fn quarantined(&self) -> Vec<u64> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Lifts a switch's quarantine — the operator decided the switch
+    /// is trustworthy again (reimaged, firmware replaced). The switch
+    /// re-registers through its ordinary reconnect handshake and gets
+    /// a full reconciliation audit on the way in. Returns whether the
+    /// switch was quarantined.
+    pub fn release_quarantine(&mut self, dpid: u64) -> bool {
+        self.quarantined.remove(&dpid)
+    }
+
+    /// Quarantines a switch convicted of a forwarding deviation: its
+    /// flow table is flushed (a fail-secure switch with an empty table
+    /// forwards nothing), it is deregistered through the dead-switch
+    /// path — hosts evicted, orphan flows dropped, mid-path entries
+    /// cleaned up, topology epoch bumped so no cached decision routes
+    /// through it — and every further control message from it is
+    /// dropped at the door so it cannot re-register until released.
+    pub fn quarantine_switch(&mut self, now: SimTime, dpid: u64) {
+        if self.quarantined.contains(&dpid) || self.topo.switch(dpid).is_none() {
+            return;
+        }
+        self.detector.note_quarantine();
+        // Queue the flush while the dpid still resolves to a channel;
+        // the batch is transmitted by the dispatch-level flush after
+        // deregistration below.
+        self.send_to_dpid(dpid, &OfMessage::delete_flows(Match::any()));
+        self.quarantined.insert(dpid);
+        self.mark_switch_down(now, dpid);
+    }
+
+    /// Records a confirmed deviation and (unless observe-only)
+    /// quarantines the convicted switch.
+    fn punish(&mut self, now: SimTime, dev: Deviation) {
+        self.monitor.record(
+            now,
+            EventKind::PathProofViolated {
+                flow: dev.flow,
+                at_dpid: dev.dpid,
+                deviation: dev.kind,
+                expected: dev.expected,
+                observed: dev.observed,
+            },
+        );
+        if !self.auto_quarantine || self.quarantined.contains(&dev.dpid) {
+            return;
+        }
+        self.monitor.record(
+            now,
+            EventKind::SwitchDeviating {
+                dpid: dev.dpid,
+                deviation: dev.kind,
+            },
+        );
+        self.quarantine_switch(now, dev.dpid);
+    }
+
+    /// Registers the path proofs of one flow's program pair under its
+    /// rewrite-invariant signatures (forward and reverse direction);
+    /// `cookies` are the `(forward, reverse)` ingress-entry cookies.
+    fn register_proofs(
+        &mut self,
+        now: SimTime,
+        key: &FlowKey,
+        forward: &SteeringProgram,
+        reverse: &SteeringProgram,
+        source: ProofSource,
+        cookies: (u64, u64),
+    ) {
+        self.detector.register(
+            flow_sig(key),
+            PathProof::of_program(forward, cookies.0, source, now),
+        );
+        self.detector.register(
+            flow_sig(&key.reversed()),
+            PathProof::of_program(reverse, cookies.1, source, now),
+        );
+    }
+
+    /// Retires both directions' proofs of `key` from `source`.
+    fn retire_proofs(&mut self, key: &FlowKey, source: Option<ProofSource>) {
+        self.detector.retire(flow_sig(key), source);
+        self.detector.retire(flow_sig(&key.reversed()), source);
     }
 
     /// The flow entries the controller believes `dpid` should hold, as
@@ -1312,6 +1451,14 @@ impl Controller {
         };
         self.install_fastpass_program(&forward, FASTPASS_COOKIE);
         self.install_fastpass_program(&reverse, FASTPASS_REV_COOKIE);
+        self.register_proofs(
+            now,
+            &key,
+            &forward,
+            &reverse,
+            ProofSource::FastPass,
+            (FASTPASS_COOKIE, FASTPASS_REV_COOKIE),
+        );
         self.fastpasses.insert(
             key,
             FastPassRecord {
@@ -1355,6 +1502,7 @@ impl Controller {
         let Some(rec) = self.fastpasses.remove(key) else {
             return;
         };
+        self.retire_proofs(key, Some(ProofSource::FastPass));
         for program in [&rec.forward, &rec.reverse] {
             for entry in &program.entries {
                 self.send_to_dpid(
@@ -1517,6 +1665,17 @@ impl Controller {
         self.health.flow_repairs += 1;
         self.install_program(&forward, Some(INGRESS_COOKIE));
         self.install_program(&reverse, Some(REVERSE_COOKIE));
+        // Re-registering resets the proof's grace window, so packets
+        // already in flight under the pre-fault installation are not
+        // mistaken for deviations.
+        self.register_proofs(
+            now,
+            key,
+            &forward,
+            &reverse,
+            ProofSource::Steering,
+            (INGRESS_COOKIE, REVERSE_COOKIE),
+        );
         if let Some((dpid, matcher)) = block {
             self.send_to_dpid(
                 dpid,
@@ -1544,6 +1703,14 @@ impl Controller {
                 Some(fp) if fp.policy_epoch == epoch && fp.topo_epoch == self.topo_epoch => {
                     self.install_fastpass_program(&fp.forward, FASTPASS_COOKIE);
                     self.install_fastpass_program(&fp.reverse, FASTPASS_REV_COOKIE);
+                    self.register_proofs(
+                        now,
+                        &k,
+                        &fp.forward,
+                        &fp.reverse,
+                        ProofSource::FastPass,
+                        (FASTPASS_COOKIE, FASTPASS_REV_COOKIE),
+                    );
                 }
                 Some(_) => {} // stale record; the tick sweep owns it
                 None => self.install_fastpass(now, k),
@@ -1843,6 +2010,14 @@ impl Controller {
         let chain: Vec<ServiceType> = services.iter().copied().take(elements.len()).collect();
         self.install_program(&forward, Some(INGRESS_COOKIE));
         self.install_program(&reverse, Some(REVERSE_COOKIE));
+        self.register_proofs(
+            now,
+            &key,
+            &forward,
+            &reverse,
+            ProofSource::Steering,
+            (INGRESS_COOKIE, REVERSE_COOKIE),
+        );
         // Release the triggering packet along the new path (the
         // flow-mods were queued first on the same channel, so they are
         // applied before this packet-out).
@@ -1933,6 +2108,7 @@ impl Controller {
         let Some(rec) = self.active.remove(&key) else {
             return;
         };
+        self.retire_proofs(&key, Some(ProofSource::Steering));
         for mac in &rec.elements {
             self.registry.adjust_outstanding(*mac, -1);
         }
@@ -1982,6 +2158,7 @@ impl Controller {
         // order, so the delete order is run-stable by construction.
         for key in affected {
             if let Some(rec) = self.active.remove(&key) {
+                self.retire_proofs(&key, None);
                 for mac in &rec.elements {
                     self.registry.adjust_outstanding(*mac, -1);
                 }
@@ -2008,6 +2185,9 @@ impl Controller {
         self.health.switch_downs += 1;
         self.down_dpids.insert(dpid);
         self.monitor.record(now, EventKind::SwitchDown { dpid });
+        // A deregistration truncates attestation chains legitimately:
+        // silence the drop sweep for a window.
+        self.detector.note_turbulence(now);
         self.bump_topology_epoch();
         // evict_dpid iterates a BTreeMap, so departures are recorded in
         // MAC order — deterministic across runs.
@@ -2031,6 +2211,7 @@ impl Controller {
         // FlowKey order, identical run to run.
         for key in orphans {
             if let Some(rec) = self.active.remove(&key) {
+                self.retire_proofs(&key, None);
                 for mac in &rec.elements {
                     self.registry.adjust_outstanding(*mac, -1);
                 }
@@ -2143,6 +2324,9 @@ impl Controller {
         self.health.flows_removed += removed;
         self.health.flows_reinstalled += reinstalled;
         if removed + reinstalled > 0 {
+            // Entries were missing or stale: packets hit the divergence
+            // window honestly, so the drop sweep stays quiet.
+            self.detector.note_turbulence(now);
             self.health.resyncs += 1;
             self.monitor.record(
                 now,
@@ -2163,6 +2347,9 @@ impl Controller {
             return;
         }
         // Compiled programs may have routed through the dead port.
+        // Packets in flight through it died honestly: silence the
+        // accountability drop sweep for a window.
+        self.detector.note_turbulence(now);
         self.bump_topology_epoch();
         let evicted = self.locations.evict_port(dpid, port);
         for mac in evicted {
@@ -2368,6 +2555,12 @@ impl Node for Controller {
         // Establishment memory from before a policy change is void:
         // the connection must be re-verdicted under the new policy.
         self.established_conns.retain(|_, e| *e == pe);
+        // Accountability deadline sweep: sampled packets whose
+        // attestation chain stalled mid-path past the deadline are
+        // dropped packets; the sweep names the first unattested hop.
+        for dev in self.detector.sweep(now) {
+            self.punish(now, dev);
+        }
         ctx.set_timer(self.tick, TICK);
         self.flush(ctx);
     }
@@ -2380,6 +2573,18 @@ impl Node for Controller {
         let Ok((msg, xid)) = codec::decode(bytes) else {
             return;
         };
+        // Quarantine gate: nothing a convicted switch says is acted on
+        // — in particular not the hello/echo traffic that would
+        // otherwise walk it through the reconnect handshake and back
+        // into the topology.
+        if self
+            .known_nodes
+            .get(&peer)
+            .is_some_and(|d| self.quarantined.contains(d))
+        {
+            self.quarantine_drops += 1;
+            return;
+        }
         // Any decodable message from a registered switch proves its
         // secure channel is alive.
         if let Some(dpid) = self.topo.dpid_of_node(peer) {
@@ -2459,6 +2664,12 @@ impl Node for Controller {
             OfMessage::StatsReply(body) => {
                 if let Some(dpid) = self.topo.dpid_of_node(peer) {
                     self.handle_stats(ctx.now(), dpid, body);
+                }
+            }
+            OfMessage::Attestation(att) if self.topo.dpid_of_node(peer).is_some() => {
+                let now = ctx.now();
+                if let Some(dev) = self.detector.observe(now, &att) {
+                    self.punish(now, dev);
                 }
             }
             _ => {}

@@ -217,6 +217,7 @@ pub struct CampusBuilder {
     uplink: LinkSpec,
     next_edge: usize,
     shards: Option<u32>,
+    attest_every: u64,
 }
 
 /// Ports per AS switch: 1 uplink + up to 39 access ports (enough for
@@ -356,6 +357,7 @@ impl CampusBuilder {
             uplink,
             next_edge: 0,
             shards: None,
+            attest_every: 0,
         };
         for _ in 0..n_ovs {
             builder.add_as_switch(SwitchKind::Ovs);
@@ -403,6 +405,22 @@ impl CampusBuilder {
         self
     }
 
+    /// Enables forwarding attestations on every AS switch, present and
+    /// future: each switch samples the packets whose deterministic tag
+    /// is divisible by `every` (1 = every packet, 0 = off, the
+    /// default) and reports its *actual* forwarding decision to the
+    /// controller, where the accountability detector replays it
+    /// against the flow's path proof (DESIGN.md §11).
+    pub fn with_attestation(mut self, every: u64) -> Self {
+        self.attest_every = every;
+        for &node in &self.as_switches {
+            self.world
+                .node_mut::<AsSwitch>(node)
+                .set_attest_every(every);
+        }
+        self
+    }
+
     /// Overrides the wired-user access link (default 100 Mbps).
     pub fn with_user_link(mut self, spec: LinkSpec) -> Self {
         self.user_link = spec;
@@ -431,9 +449,11 @@ impl CampusBuilder {
 
     fn add_as_switch(&mut self, kind: SwitchKind) -> usize {
         let dpid = (self.as_switches.len() + 1) as u64;
-        let node = self
-            .world
-            .add_node(AsSwitch::new(dpid, AS_PORTS).with_controller(self.controller));
+        let node = self.world.add_node(
+            AsSwitch::new(dpid, AS_PORTS)
+                .with_controller(self.controller)
+                .with_attest_every(self.attest_every),
+        );
         // Attach to a legacy switch: edges round-robin when present.
         let legacy_idx = if self.legacy.len() > 1 {
             let idx = 1 + (self.next_edge % (self.legacy.len() - 1));

@@ -40,6 +40,7 @@
 //! program compilation), and [`deploy`] (a builder that assembles the
 //! whole FIT-building-style testbed on the simulator).
 
+pub mod accountability;
 pub mod balance;
 pub mod cache;
 pub mod controller;
@@ -55,6 +56,10 @@ pub mod routing;
 pub mod store;
 pub mod topology;
 
+pub use accountability::{
+    flow_sig, AccountabilityDetector, AccountabilityStats, Deviation, FlowSig, PathProof, ProofHop,
+    ProofSource,
+};
 pub use balance::{Dispatcher, Grain, LoadBalancer, SeRegistry, SeView};
 pub use cache::{CachedDecision, DecisionCache};
 pub use controller::{Controller, NibSnapshot, TrafficTally};
@@ -63,7 +68,8 @@ pub use directory::DirectoryProxy;
 pub use engine::EngineDecision;
 pub use location::{Location, LocationTable};
 pub use monitor::{
-    ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame, UiUser,
+    ConnTrackStats, DeviationKind, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent,
+    UiFrame, UiUser,
 };
 pub use plane::{ShardStats, ShardedControlPlane};
 pub use policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
@@ -74,6 +80,10 @@ pub use topology::TopologyMap;
 
 /// Convenient glob-import surface: `use livesec::prelude::*;`.
 pub mod prelude {
+    pub use crate::accountability::{
+        flow_sig, AccountabilityDetector, AccountabilityStats, Deviation, FlowSig, PathProof,
+        ProofHop, ProofSource,
+    };
     pub use crate::balance::{Dispatcher, Grain, LoadBalancer, SeRegistry, SeView};
     pub use crate::cache::{CachedDecision, DecisionCache};
     pub use crate::controller::{Controller, NibSnapshot, TrafficTally};
@@ -82,8 +92,8 @@ pub mod prelude {
     pub use crate::engine::EngineDecision;
     pub use crate::location::{Location, LocationTable};
     pub use crate::monitor::{
-        ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor, NetworkEvent, UiFrame,
-        UiUser,
+        ConnTrackStats, DeviationKind, EventKind, FastPathStats, HealthStats, Monitor,
+        NetworkEvent, UiFrame, UiUser,
     };
     pub use crate::plane::{ShardStats, ShardedControlPlane};
     pub use crate::policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};

@@ -15,6 +15,36 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
+/// How a switch's observed forwarding deviated from the controller's
+/// path proof (the accountability detector's classification).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DeviationKind {
+    /// Attested up to some hop, then silence: the next switch on the
+    /// proof dropped the packet.
+    Drop,
+    /// A hop forwarded out a different port than the proof prescribes.
+    Detour,
+    /// A switch attested (or carried) a flow the controller never
+    /// admitted — no path proof exists for it.
+    Injection,
+    /// A hop's attestation names a different flow cookie than the
+    /// proof, or its tag fails verification: the installed rule was
+    /// altered behind the controller's back.
+    Tamper,
+}
+
+impl DeviationKind {
+    /// A short stable label (used in summaries and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviationKind::Drop => "drop",
+            DeviationKind::Detour => "detour",
+            DeviationKind::Injection => "injection",
+            DeviationKind::Tamper => "tamper",
+        }
+    }
+}
+
 /// What happened.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum EventKind {
@@ -214,6 +244,31 @@ pub enum EventKind {
         /// The surviving shard that now owns it.
         by: u32,
     },
+    /// A sampled attestation chain contradicted its path proof: the
+    /// witness flow, the first deviating hop, and what was expected
+    /// versus observed there.
+    PathProofViolated {
+        /// The witness flow (concrete header, ready to replay).
+        flow: FlowKey,
+        /// The first switch at which the observation left the proof.
+        at_dpid: u64,
+        /// The detector's classification.
+        deviation: DeviationKind,
+        /// The `(in_port, out_port, cookie)` the proof prescribes at
+        /// that hop (all zero for injections, which have no proof).
+        expected: (u32, u32, u64),
+        /// The `(in_port, out_port, cookie)` the attestation swears to.
+        observed: (u32, u32, u64),
+    },
+    /// The accountability detector localized a misbehaving switch and
+    /// quarantined it (traffic re-steers around it via the switch-down
+    /// reconciliation path).
+    SwitchDeviating {
+        /// The localized switch.
+        dpid: u64,
+        /// The deviation class that condemned it.
+        deviation: DeviationKind,
+    },
 }
 
 impl EventKind {
@@ -246,6 +301,8 @@ impl EventKind {
             EventKind::FastPassInstalled { .. } => "fast_pass_installed",
             EventKind::ShardDown { .. } => "shard_down",
             EventKind::SwitchAdopted { .. } => "switch_adopted",
+            EventKind::PathProofViolated { .. } => "path_proof_violated",
+            EventKind::SwitchDeviating { .. } => "switch_deviating",
         }
     }
 }

@@ -7,10 +7,10 @@
 use crate::action::{Action, OutPort};
 use crate::flow_match::{Match, VlanMatch};
 use crate::message::{
-    FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
-    PortStatusReason, StatsBody, StatsRequestKind,
+    FlowModCommand, FlowRemovedReason, FlowStats, ForwardingAttestation, OfMessage, PacketInReason,
+    PortStats, PortStatusReason, StatsBody, StatsRequestKind,
 };
-use livesec_net::{Ipv4Net, MacAddr};
+use livesec_net::{FlowKey, Ipv4Net, MacAddr};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -58,6 +58,8 @@ const T_STATS_REQ: u8 = 16;
 const T_STATS_REP: u8 = 17;
 const T_BARRIER_REQ: u8 = 18;
 const T_BARRIER_REP: u8 = 19;
+// Vendor extension (no OpenFlow 1.0 counterpart).
+const T_ATTESTATION: u8 = 30;
 
 // Pseudo-port numbers for OutPort (OpenFlow 1.0 values).
 const P_IN_PORT: u32 = 0xfff8;
@@ -298,6 +300,36 @@ fn get_match(r: &mut Reader<'_>) -> Result<Match, CodecError> {
     Ok(m.normalized())
 }
 
+fn put_flow_key(w: &mut Writer, k: &FlowKey) {
+    w.opt_u32(k.vlan.map(u32::from));
+    w.mac(k.dl_src);
+    w.mac(k.dl_dst);
+    w.u16(k.dl_type);
+    w.ip(k.nw_src);
+    w.ip(k.nw_dst);
+    w.u8(k.nw_proto);
+    w.u16(k.tp_src);
+    w.u16(k.tp_dst);
+}
+
+fn get_flow_key(r: &mut Reader<'_>) -> Result<FlowKey, CodecError> {
+    let vlan = match r.opt_u32()? {
+        None => None,
+        Some(v) => Some(u16::try_from(v).map_err(|_| CodecError::BadField("vlan"))?),
+    };
+    Ok(FlowKey {
+        vlan,
+        dl_src: r.mac()?,
+        dl_dst: r.mac()?,
+        dl_type: r.u16()?,
+        nw_src: r.ip()?,
+        nw_dst: r.ip()?,
+        nw_proto: r.u8()?,
+        tp_src: r.u16()?,
+        tp_dst: r.u16()?,
+    })
+}
+
 fn put_out_port(w: &mut Writer, p: OutPort) {
     w.u32(match p {
         OutPort::Physical(n) => n,
@@ -524,6 +556,15 @@ pub fn encode(msg: &OfMessage, xid: u32) -> Vec<u8> {
                 w.string(software);
             }
         },
+        OfMessage::Attestation(a) => {
+            w.u64(a.dpid);
+            w.u32(a.in_port);
+            w.u32(a.out_port);
+            w.u64(a.cookie);
+            put_flow_key(&mut w, &a.flow);
+            w.u64(a.pkt_tag);
+            w.u64(a.tag);
+        }
     }
     let len = w.buf.len() as u32;
     w.buf[2..6].copy_from_slice(&len.to_be_bytes());
@@ -546,6 +587,7 @@ fn msg_type(msg: &OfMessage) -> u8 {
         OfMessage::StatsReply(_) => T_STATS_REP,
         OfMessage::BarrierRequest => T_BARRIER_REQ,
         OfMessage::BarrierReply => T_BARRIER_REP,
+        OfMessage::Attestation(_) => T_ATTESTATION,
     }
 }
 
@@ -675,6 +717,15 @@ pub fn decode(bytes: &[u8]) -> Result<(OfMessage, u32), CodecError> {
         }),
         T_BARRIER_REQ => OfMessage::BarrierRequest,
         T_BARRIER_REP => OfMessage::BarrierReply,
+        T_ATTESTATION => OfMessage::Attestation(ForwardingAttestation {
+            dpid: r.u64()?,
+            in_port: r.u32()?,
+            out_port: r.u32()?,
+            cookie: r.u64()?,
+            flow: get_flow_key(&mut r)?,
+            pkt_tag: r.u64()?,
+            tag: r.u64()?,
+        }),
         other => return Err(CodecError::BadType(other)),
     };
     Ok((msg, xid))
@@ -867,6 +918,43 @@ mod tests {
             manufacturer: "LiveSec".into(),
             hardware: "sim".into(),
             software: "ovs-1.1.0-model".into(),
+        }));
+    }
+
+    #[test]
+    fn roundtrip_attestation() {
+        use crate::message::attestation_tag;
+        let flow = FlowKey {
+            vlan: None,
+            dl_src: MacAddr::from_u64(0x11),
+            dl_dst: MacAddr::from_u64(0x22),
+            dl_type: 0x0800,
+            nw_src: "10.0.0.1".parse().unwrap(),
+            nw_dst: "10.0.0.2".parse().unwrap(),
+            nw_proto: 17,
+            tp_src: 5000,
+            tp_dst: 53,
+        };
+        roundtrip(OfMessage::Attestation(ForwardingAttestation {
+            dpid: 3,
+            in_port: 2,
+            out_port: 1,
+            cookie: 77,
+            flow,
+            pkt_tag: 0xfeed,
+            tag: attestation_tag(3, 2, 1, 77),
+        }));
+        roundtrip(OfMessage::Attestation(ForwardingAttestation {
+            dpid: u64::MAX,
+            in_port: 0,
+            out_port: u32::MAX,
+            cookie: 0,
+            flow: FlowKey {
+                vlan: Some(4094),
+                ..flow
+            },
+            pkt_tag: 0,
+            tag: 0,
         }));
     }
 

@@ -70,8 +70,9 @@ pub use codec::{decode, encode, CodecError};
 pub use flow_match::{lookup_key, Match, VlanMatch};
 pub use header_space::{HeaderClass, MatchSet};
 pub use message::{
-    FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
-    PortStatusReason, StatsBody, StatsRequestKind,
+    attestation_tag, packet_tag, FlowModCommand, FlowRemovedReason, FlowStats,
+    ForwardingAttestation, OfMessage, PacketInReason, PortStats, PortStatusReason, StatsBody,
+    StatsRequestKind,
 };
 pub use table::{FlowEntry, FlowTable, InsertOutcome, RemovedEntry};
 
@@ -83,8 +84,9 @@ pub mod prelude {
     pub use crate::flow_match::{lookup_key, Match, VlanMatch};
     pub use crate::header_space::{HeaderClass, MatchSet};
     pub use crate::message::{
-        FlowModCommand, FlowRemovedReason, FlowStats, OfMessage, PacketInReason, PortStats,
-        PortStatusReason, StatsBody, StatsRequestKind,
+        attestation_tag, packet_tag, FlowModCommand, FlowRemovedReason, FlowStats,
+        ForwardingAttestation, OfMessage, PacketInReason, PortStats, PortStatusReason, StatsBody,
+        StatsRequestKind,
     };
     pub use crate::table::{FlowEntry, FlowTable, InsertOutcome, RemovedEntry};
 }

@@ -64,6 +64,32 @@ pub enum FaultKind {
         /// The shard to kill.
         shard: u32,
     },
+    /// Tamper with one installed flow entry on `node`: the node's
+    /// [`crate::Node::on_rule_tamper`] hook runs with a salt drawn
+    /// from the dedicated fault RNG and silently rewrites an entry's
+    /// actions behind the controller's back (no `FlowRemoved`, no
+    /// error — the compromise is invisible at the control channel).
+    RuleTamper {
+        /// The switch whose table is tampered with.
+        node: NodeId,
+    },
+    /// Put `node` into silent-misforward mode: its
+    /// [`crate::Node::on_misforward`] hook runs and from then on the
+    /// switch forwards matching packets out a wrong port *without*
+    /// touching its flow table — the table still reads correct.
+    /// Cleared by a [`FaultKind::CrashRestart`] (the compromise is
+    /// volatile).
+    SilentMisforward {
+        /// The switch that starts misforwarding.
+        node: NodeId,
+    },
+    /// Make `node` originate a frame the controller never admitted:
+    /// its [`crate::Node::on_packet_inject`] hook runs with a salt
+    /// from the fault RNG and emits a forged packet into the fabric.
+    PacketInject {
+        /// The switch that injects the packet.
+        node: NodeId,
+    },
 }
 
 /// A fault and the absolute simulated time at which it fires.
@@ -125,6 +151,34 @@ impl FaultPlan {
     pub fn last_at(&self) -> Option<SimTime> {
         self.events.iter().map(|e| e.at).max()
     }
+
+    /// Checks the plan for internal consistency.
+    ///
+    /// Today that means: every [`FaultKind::HealControl`] must have a
+    /// [`FaultKind::PartitionControl`] for the same node scheduled at
+    /// or before it — a heal with nothing to heal is almost certainly
+    /// a typo'd node id, and silently ignoring it would hide the bug.
+    /// [`crate::World::install_fault_plan`] calls this and panics on
+    /// `Err`.
+    pub fn validate(&self) -> Result<(), String> {
+        for heal in &self.events {
+            let FaultKind::HealControl { node } = heal.kind else {
+                continue;
+            };
+            let matched = self.events.iter().any(|e| {
+                e.kind == FaultKind::PartitionControl { node }
+                    && e.at.as_nanos() <= heal.at.as_nanos()
+            });
+            if !matched {
+                return Err(format!(
+                    "HealControl for node {} at {:?} has no matching \
+                     PartitionControl scheduled at or before it",
+                    node.0, heal.at
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +210,58 @@ mod tests {
         let plan = FaultPlan::new(0);
         assert!(plan.is_empty());
         assert_eq!(plan.last_at(), None);
+    }
+
+    #[test]
+    fn heal_with_matching_partition_validates() {
+        let plan = FaultPlan::new(1)
+            .at(
+                SimTime::from_nanos(5),
+                FaultKind::PartitionControl { node: NodeId(3) },
+            )
+            .at(
+                SimTime::from_nanos(9),
+                FaultKind::HealControl { node: NodeId(3) },
+            );
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn heal_without_partition_is_rejected() {
+        let plan = FaultPlan::new(1).at(
+            SimTime::from_nanos(9),
+            FaultKind::HealControl { node: NodeId(3) },
+        );
+        let err = plan.validate().unwrap_err();
+        assert!(err.contains("no matching PartitionControl"), "{err}");
+    }
+
+    #[test]
+    fn heal_before_partition_is_rejected() {
+        // The partition exists but fires *after* the heal: still a bug.
+        let plan = FaultPlan::new(1)
+            .at(
+                SimTime::from_nanos(9),
+                FaultKind::HealControl { node: NodeId(3) },
+            )
+            .at(
+                SimTime::from_nanos(20),
+                FaultKind::PartitionControl { node: NodeId(3) },
+            );
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn heal_for_wrong_node_is_rejected() {
+        let plan = FaultPlan::new(1)
+            .at(
+                SimTime::from_nanos(5),
+                FaultKind::PartitionControl { node: NodeId(3) },
+            )
+            .at(
+                SimTime::from_nanos(9),
+                FaultKind::HealControl { node: NodeId(4) },
+            );
+        assert!(plan.validate().is_err());
     }
 }

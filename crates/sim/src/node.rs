@@ -68,6 +68,31 @@ pub trait Node: Any {
         let _ = (ctx, shard);
     }
 
+    /// A [`crate::fault::FaultKind::RuleTamper`] fault fired on this
+    /// node: mutate one installed flow entry's actions *without*
+    /// telling the controller. `salt` is drawn from the dedicated
+    /// fault RNG and picks the victim entry and the wrong port
+    /// deterministically. The default does nothing: nodes without a
+    /// flow table have nothing to tamper with.
+    fn on_rule_tamper(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+        let _ = (ctx, salt);
+    }
+
+    /// A [`crate::fault::FaultKind::SilentMisforward`] fault fired:
+    /// from now on, forward matching packets out a wrong port while
+    /// leaving the flow table untouched. `salt` picks the port skew.
+    /// The default does nothing.
+    fn on_misforward(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+        let _ = (ctx, salt);
+    }
+
+    /// A [`crate::fault::FaultKind::PacketInject`] fault fired:
+    /// originate a frame the controller never admitted. `salt` picks
+    /// the forged header fields. The default does nothing.
+    fn on_packet_inject(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+        let _ = (ctx, salt);
+    }
+
     /// Upcast for downcasting to the concrete node type.
     fn as_any(&self) -> &dyn Any;
 

@@ -418,7 +418,15 @@ impl World {
     /// ordinary event in the queue, and the plan's seed (re)seeds the
     /// dedicated corruption RNG. Faults scheduled in the past are
     /// rejected with a panic in debug builds, like any other event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FaultPlan::validate`] rejects the plan (e.g. a
+    /// `HealControl` with no matching partition).
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         self.kernel.fault_rng = StdRng::seed_from_u64(plan.seed);
         for ev in &plan.events {
             self.kernel.push(ev.at, EventKind::Fault { kind: ev.kind });
@@ -456,6 +464,25 @@ impl World {
             FaultKind::ShardDown { node, shard } => {
                 *self.kernel.metrics.entry("fault_shard_downs").or_insert(0) += 1;
                 self.with_node(node, |n, ctx| n.on_shard_down(ctx, shard));
+            }
+            FaultKind::RuleTamper { node } => {
+                let salt: u64 = self.kernel.fault_rng.gen::<u64>();
+                *self.kernel.metrics.entry("fault_rule_tampers").or_insert(0) += 1;
+                self.with_node(node, |n, ctx| n.on_rule_tamper(ctx, salt));
+            }
+            FaultKind::SilentMisforward { node } => {
+                let salt: u64 = self.kernel.fault_rng.gen::<u64>();
+                *self.kernel.metrics.entry("fault_misforwards").or_insert(0) += 1;
+                self.with_node(node, |n, ctx| n.on_misforward(ctx, salt));
+            }
+            FaultKind::PacketInject { node } => {
+                let salt: u64 = self.kernel.fault_rng.gen::<u64>();
+                *self
+                    .kernel
+                    .metrics
+                    .entry("fault_packet_injects")
+                    .or_insert(0) += 1;
+                self.with_node(node, |n, ctx| n.on_packet_inject(ctx, salt));
             }
         }
     }
@@ -851,5 +878,100 @@ mod tests {
         world.run_for(SimDuration::from_millis(1));
         assert_eq!(world.metric("things"), 5);
         assert_eq!(world.metric("missing"), 0);
+    }
+
+    /// Records tamper-family fault hooks in invocation order.
+    struct FaultProbe {
+        hooks: Vec<&'static str>,
+    }
+
+    impl Node for FaultProbe {
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn on_rule_tamper(&mut self, _ctx: &mut Ctx<'_>, _salt: u64) {
+            self.hooks.push("tamper");
+        }
+        fn on_misforward(&mut self, _ctx: &mut Ctx<'_>, _salt: u64) {
+            self.hooks.push("misforward");
+        }
+        fn on_packet_inject(&mut self, _ctx: &mut Ctx<'_>, _salt: u64) {
+            self.hooks.push("inject");
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two faults scheduled at the *same* SimTime fire in plan order:
+    /// the event queue breaks ties FIFO by insertion sequence, so the
+    /// order faults were pushed into the plan is the order they apply.
+    #[test]
+    fn same_time_faults_fire_in_plan_order() {
+        let t = SimTime::from_nanos(1_000_000);
+        let run = |first: fn(NodeId) -> FaultKind, second: fn(NodeId) -> FaultKind| {
+            let mut world = World::new(1);
+            let n = world.add_node(FaultProbe { hooks: vec![] });
+            let plan = FaultPlan::new(7).at(t, first(n)).at(t, second(n));
+            world.install_fault_plan(&plan);
+            world.run_for(SimDuration::from_millis(2));
+            let log: Vec<FaultKind> = world
+                .fault_log()
+                .iter()
+                .map(|&(at, k)| {
+                    assert_eq!(at, t);
+                    k
+                })
+                .collect();
+            (world.node::<FaultProbe>(n).hooks.clone(), log)
+        };
+
+        let fwd = run(
+            |n| FaultKind::RuleTamper { node: n },
+            |n| FaultKind::PacketInject { node: n },
+        );
+        assert_eq!(fwd.0, vec!["tamper", "inject"]);
+
+        // Swapping the plan order swaps the application order — the
+        // tiebreak is insertion sequence, not fault kind.
+        let rev = run(
+            |n| FaultKind::PacketInject { node: n },
+            |n| FaultKind::RuleTamper { node: n },
+        );
+        assert_eq!(rev.0, vec!["inject", "tamper"]);
+        assert_ne!(fwd.1, rev.1);
+    }
+
+    #[test]
+    fn tamper_faults_draw_salt_and_count_metrics() {
+        let mut world = World::new(1);
+        let n = world.add_node(FaultProbe { hooks: vec![] });
+        let plan = FaultPlan::new(3)
+            .at(SimTime::from_nanos(10), FaultKind::RuleTamper { node: n })
+            .at(
+                SimTime::from_nanos(20),
+                FaultKind::SilentMisforward { node: n },
+            )
+            .at(SimTime::from_nanos(30), FaultKind::PacketInject { node: n });
+        world.install_fault_plan(&plan);
+        world.run_for(SimDuration::from_millis(1));
+        assert_eq!(
+            world.node::<FaultProbe>(n).hooks,
+            vec!["tamper", "misforward", "inject"]
+        );
+        assert_eq!(world.metric("fault_rule_tampers"), 1);
+        assert_eq!(world.metric("fault_misforwards"), 1);
+        assert_eq!(world.metric("fault_packet_injects"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn installing_unmatched_heal_panics() {
+        let mut world = World::new(1);
+        let n = world.add_node(FaultProbe { hooks: vec![] });
+        let plan =
+            FaultPlan::new(1).at(SimTime::from_nanos(10), FaultKind::HealControl { node: n });
+        world.install_fault_plan(&plan);
     }
 }

@@ -1,10 +1,10 @@
 //! The Access-Switching layer switch: a software OpenFlow switch.
 
-use livesec_net::{wire, MacAddr, Packet};
+use livesec_net::{wire, FlowKey, MacAddr, Packet, PacketBuilder};
 use livesec_openflow::{
-    apply_actions, lookup_key, FlowEntry, FlowModCommand, FlowRemovedReason, FlowStats, OfMessage,
-    OutPort, PacketInReason, PortStats, PortStatusReason, StatsBody, StatsRequestKind,
-    SwitchChannel,
+    apply_actions, attestation_tag, lookup_key, packet_tag, Action, FlowEntry, FlowModCommand,
+    FlowRemovedReason, FlowStats, ForwardingAttestation, OfMessage, OutPort, PacketInReason,
+    PortStats, PortStatusReason, StatsBody, StatsRequestKind, SwitchChannel,
 };
 use livesec_sim::{Ctx, Node, NodeId, PortId, SimDuration};
 use std::any::Any;
@@ -64,6 +64,13 @@ pub struct AsSwitch {
     reconnect_backoff: u64,
     next_hello_tick: u64,
     l2: HashMap<MacAddr, u32>,
+    /// Forwarding-attestation sampling divisor: 0 disables attestation
+    /// entirely; `n` samples packets whose stitching tag is divisible
+    /// by `n` (1 = attest everything).
+    attest_every: u64,
+    /// Silent-misforward compromise: when set, table hits forward out
+    /// a skewed port while the table itself stays pristine.
+    misforward: Option<u32>,
     /// Frames forwarded by table hits (not via controller).
     pub fast_path_frames: u64,
     /// Packet-ins sent.
@@ -80,6 +87,14 @@ pub struct AsSwitch {
     pub standalone_frames: u64,
     /// Crash-restart cycles survived (fault injection).
     pub crash_restarts: u64,
+    /// Forwarding attestations sampled into the controller.
+    pub attestations_sent: u64,
+    /// Flow entries silently tampered with (fault injection).
+    pub rules_tampered: u64,
+    /// Frames deliberately forwarded out a wrong port (fault injection).
+    pub misforwarded_frames: u64,
+    /// Forged frames originated by this switch (fault injection).
+    pub injected_packets: u64,
 }
 
 impl std::fmt::Debug for AsSwitch {
@@ -112,6 +127,8 @@ impl AsSwitch {
             reconnect_backoff: BACKOFF_START_TICKS,
             next_hello_tick: 0,
             l2: HashMap::new(),
+            attest_every: 0,
+            misforward: None,
             fast_path_frames: 0,
             packet_ins: 0,
             table_full_rejections: 0,
@@ -120,7 +137,35 @@ impl AsSwitch {
             fail_secure_drops: 0,
             standalone_frames: 0,
             crash_restarts: 0,
+            attestations_sent: 0,
+            rules_tampered: 0,
+            misforwarded_frames: 0,
+            injected_packets: 0,
         }
+    }
+
+    /// Enables forwarding attestation at a `1/every` sampling rate:
+    /// every table-hit forward whose packet tag divides `every` is
+    /// attested to the controller. 0 (the default) disables
+    /// attestation — existing deployments are byte-identical.
+    pub fn with_attest_every(mut self, every: u64) -> Self {
+        self.attest_every = every;
+        self
+    }
+
+    /// Runtime setter for the attestation sampling divisor.
+    pub fn set_attest_every(&mut self, every: u64) {
+        self.attest_every = every;
+    }
+
+    /// The attestation sampling divisor (0 = attestation off).
+    pub fn attest_every(&self) -> u64 {
+        self.attest_every
+    }
+
+    /// Whether the switch is currently in silent-misforward mode.
+    pub fn is_misforwarding(&self) -> bool {
+        self.misforward.is_some()
     }
 
     /// Caps the flow table at `limit` entries: further adds are
@@ -229,6 +274,42 @@ impl AsSwitch {
             let bytes = self.channel.send(msg);
             ctx.send_control(c, bytes);
         }
+    }
+
+    /// Samples a forwarding attestation for one table-hit forward.
+    ///
+    /// The sampling decision hashes only rewrite-invariant header
+    /// fields, so every hop of the same packet makes the *same*
+    /// decision — sampled packets are attested along their whole path
+    /// and the detector can reconstruct complete chains.
+    fn maybe_attest(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        in_port: u32,
+        out_port: u32,
+        cookie: u64,
+        key: &FlowKey,
+        wire_len: u64,
+    ) {
+        if self.attest_every == 0 {
+            return;
+        }
+        let pkt_tag = packet_tag(key, wire_len);
+        if !pkt_tag.is_multiple_of(self.attest_every) {
+            return;
+        }
+        self.attestations_sent += 1;
+        let dpid = self.channel.datapath_id();
+        let att = ForwardingAttestation {
+            dpid,
+            in_port,
+            out_port,
+            cookie,
+            flow: *key,
+            pkt_tag,
+            tag: attestation_tag(dpid, in_port, out_port, cookie),
+        };
+        self.send_to_controller(ctx, &OfMessage::Attestation(att));
     }
 
     fn packet_in(&mut self, ctx: &mut Ctx<'_>, in_port: u32, reason: PacketInReason, pkt: &Packet) {
@@ -410,9 +491,24 @@ impl Node for AsSwitch {
             return;
         };
         let actions = entry.actions.clone();
+        let cookie = entry.cookie;
         self.fast_path_frames += 1;
         let outcome = apply_actions(&pkt, &actions);
         for (dest, out_pkt) in outcome.outputs {
+            // A compromised switch skews physical outputs while its
+            // table stays pristine; the attestation records the port
+            // the packet *actually* left on (the attestation pipeline
+            // models trusted egress firmware below the compromise).
+            let dest = match (dest, self.misforward) {
+                (OutPort::Physical(p), Some(skew)) => {
+                    self.misforwarded_frames += 1;
+                    OutPort::Physical((p - 1 + skew) % self.n_ports + 1)
+                }
+                (d, _) => d,
+            };
+            if let OutPort::Physical(out) = dest {
+                self.maybe_attest(ctx, in_port, out, cookie, &key, bytes);
+            }
             self.emit(ctx, dest, Some(in_port), out_pkt);
         }
     }
@@ -517,6 +613,7 @@ impl Node for AsSwitch {
         self.table = livesec_openflow::FlowTable::new();
         self.channel.reset();
         self.pending_status.clear();
+        self.misforward = None; // the compromise is volatile
         self.degraded = false;
         self.l2.clear();
         self.reconnect_backoff = BACKOFF_START_TICKS;
@@ -525,6 +622,88 @@ impl Node for AsSwitch {
             let hello = self.channel.hello();
             ctx.send_control(c, hello);
         }
+    }
+
+    fn on_rule_tamper(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+        // Pick a victim entry that actually forwards somewhere, prefer
+        // a controller-tagged (cookie != 0) one — those are the
+        // entries whose integrity the path proof swears to. The
+        // replacement keeps match/priority/timeouts but skews every
+        // physical output and zeroes the cookie; no FlowRemoved is
+        // sent, so the control plane sees nothing.
+        let now = ctx.now().as_nanos();
+        let forwards = |e: &&FlowEntry| {
+            e.actions
+                .iter()
+                .any(|a| matches!(a, Action::Output(OutPort::Physical(_))))
+        };
+        let all = self.table.entries_in_install_order();
+        let tagged: Vec<&FlowEntry> = all
+            .iter()
+            .copied()
+            .filter(|e| e.cookie != 0)
+            .filter(forwards)
+            .collect();
+        let pool: Vec<&FlowEntry> = if tagged.is_empty() {
+            all.iter().copied().filter(forwards).collect()
+        } else {
+            tagged
+        };
+        if pool.is_empty() {
+            return; // nothing to tamper with
+        }
+        let victim = pool[(salt % pool.len() as u64) as usize];
+        let matcher = victim.matcher;
+        let priority = victim.priority;
+        let skew = 1 + (salt >> 32) as u32 % (self.n_ports - 1).max(1);
+        let actions: Vec<Action> = victim
+            .actions
+            .iter()
+            .map(|a| match *a {
+                Action::Output(OutPort::Physical(p)) => {
+                    Action::Output(OutPort::Physical((p - 1 + skew) % self.n_ports + 1))
+                }
+                other => other,
+            })
+            .collect();
+        let idle = victim.idle_timeout;
+        let hard = victim.hard_timeout;
+        self.table.remove(&matcher, true, Some(priority));
+        let mut entry = FlowEntry::new(matcher, actions, priority);
+        entry.idle_timeout = idle;
+        entry.hard_timeout = hard;
+        self.table.insert_at(entry, now);
+        self.rules_tampered += 1;
+    }
+
+    fn on_misforward(&mut self, _ctx: &mut Ctx<'_>, salt: u64) {
+        // Persistent until a crash-restart: physical outputs are skewed
+        // by a salt-derived constant in 1..n_ports, guaranteeing a
+        // wrong (but existing) egress port.
+        let skew = 1 + (salt % u64::from((self.n_ports - 1).max(1))) as u32;
+        self.misforward = Some(skew);
+    }
+
+    fn on_packet_inject(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+        // Originate a frame the controller never admitted: forged MACs
+        // and documentation-range IPs derived from the salt, pushed out
+        // the uplink. The (trusted) attestation pipeline still reports
+        // the emission, which is exactly what gives it away.
+        self.injected_packets += 1;
+        let src_mac = MacAddr::from_u64(0x00ba_d000_0000 | (salt & 0xffff));
+        let dst_mac = MacAddr::from_u64(0x00ba_d100_0000 | ((salt >> 16) & 0xffff));
+        let src_ip = std::net::Ipv4Addr::new(203, 0, 113, (salt % 254) as u8 + 1);
+        let dst_ip = std::net::Ipv4Addr::new(198, 51, 100, ((salt >> 8) % 254) as u8 + 1);
+        let pkt = PacketBuilder::udp(src_mac, dst_mac)
+            .ips(src_ip, dst_ip)
+            .ports(40_000 + (salt % 1000) as u16, 4444)
+            .payload_len(64)
+            .build();
+        let out_port = 1; // the uplink into the legacy fabric
+        if let Some(key) = lookup_key(&pkt) {
+            self.maybe_attest(ctx, 0, out_port, 0, &key, pkt.wire_len() as u64);
+        }
+        self.emit(ctx, OutPort::Physical(out_port), None, pkt);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -624,6 +803,7 @@ mod tests {
         packet_ins: Vec<(u32, Vec<u8>)>,
         flow_removed: Vec<OfMessage>,
         port_status: Vec<OfMessage>,
+        attestations: Vec<ForwardingAttestation>,
     }
 
     impl StubController {
@@ -636,6 +816,7 @@ mod tests {
                 packet_ins: Vec::new(),
                 flow_removed: Vec::new(),
                 port_status: Vec::new(),
+                attestations: Vec::new(),
             }
         }
     }
@@ -667,6 +848,7 @@ mod tests {
                     }
                     OfMessage::FlowRemoved { .. } => self.flow_removed.push(msg),
                     OfMessage::PortStatus { .. } => self.port_status.push(msg),
+                    OfMessage::Attestation(a) => self.attestations.push(a),
                     _ => {}
                 }
             }
@@ -1107,6 +1289,126 @@ mod tests {
         assert!(s.table().is_empty(), "flow table is volatile");
         assert!(!s.is_degraded(), "a restart is not degraded mode");
         let _ = ctrl;
+    }
+
+    #[test]
+    fn table_hit_attests_when_sampling_on() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let mut fm = OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        );
+        if let OfMessage::FlowMod { cookie, .. } = &mut fm {
+            *cookie = 77;
+        }
+        let (mut world, ctrl, sw, _src, dst) = run(vec![fm]);
+        world.node_mut::<AsSwitch>(sw).set_attest_every(1);
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<Sink>(dst).got.len(), 1);
+        let s = world.node::<AsSwitch>(sw);
+        assert_eq!(s.attestations_sent, 1);
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.attestations.len(), 1);
+        let a = &c.attestations[0];
+        assert_eq!((a.dpid, a.in_port, a.out_port, a.cookie), (7, 2, 3, 77));
+        assert_eq!(a.tag, attestation_tag(7, 2, 3, 77));
+        assert_eq!(a.pkt_tag, packet_tag(&key, test_packet().wire_len() as u64));
+    }
+
+    #[test]
+    fn attestation_off_by_default() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, ctrl, sw, _src, _dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        )]);
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<AsSwitch>(sw).attestations_sent, 0);
+        assert!(world.node::<StubController>(ctrl).attestations.is_empty());
+    }
+
+    #[test]
+    fn misforward_skews_output_but_attests_truth() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let (mut world, ctrl, sw, _src, dst) = run(vec![OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        )]);
+        world.node_mut::<AsSwitch>(sw).set_attest_every(1);
+        world.install_fault_plan(&livesec_sim::FaultPlan::new(5).at(
+            livesec_sim::SimTime::from_nanos(500_000),
+            livesec_sim::FaultKind::SilentMisforward { node: sw },
+        ));
+        world.run_for(SimDuration::from_millis(10));
+        let s = world.node::<AsSwitch>(sw);
+        assert!(s.is_misforwarding());
+        assert_eq!(s.misforwarded_frames, 1);
+        // The packet did NOT reach its intended sink...
+        assert!(world.node::<Sink>(dst).got.is_empty());
+        // ...the table still reads correct...
+        let e = s.table().peek(2, &key).unwrap();
+        assert_eq!(e.actions, vec![Action::Output(OutPort::Physical(3))]);
+        // ...and the attestation reports the port actually used.
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.attestations.len(), 1);
+        assert_ne!(c.attestations[0].out_port, 3);
+    }
+
+    #[test]
+    fn rule_tamper_rewrites_entry_silently() {
+        let key = FlowKey::of(&test_packet()).unwrap();
+        let mut fm = OfMessage::add_flow(
+            Match::exact(2, &key),
+            vec![Action::Output(OutPort::Physical(3))],
+            10,
+        );
+        if let OfMessage::FlowMod {
+            cookie,
+            notify_removed,
+            ..
+        } = &mut fm
+        {
+            *cookie = 77;
+            *notify_removed = true;
+        }
+        let (mut world, ctrl, sw, _src, dst) = run(vec![fm]);
+        world.install_fault_plan(&livesec_sim::FaultPlan::new(5).at(
+            livesec_sim::SimTime::from_nanos(500_000),
+            livesec_sim::FaultKind::RuleTamper { node: sw },
+        ));
+        world.run_for(SimDuration::from_millis(10));
+        let s = world.node::<AsSwitch>(sw);
+        assert_eq!(s.rules_tampered, 1);
+        let e = s.table().peek(2, &key).expect("entry still present");
+        assert_eq!(e.cookie, 0, "tampered entry lost its cookie");
+        assert_ne!(e.actions, vec![Action::Output(OutPort::Physical(3))]);
+        assert!(world.node::<Sink>(dst).got.is_empty(), "misdirected");
+        // Silent: no FlowRemoved despite notify_removed on the victim.
+        assert!(world.node::<StubController>(ctrl).flow_removed.is_empty());
+    }
+
+    #[test]
+    fn packet_inject_originates_attested_frame() {
+        let (mut world, ctrl, sw, _src, _dst) = run(vec![]);
+        // Attach a sink on the "uplink" port 1.
+        let up = world.add_node(Sink { got: vec![] });
+        world.connect(up, PortId(1), sw, PortId(1), LinkSpec::gigabit());
+        world.node_mut::<AsSwitch>(sw).set_attest_every(1);
+        world.install_fault_plan(&livesec_sim::FaultPlan::new(5).at(
+            livesec_sim::SimTime::from_nanos(500_000),
+            livesec_sim::FaultKind::PacketInject { node: sw },
+        ));
+        world.run_for(SimDuration::from_millis(10));
+        assert_eq!(world.node::<AsSwitch>(sw).injected_packets, 1);
+        assert_eq!(world.node::<Sink>(up).got.len(), 1, "frame hit the fabric");
+        let c = world.node::<StubController>(ctrl);
+        assert_eq!(c.attestations.len(), 1);
+        let a = &c.attestations[0];
+        assert_eq!(a.in_port, 0, "locally originated");
+        assert_eq!(a.cookie, 0, "no admitted flow backs it");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The six dataplane invariants and the [`audit`] entry point.
+//! The dataplane invariants and the [`audit`] entry point.
 //!
 //! Each check works the same way: carve the header space into the
 //! equivalence classes an invariant cares about (using the
@@ -117,6 +117,21 @@ pub enum Violation {
         /// The live shards claiming it (empty = orphaned).
         owners: Vec<u32>,
     },
+    /// Invariant 8: a quarantined switch still casts a shadow — its
+    /// flow table was not wiped, the NIB still locates hosts on it, or
+    /// a live shard still claims it. A misbehaving switch that keeps
+    /// forwarding state (or keeps receiving flow setups) after its
+    /// eviction defeats the accountability layer's containment.
+    QuarantineLeak {
+        /// The quarantined switch.
+        dpid: u64,
+        /// Flow entries still installed (must be zero).
+        entries: usize,
+        /// MACs the NIB still locates on the switch (must be none).
+        hosts: Vec<MacAddr>,
+        /// Live shards still claiming ownership (must be none).
+        owners: Vec<u32>,
+    },
     /// Invariant 6: two same-priority entries overlap with different
     /// actions — the later installation can never win in the overlap.
     ShadowedRule {
@@ -144,12 +159,14 @@ impl Violation {
             Violation::StaleFastPass { .. } => "stale-fastpass",
             Violation::ShadowedRule { .. } => "shadowed-rule",
             Violation::ShardCoverage { .. } => "shard-coverage",
+            Violation::QuarantineLeak { .. } => "quarantine-leak",
         }
     }
 
     /// The witness packet demonstrating the violation, for the
     /// header-space invariants. `None` for control-plane-structural
-    /// violations ([`Violation::ShardCoverage`]), which have no packet.
+    /// violations ([`Violation::ShardCoverage`],
+    /// [`Violation::QuarantineLeak`]), which have no packet.
     pub fn witness(&self) -> Option<&Witness> {
         match self {
             Violation::BlockedReachable { witness, .. }
@@ -158,7 +175,7 @@ impl Violation {
             | Violation::ChainSkipped { witness, .. }
             | Violation::StaleFastPass { witness, .. }
             | Violation::ShadowedRule { witness, .. } => Some(witness),
-            Violation::ShardCoverage { .. } => None,
+            Violation::ShardCoverage { .. } | Violation::QuarantineLeak { .. } => None,
         }
     }
 }
@@ -227,6 +244,16 @@ impl fmt::Display for Violation {
                 "[shard-coverage] dpid {dpid} owned by live shards {owners:?} \
                      (must be exactly one)"
             ),
+            Violation::QuarantineLeak {
+                dpid,
+                entries,
+                hosts,
+                owners,
+            } => write!(
+                f,
+                "[quarantine-leak] quarantined dpid {dpid} not isolated: \
+                     {entries} entries installed, hosts {hosts:?}, owners {owners:?}"
+            ),
         }
     }
 }
@@ -235,6 +262,7 @@ impl fmt::Display for Violation {
 /// violation found (empty = all invariants proven for this snapshot).
 pub fn audit(snap: &Snapshot) -> Vec<Violation> {
     let mut out = Vec::new();
+    check_quarantine(snap, &mut out);
     check_shard_coverage(snap, &mut out);
     check_shadowed_rules(snap, &mut out);
     check_stale_fastpass(snap, &mut out);
@@ -242,6 +270,38 @@ pub fn audit(snap: &Snapshot) -> Vec<Violation> {
     check_flows(snap, &mut out);
     check_blocked_unreachable(snap, &mut out);
     out
+}
+
+/// Invariant 8: every quarantined switch is fully isolated. The
+/// accountability layer wipes a deviating switch's table and evicts
+/// it from the control plane; afterwards the switch must hold no
+/// entries, locate no hosts, and be claimed by no live shard — any
+/// residue means the evicted switch can still touch traffic the
+/// controller believes it re-steered.
+fn check_quarantine(snap: &Snapshot, out: &mut Vec<Violation>) {
+    for &dpid in &snap.quarantined {
+        let entries = snap.switch(dpid).map_or(0, |s| s.entries.len());
+        let hosts: Vec<MacAddr> = snap
+            .hosts
+            .iter()
+            .filter(|h| h.dpid == dpid)
+            .map(|h| h.mac)
+            .collect();
+        let owners: Vec<u32> = snap
+            .shards
+            .iter()
+            .filter(|s| s.alive && s.owned.contains(&dpid))
+            .map(|s| s.id)
+            .collect();
+        if entries > 0 || !hosts.is_empty() || !owners.is_empty() {
+            out.push(Violation::QuarantineLeak {
+                dpid,
+                entries,
+                hosts,
+                owners,
+            });
+        }
+    }
 }
 
 /// Invariant 7 (merged per-shard snapshots only): the consistent-hash
@@ -253,6 +313,9 @@ fn check_shard_coverage(snap: &Snapshot, out: &mut Vec<Violation>) {
         return;
     }
     for sw in &snap.switches {
+        if snap.quarantined.contains(&sw.dpid) {
+            continue; // deliberately unowned; invariant 8 owns it
+        }
         let owners: Vec<u32> = snap
             .shards
             .iter()

@@ -16,7 +16,7 @@
 //! symbolically carve the header space into equivalence classes
 //! (wildcard-aware, on `livesec_openflow`'s match algebra), extract a
 //! concrete witness packet per class, and replay each witness through
-//! the tables to prove or refute seven invariants:
+//! the tables to prove or refute eight invariants:
 //!
 //! 1. **Blocked unreachable** — traffic covered by a standing block
 //!    is not delivered to any endpoint from any ingress.
@@ -32,6 +32,11 @@
 //!    topology epochs.
 //! 6. **No silent shadowing** — equal-priority overlapping entries
 //!    with different actions are reported with the masked rule.
+//! 7. **Shard coverage** (sharded planes) — every registered switch
+//!    is owned by exactly one live shard.
+//! 8. **Quarantine isolation** — a switch the accountability layer
+//!    evicted for deviating holds no flow entries, locates no hosts,
+//!    and is claimed by no live shard.
 //!
 //! Use it three ways: the library API ([`audit`]), the campus hooks
 //! ([`audit_campus`] / [`audit_settled`]) that in-sim test suites run

@@ -3,29 +3,35 @@
 //! header-space witness packet that triggers it.
 //!
 //! ```text
-//! livesec-verify --scenario baseline       # fault-free campus
-//! livesec-verify --scenario service-chain  # chained flows active
-//! livesec-verify --scenario chaos-heal     # audit after fault heals
+//! livesec-verify --scenario baseline           # fault-free campus
+//! livesec-verify --scenario service-chain      # chained flows active
+//! livesec-verify --scenario chaos-heal         # audit after fault heals
+//! livesec-verify --scenario tamper-quarantine  # audit after a rule-tamper
+//!                                              # attack is quarantined
 //! ```
 //!
 //! Exits 0 when all invariants are proven, 1 when any violation
 //! survives settling, 2 on usage errors.
 
-use livesec_sim::SimDuration;
+use livesec_sim::{FaultKind, FaultPlan, SimDuration};
 use livesec_verify::{audit_settled, Snapshot, Violation};
 use livesec_workloads::scenario::{CampusScenario, ChaosConfig, ScenarioConfig};
 
-const INVARIANTS: [&str; 6] = [
+const INVARIANTS: [&str; 7] = [
     "blocked-reachable",
     "forwarding-loop",
     "blackhole",
     "chain-skipped",
     "stale-fastpass",
     "shadowed-rule",
+    "quarantine-leak",
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: livesec-verify --scenario <baseline|service-chain|chaos-heal> [--seed N]");
+    eprintln!(
+        "usage: livesec-verify --scenario \
+         <baseline|service-chain|chaos-heal|tamper-quarantine> [--seed N]"
+    );
     std::process::exit(2);
 }
 
@@ -57,6 +63,7 @@ fn main() {
         "baseline" => run_baseline(seed),
         "service-chain" => run_service_chain(seed),
         "chaos-heal" => run_chaos_heal(seed),
+        "tamper-quarantine" => run_tamper_quarantine(seed),
         _ => usage(),
     };
 
@@ -114,6 +121,43 @@ fn run_service_chain(seed: u64) -> Vec<Violation> {
     let mut scn = CampusScenario::build(cfg);
     scn.campus.world.run_for(SimDuration::from_secs(6));
     report_snapshot(&scn, "service-chain");
+    settle(&mut scn)
+}
+
+/// Accountability run: per-packet attestation on, traffic converged,
+/// then a `RuleTamper` fault silently rewrites a flow entry on the
+/// mid-path switch hosting service-element replicas. The controller
+/// must detect the forged forwarding, quarantine the switch, and
+/// re-steer — and the settled dataplane (quarantine isolation
+/// included) must audit clean.
+fn run_tamper_quarantine(seed: u64) -> Vec<Violation> {
+    let cfg = ScenarioConfig {
+        seed,
+        attest_every: 1,
+        ..ScenarioConfig::default()
+    };
+    let mut scn = CampusScenario::build(cfg);
+    // Let flow setup and steering converge before the compromise.
+    scn.campus.world.run_for(SimDuration::from_secs(3));
+
+    // as_switches[1] (dpid 2) hosts one IDS and one ProtoId replica —
+    // tampering it forces the detour/quarantine machinery to re-steer
+    // chained traffic through the replicas on switches 1 and 3.
+    let victim = scn.campus.as_switches[1];
+    let tamper_at = scn.campus.world.kernel().now() + SimDuration::from_millis(500);
+    let plan = FaultPlan::new(seed ^ 0x7a3f).at(tamper_at, FaultKind::RuleTamper { node: victim });
+    scn.campus.world.install_fault_plan(&plan);
+
+    // Run well past detection + quarantine + re-steering.
+    scn.campus.world.run_for(SimDuration::from_secs(4));
+
+    let quarantined = scn.campus.controller().quarantined();
+    println!("[tamper-quarantine] quarantined dpids: {quarantined:?}");
+    if quarantined != vec![2] {
+        eprintln!("FAIL: expected the tampered switch (dpid 2) quarantined");
+        std::process::exit(1);
+    }
+    report_snapshot(&scn, "tamper-quarantine");
     settle(&mut scn)
 }
 

@@ -89,6 +89,11 @@ pub struct Snapshot {
     /// hosts and flows above are already the union). Empty when the
     /// controller is unsharded.
     pub shards: Vec<ShardView>,
+    /// Dpids the accountability layer has quarantined: deviating
+    /// switches evicted from the control plane whose tables were
+    /// wiped. They still exist in the dataplane (and so appear in
+    /// `switches`), but no controller state may reference them.
+    pub quarantined: Vec<u64>,
 }
 
 impl Snapshot {
@@ -161,6 +166,7 @@ impl Snapshot {
             fastpasses: ctl.fastpass_records(),
             epochs: ctl.epochs(),
             shards,
+            quarantined: ctl.quarantined(),
         }
     }
 

@@ -193,6 +193,10 @@ pub struct ScenarioConfig {
     /// [`livesec::ShardedControlPlane`] (so `1` exercises the plane
     /// itself against the single-controller baseline).
     pub shards: u32,
+    /// Forwarding-attestation sampling modulus for every AS switch
+    /// (`0` = attestations off, the default; `1` = attest every
+    /// packet). Drives the accountability detector.
+    pub attest_every: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -207,6 +211,7 @@ impl Default for ScenarioConfig {
             decision_cache: true,
             chaos: None,
             shards: 0,
+            attest_every: 0,
         }
     }
 }
@@ -271,6 +276,9 @@ impl CampusScenario {
             });
         if cfg.shards > 0 {
             b = b.with_shards(cfg.shards);
+        }
+        if cfg.attest_every > 0 {
+            b = b.with_attestation(cfg.attest_every);
         }
 
         let gw = b.add_gateway_configured(0, HttpServer::new(), |h| {

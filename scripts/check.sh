@@ -20,10 +20,10 @@ run cargo build --release
 # accumulation; zero unannotated findings allowed.
 run cargo run -q -p livesec-lint --release
 # Header-space invariant verifier (DESIGN.md §8): snapshot the
-# emitted flow tables of the baseline scenario and prove the seven
+# emitted flow tables of the baseline scenario and prove the eight
 # dataplane invariants (blocked-unreachable, no loops, no blackholes,
 # waypoint enforcement, fast-pass freshness, no silent shadowing,
-# exactly-one-shard coverage).
+# exactly-one-shard coverage, quarantine isolation).
 run cargo run -q -p livesec-verify --release -- --scenario baseline
 run cargo test -q
 # Seeded chaos soak: the campus under scheduled partitions, crashes,
@@ -40,10 +40,25 @@ run cargo test -q --test determinism --test shard_ring --test shard_handoff --te
 # BENCH_shards.json.
 run cargo bench -q -p livesec-bench --bench shard_scaling -- --smoke
 test -s BENCH_shards.json
+# Forwarding accountability (DESIGN.md §11): each dataplane fault kind
+# (rule tamper, silent misforward, packet injection) is detected,
+# localized to exactly the compromised switch, quarantined, and traffic
+# re-steered — at 1 and 4 shards, honest switches never blamed.
+run cargo test -q --test accountability
+# Post-quarantine dataplane must audit clean, quarantine isolation
+# (invariant 8) included.
+run cargo run -q -p livesec-verify --release -- --scenario tamper-quarantine
+# Accountability hot paths: attestation tagging + detector replay;
+# (re)writes BENCH_accountability.json, every forged attestation caught.
+run cargo bench -q -p livesec-bench --bench accountability -- --smoke
+test -s BENCH_accountability.json
 # Stateful-enforcement end-to-end: SYN flood detected by conntrack,
 # source-wide drop installed at the ingress, flood stops counting —
 # while a legitimate fast-passed transfer completes alongside.
 run cargo run -q --release --example stateful_firewall
+# Accountability end-to-end: mid-attack rule tamper -> detect,
+# localize, quarantine, re-steer, then release and rejoin.
+run cargo run -q --release --example accountability
 run cargo clippy --workspace -- -D warnings
 run cargo fmt --check
 

@@ -1,0 +1,313 @@
+//! Forwarding-accountability acceptance suite: dataplane fault
+//! injection against the campus scenario with per-packet attestation.
+//!
+//! Each dataplane fault kind — a silent rule tamper, a persistent
+//! misforward, a forged packet injection — fires mid-run on one AS
+//! switch. The controller must *detect* the deviation from its path
+//! proofs, *localize* it to exactly the compromised switch (never an
+//! honest one), *quarantine* it (wipe its table, evict it from the
+//! control plane, refuse its reconnects), and keep the rest of the
+//! network doing its job: flows re-steer through surviving service
+//! element replicas, the standing drop registry survives untouched,
+//! and the settled dataplane passes the full header-space audit —
+//! including the quarantine-isolation invariant. All of it at one and
+//! four control-plane shards, and byte-for-byte deterministic.
+
+use livesec_suite::prelude::*;
+use livesec_verify::audit_settled;
+use proptest::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+
+/// The compromised switch in every directed test: `as_switches[1]`,
+/// which hosts one IDS and one ProtoId replica — quarantining it
+/// forces chained traffic onto the replicas on dpids 1 and 3.
+const COMPROMISED_DPID: u64 = 2;
+
+/// Builds the campus with attestation on every packet, runs it for
+/// `converge_secs`, then fires `fault` on `as_switches[1]` (dpid 2)
+/// and runs on through detection, quarantine, and re-steering. Seven
+/// seconds of convergence puts steering, fast-passes, and the attack
+/// verdict (a standing block at the attacker's ingress) all in place
+/// before the compromise.
+fn run_faulted(
+    seed: u64,
+    shards: u32,
+    converge_secs: u64,
+    fault: impl Fn(NodeId) -> FaultKind,
+) -> CampusScenario {
+    let mut s = CampusScenario::build(ScenarioConfig {
+        seed,
+        shards,
+        attest_every: 1,
+        ..ScenarioConfig::default()
+    });
+    s.campus
+        .world
+        .run_for(SimDuration::from_secs(converge_secs));
+    let victim = s.campus.as_switches[1];
+    let at = s.campus.world.kernel().now() + SimDuration::from_millis(200);
+    let plan = FaultPlan::new(seed ^ 0xfa11).at(at, fault(victim));
+    s.campus.world.install_fault_plan(&plan);
+    s.campus.world.run_for(SimDuration::from_secs(4));
+    s
+}
+
+/// The acceptance bar every fault kind must clear. `expect` lists the
+/// admissible classifications (a rule tamper on a cookie-less relay
+/// entry is observationally a detour); `expect_blocks` demands the
+/// attack verdict's standing drop registry survived (only meaningful
+/// when the fault fires after the verdict landed).
+fn assert_detected_and_contained(
+    s: &mut CampusScenario,
+    expect: &[DeviationKind],
+    expect_blocks: bool,
+) {
+    let c = s.campus.controller();
+
+    // Detection: the deviation was recorded, classified as expected,
+    // and localized to exactly the compromised switch — zero honest
+    // switches blamed.
+    let blamed: Vec<(u64, DeviationKind)> = c
+        .monitor()
+        .of_tag("switch_deviating")
+        .filter_map(|e| match e.kind {
+            EventKind::SwitchDeviating { dpid, deviation } => Some((dpid, deviation)),
+            _ => None,
+        })
+        .collect();
+    assert!(!blamed.is_empty(), "the deviation was never detected");
+    for (dpid, _) in &blamed {
+        assert_eq!(
+            *dpid, COMPROMISED_DPID,
+            "an honest switch was blamed: {blamed:?}"
+        );
+    }
+    assert!(
+        blamed.iter().any(|(_, k)| expect.contains(k)),
+        "expected one of {expect:?}, got {blamed:?}"
+    );
+    let witnessed = c
+        .monitor()
+        .of_tag("path_proof_violated")
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::PathProofViolated { at_dpid, .. } if at_dpid == COMPROMISED_DPID
+            )
+        })
+        .count();
+    assert!(witnessed >= 1, "no witness packet recorded");
+
+    // Containment: quarantined, and its reconnect attempts are being
+    // refused at the control channel.
+    assert_eq!(
+        c.quarantined(),
+        vec![COMPROMISED_DPID],
+        "exactly the compromised switch is quarantined"
+    );
+    let acct = c.accountability_stats();
+    assert!(
+        acct.quarantine_gate_drops > 0,
+        "the quarantine gate never had to refuse a message: {acct:?}"
+    );
+
+    // Liveness: the rest of the network kept working — flows were
+    // re-steered after the quarantine took the switch (and its SE
+    // replicas) away.
+    let when = c
+        .monitor()
+        .of_tag("switch_deviating")
+        .map(|e| e.at)
+        .next()
+        .expect("checked above");
+    let resteered = c
+        .monitor()
+        .of_tag("flow_start")
+        .filter(|e| e.at > when)
+        .count();
+    assert!(resteered > 0, "no flow setups after the quarantine");
+
+    // Security state: the attack verdict's standing drop registry
+    // survived the upheaval.
+    if expect_blocks {
+        assert!(
+            !c.standing_blocks().is_empty(),
+            "the standing drop registry was lost"
+        );
+    }
+
+    // Correctness: the settled dataplane proves all eight invariants,
+    // quarantine isolation included.
+    let violations = audit_settled(&mut s.campus, 30, SimDuration::from_millis(100));
+    assert!(
+        violations.is_empty(),
+        "post-quarantine audit found violations: {violations:#?}"
+    );
+}
+
+#[test]
+fn rule_tamper_is_detected_localized_and_quarantined() {
+    let mut s = run_faulted(42, 0, 7, |node| FaultKind::RuleTamper { node });
+    assert!(
+        s.campus.switch(1).rules_tampered >= 1,
+        "the fault actually rewrote an entry"
+    );
+    // By 7 s the attacker (the only host whose flows *enter* dpid 2)
+    // is blocked, so the fault rewrites a cookie-less relay entry —
+    // the evidence then reads as either a tamper or a detour; both
+    // localize to the compromised switch.
+    assert_detected_and_contained(
+        &mut s,
+        &[DeviationKind::Tamper, DeviationKind::Detour],
+        true,
+    );
+}
+
+/// An early tamper — before the attack verdict, while cookie-tagged
+/// ingress entries still stand on the victim — pins the *tamper*
+/// classification: the rewritten rule attests the wrong cookie, which
+/// no mere detour can explain.
+#[test]
+fn early_rule_tamper_is_classified_as_tamper() {
+    let mut s = run_faulted(42, 0, 3, |node| FaultKind::RuleTamper { node });
+    assert_detected_and_contained(&mut s, &[DeviationKind::Tamper], false);
+}
+
+#[test]
+fn silent_misforward_is_detected_localized_and_quarantined() {
+    let mut s = run_faulted(42, 0, 7, |node| FaultKind::SilentMisforward { node });
+    assert!(
+        s.campus.switch(1).misforwarded_frames >= 1,
+        "the fault actually skewed forwarding"
+    );
+    assert_detected_and_contained(&mut s, &[DeviationKind::Detour], true);
+}
+
+#[test]
+fn packet_injection_is_detected_localized_and_quarantined() {
+    let mut s = run_faulted(42, 0, 7, |node| FaultKind::PacketInject { node });
+    assert!(
+        s.campus.switch(1).injected_packets >= 1,
+        "the fault actually forged a packet"
+    );
+    assert_detected_and_contained(&mut s, &[DeviationKind::Injection], true);
+}
+
+/// The tentpole's scale requirement: localization and quarantine work
+/// identically under 1- and 4-shard control planes — the detector
+/// lives in the shared NIB, so which shard handles an attestation
+/// never changes the verdict.
+#[test]
+fn quarantine_localizes_correctly_under_sharded_planes() {
+    for shards in [1u32, 4] {
+        let mut s = run_faulted(42, shards, 7, |node| FaultKind::RuleTamper { node });
+        assert_detected_and_contained(
+            &mut s,
+            &[DeviationKind::Tamper, DeviationKind::Detour],
+            true,
+        );
+    }
+}
+
+/// Attestation sampling, detection, and quarantine are all scheduled
+/// through the deterministic event queue: two runs from the same seed
+/// produce byte-identical monitor histories and identical detector
+/// stats.
+#[test]
+fn attested_faulted_history_is_deterministic_byte_for_byte() {
+    let run = || {
+        let s = run_faulted(42, 0, 7, |node| FaultKind::RuleTamper { node });
+        let c = s.campus.controller();
+        (c.monitor().to_json(), c.accountability_json())
+    };
+    let ((h1, a1), (h2, a2)) = (run(), run());
+    assert_eq!(h1, h2, "same seed => same monitor history");
+    assert_eq!(a1, a2, "same seed => same detector stats");
+}
+
+/// A generated *benign* chaos schedule: control-plane faults only
+/// (partitions, corrupted frames, a power cycle) — no dataplane
+/// compromise, so no switch deserves blame.
+#[derive(Clone, Debug)]
+struct BenignChaos {
+    seed: u64,
+    chaos: ChaosConfig,
+}
+
+fn arb_benign_chaos() -> impl Strategy<Value = BenignChaos> {
+    (
+        (1u64..1_000, 2u64..6, 4u64..6),
+        (2u64..4, 0u32..3),
+        proptest::option::of((0usize..4, 3u64..8)),
+    )
+        .prop_map(|((seed, at, len), (stagger, corrupt), crash)| BenignChaos {
+            seed,
+            chaos: ChaosConfig {
+                fault_seed: seed ^ 0xc4a05,
+                partition_at: SimDuration::from_secs(at),
+                partition_len: SimDuration::from_secs(len),
+                partition_stagger: SimDuration::from_secs(stagger),
+                crash_switch: crash.map(|(idx, _)| idx),
+                crash_at: SimDuration::from_secs(crash.map(|(_, t)| t).unwrap_or(6)),
+                corrupt_frames: corrupt,
+            },
+        })
+}
+
+fn check_honest_run(case: u64, b: &BenignChaos) {
+    let mut s = CampusScenario::build(ScenarioConfig {
+        seed: b.seed,
+        attest_every: 1,
+        chaos: Some(b.chaos),
+        ..ScenarioConfig::default()
+    });
+    s.campus
+        .world
+        .run_for(b.chaos.last_heal(4) + SimDuration::from_secs(9));
+    let c = s.campus.controller();
+    let blamed: Vec<u64> = c
+        .monitor()
+        .of_tag("switch_deviating")
+        .filter_map(|e| match e.kind {
+            EventKind::SwitchDeviating { dpid, .. } => Some(dpid),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        blamed.is_empty(),
+        "case {case}: honest switches blamed: {blamed:?}\nschedule: {b:?}"
+    );
+    assert_eq!(
+        c.monitor().of_tag("path_proof_violated").count(),
+        0,
+        "case {case}: spurious proof violation\nschedule: {b:?}"
+    );
+    assert!(
+        c.quarantined().is_empty(),
+        "case {case}: an honest switch was quarantined\nschedule: {b:?}"
+    );
+    // The property is about *silence on honest switches*, not about an
+    // idle detector: the runs must actually exercise it.
+    assert!(
+        c.accountability_stats().attestations_seen > 0,
+        "case {case}: no attestations flowed at all"
+    );
+}
+
+/// The detector never blames an honest switch: under generated benign
+/// control-plane fault schedules with per-packet attestation on, no
+/// switch is ever reported deviating and nothing is quarantined — the
+/// turbulence and liveness guards absorb every benign stall. (The
+/// vendored proptest runs a fixed global case count, far too many for
+/// whole-campus simulations, so this drives the strategy machinery
+/// over a small set of deterministic case seeds — same discipline as
+/// `tests/reconciliation.rs`.)
+#[test]
+fn honest_switches_are_never_blamed_under_benign_chaos() {
+    let strat = arb_benign_chaos();
+    for case in 0..6u64 {
+        let mut rng = TestRng::seed_from_u64(0xacc7 ^ case);
+        let schedule = strat.generate(&mut rng);
+        check_honest_run(case, &schedule);
+    }
+}

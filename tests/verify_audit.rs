@@ -1,6 +1,6 @@
 //! The header-space verifier, positively and negatively.
 //!
-//! Positive: `verify::audit` proves all seven invariants on the live
+//! Positive: `verify::audit` proves all eight invariants on the live
 //! scenarios (baseline and service-chain here; the post-chaos-heal
 //! audits run inside `tests/chaos.rs`, after every logged heal).
 //!
@@ -22,7 +22,7 @@ use std::net::Ipv4Addr;
 // ---------------------------------------------------------------- positive
 
 #[test]
-fn baseline_scenario_proves_all_six_invariants() {
+fn baseline_scenario_proves_all_invariants() {
     let mut s = CampusScenario::build(ScenarioConfig::default());
     s.campus.world.run_for(SimDuration::from_secs(3));
     let violations = audit_settled(&mut s.campus, 30, SimDuration::from_millis(100));
@@ -33,7 +33,7 @@ fn baseline_scenario_proves_all_six_invariants() {
 }
 
 #[test]
-fn service_chain_scenario_proves_all_six_invariants() {
+fn service_chain_scenario_proves_all_invariants() {
     // Long enough that the torrent flow, the attack verdict and the
     // resulting standing block have all landed.
     let mut s = CampusScenario::build(ScenarioConfig::default());
@@ -110,6 +110,7 @@ fn tiny_snapshot(entries: Vec<FlowEntry>) -> Snapshot {
         fastpasses: Vec::new(),
         epochs: (1, 1),
         shards: Vec::new(),
+        quarantined: Vec::new(),
     }
 }
 
@@ -333,6 +334,43 @@ fn audit_refutes_shadowed_rule() {
             assert_eq!(witness.key.tp_dst, 80);
         }
         v => panic!("expected ShadowedRule, got {v:#?}"),
+    }
+}
+
+/// Invariant 8: a quarantined switch that still carries installed
+/// entries and located hosts is not isolated.
+#[test]
+fn audit_refutes_quarantine_leak() {
+    let fwd = FlowEntry::new(
+        Match::any().with_in_port(1).with_dl_dst(mac(2)),
+        out(2),
+        100,
+    );
+    let rev = FlowEntry::new(
+        Match::any().with_in_port(2).with_dl_dst(mac(1)),
+        out(1),
+        100,
+    );
+    let mut snap = tiny_snapshot(vec![fwd, rev]);
+    // Same dataplane that audits clean below — except dpid 1 is now
+    // supposed to be quarantined, so everything on it is a leak.
+    snap.quarantined = vec![1];
+
+    let vs = audit(&snap);
+    assert_eq!(vs.len(), 1, "expected exactly one violation: {vs:#?}");
+    match &vs[0] {
+        Violation::QuarantineLeak {
+            dpid,
+            entries,
+            hosts,
+            owners,
+        } => {
+            assert_eq!(*dpid, 1);
+            assert_eq!(*entries, 2);
+            assert_eq!(hosts.as_slice(), &[mac(1), mac(2)]);
+            assert!(owners.is_empty(), "no shard map in this snapshot");
+        }
+        v => panic!("expected QuarantineLeak, got {v:#?}"),
     }
 }
 
