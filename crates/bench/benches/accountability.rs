@@ -24,7 +24,6 @@ use livesec_openflow::{attestation_tag, packet_tag, ForwardingAttestation};
 use livesec_sim::{SimDuration, SimTime};
 use serde::Serialize;
 use std::net::Ipv4Addr;
-// livesec-lint: allow(wall-clock, reason = "bench harness timing; the workload under test is pure compute, no simulation clock exists here")
 use std::time::Instant;
 
 /// Flows with registered 3-hop path proofs.

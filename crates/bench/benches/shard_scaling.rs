@@ -27,7 +27,6 @@ use livesec_services::{SeMessage, ServiceType};
 use livesec_sim::SimTime;
 use serde::Serialize;
 use std::net::Ipv4Addr;
-// livesec-lint: allow(wall-clock, reason = "bench harness timing; the workload under test is pure compute, no simulation clock exists here")
 use std::time::Instant;
 
 /// Hosts in the synthetic campus (the issue's acceptance topology).

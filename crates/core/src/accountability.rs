@@ -448,6 +448,7 @@ impl AccountabilityDetector {
                     flow: att.flow,
                     first_seen: now,
                     last_seen: now,
+                    // livesec-lint: allow(hot-path-alloc, reason = "one allocation at chain open, amortized over every packet of the chain; not per-packet")
                     attested: Vec::with_capacity(n_hops),
                 })
             }

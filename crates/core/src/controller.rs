@@ -607,8 +607,10 @@ impl Controller {
     }
 
     /// The journal suffix past `cursor` (a shard's unreplayed tail).
+    /// A cursor past the end (possible transiently around a re-base)
+    /// simply has nothing left to replay.
     pub(crate) fn mac_log_since(&self, cursor: usize) -> &[MacAddr] {
-        &self.mac_invalidations[cursor..]
+        self.mac_invalidations.get(cursor..).unwrap_or(&[])
     }
 
     /// Discards the first `n` journal entries once every live shard's
@@ -2283,7 +2285,6 @@ impl Controller {
         // the flow-mod order (and any FlowRemoved notifications they
         // trigger) is identical across same-seed runs.
         let sort_key = |m: &Match, p: u16| (p, m.to_string());
-        // livesec-lint: allow(unordered-iter, reason = "fix list is sorted by (priority, match) on the next statement")
         let mut stale: Vec<(Match, u16)> =
             have.iter().filter(|k| !want.contains(k)).copied().collect();
         stale.sort_by_key(|(m, p)| sort_key(m, *p));

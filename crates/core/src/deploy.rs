@@ -135,6 +135,7 @@ impl Campus {
 
     /// Borrows an AS switch.
     pub fn switch(&self, idx: usize) -> &AsSwitch {
+        assert!(idx < self.as_switches.len(), "no AS switch {idx}");
         self.world.node::<AsSwitch>(self.as_switches[idx])
     }
 
@@ -502,6 +503,7 @@ impl CampusBuilder {
     }
 
     fn access_port(&mut self, switch: usize) -> u32 {
+        assert!(switch < self.as_next_port.len(), "no AS switch {switch}");
         let p = self.as_next_port[switch];
         assert!(p < AS_PORTS, "switch {switch} is out of access ports");
         self.as_next_port[switch] += 1;
@@ -522,6 +524,7 @@ impl CampusBuilder {
         app: A,
         configure: impl FnOnce(Host<A>) -> Host<A>,
     ) -> UserHandle {
+        assert!(switch < self.as_switches.len(), "no AS switch {switch}");
         let mac = self.alloc_mac();
         let ip = self.alloc_ip();
         let host = configure(Host::new(mac, ip, app).with_gateway(self.subnet, self.gateway_ip));
@@ -555,6 +558,7 @@ impl CampusBuilder {
         switch: usize,
         se: ServiceElement<I>,
     ) -> SeHandle {
+        assert!(switch < self.as_switches.len(), "no AS switch {switch}");
         let mac = self.alloc_mac();
         let ip = self.alloc_ip();
         let cert = if self.certification {
@@ -614,6 +618,7 @@ impl CampusBuilder {
         configure: impl FnOnce(Host<A>) -> Host<A>,
     ) -> UserHandle {
         assert!(self.gateway.is_none(), "gateway already added");
+        assert!(switch < self.as_switches.len(), "no AS switch {switch}");
         let mac = self.alloc_mac();
         let ip = self.gateway_ip;
         let host = configure(Host::new(mac, ip, app).with_proxy_arp_outside(self.subnet));

@@ -224,6 +224,7 @@ impl ShardedControlPlane {
     /// Brings shard `idx`'s cache up to date with the shared NIB's
     /// change stream, then swaps it into the controller.
     fn activate(&mut self, idx: usize) {
+        assert!(idx < self.shards.len(), "routed to unknown shard {idx}");
         let (pe, te) = self.inner.epochs();
         let fe = self.inner.cache_flush_epoch();
         let shard = &mut self.shards[idx];
@@ -257,6 +258,7 @@ impl ShardedControlPlane {
     /// its cursors (its own dispatch's changes went straight into the
     /// active cache), and books the dispatch's counters.
     fn retire(&mut self, idx: usize, packet_ins_before: u64) {
+        assert!(idx < self.shards.len(), "retired unknown shard {idx}");
         let processed = self.inner.packet_ins - packet_ins_before;
         let setup = self.inner.take_last_setup();
         let log_len = self.inner.mac_log_len();

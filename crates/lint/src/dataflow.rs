@@ -1,0 +1,520 @@
+//! Intra-procedural taint dataflow for the wire-taint rule.
+//!
+//! The lattice is deliberately tiny — a value is either *tainted*
+//! (attacker-influenced: read off the wire or derived from something
+//! that was) or *clean*. Taint enters through byte-reader method
+//! calls (`u8()`/`u16()`/`u32()`/`u64()`), `from_be_bytes`-family
+//! constructors, and `&[u8]` parameters. It propagates through let
+//! bindings, casts, arithmetic, field/index projection and ordinary
+//! method calls, and is *killed* by sanitizers: `min`/`clamp`,
+//! `checked_*`/`saturating_*`, `try_into`/`try_from`, and any
+//! comparison that mentions the variable (a bounds guard).
+//!
+//! Sinks are the operations that turn attacker-chosen integers into
+//! panics or unbounded allocation: `Vec::with_capacity`-style
+//! capacity requests, slice indexing (including range bounds and
+//! `split_at`), and amplifying arithmetic (`*`, `<<`).
+//!
+//! The walk is a single forward pass per function in source order.
+//! Branch environments are not re-merged: once a guard sanitizes a
+//! variable it stays clean for the rest of the function. That trades
+//! missed flows for near-zero false positives, the right trade for a
+//! CI gate.
+
+use crate::ast::{BinOp, Block, Expr, FnItem, Stmt};
+use std::collections::BTreeMap;
+
+/// What kind of dangerous operation a tainted value reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Allocation sized by the tainted value (`Vec::with_capacity`,
+    /// `reserve`, `resize`, `vec![x; n]`).
+    Capacity,
+    /// Slice/array indexing with a tainted index or range bound
+    /// (including `split_at`).
+    Index,
+    /// Amplifying arithmetic (`*`, `<<`) on a tainted operand.
+    Arith,
+}
+
+/// One tainted-value-reaches-sink event.
+#[derive(Clone, Debug)]
+pub struct TaintSink {
+    /// 1-based line of the sink expression.
+    pub line: u32,
+    /// Sink classification.
+    pub kind: SinkKind,
+    /// Short description of the flow for the diagnostic message.
+    pub what: String,
+}
+
+/// Byte-reader methods whose results are wire-controlled.
+const READER_METHODS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "read_u8", "read_u16",
+    "read_u32", "read_u64",
+];
+
+/// Constructor fns whose results are wire-controlled.
+const BYTES_CTORS: &[&str] = &["from_be_bytes", "from_le_bytes", "from_ne_bytes"];
+
+/// Methods that *kill* taint: their result is bounded regardless of
+/// the input (`n.min(remaining)`, `n.checked_mul(k)?`, ...).
+fn is_sanitizer(name: &str) -> bool {
+    name == "min"
+        || name == "clamp"
+        || name == "try_into"
+        || name == "try_from"
+        || name.starts_with("checked_")
+        || name.starts_with("saturating_")
+}
+
+/// Methods whose result is a property of local state, not of wire
+/// bytes: lengths and cursor positions are what guards compare
+/// against, so they must read as clean.
+fn is_clean_query(name: &str) -> bool {
+    matches!(
+        name,
+        "len" | "is_empty" | "remaining" | "capacity" | "count" | "position"
+    )
+}
+
+/// Methods that panic or allocate when fed an oversized argument.
+fn arg_sink(name: &str) -> Option<SinkKind> {
+    match name {
+        "reserve" | "reserve_exact" | "resize" | "with_capacity" => Some(SinkKind::Capacity),
+        "split_at" | "split_at_mut" => Some(SinkKind::Index),
+        _ => None,
+    }
+}
+
+/// Runs the taint analysis over one function, returning every sink a
+/// tainted value reached. Taint is seeded from `&[u8]` parameters;
+/// reader-method calls inside the body seed the rest.
+pub fn wire_taint_sinks(f: &FnItem) -> Vec<TaintSink> {
+    let Some(body) = &f.body else {
+        return Vec::new();
+    };
+    let mut env: BTreeMap<String, bool> = BTreeMap::new();
+    for p in &f.params {
+        if p.ty.is_byte_slice() {
+            env.insert(p.name.clone(), true);
+        }
+    }
+    let mut sinks = Vec::new();
+    scan_block(body, &mut env, &mut sinks);
+    sinks
+}
+
+fn scan_block(b: &Block, env: &mut BTreeMap<String, bool>, sinks: &mut Vec<TaintSink>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                name,
+                pat_idents,
+                init,
+                else_block,
+                ..
+            } => {
+                let mut t = false;
+                if let Some(e) = init {
+                    scan_expr(e, env, sinks);
+                    t = taint_of(e, env);
+                }
+                if let Some(n) = name {
+                    env.insert(n.clone(), t);
+                } else {
+                    for id in pat_idents {
+                        env.insert(id.clone(), t);
+                    }
+                }
+                if let Some(eb) = else_block {
+                    scan_block(eb, env, sinks);
+                }
+            }
+            Stmt::Expr { expr, .. } => scan_expr(expr, env, sinks),
+            Stmt::Item(_) | Stmt::Empty => {}
+        }
+    }
+}
+
+/// One forward pass over an expression tree: detects sinks with the
+/// current environment, applies guard sanitization, and tracks
+/// assignments.
+fn scan_expr(e: &Expr, env: &mut BTreeMap<String, bool>, sinks: &mut Vec<TaintSink>) {
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => {}
+        Expr::Call { callee, args, line } => {
+            // `Vec::with_capacity(n)` and friends as a free call.
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if let Some(kind) = segs.last().and_then(|s| arg_sink(s)) {
+                    if args.first().is_some_and(|a| taint_of(a, env)) {
+                        sinks.push(TaintSink {
+                            line: *line,
+                            kind,
+                            what: format!("wire-tainted value sizes `{}`", segs.join("::")),
+                        });
+                    }
+                }
+            }
+            scan_expr(callee, env, sinks);
+            for a in args {
+                scan_expr(a, env, sinks);
+            }
+        }
+        Expr::MethodCall {
+            recv,
+            name,
+            args,
+            line,
+            ..
+        } => {
+            if let Some(kind) = arg_sink(name) {
+                if args.first().is_some_and(|a| taint_of(a, env)) {
+                    sinks.push(TaintSink {
+                        line: *line,
+                        kind,
+                        what: format!("wire-tainted value flows into `.{name}()`"),
+                    });
+                }
+            }
+            scan_expr(recv, env, sinks);
+            for a in args {
+                scan_expr(a, env, sinks);
+            }
+        }
+        Expr::Field { recv, .. } => scan_expr(recv, env, sinks),
+        Expr::Index { recv, index, line } => {
+            scan_expr(recv, env, sinks);
+            scan_expr(index, env, sinks);
+            if index_taint(index, env) {
+                sinks.push(TaintSink {
+                    line: *line,
+                    kind: SinkKind::Index,
+                    what: format!("wire-tainted index `{}`", describe(index)),
+                });
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+            scan_expr(expr, env, sinks)
+        }
+        Expr::Binary { op, lhs, rhs, line } => {
+            scan_expr(lhs, env, sinks);
+            scan_expr(rhs, env, sinks);
+            if op.is_comparison() {
+                // A bounds guard: every variable this comparison
+                // mentions is clean from here on.
+                sanitize_mentions(lhs, env);
+                sanitize_mentions(rhs, env);
+            } else if matches!(op, BinOp::Mul | BinOp::Shl)
+                && (taint_of(lhs, env) || taint_of(rhs, env))
+            {
+                sinks.push(TaintSink {
+                    line: *line,
+                    kind: SinkKind::Arith,
+                    what: format!(
+                        "wire-tainted operand in amplifying `{}`",
+                        if *op == BinOp::Mul { "*" } else { "<<" }
+                    ),
+                });
+            }
+        }
+        Expr::Assign { op, lhs, rhs, line } => {
+            scan_expr(rhs, env, sinks);
+            // `v[i] = x` is still an index sink on the left side.
+            if let Expr::Index { recv, index, .. } = lhs.as_ref().unwrapped() {
+                scan_expr(recv, env, sinks);
+                scan_expr(index, env, sinks);
+                if index_taint(index, env) {
+                    sinks.push(TaintSink {
+                        line: *line,
+                        kind: SinkKind::Index,
+                        what: format!("wire-tainted index `{}`", describe(index)),
+                    });
+                }
+            }
+            if let Expr::Path { segs, .. } = lhs.as_ref().unwrapped() {
+                if segs.len() == 1 {
+                    let rt = taint_of(rhs, env);
+                    let prev = op.is_some() && env.get(&segs[0]).copied().unwrap_or(false);
+                    env.insert(segs[0].clone(), rt || prev);
+                }
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(l) = lo {
+                scan_expr(l, env, sinks);
+            }
+            if let Some(h) = hi {
+                scan_expr(h, env, sinks);
+            }
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            scan_expr(cond, env, sinks);
+            scan_block(then, env, sinks);
+            if let Some(el) = else_ {
+                scan_expr(el, env, sinks);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            scan_expr(cond, env, sinks);
+            scan_block(body, env, sinks);
+        }
+        Expr::Loop { body, .. } => scan_block(body, env, sinks),
+        Expr::For {
+            pat_idents,
+            iter,
+            body,
+            ..
+        } => {
+            scan_expr(iter, env, sinks);
+            let t = taint_of(iter, env);
+            for id in pat_idents {
+                env.insert(id.clone(), t);
+            }
+            scan_block(body, env, sinks);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            scan_expr(scrutinee, env, sinks);
+            let t = taint_of(scrutinee, env);
+            for arm in arms {
+                // Pattern bindings over a tainted scrutinee are
+                // tainted (`match r.u16()? { n => ... }`).
+                for id in &arm.pat_idents {
+                    if t {
+                        env.insert(id.clone(), true);
+                    }
+                }
+                if let Some(g) = &arm.guard {
+                    scan_expr(g, env, sinks);
+                }
+                scan_expr(&arm.body, env, sinks);
+            }
+        }
+        Expr::Block { block, .. } => scan_block(block, env, sinks),
+        Expr::Closure { body, .. } => scan_expr(body, env, sinks),
+        Expr::MacroCall { name, args, .. } => {
+            // `vec![elem; n]` allocates n elements.
+            if name == "vec" && args.len() == 2 {
+                if let Some(n) = args.get(1) {
+                    if taint_of(n, env) {
+                        sinks.push(TaintSink {
+                            line: e.line(),
+                            kind: SinkKind::Capacity,
+                            what: "wire-tainted length sizes `vec![_; n]`".to_string(),
+                        });
+                    }
+                }
+            }
+            for a in args {
+                scan_expr(a, env, sinks);
+            }
+        }
+        Expr::StructLit { fields, base, .. } => {
+            for (_, v) in fields {
+                scan_expr(v, env, sinks);
+            }
+            if let Some(b) = base {
+                scan_expr(b, env, sinks);
+            }
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for el in elems {
+                scan_expr(el, env, sinks);
+            }
+        }
+        Expr::Return { value, .. } | Expr::Break { value, .. } => {
+            if let Some(v) = value {
+                scan_expr(v, env, sinks);
+            }
+        }
+    }
+}
+
+/// Pure taint valuation of an expression under the environment.
+fn taint_of(e: &Expr, env: &BTreeMap<String, bool>) -> bool {
+    match e {
+        Expr::Path { segs, .. } => segs.len() == 1 && env.get(&segs[0]).copied().unwrap_or(false),
+        Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => false,
+        Expr::MethodCall {
+            recv, name, args, ..
+        } => {
+            if is_sanitizer(name) || is_clean_query(name) {
+                return false;
+            }
+            if READER_METHODS.contains(&name.as_str()) {
+                return true;
+            }
+            taint_of(recv, env) || args.iter().any(|a| taint_of(a, env))
+        }
+        Expr::Call { callee, args, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if let Some(last) = segs.last() {
+                    if BYTES_CTORS.contains(&last.as_str()) {
+                        return true;
+                    }
+                    if is_sanitizer(last) || last == "min" {
+                        return false;
+                    }
+                }
+            }
+            args.iter().any(|a| taint_of(a, env))
+        }
+        Expr::Field { recv, .. } | Expr::Index { recv, .. } => taint_of(recv, env),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+            taint_of(expr, env)
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            !op.is_comparison() && (taint_of(lhs, env) || taint_of(rhs, env))
+        }
+        Expr::Assign { .. } => false,
+        Expr::Range { lo, hi, .. } => {
+            lo.as_deref().is_some_and(|e| taint_of(e, env))
+                || hi.as_deref().is_some_and(|e| taint_of(e, env))
+        }
+        // Control-flow expressions: coarse — tainted when any tainted
+        // variable is mentioned inside (the guard pass has already
+        // sanitized anything a comparison bounded).
+        Expr::If { .. }
+        | Expr::While { .. }
+        | Expr::Loop { .. }
+        | Expr::For { .. }
+        | Expr::Match { .. }
+        | Expr::Block { .. } => env.iter().any(|(var, &t)| t && e.mentions(var)),
+        Expr::Closure { .. } => false,
+        Expr::MacroCall { .. } => false,
+        Expr::StructLit { fields, .. } => fields.iter().any(|(_, v)| taint_of(v, env)),
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            elems.iter().any(|el| taint_of(el, env))
+        }
+        Expr::Return { .. } | Expr::Break { .. } => false,
+    }
+}
+
+/// Index-position taint: a literal index is always fine; a range is
+/// dangerous when either bound is tainted.
+fn index_taint(index: &Expr, env: &BTreeMap<String, bool>) -> bool {
+    match index.unwrapped() {
+        Expr::Lit { .. } => false,
+        Expr::Range { lo, hi, .. } => {
+            lo.as_deref().is_some_and(|e| taint_of(e, env))
+                || hi.as_deref().is_some_and(|e| taint_of(e, env))
+        }
+        other => taint_of(other, env),
+    }
+}
+
+/// Marks every simple variable mentioned by a comparison operand as
+/// clean: the comparison is (or feeds) a bounds guard.
+fn sanitize_mentions(e: &Expr, env: &mut BTreeMap<String, bool>) {
+    e.walk(&mut |x| {
+        if let Expr::Path { segs, .. } = x {
+            if segs.len() == 1 {
+                if let Some(t) = env.get_mut(&segs[0]) {
+                    *t = false;
+                }
+            }
+        }
+    });
+}
+
+/// Short rendering of an index expression for diagnostics.
+fn describe(e: &Expr) -> String {
+    match e.unwrapped() {
+        Expr::Path { segs, .. } => segs.join("::"),
+        Expr::Binary { .. } => "arithmetic over wire values".to_string(),
+        Expr::Range { .. } => "range with wire-derived bound".to_string(),
+        _ => "wire-derived value".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::for_each_fn;
+    use crate::parser::parse;
+
+    fn sinks_of(src: &str) -> Vec<TaintSink> {
+        let file = parse(src);
+        assert!(file.recoveries.is_empty(), "{:?}", file.recoveries);
+        let mut out = Vec::new();
+        for_each_fn(&file, &mut |f, _| out.extend(wire_taint_sinks(f)));
+        out
+    }
+
+    #[test]
+    fn flags_tainted_capacity() {
+        let s = sinks_of(
+            "fn f(r: &mut Reader) -> Vec<u8> {\n\
+             let n = r.u32() as usize;\n\
+             Vec::with_capacity(n) }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SinkKind::Capacity);
+        assert_eq!(s[0].line, 3);
+    }
+
+    #[test]
+    fn min_remaining_sanitizes() {
+        let s = sinks_of(
+            "fn f(r: &mut Reader) -> Vec<u8> {\n\
+             let n = (r.u32() as usize).min(r.remaining());\n\
+             Vec::with_capacity(n) }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn comparison_guard_sanitizes() {
+        let s = sinks_of(
+            "fn f(r: &mut Reader, buf: &[u8]) -> u8 {\n\
+             let n = r.u16() as usize;\n\
+             if n >= buf.len() { return 0; }\n\
+             buf[n] }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn unguarded_index_from_slice_param() {
+        let s = sinks_of(
+            "fn f(buf: &[u8], out: &mut [u8]) -> u8 {\n\
+             let i = buf[1] as usize;\n\
+             out[i] }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SinkKind::Index);
+    }
+
+    #[test]
+    fn from_be_bytes_is_source_and_range_is_sink() {
+        let s = sinks_of(
+            "fn f(buf: &[u8]) -> &[u8] {\n\
+             let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;\n\
+             &buf[4..4 + len] }",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].kind, SinkKind::Index);
+    }
+
+    #[test]
+    fn amplifying_mul_is_flagged_checked_is_not() {
+        let s = sinks_of("fn f(r: &mut Reader) -> usize { r.u16() as usize * 8 }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SinkKind::Arith);
+        let ok =
+            sinks_of("fn f(r: &mut Reader) -> Option<usize> { (r.u16() as usize).checked_mul(8) }");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn vec_macro_length_is_capacity_sink() {
+        let s =
+            sinks_of("fn f(r: &mut Reader) -> Vec<u8> { let n = r.u32() as usize; vec![0u8; n] }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SinkKind::Capacity);
+    }
+}

@@ -250,10 +250,10 @@ fn scan_prefixed_string(bytes: &[u8], i: usize) -> (usize, u32) {
         return (bytes.len(), 0);
     }
     if bytes[j] == b'\'' {
-        // Byte char literal b'x' or b'\n'.
+        // Byte char literal b'x' or b'\n' or b'\''.
         j += 1;
         if j < bytes.len() && bytes[j] == b'\\' {
-            j += 1;
+            j += 2; // backslash plus the escaped char (may be `'`)
         }
         while j < bytes.len() && bytes[j] != b'\'' {
             j += 1;
@@ -329,7 +329,7 @@ fn scan_quote(src: &str, bytes: &[u8], i: usize, line: u32) -> (Token, usize) {
     }
     if j < bytes.len() && bytes[j] == b'\'' && j > body_start {
         let end = j + 1;
-        (
+        return (
             Token {
                 kind: TokenKind::Literal,
                 text: src[i..end].to_string(),
@@ -337,8 +337,28 @@ fn scan_quote(src: &str, bytes: &[u8], i: usize, line: u32) -> (Token, usize) {
                 start: i,
             },
             end,
-        )
-    } else {
+        );
+    }
+    // Punctuation or non-ASCII char literal (`'&'`, `'/'`, `'λ'`):
+    // no ident chars consumed, but a single char closed by `'`.
+    if j == body_start {
+        if let Some(c) = src[body_start..].chars().next() {
+            let after = body_start + c.len_utf8();
+            if c != '\'' && after < bytes.len() && bytes[after] == b'\'' {
+                let end = after + 1;
+                return (
+                    Token {
+                        kind: TokenKind::Literal,
+                        text: src[i..end].to_string(),
+                        line,
+                        start: i,
+                    },
+                    end,
+                );
+            }
+        }
+    }
+    {
         (
             Token {
                 kind: TokenKind::Lifetime,

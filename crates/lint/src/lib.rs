@@ -11,43 +11,56 @@
 //! Every chaos, cache and reconciliation test asserts it. Both PR 1
 //! (HashMap-order flow eviction) and PR 2 (SE-registry expiry and
 //! cleanup order) shipped fixes for latent nondeterminism that was
-//! only caught at runtime. This crate catches that class of bug at
-//! *check time*: a hand-rolled Rust lexer ([`lexer`]) feeds a pattern
-//! engine ([`rules`]) that walks every workspace `.rs` file and flags
+//! only caught at runtime. v2 of this crate goes further: the
+//! hand-rolled lexer ([`lexer`]) feeds a recursive-descent parser
+//! ([`parser`]) producing a lightweight AST ([`ast`]), with an
+//! intra-procedural taint dataflow pass ([`dataflow`]) on top. The
+//! rule engine ([`rules`]) walks every workspace `.rs` file and flags
 //!
-//! * **unordered-iter** — iteration over `HashMap`/`HashSet` bindings
-//!   whose order can escape into events, flow-mods or history;
-//! * **wall-clock** — `Instant` / `SystemTime` (virtual `SimTime` is
-//!   the only clock);
-//! * **unseeded-rng** — `thread_rng`, `from_entropy`, `OsRng`,
-//!   `rand::random`;
-//! * **float-accum** — float `+=` accumulation and
+//! * **unordered-iter** (LS101) — iteration over `HashMap`/`HashSet`
+//!   bindings whose order can escape into events, flow-mods or
+//!   history (type-alias aware; post-hoc sorts rescue);
+//! * **wall-clock** (LS102) — `Instant` / `SystemTime` in expression
+//!   or type position (virtual `SimTime` is the only clock);
+//! * **unseeded-rng** (LS103) — `thread_rng`, `from_entropy`,
+//!   `OsRng`, `rand::random`;
+//! * **float-accum** (LS104) — float `+=` accumulation and
 //!   `.sum::<f32/f64>()` in aggregation paths;
-//! * **unwrap-in-prod** — `.unwrap()` / `.expect()` outside
-//!   `#[cfg(test)]` code in the production crates (`core`, `switch`,
-//!   `conntrack`), where one panic takes down the controller or the
-//!   dataplane it simulates.
+//! * **unwrap-in-prod** (LS201) — `.unwrap()` / `.expect()` outside
+//!   `#[cfg(test)]` code in the production crates;
+//! * **panic-path** (LS202) — slice indexes that can panic in
+//!   production: unguarded subtraction or caller-controlled integer
+//!   parameters;
+//! * **wire-taint** (LS301) — wire-controlled values (byte-reader
+//!   results, `&[u8]` params in `openflow`/`net`) reaching
+//!   allocation, indexing or amplifying arithmetic without a bounds
+//!   guard;
+//! * **hot-path-alloc** (LS401) — allocation inside the configured
+//!   packet-path hot functions.
 //!
-//! Sites where unordered iteration is genuinely harmless carry an
-//! explicit, reasoned escape hatch:
+//! Sites where a rule is genuinely inapplicable carry an explicit,
+//! reasoned escape hatch:
 //!
 //! ```text
 //! // livesec-lint: allow(unordered-iter, reason = "order-insensitive fold")
 //! ```
 //!
-//! The grammar and the full determinism spec live in `DESIGN.md` §6.
-//! The binary (`cargo run -p livesec-lint --release`) is a tier-1
-//! gate in `scripts/check.sh`; `tests/workspace.rs` additionally
-//! asserts the live workspace passes with zero unannotated findings,
-//! so `cargo test` alone also fails on a fresh violation.
+//! The grammar and the analyzer architecture live in `DESIGN.md` §6
+//! and §13. The binary (`cargo run -p livesec-lint --release`) is a
+//! tier-1 gate in `scripts/check.sh` (with `--json` archival);
+//! `tests/workspace.rs` additionally asserts the live workspace
+//! passes with zero unannotated findings and that the parser handles
+//! 100% of workspace files without recoveries.
 //!
-//! The pass is deliberately dependency-free and syntax-level: no type
-//! inference, no HIR. It trades a small annotation burden (and a
-//! documented blind spot: a `HashMap` hidden behind a type alias or
-//! constructor function) for a checker that builds in milliseconds
-//! and cannot drift out of sync with vendored compiler internals.
+//! The pass is deliberately dependency-free: no type inference, no
+//! HIR. It trades a small annotation burden for a checker that
+//! builds in milliseconds and cannot drift out of sync with vendored
+//! compiler internals.
 
+pub mod ast;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod walk;
 
@@ -56,19 +69,50 @@ pub use rules::{lint_source, lint_source_with, Finding, LintOptions, Rule};
 use std::path::{Path, PathBuf};
 
 /// Crate source trees where a panic is a controller or dataplane
-/// outage, so `unwrap-in-prod` applies.
+/// outage, so `unwrap-in-prod` and `panic-path` apply.
 const PROD_CRATE_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/switch/src",
     "crates/conntrack/src",
 ];
 
+/// Crate source trees that parse attacker-controlled wire bytes, so
+/// `wire-taint` applies.
+const WIRE_CRATE_DIRS: &[&str] = &["crates/openflow/src", "crates/net/src"];
+
+/// The per-file hot-function sets for `hot-path-alloc`: these
+/// functions sit on the per-packet path (dispatch, flow lookup,
+/// conntrack state transition, attestation replay) and must stay
+/// allocation-free to keep the zero-copy roadmap honest.
+const HOT_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/openflow/src/table.rs",
+        &["lookup", "lookup_counting", "best_candidate", "peek"],
+    ),
+    ("crates/switch/src/as_switch.rs", &["on_frame"]),
+    ("crates/conntrack/src/lib.rs", &["observe"]),
+    (
+        "crates/core/src/accountability.rs",
+        &["observe", "check_hop", "track_chain"],
+    ),
+];
+
 /// The per-file lint options for a workspace path: production crates
-/// additionally get the `unwrap-in-prod` rule.
+/// get the panic-family rules, wire-parsing crates get taint
+/// tracking, and files hosting configured hot functions get the
+/// allocation ban.
 pub fn options_for(path: &Path) -> LintOptions {
     let p = path.to_string_lossy();
+    let prod = PROD_CRATE_DIRS.iter().any(|d| p.contains(d));
     LintOptions {
-        unwrap_in_prod: PROD_CRATE_DIRS.iter().any(|d| p.contains(d)),
+        unwrap_in_prod: prod,
+        panic_path: prod,
+        wire_taint: WIRE_CRATE_DIRS.iter().any(|d| p.contains(d)),
+        hot_fns: HOT_FNS
+            .iter()
+            .filter(|(f, _)| p.ends_with(f))
+            .flat_map(|(_, fns)| fns.iter().map(|s| s.to_string()))
+            .collect(),
     }
 }
 
@@ -85,9 +129,10 @@ impl std::fmt::Display for FileFinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}: [{} {}] {}",
             self.path.display(),
             self.finding.line,
+            self.finding.rule.code(),
             self.finding.rule.name(),
             self.finding.message
         )

@@ -5,25 +5,35 @@
 //! exit nonzero when any unannotated violation remains.
 //!
 //! ```text
-//! livesec-lint [ROOT]
+//! livesec-lint [--json] [ROOT]
 //! ```
 //!
-//! With no argument the workspace root is located by walking up from
-//! the current directory to the first `Cargo.toml` containing
-//! `[workspace]`.
+//! With no root argument the workspace root is located by walking up
+//! from the current directory to the first `Cargo.toml` containing
+//! `[workspace]`. `--json` emits one machine-readable line per
+//! finding plus a trailing summary object, with stable `LS*` rule
+//! codes — `scripts/check.sh` archives this output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "-h" || a == "--help") {
-        println!("usage: livesec-lint [ROOT]");
-        println!("Determinism & invariant static analysis for the LiveSec workspace.");
-        println!("Exits 1 when any unannotated finding remains (see DESIGN.md §6).");
-        return ExitCode::SUCCESS;
+    let mut json = false;
+    let mut root_arg: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("usage: livesec-lint [--json] [ROOT]");
+                println!("Determinism & invariant static analysis for the LiveSec workspace.");
+                println!("Exits 1 when any unannotated finding remains (see DESIGN.md §13).");
+                println!("  --json   one JSON object per finding + a summary line");
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            other => root_arg = Some(other.to_string()),
+        }
     }
-    let root = match args.first() {
+    let root = match root_arg {
         Some(p) => PathBuf::from(p),
         None => {
             let cwd = std::env::current_dir().expect("cwd");
@@ -41,28 +51,62 @@ fn main() -> ExitCode {
     };
 
     match livesec_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("livesec-lint: workspace clean (0 findings)");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                // Report paths relative to the root for stable output.
-                let rel = f.path.strip_prefix(&root).unwrap_or(&f.path);
-                println!(
-                    "{}:{}: [{}] {}",
-                    rel.display(),
-                    f.finding.line,
-                    f.finding.rule.name(),
-                    f.finding.message
-                );
+            if json {
+                for f in &findings {
+                    let rel = f.path.strip_prefix(&root).unwrap_or(&f.path);
+                    println!(
+                        "{{\"code\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                        f.finding.rule.code(),
+                        f.finding.rule.name(),
+                        json_escape(&rel.display().to_string()),
+                        f.finding.line,
+                        json_escape(&f.finding.message)
+                    );
+                }
+                println!("{{\"findings\":{}}}", findings.len());
+            } else if findings.is_empty() {
+                println!("livesec-lint: workspace clean (0 findings)");
+            } else {
+                for f in &findings {
+                    // Report paths relative to the root for stable output.
+                    let rel = f.path.strip_prefix(&root).unwrap_or(&f.path);
+                    println!(
+                        "{}:{}: [{} {}] {}",
+                        rel.display(),
+                        f.finding.line,
+                        f.finding.rule.code(),
+                        f.finding.rule.name(),
+                        f.finding.message
+                    );
+                }
+                eprintln!("livesec-lint: {} finding(s)", findings.len());
             }
-            eprintln!("livesec-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("livesec-lint: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

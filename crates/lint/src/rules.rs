@@ -1,20 +1,32 @@
-//! The determinism rules and the annotation grammar.
+//! The rule families and the annotation grammar, v2: AST-driven.
 //!
-//! Every rule guards the simulator's core property: **byte-identical
-//! same-seed histories**. See `DESIGN.md` §6 for the rationale and
-//! the full allow-annotation grammar.
+//! v1 matched token patterns; v2 parses every file into the
+//! [`crate::ast`] tree ([`crate::parser`]) and runs the determinism
+//! rules plus three new families on it: wire-input taint
+//! ([`crate::dataflow`]), panic paths, and hot-path allocation. Every
+//! rule carries a stable `LS*` diagnostic code for `--json` output.
+//! See `DESIGN.md` §13 for the architecture and the full
+//! allow-annotation grammar.
 
-use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::ast::{self, BinOp, Block, Expr, File, FnItem, Item, Stmt, TypeRef};
+use crate::dataflow::{self, SinkKind};
+use crate::lexer::{lex, Comment, Token};
+use crate::parser;
+use std::collections::BTreeSet;
 
 /// The rules `livesec-lint` enforces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// Iteration over a `HashMap`/`HashSet` binding without an
-    /// in-statement ordering step (sort / collect into an ordered or
-    /// unordered collection / order-insensitive terminal fold).
+    /// The parser had to skip tokens it could not structure; the
+    /// analyzer's view of the file is incomplete. Not allowable —
+    /// fix the construct or teach the parser.
+    ParseError,
+    /// Iteration over a `HashMap`/`HashSet` binding whose order
+    /// escapes: no in-chain ordering step, no ordered `collect`
+    /// target, and no post-hoc sort of the collected result.
     UnorderedIter,
     /// Wall-clock time source (`Instant`, `SystemTime`): virtual
-    /// [`SimTime`] is the only clock the simulator may observe.
+    /// `SimTime` is the only clock the simulator may observe.
     WallClock,
     /// Unseeded or thread-local randomness (`thread_rng`,
     /// `from_entropy`, `OsRng`, `rand::random`).
@@ -24,11 +36,22 @@ pub enum Rule {
     /// convert to float only at the final division.
     FloatAccum,
     /// `.unwrap()` / `.expect()` outside `#[cfg(test)]` code in the
-    /// production crates (`core`, `switch`, `conntrack`): one panic
-    /// takes down the whole controller or dataplane. Opt-in via
-    /// [`LintOptions::unwrap_in_prod`]; [`crate::lint_files`] enables
-    /// it for production-crate paths.
+    /// production crates: one panic takes down the whole controller
+    /// or dataplane. Opt-in via [`LintOptions::unwrap_in_prod`].
     UnwrapInProd,
+    /// A slice index that can panic in production code: the index
+    /// contains an unguarded subtraction (underflow makes a huge
+    /// `usize`) or an unguarded integer parameter. Opt-in via
+    /// [`LintOptions::panic_path`].
+    PanicPath,
+    /// A wire-controlled value (byte-reader result, `&[u8]` param)
+    /// reaching an allocation, slice index, or amplifying arithmetic
+    /// without a bounds guard. Opt-in via [`LintOptions::wire_taint`].
+    WireTaint,
+    /// Allocation in a configured hot function (`Vec::new`, `clone`,
+    /// `to_vec`, `collect`, `format!`): the packet path must stay
+    /// allocation-free. Opt-in via [`LintOptions::hot_fns`].
+    HotPathAlloc,
     /// A `livesec-lint:` comment that does not parse — unknown rule
     /// name, missing or empty `reason`, or malformed syntax.
     BadAnnotation,
@@ -41,18 +64,42 @@ impl Rule {
     /// The kebab-case name used in reports and allow annotations.
     pub fn name(self) -> &'static str {
         match self {
+            Rule::ParseError => "parse-error",
             Rule::UnorderedIter => "unordered-iter",
             Rule::WallClock => "wall-clock",
             Rule::UnseededRng => "unseeded-rng",
             Rule::FloatAccum => "float-accum",
             Rule::UnwrapInProd => "unwrap-in-prod",
+            Rule::PanicPath => "panic-path",
+            Rule::WireTaint => "wire-taint",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
     }
 
+    /// The stable diagnostic code used in `--json` output. Codes are
+    /// append-only: a code is never reused for a different rule.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::ParseError => "LS000",
+            Rule::UnorderedIter => "LS101",
+            Rule::WallClock => "LS102",
+            Rule::UnseededRng => "LS103",
+            Rule::FloatAccum => "LS104",
+            Rule::UnwrapInProd => "LS201",
+            Rule::PanicPath => "LS202",
+            Rule::WireTaint => "LS301",
+            Rule::HotPathAlloc => "LS401",
+            Rule::BadAnnotation => "LS901",
+            Rule::UnusedAllow => "LS902",
+        }
+    }
+
     /// Parses an annotation rule name; only suppressible rules are
-    /// legal targets of `allow(...)`.
+    /// legal targets of `allow(...)`. `parse-error`, `bad-annotation`
+    /// and `unused-allow` are infrastructure findings and cannot be
+    /// waved through.
     fn from_allow_name(s: &str) -> Option<Rule> {
         match s {
             "unordered-iter" => Some(Rule::UnorderedIter),
@@ -60,19 +107,28 @@ impl Rule {
             "unseeded-rng" => Some(Rule::UnseededRng),
             "float-accum" => Some(Rule::FloatAccum),
             "unwrap-in-prod" => Some(Rule::UnwrapInProd),
+            "panic-path" => Some(Rule::PanicPath),
+            "wire-taint" => Some(Rule::WireTaint),
+            "hot-path-alloc" => Some(Rule::HotPathAlloc),
             _ => None,
         }
     }
 }
 
 /// Per-file switches for rules that only apply to some of the
-/// workspace (today just [`Rule::UnwrapInProd`], which is scoped to
-/// the production crates). [`lint_source`] uses the default — every
-/// optional rule off — so generic callers keep the old behavior.
-#[derive(Clone, Copy, Debug, Default)]
+/// workspace. [`lint_source`] uses the default — every optional rule
+/// off — so generic callers keep the old behavior.
+#[derive(Clone, Debug, Default)]
 pub struct LintOptions {
-    /// Enable the [`Rule::UnwrapInProd`] check.
+    /// Enable [`Rule::UnwrapInProd`] (production crates).
     pub unwrap_in_prod: bool,
+    /// Enable [`Rule::PanicPath`] (production crates).
+    pub panic_path: bool,
+    /// Enable [`Rule::WireTaint`] (wire-parsing crates).
+    pub wire_taint: bool,
+    /// Function names that must stay allocation-free in this file;
+    /// empty disables [`Rule::HotPathAlloc`].
+    pub hot_fns: Vec<String>,
 }
 
 /// One violation in one file.
@@ -117,8 +173,8 @@ const ITER_METHODS: &[&str] = &[
     "extract_if",
 ];
 
-/// Sort-family calls: their presence downstream in the same statement
-/// restores a deterministic order.
+/// Sort-family calls: applied downstream in the chain (or to the
+/// collected result) they restore a deterministic order.
 const SORTERS: &[&str] = &[
     "sort",
     "sort_by",
@@ -147,6 +203,28 @@ const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
 /// Unseeded-randomness identifiers.
 const UNSEEDED_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
 
+/// Methods that allocate; banned in hot functions.
+const HOT_ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// `Type::ctor` paths that allocate; banned in hot functions.
+const HOT_ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+    ("VecDeque", "new"),
+];
+
+/// Macros that allocate; banned in hot functions.
+const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Integer primitive type names, for panic-path parameter tracking.
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
 /// Lints one file's source text with the default options (optional
 /// rules off) and returns all unsuppressed findings, sorted by line
 /// then rule.
@@ -158,26 +236,52 @@ pub fn lint_source(src: &str) -> Vec<Finding> {
 /// findings, sorted by line then rule.
 pub fn lint_source_with(src: &str, opts: &LintOptions) -> Vec<Finding> {
     let lexed = lex(src);
-    let toks = &lexed.tokens;
+    let file = parser::parse_tokens(&lexed.tokens);
 
     let mut findings = Vec::new();
-    let unordered = collect_unordered_bindings(toks);
-
-    check_unordered_iteration(toks, &unordered, &mut findings);
-    check_wall_clock(toks, &mut findings);
-    check_unseeded_rng(toks, &mut findings);
-    check_float_accum(toks, &mut findings);
-    if opts.unwrap_in_prod {
-        check_unwrap_in_prod(toks, &mut findings);
+    for r in &file.recoveries {
+        findings.push(Finding {
+            line: r.line,
+            rule: Rule::ParseError,
+            message: format!(
+                "livesec-lint could not parse this construct (while parsing {}); \
+                 the analyzer's view of the file is incomplete",
+                r.context
+            ),
+        });
     }
+
+    check_unordered_iteration(&file, &mut findings);
+    check_wall_clock_and_rng(&file, &mut findings);
+    check_float_accum(&file, &mut findings);
+    ast::for_each_fn(&file, &mut |f, in_test| {
+        if in_test {
+            return;
+        }
+        if opts.unwrap_in_prod {
+            check_unwrap(f, &mut findings);
+        }
+        if opts.panic_path {
+            check_panic_path(f, &mut findings);
+        }
+        if opts.wire_taint {
+            check_wire_taint(f, &mut findings);
+        }
+        if opts.hot_fns.iter().any(|h| h == &f.name) {
+            check_hot_path_alloc(f, &mut findings);
+        }
+    });
 
     // Findings can be produced by more than one detector for the same
     // site (e.g. a `for` over `map.keys()`); dedupe per (line, rule).
     findings.sort_by_key(|f| (f.line, f.rule));
     findings.dedup_by_key(|f| (f.line, f.rule));
 
-    let (mut allows, mut bad) = parse_annotations(&lexed.comments, toks);
+    let (mut allows, mut bad) = parse_annotations(&lexed.comments, &lexed.tokens);
     findings.retain(|f| {
+        if f.rule == Rule::ParseError {
+            return true; // never suppressible
+        }
         for a in allows.iter_mut() {
             if a.rule == f.rule && f.line >= a.target_line && f.line <= a.target_end {
                 a.used = true;
@@ -203,6 +307,10 @@ pub fn lint_source_with(src: &str, opts: &LintOptions) -> Vec<Finding> {
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
 }
+
+// ---------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------
 
 /// Parses every `livesec-lint:` comment. Returns well-formed allows
 /// plus findings for malformed ones.
@@ -299,482 +407,602 @@ fn parse_allow_body(rest: &str) -> Result<Rule, String> {
     Ok(rule)
 }
 
-/// Collects identifiers bound to `HashMap`/`HashSet` in this file:
-/// struct fields, typed params/fields (`name: [&][mut] [path::]Hash*`)
-/// and `let` bindings whose initializer mentions `Hash*`.
-fn collect_unordered_bindings(toks: &[Token]) -> Vec<String> {
-    let mut names: Vec<String> = Vec::new();
+// ---------------------------------------------------------------------
+// Unordered iteration (LS101)
+// ---------------------------------------------------------------------
 
-    // Pattern 1: `name : ... HashMap/HashSet` — walk back from the
-    // type name over path segments, wrappers, `&`, `mut`, lifetimes
-    // and `<` until a *single* colon, then take the ident before it.
-    for (k, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
-            continue;
-        }
-        let mut j = k;
-        let mut steps = 0;
-        while j > 0 && steps < 16 {
-            j -= 1;
-            steps += 1;
-            let p = &toks[j];
-            match p.kind {
-                TokenKind::Ident | TokenKind::Lifetime => {}
-                TokenKind::Punct if p.text == "<" || p.text == "&" => {}
-                TokenKind::Punct if p.text == ":" => {
-                    // `::` path separator? (adjacent colon on either side)
-                    let double =
-                        (j > 0 && toks[j - 1].text == ":" && toks[j - 1].start + 1 == p.start)
-                            || toks
-                                .get(j + 1)
-                                .is_some_and(|n| n.text == ":" && p.start + 1 == n.start);
-                    if double {
-                        continue;
-                    }
-                    if j > 0 && toks[j - 1].kind == TokenKind::Ident {
-                        let name = toks[j - 1].text.clone();
-                        if !is_keyword(&name) && !names.contains(&name) {
-                            names.push(name);
-                        }
-                    }
-                    break;
-                }
-                _ => break,
+/// Collects the file's unordered bindings — names bound to
+/// `HashMap`/`HashSet` (directly or through a local type alias) via
+/// struct fields, fn params, typed lets, and lets whose initializer
+/// constructs one — then checks every function body against them.
+fn check_unordered_iteration(file: &File, findings: &mut Vec<Finding>) {
+    // Local aliases whose target is unordered (`type Cache = HashMap<..>`).
+    let mut aliases: BTreeSet<String> = BTreeSet::new();
+    walk_items(&file.items, &mut |item| {
+        if let Item::TypeAlias { name, ty, .. } = item {
+            if ty.mentions("HashMap") || ty.mentions("HashSet") {
+                aliases.insert(name.clone());
             }
         }
-    }
+    });
+    let unordered_ty = |ty: &TypeRef| {
+        ty.mentions("HashMap")
+            || ty.mentions("HashSet")
+            || ty.idents.iter().any(|i| aliases.contains(i))
+    };
 
-    // Pattern 2: `let [mut] name = ... HashMap/HashSet ... ;`
-    let mut k = 0;
-    while k < toks.len() {
-        if toks[k].kind == TokenKind::Ident && toks[k].text == "let" {
-            let mut j = k + 1;
-            if toks.get(j).is_some_and(|t| t.text == "mut") {
-                j += 1;
-            }
-            if let Some(name_tok) = toks.get(j) {
-                if name_tok.kind == TokenKind::Ident && !is_keyword(&name_tok.text) {
-                    // Scan the initializer to the statement-ending `;`.
-                    let mut depth = 0i32;
-                    let mut m = j + 1;
-                    let mut saw_unordered = false;
-                    while let Some(t) = toks.get(m) {
-                        match t.text.as_str() {
-                            "(" | "[" | "{" => depth += 1,
-                            ")" | "]" | "}" => depth -= 1,
-                            ";" if depth <= 0 => break,
-                            "HashMap" | "HashSet" if t.kind == TokenKind::Ident => {
-                                saw_unordered = true;
-                            }
-                            _ => {}
-                        }
-                        m += 1;
-                    }
-                    if saw_unordered && !names.contains(&name_tok.text) {
-                        names.push(name_tok.text.clone());
-                    }
-                    k = m;
-                    continue;
+    let mut set: BTreeSet<String> = BTreeSet::new();
+    walk_items(&file.items, &mut |item| match item {
+        Item::Struct { fields, .. } | Item::Enum { fields, .. } => {
+            for f in fields {
+                if !f.name.is_empty() && unordered_ty(&f.ty) {
+                    set.insert(f.name.clone());
                 }
             }
         }
-        k += 1;
-    }
-    names
+        Item::Const { name, ty, .. } if unordered_ty(ty) => {
+            set.insert(name.clone());
+        }
+        _ => {}
+    });
+    ast::for_each_fn(file, &mut |f, _| {
+        for p in &f.params {
+            if unordered_ty(&p.ty) {
+                set.insert(p.name.clone());
+            }
+        }
+        if let Some(body) = &f.body {
+            collect_unordered_lets(body, &unordered_ty, &aliases, &mut set);
+        }
+    });
+
+    let mut checker = UnorderedCheck {
+        set: &set,
+        findings,
+    };
+    ast::for_each_fn(file, &mut |f, _| {
+        if let Some(body) = &f.body {
+            checker.process_block(body);
+        }
+    });
 }
 
-fn is_keyword(s: &str) -> bool {
-    matches!(
-        s,
-        "let"
-            | "mut"
-            | "fn"
-            | "pub"
-            | "if"
-            | "else"
-            | "for"
-            | "in"
-            | "while"
-            | "loop"
-            | "match"
-            | "return"
-            | "self"
-            | "Self"
-            | "impl"
-            | "struct"
-            | "enum"
-            | "trait"
-            | "type"
-            | "use"
-            | "mod"
-            | "where"
-            | "move"
-            | "ref"
-            | "const"
-            | "static"
-            | "crate"
-            | "super"
-            | "dyn"
-            | "as"
-            | "break"
-            | "continue"
-    )
-}
-
-/// Flags order-escaping iteration over known unordered bindings.
-fn check_unordered_iteration(toks: &[Token], unordered: &[String], findings: &mut Vec<Finding>) {
-    // Detector A: `name.iter()` / `.keys()` / `.drain()` / ... chains.
-    for (k, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !unordered.iter().any(|n| n == &t.text) {
-            continue;
-        }
-        let Some(dot) = toks.get(k + 1) else { continue };
-        let Some(method) = toks.get(k + 2) else {
-            continue;
-        };
-        let Some(paren) = toks.get(k + 3) else {
-            continue;
-        };
-        if dot.text != "."
-            || method.kind != TokenKind::Ident
-            || !ITER_METHODS.contains(&method.text.as_str())
-            || paren.text != "("
-        {
-            continue;
-        }
-        if statement_restores_order(toks, k + 3) {
-            continue;
-        }
-        findings.push(Finding {
-            line: t.line,
-            rule: Rule::UnorderedIter,
-            message: format!(
-                "iteration order of `{}.{}()` is nondeterministic; use a BTree \
-                 collection, sort in this statement, or annotate with a reason",
-                t.text, method.text
-            ),
+/// Adds `let` bindings that hold an unordered collection: annotated
+/// with an unordered type, or initialized from an expression that
+/// names one (`HashMap::new()`, `collect::<HashMap<_, _>>()`, a local
+/// alias constructor).
+fn collect_unordered_lets(
+    block: &Block,
+    unordered_ty: &dyn Fn(&TypeRef) -> bool,
+    aliases: &BTreeSet<String>,
+    set: &mut BTreeSet<String>,
+) {
+    let mentions_unordered = |e: &Expr| {
+        let mut hit = false;
+        e.walk(&mut |x| {
+            let names: &[String] = match x {
+                Expr::Path { segs, generics, .. } => {
+                    if segs
+                        .iter()
+                        .any(|s| s == "HashMap" || s == "HashSet" || aliases.contains(s))
+                    {
+                        hit = true;
+                    }
+                    generics
+                }
+                Expr::MethodCall { generics, .. } => generics,
+                Expr::StructLit { segs, .. } => {
+                    if segs
+                        .iter()
+                        .any(|s| s == "HashMap" || s == "HashSet" || aliases.contains(s))
+                    {
+                        hit = true;
+                    }
+                    &[]
+                }
+                _ => &[],
+            };
+            if names
+                .iter()
+                .any(|g| g == "HashMap" || g == "HashSet" || aliases.contains(g))
+            {
+                hit = true;
+            }
         });
+        hit
+    };
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                name: Some(n),
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                let by_ty = ty.as_ref().is_some_and(unordered_ty);
+                let by_init = init.as_ref().is_some_and(&mentions_unordered);
+                if by_ty || by_init {
+                    set.insert(n.clone());
+                }
+                if let Some(e) = init {
+                    collect_in_expr_blocks(e, unordered_ty, aliases, set);
+                }
+                if let Some(b) = else_block {
+                    collect_unordered_lets(b, unordered_ty, aliases, set);
+                }
+            }
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    collect_in_expr_blocks(e, unordered_ty, aliases, set);
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_in_expr_blocks(expr, unordered_ty, aliases, set),
+            Stmt::Item(_) | Stmt::Empty => {}
+        }
+    }
+}
+
+/// Recurses into the blocks nested inside an expression so `let`s in
+/// branch arms and loop bodies are collected too.
+fn collect_in_expr_blocks(
+    e: &Expr,
+    unordered_ty: &dyn Fn(&TypeRef) -> bool,
+    aliases: &BTreeSet<String>,
+    set: &mut BTreeSet<String>,
+) {
+    e.walk(&mut |x| {
+        let block = match x {
+            Expr::If { then, .. } => Some(then),
+            Expr::While { body, .. } | Expr::Loop { body, .. } | Expr::For { body, .. } => {
+                Some(body)
+            }
+            Expr::Block { block, .. } => Some(block),
+            _ => None,
+        };
+        if let Some(b) = block {
+            // Only the direct lets; nested blocks are reached by the
+            // outer walk visiting their parent expressions.
+            for stmt in &b.stmts {
+                if let Stmt::Let {
+                    name: Some(n),
+                    ty,
+                    init,
+                    ..
+                } = stmt
+                {
+                    let by_ty = ty.as_ref().is_some_and(unordered_ty);
+                    let by_init = init.as_ref().is_some_and(|ie| {
+                        let mut hit = false;
+                        ie.walk(&mut |p| {
+                            if let Expr::Path { segs, generics, .. } = p {
+                                if segs.iter().chain(generics.iter()).any(|s| {
+                                    s == "HashMap" || s == "HashSet" || aliases.contains(s)
+                                }) {
+                                    hit = true;
+                                }
+                            }
+                        });
+                        hit
+                    });
+                    if by_ty || by_init {
+                        set.insert(n.clone());
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// One flagged iteration site before statement-level rescue checks.
+struct IterCandidate {
+    line: u32,
+    binding: String,
+    method: String,
+    is_for: bool,
+}
+
+struct UnorderedCheck<'a> {
+    set: &'a BTreeSet<String>,
+    findings: &'a mut Vec<Finding>,
+}
+
+/// A step in the method chain *above* an iteration call: (name,
+/// turbofish generics).
+type ChainStep<'e> = (&'e str, &'e [String]);
+
+impl UnorderedCheck<'_> {
+    fn process_block(&mut self, block: &Block) {
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            let mut candidates = Vec::new();
+            let mut blocks: Vec<&Block> = Vec::new();
+            match stmt {
+                Stmt::Let {
+                    init, else_block, ..
+                } => {
+                    if let Some(e) = init {
+                        let mut chain = Vec::new();
+                        self.scan(e, &mut chain, &mut candidates, &mut blocks);
+                    }
+                    if let Some(b) = else_block {
+                        blocks.push(b);
+                    }
+                }
+                Stmt::Expr { expr, .. } => {
+                    let mut chain = Vec::new();
+                    self.scan(expr, &mut chain, &mut candidates, &mut blocks);
+                }
+                Stmt::Item(_) | Stmt::Empty => {}
+            }
+            // Statement-level rescues for collected results:
+            // `let x: BTreeMap<..> = ...collect();` and
+            // `let mut v = ...collect(); v.sort();` later on.
+            if !candidates.is_empty() {
+                if let Stmt::Let { ty: Some(t), .. } = stmt {
+                    if ORDER_SAFE_COLLECTS.iter().any(|c| t.mentions(c)) {
+                        candidates.clear();
+                    }
+                }
+            }
+            if !candidates.is_empty() {
+                if let Stmt::Let { name: Some(n), .. } = stmt {
+                    if sorted_before_use(&block.stmts[i + 1..], n) {
+                        candidates.clear();
+                    }
+                }
+            }
+            for c in candidates {
+                let message = if c.is_for {
+                    format!(
+                        "`for` over `{}` observes nondeterministic iteration order; \
+                         use a BTree collection or annotate with a reason",
+                        c.binding
+                    )
+                } else {
+                    format!(
+                        "iteration order of `{}.{}()` is nondeterministic; use a BTree \
+                         collection, sort the result, or annotate with a reason",
+                        c.binding, c.method
+                    )
+                };
+                self.findings.push(Finding {
+                    line: c.line,
+                    rule: Rule::UnorderedIter,
+                    message,
+                });
+            }
+            for b in blocks {
+                self.process_block(b);
+            }
+        }
     }
 
-    // Detector B: `for pat in [&[mut]] [path.]name {` with no call in
-    // the iterated expression (calls are handled by detector A).
-    let mut k = 0;
-    while k < toks.len() {
-        if !(toks[k].kind == TokenKind::Ident && toks[k].text == "for") {
-            k += 1;
-            continue;
-        }
-        // Find `in` at depth 0 (tuple patterns may contain parens).
-        let mut depth = 0i32;
-        let mut j = k + 1;
-        let mut in_at = None;
-        while let Some(t) = toks.get(j) {
-            match t.text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" | ";" => break, // not a for-loop header after all
-                "in" if depth == 0 && t.kind == TokenKind::Ident => {
-                    in_at = Some(j);
-                    break;
+    /// Walks one statement's expression. `chain` holds the method
+    /// calls applied *above* the current position (outermost first);
+    /// nested blocks are deferred to [`Self::process_block`] so their
+    /// statements get their own candidate handling.
+    fn scan<'e>(
+        &mut self,
+        e: &'e Expr,
+        chain: &mut Vec<ChainStep<'e>>,
+        out: &mut Vec<IterCandidate>,
+        blocks: &mut Vec<&'e Block>,
+    ) {
+        match e {
+            Expr::MethodCall {
+                recv,
+                name,
+                generics,
+                args,
+                ..
+            } => {
+                if ITER_METHODS.contains(&name.as_str()) {
+                    if let Some(binding) = self.binding_of(recv) {
+                        if !chain_restores(chain) {
+                            out.push(IterCandidate {
+                                line: recv.unwrapped().line(),
+                                binding,
+                                method: name.clone(),
+                                is_for: false,
+                            });
+                        }
+                    }
                 }
-                _ => {}
-            }
-            j += 1;
-            if j > k + 40 {
-                break;
-            }
-        }
-        let Some(in_at) = in_at else {
-            k += 1;
-            continue;
-        };
-        // Iterated expression: tokens until the body `{` at depth 0.
-        depth = 0;
-        let mut m = in_at + 1;
-        let mut expr_end = None;
-        while let Some(t) = toks.get(m) {
-            match t.text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" if depth == 0 => {
-                    expr_end = Some(m);
-                    break;
+                chain.push((name.as_str(), generics.as_slice()));
+                self.scan(recv, chain, out, blocks);
+                chain.pop();
+                for a in args {
+                    let mut fresh = Vec::new();
+                    self.scan(a, &mut fresh, out, blocks);
                 }
-                _ => {}
             }
-            m += 1;
-            if m > in_at + 60 {
-                break;
+            Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+                self.scan(expr, chain, out, blocks)
             }
-        }
-        let Some(expr_end) = expr_end else {
-            k = in_at + 1;
-            continue;
-        };
-        let expr = &toks[in_at + 1..expr_end];
-        let has_call = expr.iter().any(|t| t.text == "(");
-        let last_ident = expr.iter().rev().find(|t| t.kind == TokenKind::Ident);
-        if !has_call {
-            if let Some(li) = last_ident {
-                if unordered.iter().any(|n| n == &li.text) {
-                    findings.push(Finding {
-                        line: li.line,
-                        rule: Rule::UnorderedIter,
-                        message: format!(
-                            "`for` over `{}` observes nondeterministic iteration order; \
-                             use a BTree collection or annotate with a reason",
-                            li.text
-                        ),
+            Expr::For { iter, body, .. } => {
+                if let Some(binding) = self.binding_of(iter) {
+                    out.push(IterCandidate {
+                        line: iter.unwrapped().line(),
+                        binding,
+                        method: String::new(),
+                        is_for: true,
                     });
                 }
+                let mut fresh = Vec::new();
+                self.scan(iter, &mut fresh, out, blocks);
+                blocks.push(body);
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                let mut fresh = Vec::new();
+                self.scan(cond, &mut fresh, out, blocks);
+                blocks.push(then);
+                if let Some(el) = else_ {
+                    let mut fresh = Vec::new();
+                    self.scan(el, &mut fresh, out, blocks);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                let mut fresh = Vec::new();
+                self.scan(cond, &mut fresh, out, blocks);
+                blocks.push(body);
+            }
+            Expr::Loop { body, .. } => blocks.push(body),
+            Expr::Block { block, .. } => blocks.push(block),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let mut fresh = Vec::new();
+                self.scan(scrutinee, &mut fresh, out, blocks);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        let mut fresh = Vec::new();
+                        self.scan(g, &mut fresh, out, blocks);
+                    }
+                    let mut fresh = Vec::new();
+                    self.scan(&arm.body, &mut fresh, out, blocks);
+                }
+            }
+            Expr::Closure { body, .. } => {
+                let mut fresh = Vec::new();
+                self.scan(body, &mut fresh, out, blocks);
+            }
+            other => {
+                // Generic descent with fresh chains for every child.
+                let mut children: Vec<&Expr> = Vec::new();
+                match other {
+                    Expr::Call { callee, args, .. } => {
+                        children.push(callee);
+                        children.extend(args.iter());
+                    }
+                    Expr::Field { recv, .. } => children.push(recv),
+                    Expr::Index { recv, index, .. } => {
+                        children.push(recv);
+                        children.push(index);
+                    }
+                    Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+                        children.push(lhs);
+                        children.push(rhs);
+                    }
+                    Expr::Range { lo, hi, .. } => {
+                        children.extend(lo.as_deref());
+                        children.extend(hi.as_deref());
+                    }
+                    Expr::MacroCall { args, .. } => children.extend(args.iter()),
+                    Expr::StructLit { fields, base, .. } => {
+                        children.extend(fields.iter().map(|(_, v)| v));
+                        children.extend(base.as_deref());
+                    }
+                    Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                        children.extend(elems.iter())
+                    }
+                    Expr::Return { value, .. } | Expr::Break { value, .. } => {
+                        children.extend(value.as_deref())
+                    }
+                    _ => {}
+                }
+                for c in children {
+                    let mut fresh = Vec::new();
+                    self.scan(c, &mut fresh, out, blocks);
+                }
             }
         }
-        k = expr_end + 1;
+    }
+
+    /// The unordered binding an expression denotes, if any: a bare
+    /// variable (`m`) or a field access of any depth (`self.m`).
+    fn binding_of(&self, e: &Expr) -> Option<String> {
+        match e.unwrapped() {
+            Expr::Path { segs, .. } if segs.len() == 1 && self.set.contains(&segs[0]) => {
+                Some(segs[0].clone())
+            }
+            Expr::Field { name, .. } if self.set.contains(name) => Some(name.clone()),
+            _ => None,
+        }
     }
 }
 
-/// True when the statement containing the iteration (scanning forward
-/// from `from`, the opening paren of the iter call) re-establishes a
-/// deterministic order: a sort-family call, an order-insensitive
-/// terminal fold, or a `collect` into an ordered/unordered target.
-fn statement_restores_order(toks: &[Token], from: usize) -> bool {
-    let mut depth = 0i32;
-    let mut j = from;
-    while let Some(t) = toks.get(j) {
-        match t.text.as_str() {
-            "(" | "[" => depth += 1,
-            ")" | "]" => {
-                depth -= 1;
-                if depth < 0 {
-                    return false; // statement ended inside a call arg
-                }
-            }
-            ";" | "{" | "}" if depth == 0 => return false,
-            _ if t.kind == TokenKind::Ident && depth == 0 => {
-                // Only chain-level idents count: anything at depth ≥ 1
-                // sits inside call parens (closure bodies, arguments)
-                // and must not satisfy the ordering requirement.
-                let name = t.text.as_str();
-                if SORTERS.contains(&name) || ORDER_FREE_TERMINALS.contains(&name) {
-                    return true;
-                }
-                if name == "collect" {
-                    // Look for a turbofish naming a safe target.
-                    let mut m = j + 1;
-                    while let Some(n) = toks.get(m) {
-                        if n.kind == TokenKind::Ident {
-                            return ORDER_SAFE_COLLECTS.contains(&n.text.as_str());
-                        }
-                        if n.text == "(" || n.text == ";" {
-                            return false; // plain `collect()` — target unknown
-                        }
-                        m += 1;
+/// Whether any chain step above the iteration re-establishes order: a
+/// sorter, an order-insensitive terminal, or a `collect` whose
+/// turbofish names an order-safe target.
+fn chain_restores(chain: &[ChainStep]) -> bool {
+    chain.iter().any(|(name, generics)| {
+        SORTERS.contains(name)
+            || ORDER_FREE_TERMINALS.contains(name)
+            || (*name == "collect"
+                && generics
+                    .iter()
+                    .any(|g| ORDER_SAFE_COLLECTS.contains(&g.as_str())))
+    })
+}
+
+/// Whether the binding `n` is sorted by a following sibling statement
+/// before any other use — the post-hoc-sort shape
+/// (`let mut v = ..collect(); v.sort();`).
+fn sorted_before_use(rest: &[Stmt], n: &str) -> bool {
+    for stmt in rest {
+        match stmt {
+            Stmt::Expr { expr, .. } => {
+                if let Expr::MethodCall { recv, name, .. } = expr {
+                    let on_n = matches!(
+                        recv.unwrapped(),
+                        Expr::Path { segs, .. } if segs.len() == 1 && segs[0] == n
+                    );
+                    if on_n && SORTERS.contains(&name.as_str()) {
+                        return true;
                     }
+                }
+                if expr.mentions(n) {
                     return false;
                 }
             }
-            _ => {}
+            Stmt::Let { init, .. } => {
+                if init.as_ref().is_some_and(|e| e.mentions(n)) {
+                    return false;
+                }
+            }
+            Stmt::Item(_) | Stmt::Empty => {}
         }
-        j += 1;
     }
     false
 }
 
-/// Flags wall-clock sources.
-fn check_wall_clock(toks: &[Token], findings: &mut Vec<Finding>) {
-    for t in toks {
-        if t.kind == TokenKind::Ident && WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
-            findings.push(Finding {
-                line: t.line,
-                rule: Rule::WallClock,
-                message: format!(
-                    "`{}` reads the wall clock; simulator code must use virtual SimTime",
-                    t.text
-                ),
-            });
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Wall clock (LS102) & unseeded RNG (LS103)
+// ---------------------------------------------------------------------
 
-/// Flags unseeded / thread-local randomness.
-fn check_unseeded_rng(toks: &[Token], findings: &mut Vec<Finding>) {
-    for (k, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident {
-            continue;
+/// Flags wall-clock sources and unseeded randomness, in expressions
+/// and in type positions (a field of type `Instant` is as much a
+/// determinism leak as a call to `Instant::now()`). Unlike v1 this
+/// skips `use` statements — the use *site* is what gets flagged.
+fn check_wall_clock_and_rng(file: &File, findings: &mut Vec<Finding>) {
+    let mut seen_ty: Vec<(u32, String)> = Vec::new();
+    for_each_type(file, &mut |ty, line| {
+        for id in &ty.idents {
+            if WALL_CLOCK_IDENTS.contains(&id.as_str())
+                || UNSEEDED_RNG_IDENTS.contains(&id.as_str())
+            {
+                seen_ty.push((line, id.clone()));
+            }
         }
-        let hit = UNSEEDED_RNG_IDENTS.contains(&t.text.as_str())
-            || (t.text == "random"
-                && k >= 3
-                && toks[k - 1].text == ":"
-                && toks[k - 2].text == ":"
-                && toks[k - 3].text == "rand");
-        if hit {
-            findings.push(Finding {
-                line: t.line,
-                rule: Rule::UnseededRng,
-                message: format!(
-                    "`{}` draws unseeded randomness; all RNG must derive from the run seed",
-                    t.text
-                ),
-            });
-        }
+    });
+    for (line, id) in seen_ty {
+        push_clock_or_rng(findings, line, &id);
     }
-}
-
-/// Flags float accumulation: `x += <float expr>` and
-/// `.sum::<f32/f64>()` / `.product::<f32/f64>()`.
-fn check_float_accum(toks: &[Token], findings: &mut Vec<Finding>) {
-    for (k, t) in toks.iter().enumerate() {
-        // `.sum::<f64>()` / `.product::<f32>()`.
-        if t.kind == TokenKind::Ident && (t.text == "sum" || t.text == "product") {
-            let mut j = k + 1;
-            let mut ok = k > 0 && toks[k - 1].text == ".";
-            while ok {
-                match toks.get(j) {
-                    Some(n) if n.text == ":" || n.text == "<" => j += 1,
-                    Some(n) if n.kind == TokenKind::Ident => {
-                        if n.text == "f32" || n.text == "f64" {
-                            findings.push(Finding {
-                                line: t.line,
-                                rule: Rule::FloatAccum,
-                                message: format!(
-                                    "`.{}::<{}>()` accumulates floats whose result depends on \
-                                     order and rounding; aggregate in integers and divide once",
-                                    t.text, n.text
-                                ),
-                            });
-                        }
-                        ok = false;
-                    }
-                    _ => ok = false,
+    for_each_expr(file, &mut |e| match e {
+        Expr::Path {
+            segs,
+            generics,
+            line,
+        } => {
+            for id in segs.iter().chain(generics.iter()) {
+                if WALL_CLOCK_IDENTS.contains(&id.as_str())
+                    || UNSEEDED_RNG_IDENTS.contains(&id.as_str())
+                {
+                    push_clock_or_rng(findings, *line, id);
+                }
+            }
+            // `rand::random()` — benign `random` alone stays legal.
+            if segs.windows(2).any(|w| w[0] == "rand" && w[1] == "random") {
+                findings.push(Finding {
+                    line: *line,
+                    rule: Rule::UnseededRng,
+                    message: "`random` draws unseeded randomness; all RNG must derive from \
+                              the run seed"
+                        .to_string(),
+                });
+            }
+        }
+        Expr::MethodCall { name, line, .. } if UNSEEDED_RNG_IDENTS.contains(&name.as_str()) => {
+            push_clock_or_rng(findings, *line, name);
+        }
+        Expr::Cast { ty, line, .. } => {
+            for id in &ty.idents {
+                if WALL_CLOCK_IDENTS.contains(&id.as_str()) {
+                    push_clock_or_rng(findings, *line, id);
                 }
             }
         }
-        // `lhs += <rhs with float evidence>;`
-        if t.text == "+"
-            && toks
-                .get(k + 1)
-                .is_some_and(|n| n.text == "=" && n.start == t.start + 1)
-        {
-            let mut j = k + 2;
-            let mut depth = 0i32;
-            while let Some(n) = toks.get(j) {
-                match n.text.as_str() {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth -= 1,
-                    ";" if depth <= 0 => break,
-                    "f32" | "f64" if n.kind == TokenKind::Ident => {
-                        findings.push(Finding {
-                            line: t.line,
-                            rule: Rule::FloatAccum,
-                            message: "float `+=` accumulation is order- and rounding-sensitive; \
-                                      aggregate in integers and divide once"
-                                .to_string(),
-                        });
-                        break;
-                    }
-                    _ if n.kind == TokenKind::Literal && is_float_literal(&n.text) => {
-                        findings.push(Finding {
-                            line: t.line,
-                            rule: Rule::FloatAccum,
-                            message: "float `+=` accumulation is order- and rounding-sensitive; \
-                                      aggregate in integers and divide once"
-                                .to_string(),
-                        });
-                        break;
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-    }
+        _ => {}
+    });
 }
 
-/// Token-index ranges belonging to `#[cfg(test)]` items: from the
-/// attribute to the end of the item it gates (the matching close of
-/// the first `{`, or the first `;` if the item is brace-less).
-fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut k = 0;
-    while k + 6 < toks.len() {
-        let is_attr = toks[k].text == "#"
-            && toks[k + 1].text == "["
-            && toks[k + 2].text == "cfg"
-            && toks[k + 3].text == "("
-            && toks[k + 4].text == "test"
-            && toks[k + 5].text == ")"
-            && toks[k + 6].text == "]";
-        if !is_attr {
-            k += 1;
-            continue;
-        }
-        // Skip to the gated item's body. A `;` at depth 0 before any
-        // `{` means a brace-less item (e.g. `#[cfg(test)] use ...;`).
-        let mut j = k + 7;
-        let mut depth = 0i32;
-        let mut end = toks.len().saturating_sub(1);
-        while let Some(t) = toks.get(j) {
-            match t.text.as_str() {
-                ";" if depth == 0 => {
-                    end = j;
-                    break;
-                }
-                "{" => {
-                    depth += 1;
-                    // Brace-match to the item's close.
-                    let mut m = j + 1;
-                    while let Some(n) = toks.get(m) {
-                        match n.text.as_str() {
-                            "{" => depth += 1,
-                            "}" => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        m += 1;
-                    }
-                    end = m.min(toks.len().saturating_sub(1));
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        ranges.push((k, end));
-        k = end + 1;
-    }
-    ranges
-}
-
-/// Flags `.unwrap()` / `.expect(` calls outside `#[cfg(test)]` code.
-fn check_unwrap_in_prod(toks: &[Token], findings: &mut Vec<Finding>) {
-    let test_ranges = cfg_test_ranges(toks);
-    for (k, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
-            continue;
-        }
-        let is_call =
-            k > 0 && toks[k - 1].text == "." && toks.get(k + 1).is_some_and(|n| n.text == "(");
-        if !is_call {
-            continue;
-        }
-        if test_ranges.iter().any(|&(s, e)| k >= s && k <= e) {
-            continue;
-        }
+fn push_clock_or_rng(findings: &mut Vec<Finding>, line: u32, id: &str) {
+    if WALL_CLOCK_IDENTS.contains(&id) {
         findings.push(Finding {
-            line: t.line,
-            rule: Rule::UnwrapInProd,
+            line,
+            rule: Rule::WallClock,
             message: format!(
-                "`.{}()` in production code panics the whole controller/dataplane on \
-                 the unexpected case; handle it, or annotate why it is infallible",
-                t.text
+                "`{id}` reads the wall clock; simulator code must use virtual SimTime"
+            ),
+        });
+    } else {
+        findings.push(Finding {
+            line,
+            rule: Rule::UnseededRng,
+            message: format!(
+                "`{id}` draws unseeded randomness; all RNG must derive from the run seed"
             ),
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// Float accumulation (LS104)
+// ---------------------------------------------------------------------
+
+fn check_float_accum(file: &File, findings: &mut Vec<Finding>) {
+    for_each_expr(file, &mut |e| match e {
+        Expr::MethodCall {
+            name,
+            generics,
+            line,
+            ..
+        } if (name == "sum" || name == "product")
+            && generics.iter().any(|g| g == "f32" || g == "f64") =>
+        {
+            let g = generics
+                .iter()
+                .find(|g| *g == "f32" || *g == "f64")
+                .cloned()
+                .unwrap_or_default();
+            findings.push(Finding {
+                line: *line,
+                rule: Rule::FloatAccum,
+                message: format!(
+                    "`.{name}::<{g}>()` accumulates floats whose result depends on \
+                     order and rounding; aggregate in integers and divide once"
+                ),
+            });
+        }
+        Expr::Assign {
+            op: Some(BinOp::Add),
+            rhs,
+            line,
+            ..
+        } => {
+            let mut float = false;
+            rhs.walk(&mut |x| match x {
+                Expr::Cast { ty, .. } if ty.mentions("f32") || ty.mentions("f64") => float = true,
+                Expr::Lit { text, .. } if is_float_literal(text) => float = true,
+                Expr::Path { segs, .. } if segs.iter().any(|s| s == "f32" || s == "f64") => {
+                    float = true
+                }
+                _ => {}
+            });
+            if float {
+                findings.push(Finding {
+                    line: *line,
+                    rule: Rule::FloatAccum,
+                    message: "float `+=` accumulation is order- and rounding-sensitive; \
+                              aggregate in integers and divide once"
+                        .to_string(),
+                });
+            }
+        }
+        _ => {}
+    });
 }
 
 fn is_float_literal(s: &str) -> bool {
@@ -783,12 +1011,362 @@ fn is_float_literal(s: &str) -> bool {
         || (s.contains('.') && s.chars().next().is_some_and(|c| c.is_ascii_digit()))
 }
 
+// ---------------------------------------------------------------------
+// Unwrap in prod (LS201)
+// ---------------------------------------------------------------------
+
+fn check_unwrap(f: &FnItem, findings: &mut Vec<Finding>) {
+    let Some(body) = &f.body else { return };
+    body.walk_exprs(&mut |e| {
+        if let Expr::MethodCall { name, line, .. } = e {
+            if name == "unwrap" || name == "expect" {
+                findings.push(Finding {
+                    line: *line,
+                    rule: Rule::UnwrapInProd,
+                    message: format!(
+                        "`.{name}()` in production code panics the whole controller/dataplane \
+                         on the unexpected case; handle it, or annotate why it is infallible"
+                    ),
+                });
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Panic path (LS202)
+// ---------------------------------------------------------------------
+
+/// Flags slice indexing that can panic in production: an index whose
+/// expression contains an unguarded subtraction (usize underflow
+/// yields a huge index) or mentions an unguarded integer parameter
+/// (the caller controls it). A preceding comparison or
+/// `is_empty`/`len` check over the involved variables sanitizes them,
+/// as do `%`, `.min()` and `.clamp()` inside the index itself.
+fn check_panic_path(f: &FnItem, findings: &mut Vec<Finding>) {
+    let Some(body) = &f.body else { return };
+    let int_params: BTreeSet<String> = f
+        .params
+        .iter()
+        .filter(|p| INT_TYPES.contains(&p.ty.text.as_str()))
+        .map(|p| p.name.clone())
+        .collect();
+    let mut guarded: BTreeSet<String> = BTreeSet::new();
+    // Forward pass in source order: guards seen earlier sanitize
+    // later indexes. walk_exprs visits parents before children and
+    // statements in order, which is close enough to evaluation order
+    // for guard-before-use code.
+    body.walk_exprs(&mut |e| match e {
+        Expr::Binary { op, lhs, rhs, .. } if op.is_comparison() => {
+            record_vars(lhs, &mut guarded);
+            record_vars(rhs, &mut guarded);
+        }
+        Expr::If { cond, .. } | Expr::While { cond, .. } => {
+            // `if v.is_empty() { return }` / `if let` guards.
+            let mut bounded = false;
+            cond.walk(&mut |x| {
+                if let Expr::MethodCall { name, .. } = x {
+                    if name == "is_empty" || name == "len" || name == "contains_key" {
+                        bounded = true;
+                    }
+                }
+            });
+            if bounded {
+                record_vars(cond, &mut guarded);
+            }
+        }
+        Expr::Index { index, line, .. } => {
+            if let Some(why) = index_panic_risk(index, &int_params, &guarded) {
+                findings.push(Finding {
+                    line: *line,
+                    rule: Rule::PanicPath,
+                    message: format!(
+                        "slice index {why}; guard it, use `.get()`, or annotate why it \
+                         cannot panic"
+                    ),
+                });
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Records every simple variable and field name an expression
+/// mentions into the guarded set.
+fn record_vars(e: &Expr, guarded: &mut BTreeSet<String>) {
+    e.walk(&mut |x| match x {
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            guarded.insert(segs[0].clone());
+        }
+        Expr::Field { name, .. } => {
+            guarded.insert(name.clone());
+        }
+        _ => {}
+    });
+}
+
+/// Why an index expression is a panic risk, or `None` when it carries
+/// bounding evidence.
+fn index_panic_risk(
+    index: &Expr,
+    int_params: &BTreeSet<String>,
+    guarded: &BTreeSet<String>,
+) -> Option<&'static str> {
+    let idx = index.unwrapped();
+    if matches!(idx, Expr::Lit { .. }) {
+        return None;
+    }
+    // Bounding evidence inside the index itself.
+    let mut bounded = false;
+    let mut has_sub = false;
+    let mut vars: BTreeSet<String> = BTreeSet::new();
+    idx.walk(&mut |x| match x {
+        Expr::Binary { op, .. } => match op {
+            BinOp::Rem => bounded = true,
+            BinOp::Sub => has_sub = true,
+            _ => {}
+        },
+        Expr::MethodCall { name, .. }
+            if name == "min" || name == "clamp" || name.starts_with("saturating_") =>
+        {
+            bounded = true;
+        }
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            vars.insert(segs[0].clone());
+        }
+        Expr::Field { name, .. } => {
+            vars.insert(name.clone());
+        }
+        _ => {}
+    });
+    if bounded {
+        return None;
+    }
+    let all_guarded = !vars.is_empty() && vars.iter().all(|v| guarded.contains(v));
+    if has_sub && !all_guarded {
+        return Some("contains a subtraction that can underflow to a huge usize");
+    }
+    let unguarded_param = vars
+        .iter()
+        .any(|v| int_params.contains(v) && !guarded.contains(v));
+    if unguarded_param {
+        return Some("uses a caller-controlled integer parameter without a bounds check");
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Wire taint (LS301)
+// ---------------------------------------------------------------------
+
+fn check_wire_taint(f: &FnItem, findings: &mut Vec<Finding>) {
+    for sink in dataflow::wire_taint_sinks(f) {
+        let hint = match sink.kind {
+            SinkKind::Capacity => {
+                "clamp the length against the reader's remaining bytes (`.min(remaining)`) \
+                 before allocating"
+            }
+            SinkKind::Index => "bounds-check the value against the buffer length first",
+            SinkKind::Arith => "use checked_/saturating_ arithmetic or clamp the operand first",
+        };
+        findings.push(Finding {
+            line: sink.line,
+            rule: Rule::WireTaint,
+            message: format!("{}; {hint}", sink.what),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot-path allocation (LS401)
+// ---------------------------------------------------------------------
+
+fn check_hot_path_alloc(f: &FnItem, findings: &mut Vec<Finding>) {
+    let Some(body) = &f.body else { return };
+    body.walk_exprs(&mut |e| match e {
+        Expr::MethodCall { name, line, .. } if HOT_ALLOC_METHODS.contains(&name.as_str()) => {
+            findings.push(Finding {
+                line: *line,
+                rule: Rule::HotPathAlloc,
+                message: format!(
+                    "`.{name}()` allocates inside hot function `{}`; the packet path must \
+                     stay allocation-free — borrow, reuse a buffer, or annotate why this \
+                     is cold",
+                    f.name
+                ),
+            });
+        }
+        Expr::Call { callee, line, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if segs.len() >= 2 {
+                    let pair = (&segs[segs.len() - 2], &segs[segs.len() - 1]);
+                    if HOT_ALLOC_CTORS
+                        .iter()
+                        .any(|(t, m)| pair.0 == t && pair.1 == m)
+                    {
+                        findings.push(Finding {
+                            line: *line,
+                            rule: Rule::HotPathAlloc,
+                            message: format!(
+                                "`{}::{}` allocates inside hot function `{}`; the packet \
+                                 path must stay allocation-free",
+                                pair.0, pair.1, f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Expr::MacroCall { name, line, .. } if HOT_ALLOC_MACROS.contains(&name.as_str()) => {
+            findings.push(Finding {
+                line: *line,
+                rule: Rule::HotPathAlloc,
+                message: format!(
+                    "`{name}!` allocates inside hot function `{}`; the packet path must \
+                     stay allocation-free",
+                    f.name
+                ),
+            });
+        }
+        _ => {}
+    });
+}
+
+// ---------------------------------------------------------------------
+// Shared walkers
+// ---------------------------------------------------------------------
+
+/// Calls `f` on every item, recursing into impl/mod/trait bodies and
+/// items nested in function bodies.
+fn walk_items(items: &[Item], f: &mut impl FnMut(&Item)) {
+    for item in items {
+        f(item);
+        match item {
+            Item::Impl { items, .. } | Item::Mod { items, .. } | Item::Trait { items, .. } => {
+                walk_items(items, f)
+            }
+            Item::Fn(func) => {
+                if let Some(body) = &func.body {
+                    walk_block_items(body, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn walk_block_items(block: &Block, f: &mut impl FnMut(&Item)) {
+    for stmt in &block.stmts {
+        if let Stmt::Item(item) = stmt {
+            walk_items(std::slice::from_ref(item), f);
+        }
+    }
+}
+
+/// Calls `f` on every expression in the file: function bodies and
+/// const/static initializers.
+fn for_each_expr(file: &File, f: &mut impl FnMut(&Expr)) {
+    walk_items(&file.items, &mut |item| match item {
+        Item::Fn(func) => {
+            if let Some(body) = &func.body {
+                body.walk_exprs(f);
+            }
+        }
+        Item::Const {
+            init: Some(init), ..
+        } => init.walk(f),
+        _ => {}
+    });
+}
+
+/// Calls `f` on every type annotation in the file with its line:
+/// struct/enum fields, fn params and returns, lets, aliases, consts.
+fn for_each_type(file: &File, f: &mut impl FnMut(&TypeRef, u32)) {
+    walk_items(&file.items, &mut |item| match item {
+        Item::Struct { fields, .. } | Item::Enum { fields, .. } => {
+            for fd in fields {
+                f(&fd.ty, fd.line);
+            }
+        }
+        Item::TypeAlias { name: _, ty, line } => f(ty, *line),
+        Item::Const { ty, line, .. } => f(ty, *line),
+        Item::Fn(func) => {
+            for p in &func.params {
+                f(&p.ty, func.line);
+            }
+            if let Some(r) = &func.ret {
+                f(r, func.line);
+            }
+            if let Some(body) = &func.body {
+                walk_let_types(body, f);
+            }
+        }
+        _ => {}
+    });
+}
+
+fn walk_let_types(block: &Block, f: &mut impl FnMut(&TypeRef, u32)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                ty,
+                init,
+                else_block,
+                line,
+                ..
+            } => {
+                if let Some(t) = ty {
+                    f(t, *line);
+                }
+                if let Some(e) = init {
+                    walk_expr_blocks_for_lets(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_let_types(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr_blocks_for_lets(expr, f),
+            Stmt::Item(_) | Stmt::Empty => {}
+        }
+    }
+}
+
+fn walk_expr_blocks_for_lets(e: &Expr, f: &mut impl FnMut(&TypeRef, u32)) {
+    e.walk(&mut |x| {
+        let block = match x {
+            Expr::If { then, .. } => Some(then),
+            Expr::While { body, .. } | Expr::Loop { body, .. } | Expr::For { body, .. } => {
+                Some(body)
+            }
+            Expr::Block { block, .. } => Some(block),
+            _ => None,
+        };
+        if let Some(b) = block {
+            for stmt in &b.stmts {
+                if let Stmt::Let {
+                    ty: Some(t), line, ..
+                } = stmt
+                {
+                    f(t, *line);
+                }
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rules_of(src: &str) -> Vec<&'static str> {
         lint_source(src).iter().map(|f| f.rule.name()).collect()
+    }
+
+    fn rules_with(src: &str, opts: &LintOptions) -> Vec<&'static str> {
+        lint_source_with(src, opts)
+            .iter()
+            .map(|f| f.rule.name())
+            .collect()
     }
 
     #[test]
@@ -815,6 +1393,42 @@ mod tests {
         let ok2 = "fn f(m: &HashMap<u64, u32>) -> BTreeMap<u64, u32> { \
                    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u32>>() }";
         assert!(rules_of(ok2).is_empty());
+    }
+
+    #[test]
+    fn post_hoc_sort_rescues_collect() {
+        // The v1 false-positive shape: collect to a Vec, sort on the
+        // next statement. v2 sees the sort and stays quiet.
+        let src = "fn f(m: &HashMap<u64, u32>) -> Vec<u64> {\n\
+                   let mut v: Vec<u64> = m.keys().copied().collect();\n\
+                   v.sort_unstable();\nv }";
+        assert!(rules_of(src).is_empty(), "{:?}", rules_of(src));
+        // But using it before sorting does not rescue.
+        let bad = "fn f(m: &HashMap<u64, u32>) -> Vec<u64> {\n\
+                   let mut v: Vec<u64> = m.keys().copied().collect();\n\
+                   emit(&v);\nv.sort_unstable();\nv }";
+        assert_eq!(rules_of(bad), ["unordered-iter"]);
+    }
+
+    #[test]
+    fn safe_collect_via_let_type_annotation() {
+        let src = "fn f(m: &HashMap<u64, u32>) {\n\
+                   let b: BTreeSet<u64> = m.keys().copied().collect();\nuse_it(&b); }";
+        assert!(rules_of(src).is_empty(), "{:?}", rules_of(src));
+    }
+
+    #[test]
+    fn type_alias_resolves_to_unordered() {
+        let src = "type Cache = HashMap<u64, Vec<u8>>;\n\
+                   fn f(c: &Cache) { for k in c.keys() { emit(k); } }";
+        assert_eq!(rules_of(src), ["unordered-iter"]);
+    }
+
+    #[test]
+    fn iter_in_call_arg_is_flagged() {
+        let src = "fn f(m: &HashMap<u64, u32>, out: &mut Vec<u64>) {\n\
+                   out.extend(m.keys()); }";
+        assert_eq!(rules_of(src), ["unordered-iter"]);
     }
 
     #[test]
@@ -845,26 +1459,42 @@ mod tests {
         let src = "// livesec-lint: allow(wall-clock)\nlet t = Instant::now();";
         let r = rules_of(src);
         assert!(r.contains(&"bad-annotation"));
-        assert!(r.contains(&"wall-clock"));
     }
 
     #[test]
     fn unused_allow_is_flagged() {
-        let src = "// livesec-lint: allow(wall-clock, reason = \"no clock here\")\nlet x = 1;";
+        let src = "fn f() {\n// livesec-lint: allow(wall-clock, reason = \"no clock here\")\nlet x = 1;\nuse_it(x); }";
         assert_eq!(rules_of(src), ["unused-allow"]);
     }
 
     #[test]
     fn wall_clock_and_rng() {
-        assert_eq!(rules_of("let t = Instant::now();"), ["wall-clock"]);
-        assert_eq!(rules_of("let t = SystemTime::now();"), ["wall-clock"]);
-        assert_eq!(rules_of("let r = thread_rng();"), ["unseeded-rng"]);
         assert_eq!(
-            rules_of("let r = StdRng::from_entropy();"),
+            rules_of("fn f() { let t = Instant::now(); }"),
+            ["wall-clock"]
+        );
+        assert_eq!(
+            rules_of("fn f() { let t = SystemTime::now(); }"),
+            ["wall-clock"]
+        );
+        assert_eq!(
+            rules_of("fn f() { let r = thread_rng(); }"),
             ["unseeded-rng"]
         );
-        assert_eq!(rules_of("let x: u8 = rand::random();"), ["unseeded-rng"]);
-        assert!(rules_of("let r = StdRng::seed_from_u64(7);").is_empty());
+        assert_eq!(
+            rules_of("fn f() { let r = StdRng::from_entropy(); }"),
+            ["unseeded-rng"]
+        );
+        assert_eq!(
+            rules_of("fn f() { let x: u8 = rand::random(); }"),
+            ["unseeded-rng"]
+        );
+        assert!(rules_of("fn f() { let r = StdRng::seed_from_u64(7); }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_type_position() {
+        assert_eq!(rules_of("struct S { started: Instant }"), ["wall-clock"]);
     }
 
     #[test]
@@ -885,8 +1515,98 @@ mod tests {
 
     #[test]
     fn strings_and_comments_do_not_trip() {
-        assert!(
-            rules_of("// Instant::now() would be wrong here\nlet s = \"thread_rng\";").is_empty()
-        );
+        assert!(rules_of(
+            "// Instant::now() would be wrong here\nfn f() { let s = \"thread_rng\"; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_prod_is_cfg_test_aware() {
+        let opts = LintOptions {
+            unwrap_in_prod: true,
+            ..Default::default()
+        };
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert_eq!(rules_with(src, &opts), ["unwrap-in-prod"]);
+        let expect_src = "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }";
+        assert_eq!(rules_with(expect_src, &opts), ["unwrap-in-prod"]);
+    }
+
+    #[test]
+    fn panic_path_flags_unguarded_sub_and_param() {
+        let opts = LintOptions {
+            panic_path: true,
+            ..Default::default()
+        };
+        let sub = "fn f(v: &[u8], n: usize) -> u8 { v[n - 1] }";
+        assert_eq!(rules_with(sub, &opts), ["panic-path"]);
+        let param = "struct S { ports: Vec<u32> }\n\
+                     impl S { fn get(&self, port: usize) -> u32 { self.ports[port] } }";
+        assert_eq!(rules_with(param, &opts), ["panic-path"]);
+    }
+
+    #[test]
+    fn panic_path_guards_rescue() {
+        let opts = LintOptions {
+            panic_path: true,
+            ..Default::default()
+        };
+        let guarded = "fn f(v: &[u8], n: usize) -> u8 {\n\
+                       if n == 0 || n > v.len() { return 0; }\nv[n - 1] }";
+        assert!(rules_with(guarded, &opts).is_empty());
+        let modulo = "fn f(v: &[u8], n: usize) -> u8 { v[n % v.len()] }";
+        assert!(rules_with(modulo, &opts).is_empty());
+        let clamped = "fn f(v: &[u8], n: usize) -> u8 { v[n.min(v.len() - 1)] }";
+        assert!(rules_with(clamped, &opts).is_empty());
+    }
+
+    #[test]
+    fn wire_taint_flags_prefix_length_alloc() {
+        let opts = LintOptions {
+            wire_taint: true,
+            ..Default::default()
+        };
+        // The pre-hardening openflow::codec shape: a wire-read length
+        // sizing an allocation with no remaining-bytes clamp.
+        let src = "fn get_actions(r: &mut Reader) -> Vec<Action> {\n\
+                   let n = r.u32() as usize;\n\
+                   let mut out = Vec::with_capacity(n);\nout }";
+        assert_eq!(rules_with(src, &opts), ["wire-taint"]);
+        let fixed = "fn get_actions(r: &mut Reader) -> Vec<Action> {\n\
+                     let n = (r.u32() as usize).min(r.remaining());\n\
+                     let mut out = Vec::with_capacity(n);\nout }";
+        assert!(rules_with(fixed, &opts).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_configured_fn_only() {
+        let opts = LintOptions {
+            hot_fns: vec!["lookup".to_string()],
+            ..Default::default()
+        };
+        let src = "impl T {\n\
+                   fn lookup(&self) -> Vec<u32> { self.entries.clone() }\n\
+                   fn rebuild(&self) -> Vec<u32> { self.entries.clone() }\n}";
+        assert_eq!(rules_with(src, &opts), ["hot-path-alloc"]);
+    }
+
+    #[test]
+    fn rule_codes_are_stable() {
+        assert_eq!(Rule::ParseError.code(), "LS000");
+        assert_eq!(Rule::UnorderedIter.code(), "LS101");
+        assert_eq!(Rule::WireTaint.code(), "LS301");
+        assert_eq!(Rule::HotPathAlloc.code(), "LS401");
+        assert_eq!(Rule::UnusedAllow.code(), "LS902");
+    }
+
+    #[test]
+    fn parse_error_is_not_suppressible() {
+        // An allow cannot name parse-error at all (bad-annotation),
+        // and recoveries surface regardless.
+        let src = "// livesec-lint: allow(parse-error, reason = \"nope\")\nfn f() {}";
+        let r = rules_of(src);
+        assert!(r.contains(&"bad-annotation"), "{r:?}");
     }
 }

@@ -4,10 +4,16 @@
 use livesec_lint::{lint_source, lint_source_with, LintOptions, Rule};
 use std::path::PathBuf;
 
-/// Options with every optional rule switched on.
-const ALL_RULES: LintOptions = LintOptions {
-    unwrap_in_prod: true,
-};
+/// Options with every optional rule switched on; `hot` is the
+/// configured hot function for the hot-path-alloc fixtures.
+fn all_rules() -> LintOptions {
+    LintOptions {
+        unwrap_in_prod: true,
+        panic_path: true,
+        wire_taint: true,
+        hot_fns: vec!["hot".to_string()],
+    }
+}
 
 fn fixture(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -105,10 +111,30 @@ fn annotation_good_is_clean() {
     assert_clean("annotation_good.rs");
 }
 
+#[track_caller]
+fn assert_trips_with(name: &str, rule: Rule, at_least: usize) {
+    let findings = lint_source_with(&fixture(name), &all_rules());
+    let n = findings.iter().filter(|f| f.rule == rule).count();
+    assert!(
+        n >= at_least,
+        "{name}: expected ≥{at_least} {} finding(s): {findings:#?}",
+        rule.name()
+    );
+}
+
+#[track_caller]
+fn assert_clean_with(name: &str) {
+    let findings = lint_source_with(&fixture(name), &all_rules());
+    assert!(
+        findings.is_empty(),
+        "{name}: expected no findings: {findings:#?}"
+    );
+}
+
 #[test]
 fn unwrap_in_prod_bad_trips() {
     // get().unwrap(), parse().expect(), chained unwrap.
-    let findings = lint_source_with(&fixture("unwrap_in_prod_bad.rs"), &ALL_RULES);
+    let findings = lint_source_with(&fixture("unwrap_in_prod_bad.rs"), &all_rules());
     let n = findings
         .iter()
         .filter(|f| f.rule == Rule::UnwrapInProd)
@@ -118,8 +144,44 @@ fn unwrap_in_prod_bad_trips() {
 
 #[test]
 fn unwrap_in_prod_good_is_clean() {
-    let findings = lint_source_with(&fixture("unwrap_in_prod_good.rs"), &ALL_RULES);
-    assert!(findings.is_empty(), "expected no findings: {findings:#?}");
+    assert_clean_with("unwrap_in_prod_good.rs");
+}
+
+#[test]
+fn panic_path_bad_trips() {
+    // Unguarded subtraction in an index, and an unsanitized integer
+    // parameter used as an index.
+    assert_trips_with("panic_path_bad.rs", Rule::PanicPath, 2);
+}
+
+#[test]
+fn panic_path_good_is_clean() {
+    assert_clean_with("panic_path_good.rs");
+}
+
+#[test]
+fn wire_taint_bad_trips() {
+    // Includes the exact pre-fix `codec.rs` shape: a wire-read u32
+    // length cast to usize and fed to `Vec::with_capacity` plus a
+    // slice range, with no bound against the reader's remaining
+    // bytes.
+    assert_trips_with("wire_taint_bad.rs", Rule::WireTaint, 3);
+}
+
+#[test]
+fn wire_taint_good_is_clean() {
+    assert_clean_with("wire_taint_good.rs");
+}
+
+#[test]
+fn hot_path_alloc_bad_trips() {
+    // Vec::new, clone, format! inside the configured hot fn.
+    assert_trips_with("hot_path_alloc_bad.rs", Rule::HotPathAlloc, 3);
+}
+
+#[test]
+fn hot_path_alloc_good_is_clean() {
+    assert_clean_with("hot_path_alloc_good.rs");
 }
 
 #[test]

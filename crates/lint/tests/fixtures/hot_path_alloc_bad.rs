@@ -1,0 +1,19 @@
+//! Known-bad fixture for `hot-path-alloc`: allocation inside the
+//! configured hot function (`hot` in the test options).
+
+pub struct Entry {
+    pub actions: Vec<u32>,
+}
+
+pub fn hot(entry: &Entry) -> Vec<u32> {
+    // Bad: a fresh Vec per packet.
+    let mut scratch: Vec<u32> = Vec::new();
+    // Bad: cloning the action list on every lookup.
+    let actions = entry.actions.clone();
+    for a in &actions {
+        scratch.push(*a);
+    }
+    // Bad: formatting allocates a String on the packet path.
+    let _label = format!("{} actions", scratch.len());
+    scratch
+}

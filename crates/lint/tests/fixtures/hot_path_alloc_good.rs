@@ -1,0 +1,22 @@
+//! Known-good fixture for `hot-path-alloc`: the hot function borrows
+//! and copies, and a cold function may allocate freely.
+
+pub struct Entry {
+    pub actions: Vec<u32>,
+}
+
+pub fn hot(entry: &Entry) -> u32 {
+    // Good: borrow the action list, fold without allocating.
+    let mut acc = 0u32;
+    for a in &entry.actions {
+        acc = acc.wrapping_add(*a);
+    }
+    acc
+}
+
+pub fn cold(entry: &Entry) -> Vec<u32> {
+    // Good: not in the hot set — allocation is fine here.
+    let mut out = entry.actions.clone();
+    out.push(0);
+    out
+}

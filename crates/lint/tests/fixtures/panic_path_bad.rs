@@ -1,0 +1,14 @@
+//! Known-bad fixture for `panic-path`: slice indexes that can panic
+//! in production code.
+
+pub fn tail(buf: &[u8], used: usize) -> u8 {
+    // Bad: `buf.len() - used` underflows when used > len, and the
+    // index itself can be out of range.
+    buf[buf.len() - used]
+}
+
+pub fn at(table: &[u32], slot: usize) -> u32 {
+    // Bad: `slot` is a caller-controlled integer parameter used as an
+    // index with no bound check.
+    table[slot]
+}

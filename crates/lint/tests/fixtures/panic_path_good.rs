@@ -1,0 +1,50 @@
+//! Known-good fixture for `panic-path`: the same shapes with guards
+//! or total operations.
+
+pub fn tail(buf: &[u8], used: usize) -> u8 {
+    // Good: the comparison guards both the subtraction and the index.
+    if used == 0 || used > buf.len() {
+        return 0;
+    }
+    buf[buf.len() - used]
+}
+
+pub fn at(table: &[u32], slot: usize) -> u32 {
+    // Good: the bound is checked before indexing.
+    if slot < table.len() {
+        table[slot]
+    } else {
+        0
+    }
+}
+
+pub fn wrapped(table: &[u32], slot: usize) -> u32 {
+    // Good: modular indexing is total for non-empty tables, and the
+    // emptiness check guards it.
+    if table.is_empty() {
+        return 0;
+    }
+    table[slot % table.len()]
+}
+
+pub fn clamped(table: &[u32], slot: usize) -> u32 {
+    // Good: `.min()` pins the index inside the table.
+    table[slot.min(table.len() - 1)]
+}
+
+pub fn literal(pair: &[u8]) -> u8 {
+    // Good for this rule: a literal index is a fixed-shape access
+    // (wire-taint handles attacker-sized buffers separately).
+    if pair.len() < 2 {
+        return 0;
+    }
+    pair[1]
+}
+
+#[cfg(test)]
+mod tests {
+    // Good: tests may index freely; a panic is a failed test.
+    pub fn direct(xs: &[u8], i: usize) -> u8 {
+        xs[i]
+    }
+}

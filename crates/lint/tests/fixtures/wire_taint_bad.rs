@@ -1,0 +1,49 @@
+//! Known-bad fixture for `wire-taint`: wire-controlled values
+//! reaching allocation, indexing and amplifying arithmetic with no
+//! bounds guard. The first shape is the exact pre-fix
+//! `openflow/src/codec.rs` length read.
+
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        v
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_be_bytes(b)
+    }
+}
+
+pub fn decode_actions(r: &mut Reader<'_>) -> Vec<u64> {
+    // Bad (the pre-fix codec shape): a wire-read count sized an
+    // allocation directly — a 16-byte frame could claim 4 G entries.
+    let n = r.u32() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32() as u64);
+    }
+    out
+}
+
+pub fn payload(frame: &[u8]) -> &[u8] {
+    // Bad: the prefix length bounds a slice range with no check
+    // against the frame's actual size.
+    let len = u16::from_be_bytes([frame[0], frame[1]]) as usize;
+    &frame[2..2 + len]
+}
+
+pub fn table_bytes(r: &mut Reader<'_>) -> usize {
+    // Bad: amplifying arithmetic on a wire count overflows (or, with
+    // overflow checks, panics) before any allocator limit applies.
+    let rows = r.u16() as usize;
+    rows * 4096
+}

@@ -1,0 +1,56 @@
+//! Known-good fixture for `wire-taint`: the same shapes with the
+//! length clamped, checked, or bounded before it reaches a sink.
+
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        v
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_be_bytes(b)
+    }
+}
+
+pub fn decode_actions(r: &mut Reader<'_>) -> Vec<u64> {
+    // Good: the claimed count is clamped against what the frame can
+    // actually hold before it sizes anything.
+    let n = (r.u32() as usize).min(r.remaining() / 4);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32() as u64);
+    }
+    out
+}
+
+pub fn payload(frame: &[u8]) -> Option<&[u8]> {
+    // Good: the prefix length is compared against the frame size
+    // before it bounds the slice.
+    if frame.len() < 2 {
+        return None;
+    }
+    let len = u16::from_be_bytes([frame[0], frame[1]]) as usize;
+    if len > frame.len() - 2 {
+        return None;
+    }
+    Some(&frame[2..2 + len])
+}
+
+pub fn table_bytes(r: &mut Reader<'_>) -> Option<usize> {
+    // Good: checked arithmetic turns overflow into a decode error.
+    let rows = r.u16() as usize;
+    rows.checked_mul(4096)
+}

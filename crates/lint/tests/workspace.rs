@@ -26,6 +26,56 @@ fn live_workspace_has_zero_unannotated_findings() {
 }
 
 #[test]
+fn every_workspace_file_parses_without_recoveries() {
+    // 100% parse coverage: a recovery means the analyzer is blind to
+    // part of a file, so the zero-findings test above would be
+    // vacuous there. LS000 makes this a lint failure too; this test
+    // pins it independently with per-file counts.
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root");
+    let files = livesec_lint::walk::workspace_rs_files(&root).expect("walk");
+    assert!(files.len() > 30, "suspiciously small walk: {}", files.len());
+    let mut broken = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("readable workspace file");
+        let parsed = livesec_lint::parser::parse(&src);
+        if !parsed.recoveries.is_empty() {
+            broken.push(format!(
+                "{}: {} recoveries (first at line {} in {})",
+                path.display(),
+                parsed.recoveries.len(),
+                parsed.recoveries[0].line,
+                parsed.recoveries[0].context,
+            ));
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "parser failed on {}/{} files:\n{}",
+        broken.len(),
+        files.len(),
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn lint_output_is_byte_identical_across_runs() {
+    // The JSON archive diffed by scripts/check.sh is only useful if
+    // two runs over the same tree render byte-identically.
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root");
+    let render = || {
+        lint_workspace(&root)
+            .expect("workspace lint runs")
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(), render());
+}
+
+#[test]
 fn workspace_walk_covers_the_crates() {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_workspace_root(manifest_dir).expect("workspace root");

@@ -120,7 +120,8 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedFrame>, PcapError> {
         let data = take(&mut buf, incl)?;
         let packet = wire::parse(data).map_err(PcapError::BadFrame)?;
         frames.push(CapturedFrame {
-            at_nanos: u64::from(secs) * 1_000_000_000 + u64::from(micros) * 1_000,
+            at_nanos: u64::from(secs).saturating_mul(1_000_000_000)
+                + u64::from(micros).saturating_mul(1_000),
             packet,
         });
     }

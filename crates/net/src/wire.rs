@@ -333,6 +333,7 @@ fn parse_ipv4(r: &mut Reader<'_>) -> Result<Ipv4Packet, ParseError> {
             let dst_port = t.u16()?;
             let seq = t.u32()?;
             let ack = t.u32()?;
+            // livesec-lint: allow(wire-taint, reason = "u8 >> 4 is at most 15, so *4 is at most 60; cannot overflow usize")
             let offset = (t.u8()? >> 4) as usize * 4;
             let flags = TcpFlags::from_bits(t.u8()?);
             let _window = t.u16()?;

@@ -131,8 +131,15 @@ impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
+    /// Bytes left in the frame. Every wire-read length is clamped
+    /// against this before it can size an allocation or a slice.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.buf.len() {
+        // Overflow-proof form: `pos + n` could wrap for a wire-claimed
+        // `n` near usize::MAX; `remaining` cannot.
+        if n > self.remaining() {
             return Err(CodecError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -173,6 +180,9 @@ impl<'a> Reader<'a> {
     }
     fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
         let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
         Ok(self.take(n)?.to_vec())
     }
     fn string(&mut self) -> Result<String, CodecError> {
@@ -392,7 +402,10 @@ fn put_actions(w: &mut Writer, actions: &[Action]) {
 
 fn get_actions(r: &mut Reader<'_>) -> Result<Vec<Action>, CodecError> {
     let n = r.u32()? as usize;
-    if n > 1024 {
+    // Every action consumes at least its 1-byte tag, so a count past
+    // the remaining frame bytes is a lie — reject it before it can
+    // size the allocation (a 16-byte frame could claim 4 G actions).
+    if n > r.remaining() {
         return Err(CodecError::BadField("action count"));
     }
     let mut out = Vec::with_capacity(n);
@@ -680,7 +693,12 @@ pub fn decode(bytes: &[u8]) -> Result<(OfMessage, u32), CodecError> {
         T_STATS_REP => OfMessage::StatsReply(match r.u8()? {
             0 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(4096));
+                // A flow-stats entry is tens of bytes; a count past
+                // the remaining frame bytes cannot be honest.
+                if n > r.remaining() {
+                    return Err(CodecError::BadField("flow stats count"));
+                }
+                let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
                     v.push(FlowStats {
                         matcher: get_match(&mut r)?,
@@ -695,7 +713,11 @@ pub fn decode(bytes: &[u8]) -> Result<(OfMessage, u32), CodecError> {
             }
             1 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(4096));
+                // Same bound: each port-stats entry is 44 bytes.
+                if n > r.remaining() {
+                    return Err(CodecError::BadField("port stats count"));
+                }
+                let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
                     v.push(PortStats {
                         port_no: r.u32()?,
@@ -1030,5 +1052,81 @@ mod tests {
         corrupt[hello_len] = 99;
         assert_eq!(decode_all(&corrupt), Err(CodecError::BadVersion(99)));
         assert!(decode_all(&[]).unwrap().is_empty());
+    }
+
+    // ---- malformed-frame regressions: a lying length field must be
+    // a graceful `Err`, never a panic or a multi-gigabyte allocation.
+
+    #[test]
+    fn huge_action_count_is_rejected_before_allocation() {
+        // PacketOut with no in_port: the action count is the u32 at
+        // bytes 11..15 (header 10 + 1-byte `None` flag).
+        let msg = OfMessage::PacketOut {
+            in_port: None,
+            actions: vec![],
+            data: vec![],
+        };
+        let mut bytes = encode(&msg, 1);
+        bytes[11..15].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn huge_stats_counts_are_rejected_before_allocation() {
+        for body in [StatsBody::Flow(vec![]), StatsBody::Port(vec![])] {
+            // Header 10 + 1-byte stats kind, then the u32 entry count.
+            let mut bytes = encode(&OfMessage::StatsReply(body), 1);
+            bytes[11..15].copy_from_slice(&u32::MAX.to_be_bytes());
+            assert!(decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn huge_payload_length_is_rejected_before_allocation() {
+        // Empty PacketOut: flag 1B + count 4B, then the data byte
+        // length at 15..19. u32::MAX would have overflowed the old
+        // `pos + n` bounds check in `Reader::take`.
+        let msg = OfMessage::PacketOut {
+            in_port: None,
+            actions: vec![],
+            data: vec![],
+        };
+        let mut bytes = encode(&msg, 1);
+        bytes[15..19].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        let msgs = [
+            OfMessage::PacketIn {
+                in_port: 5,
+                reason: PacketInReason::NoMatch,
+                data: vec![1, 2, 3],
+            },
+            OfMessage::PacketOut {
+                in_port: Some(2),
+                actions: vec![Action::Output(OutPort::Flood)],
+                data: vec![9; 16],
+            },
+            OfMessage::add_flow(sample_match(), vec![Action::StripVlan], 9),
+            OfMessage::StatsReply(StatsBody::Description {
+                manufacturer: "a".into(),
+                hardware: "b".into(),
+                software: "c".into(),
+            }),
+        ];
+        for msg in &msgs {
+            let bytes = encode(msg, 7);
+            for i in 0..bytes.len() {
+                for val in [0x00, 0x7f, 0xff] {
+                    let mut m = bytes.clone();
+                    m[i] = val;
+                    // Any result is fine; a panic or OOM is the bug.
+                    let _ = decode(&m);
+                    let _ = decode_all(&m);
+                }
+            }
+        }
     }
 }

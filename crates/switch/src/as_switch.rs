@@ -490,10 +490,9 @@ impl Node for AsSwitch {
             }
             return;
         };
-        let actions = entry.actions.clone();
         let cookie = entry.cookie;
+        let outcome = apply_actions(&pkt, &entry.actions);
         self.fast_path_frames += 1;
-        let outcome = apply_actions(&pkt, &actions);
         for (dest, out_pkt) in outcome.outputs {
             // A compromised switch skews physical outputs while its
             // table stays pristine; the attestation records the port

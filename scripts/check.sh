@@ -15,10 +15,25 @@ run() {
 }
 
 run cargo build --release
-# Determinism & invariant static analysis (DESIGN.md §6): flags
-# HashMap-order iteration, wall-clock reads, unseeded RNG and float
-# accumulation; zero unannotated findings allowed.
-run cargo run -q -p livesec-lint --release
+# Static analysis v2 (DESIGN.md §6, §13): AST + dataflow lints —
+# determinism (LS1xx), panic paths (LS2xx), wire-input taint (LS301),
+# hot-path allocation (LS401); zero unannotated findings allowed.
+# The JSON finding stream is archived for diffing across PRs, and the
+# full-workspace pass must stay under its 5 s wall-time budget.
+echo "==> cargo run -q -p livesec-lint --release -- --json"
+# Warm the per-package build first: `cargo run -p` resolves features
+# per package and can recompile even after a workspace build, and the
+# 5 s budget is for the *analysis*, not the compiler.
+cargo build -q -p livesec-lint --release
+lint_start=$(date +%s%N)
+cargo run -q -p livesec-lint --release -- --json | tee LINT.json
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "    livesec-lint wall time: ${lint_elapsed_ms} ms"
+if [ "$lint_elapsed_ms" -ge 5000 ]; then
+    echo "livesec-lint exceeded its 5 s budget (${lint_elapsed_ms} ms)" >&2
+    exit 1
+fi
+test -s LINT.json
 # Header-space invariant verifier (DESIGN.md §8): snapshot the
 # emitted flow tables of the baseline scenario and prove the eight
 # dataplane invariants (blocked-unreachable, no loops, no blackholes,
