@@ -33,6 +33,7 @@
 use crate::monitor::FastPathStats;
 use crate::routing::SteeringProgram;
 use livesec_net::{FlowKey, MacAddr};
+use livesec_openflow::Match;
 use livesec_services::ServiceType;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -162,6 +163,30 @@ impl DecisionCache {
         };
         for key in keys.clone() {
             self.evict(&key);
+        }
+    }
+
+    /// Drops every entry whose flow (in either direction) falls inside
+    /// the header-space `cube` — the surgical counterpart of
+    /// [`DecisionCache::note_policy_change`], used when a policy delta
+    /// touches only some header classes.
+    ///
+    /// Unlike an epoch bump this leaves unrelated warm entries intact;
+    /// the reverse direction is included because a cached steer
+    /// decision compiles programs for both directions of the flow.
+    pub fn invalidate_class(&mut self, cube: &Match) {
+        let mut stale: Vec<FlowKey> = self
+            .entries
+            .iter()
+            .filter(|(key, e)| {
+                cube.matches(e.ingress.1, key) || cube.matches(e.ingress.1, &key.reversed())
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        // HashMap iteration order must not leak into eviction order.
+        stale.sort_unstable();
+        for key in &stale {
+            self.evict(key);
         }
     }
 
@@ -324,6 +349,41 @@ mod tests {
         // Unknown MACs are a no-op.
         c.invalidate_mac(MacAddr::from_u64(0xabc));
         assert_eq!(c.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn class_invalidation_spares_unrelated_warm_entries() {
+        let mut c = DecisionCache::new();
+        let telnet = {
+            let mut k = key(1, 2, 1000);
+            k.tp_dst = 23;
+            k
+        };
+        let web = key(3, 4, 2000);
+        c.insert(telnet, (1, 2), steer(&[0xfe]));
+        c.insert(web, (1, 2), steer(&[0xff]));
+        // A cube over port 23 evicts only the telnet entry.
+        c.invalidate_class(&Match::any().with_tp_dst(23));
+        assert_eq!(c.lookup(&telnet, (1, 2)), None);
+        assert_eq!(
+            c.lookup(&web, (1, 2)),
+            Some(steer(&[0xff])),
+            "unrelated warm entry must survive a scoped invalidation"
+        );
+        let s = c.stats();
+        assert_eq!((s.hits, s.invalidations), (1, 1));
+    }
+
+    #[test]
+    fn class_invalidation_covers_the_reverse_direction() {
+        let mut c = DecisionCache::new();
+        let k = key(1, 2, 1000); // tp_src 1000 -> tp_dst 80
+        c.insert(k, (1, 2), steer(&[]));
+        // A cube matching the flow's *reverse* direction (dst port
+        // 1000) still takes the entry out: the cached programs cover
+        // both directions.
+        c.invalidate_class(&Match::any().with_tp_dst(1000));
+        assert_eq!(c.lookup(&k, (1, 2)), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::directory::DirectoryProxy;
 use crate::engine::EngineDecision;
 use crate::location::{LearnOutcome, LocationTable};
 use crate::monitor::{ConnTrackStats, EventKind, FastPathStats, HealthStats, Monitor};
-use crate::policy::{AppAction, PolicyDecision, PolicyTable};
+use crate::policy::{AppAction, PolicyDecision, PolicyDelta, PolicyTable};
 use crate::routing::{compile_path, Hop, SteeringProgram};
 use crate::topology::TopologyMap;
 use livesec_net::packet::{arp_frame, lldp_frame};
@@ -135,6 +135,19 @@ struct FastPassRecord {
     topo_epoch: u64,
 }
 
+/// One entry in the controller's cache-invalidation journal. The
+/// sharded plane replays the suffix past each shard's cursor into
+/// that shard's decision cache: per-MAC drops (host moved, element
+/// failed) and header-class-scoped drops (a policy delta touched the
+/// class).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CacheInvalidation {
+    /// Drop every cached decision involving this MAC.
+    Mac(MacAddr),
+    /// Drop every cached decision whose flow falls inside this cube.
+    Class(Match),
+}
+
 /// One flow entry the controller believes a switch should hold — the
 /// unit of comparison for the reconciliation audit.
 struct DesiredEntry {
@@ -203,18 +216,25 @@ pub struct Controller {
     /// The flow-setup fast path's decision cache (`None` = disabled,
     /// every setup takes the cold path).
     cache: Option<DecisionCache>,
-    /// Append-only journal of MAC invalidations, consumed by the
-    /// sharded control plane: each shard replays the suffix past its
-    /// own cursor into its decision cache before handling a message.
-    /// Empty (and never written) unless the plane enabled journaling.
-    mac_invalidations: Vec<MacAddr>,
-    /// Whether [`Controller::invalidate_mac`] journals into
-    /// `mac_invalidations` (only the sharded plane consumes it).
+    /// Append-only journal of cache invalidations (per-MAC and
+    /// header-class-scoped), consumed by the sharded control plane:
+    /// each shard replays the suffix past its own cursor into its
+    /// decision cache before handling a message. Empty (and never
+    /// written) unless the plane enabled journaling.
+    invalidation_log: Vec<CacheInvalidation>,
+    /// Whether scoped invalidations journal into `invalidation_log`
+    /// (only the sharded plane consumes it).
     journal_invalidations: bool,
     /// Advances whenever the whole decision cache must be dropped
     /// (e.g. the balancer was replaced, so cached picks are void);
     /// lagging shard caches clear when they observe a newer value.
     cache_flush_epoch: u64,
+    /// Counts *wholesale* policy edits (`set_policy`/`policy_mut`),
+    /// which stale every cached decision. Scoped deltas applied via
+    /// [`Controller::apply_policy_delta`] advance `policy_epoch`
+    /// without advancing this, so lagging shard caches replay the
+    /// invalidation journal instead of flushing.
+    policy_flushes: u64,
     /// `(key, ingress dpid, egress dpid)` of the most recent flow
     /// admission — taken by the sharded plane to count flows whose
     /// ingress and egress land on different shards (handoffs).
@@ -346,8 +366,9 @@ impl Controller {
             active: BTreeMap::new(),
             required_certs: None,
             cache: Some(DecisionCache::new()),
-            mac_invalidations: Vec::new(),
+            invalidation_log: Vec::new(),
             journal_invalidations: false,
+            policy_flushes: 0,
             cache_flush_epoch: 0,
             last_setup: None,
             txq: Vec::new(),
@@ -562,12 +583,114 @@ impl Controller {
         self.policy = policy;
     }
 
-    /// Records that the policy table may have changed: advances the
-    /// decision cache's policy epoch and stales every fast-pass (a
-    /// connection admitted under the old policy may no longer be
-    /// allowed to bypass its chain).
+    /// Applies a batch of scoped policy edits — the delta path
+    /// (DESIGN.md §14).
+    ///
+    /// Unlike [`Controller::set_policy`]/[`Controller::policy_mut`],
+    /// which conservatively stale every cached decision and
+    /// fast-pass, this computes the header classes the deltas
+    /// actually touch and invalidates only those: decision-cache
+    /// entries inside a touched cube are dropped (and journaled for
+    /// lagging shard caches), fast-passes and established-connection
+    /// reports whose flow falls in a cube are torn down, and
+    /// everything else is re-stamped to the new policy epoch and
+    /// survives warm. Active flow records are left alone either way —
+    /// their entries idle out and the next packet-in re-decides, just
+    /// as after a wholesale edit.
+    ///
+    /// Returns the touched header-space cubes in delta order; callers
+    /// hand these to `livesec_verify::audit_delta` to verify the edit
+    /// incrementally.
+    pub fn apply_policy_delta(&mut self, now: SimTime, deltas: &[PolicyDelta]) -> Vec<Match> {
+        if deltas.is_empty() {
+            return Vec::new();
+        }
+        let mut cubes: Vec<Match> = Vec::new();
+        let (mut adds, mut removes, mut replaces) = (0u64, 0u64, 0u64);
+        for delta in deltas {
+            // Touched classes come from the table state *before* the
+            // delta applies: a removed rule's old cube is exactly
+            // what stops mattering.
+            match delta {
+                PolicyDelta::Insert { rule, .. } => cubes.push(rule.matcher()),
+                PolicyDelta::Remove { name } => {
+                    if let Some(old) = self.policy.get(name) {
+                        cubes.push(old.matcher());
+                    }
+                }
+                PolicyDelta::Replace { rule } => {
+                    if let Some(old) = self.policy.get(&rule.name) {
+                        let old_cube = old.matcher();
+                        if old_cube != rule.matcher() {
+                            cubes.push(old_cube);
+                        }
+                    }
+                    cubes.push(rule.matcher());
+                }
+                PolicyDelta::SetDefault { .. } => cubes.push(Match::any()),
+                PolicyDelta::SetAppAction { .. } => {}
+            }
+            if self.policy.apply_delta(delta) {
+                match delta {
+                    PolicyDelta::Insert { .. } => adds += 1,
+                    PolicyDelta::Remove { .. } => removes += 1,
+                    PolicyDelta::Replace { .. } => replaces += 1,
+                    PolicyDelta::SetDefault { .. } | PolicyDelta::SetAppAction { .. } => {}
+                }
+            }
+        }
+        // Scoped epoch advance: the policy epoch moves (fast-pass
+        // records and established reports are epoch-stamped) but the
+        // flush counter and the cache's internal epoch do not — only
+        // entries inside a touched cube are dropped.
+        self.policy_epoch += 1;
+        let pe = self.policy_epoch;
+        for &cube in &cubes {
+            self.invalidate_class(cube);
+        }
+        let touched = |cubes: &[Match], key: &FlowKey| {
+            let fwd = Match::exact_any_port(key);
+            let rev = Match::exact_any_port(&key.reversed());
+            cubes.iter().any(|c| c.overlaps(&fwd) || c.overlaps(&rev))
+        };
+        let fastpass_keys: Vec<FlowKey> = self.fastpasses.keys().copied().collect();
+        for key in fastpass_keys {
+            if touched(&cubes, &key) {
+                self.remove_fastpass(&key);
+            } else if let Some(rec) = self.fastpasses.get_mut(&key) {
+                // An untouched fast-pass stays valid under the new
+                // epoch; without the re-stamp the housekeeping sweep
+                // would tear it down as stale.
+                rec.policy_epoch = pe;
+            }
+        }
+        self.established_conns.retain(|key, epoch| {
+            if touched(&cubes, key) {
+                return false;
+            }
+            *epoch = pe;
+            true
+        });
+        self.monitor.record(
+            now,
+            EventKind::PolicyDeltaApplied {
+                adds,
+                removes,
+                replaces,
+                classes: cubes.len() as u64,
+            },
+        );
+        cubes
+    }
+
+    /// Records that the policy table may have changed *wholesale*:
+    /// advances the decision cache's policy epoch and stales every
+    /// fast-pass (a connection admitted under the old policy may no
+    /// longer be allowed to bypass its chain). Scoped edits go
+    /// through [`Controller::apply_policy_delta`] instead.
     fn bump_policy_epoch(&mut self) {
         self.policy_epoch += 1;
+        self.policy_flushes += 1;
         if let Some(c) = self.cache.as_mut() {
             c.note_policy_change();
         }
@@ -588,40 +711,57 @@ impl Controller {
     /// the journal so inactive shards' caches replay it later.
     pub(crate) fn invalidate_mac(&mut self, mac: MacAddr) {
         if self.journal_invalidations {
-            self.mac_invalidations.push(mac);
+            self.invalidation_log.push(CacheInvalidation::Mac(mac));
         }
         if let Some(c) = self.cache.as_mut() {
             c.invalidate_mac(mac);
         }
     }
 
-    /// Turns the MAC-invalidation journal on (the sharded plane) or
+    /// Drops every cached decision inside the header-space `cube` and,
+    /// when the sharded plane enabled journaling, appends the
+    /// invalidation so inactive shards' caches replay it later.
+    fn invalidate_class(&mut self, cube: Match) {
+        if self.journal_invalidations {
+            self.invalidation_log.push(CacheInvalidation::Class(cube));
+        }
+        if let Some(c) = self.cache.as_mut() {
+            c.invalidate_class(&cube);
+        }
+    }
+
+    /// Turns the invalidation journal on (the sharded plane) or
     /// off (the default; nobody would ever drain it).
     pub(crate) fn set_invalidation_journal(&mut self, on: bool) {
         self.journal_invalidations = on;
     }
 
     /// Journal length — the cursor value an up-to-date shard holds.
-    pub(crate) fn mac_log_len(&self) -> usize {
-        self.mac_invalidations.len()
+    pub(crate) fn invalidation_log_len(&self) -> usize {
+        self.invalidation_log.len()
     }
 
     /// The journal suffix past `cursor` (a shard's unreplayed tail).
     /// A cursor past the end (possible transiently around a re-base)
     /// simply has nothing left to replay.
-    pub(crate) fn mac_log_since(&self, cursor: usize) -> &[MacAddr] {
-        self.mac_invalidations.get(cursor..).unwrap_or(&[])
+    pub(crate) fn invalidation_log_since(&self, cursor: usize) -> &[CacheInvalidation] {
+        self.invalidation_log.get(cursor..).unwrap_or(&[])
     }
 
     /// Discards the first `n` journal entries once every live shard's
     /// cursor has passed them (the plane re-bases cursors itself).
-    pub(crate) fn drain_mac_log(&mut self, n: usize) {
-        self.mac_invalidations.drain(..n);
+    pub(crate) fn drain_invalidation_log(&mut self, n: usize) {
+        self.invalidation_log.drain(..n);
     }
 
     /// The whole-cache flush epoch (see `cache_flush_epoch`).
     pub(crate) fn cache_flush_epoch(&self) -> u64 {
         self.cache_flush_epoch
+    }
+
+    /// The wholesale policy-flush counter (see `policy_flushes`).
+    pub(crate) fn policy_flush_count(&self) -> u64 {
+        self.policy_flushes
     }
 
     /// The dpid a controller-side peer registered with, if it finished

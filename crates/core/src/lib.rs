@@ -96,7 +96,7 @@ pub mod prelude {
         NetworkEvent, UiFrame, UiUser,
     };
     pub use crate::plane::{ShardStats, ShardedControlPlane};
-    pub use crate::policy::{AppAction, PolicyDecision, PolicyRule, PolicyTable};
+    pub use crate::policy::{AppAction, PolicyDecision, PolicyDelta, PolicyRule, PolicyTable};
     pub use crate::ring::HashRing;
     pub use crate::routing::{SteeringProgram, SwitchEntry};
     pub use crate::store::{NetworkState, StateStore};

@@ -269,6 +269,19 @@ pub enum EventKind {
         /// The deviation class that condemned it.
         deviation: DeviationKind,
     },
+    /// The controller applied a batch of scoped policy deltas
+    /// (DESIGN.md §14): counts of the edits and of the header classes
+    /// whose caches/fast-passes were invalidated.
+    PolicyDeltaApplied {
+        /// Rules inserted.
+        adds: u64,
+        /// Rules removed.
+        removes: u64,
+        /// Rules replaced in place.
+        replaces: u64,
+        /// Header-space cubes invalidated.
+        classes: u64,
+    },
 }
 
 impl EventKind {
@@ -303,6 +316,7 @@ impl EventKind {
             EventKind::SwitchAdopted { .. } => "switch_adopted",
             EventKind::PathProofViolated { .. } => "path_proof_violated",
             EventKind::SwitchDeviating { .. } => "switch_deviating",
+            EventKind::PolicyDeltaApplied { .. } => "policy_delta_applied",
         }
     }
 }

@@ -25,7 +25,7 @@
 //! the dead shard had in flight is reconciled.
 
 use crate::cache::DecisionCache;
-use crate::controller::Controller;
+use crate::controller::{CacheInvalidation, Controller};
 use crate::monitor::{EventKind, FastPathStats};
 use crate::ring::HashRing;
 use livesec_net::Packet;
@@ -42,14 +42,18 @@ struct ShardEngine {
     /// after the shard died). Swapped into the inner controller for
     /// the duration of each dispatch this shard handles.
     cache: Option<DecisionCache>,
-    /// Policy epoch this shard's cache last synced to.
-    applied_policy_epoch: u64,
+    /// Wholesale policy-flush counter this shard's cache last synced
+    /// to. Scoped policy deltas do not advance it — they land in the
+    /// invalidation journal instead, so untouched warm entries
+    /// survive on every shard.
+    applied_policy_flushes: u64,
     /// Topology epoch this shard's cache last synced to.
     applied_topo_epoch: u64,
     /// Whole-cache flush epoch this shard last observed.
     applied_flush_epoch: u64,
-    /// How far into the MAC-invalidation journal this shard has read.
-    mac_cursor: usize,
+    /// How far into the cache-invalidation journal this shard has
+    /// read.
+    log_cursor: usize,
     /// Control messages this shard handled.
     messages: u64,
     /// Packet-ins this shard handled.
@@ -102,18 +106,19 @@ impl ShardedControlPlane {
         inner.swap_cache(&mut parked);
         drop(parked);
         inner.set_invalidation_journal(true);
-        let (pe, te) = inner.epochs();
+        let (_, te) = inner.epochs();
+        let pf = inner.policy_flush_count();
         let fe = inner.cache_flush_epoch();
-        let cursor = inner.mac_log_len();
+        let cursor = inner.invalidation_log_len();
         let shards = (0..n)
             .map(|id| ShardEngine {
                 id,
                 alive: true,
                 cache: cache_enabled.then(DecisionCache::new),
-                applied_policy_epoch: pe,
+                applied_policy_flushes: pf,
                 applied_topo_epoch: te,
                 applied_flush_epoch: fe,
-                mac_cursor: cursor,
+                log_cursor: cursor,
                 messages: 0,
                 packet_ins: 0,
                 handoffs_out: 0,
@@ -225,31 +230,37 @@ impl ShardedControlPlane {
     /// change stream, then swaps it into the controller.
     fn activate(&mut self, idx: usize) {
         assert!(idx < self.shards.len(), "routed to unknown shard {idx}");
-        let (pe, te) = self.inner.epochs();
+        let (_, te) = self.inner.epochs();
+        let pf = self.inner.policy_flush_count();
         let fe = self.inner.cache_flush_epoch();
         let shard = &mut self.shards[idx];
         debug_assert!(shard.alive, "routed a message to a dead shard");
         if let Some(cache) = shard.cache.as_mut() {
             // Epoch-tagged propagation: one note per lagging epoch
             // invalidates every entry cached under the old value,
-            // however far behind this shard fell.
+            // however far behind this shard fell. Scoped policy
+            // deltas advance neither counter — they arrive through
+            // the journal below, entry by entry.
             if shard.applied_flush_epoch != fe {
                 cache.clear();
             }
-            if shard.applied_policy_epoch != pe {
+            if shard.applied_policy_flushes != pf {
                 cache.note_policy_change();
             }
             if shard.applied_topo_epoch != te {
                 cache.note_topology_change();
             }
-            for &mac in self.inner.mac_log_since(shard.mac_cursor) {
-                cache.invalidate_mac(mac);
+            for inv in self.inner.invalidation_log_since(shard.log_cursor) {
+                match inv {
+                    CacheInvalidation::Mac(mac) => cache.invalidate_mac(*mac),
+                    CacheInvalidation::Class(cube) => cache.invalidate_class(cube),
+                }
             }
         }
-        shard.applied_policy_epoch = pe;
+        shard.applied_policy_flushes = pf;
         shard.applied_topo_epoch = te;
         shard.applied_flush_epoch = fe;
-        shard.mac_cursor = self.inner.mac_log_len();
+        shard.log_cursor = self.inner.invalidation_log_len();
         self.inner.monitor_mut().set_shard(shard.id);
         self.inner.swap_cache(&mut shard.cache);
     }
@@ -261,17 +272,18 @@ impl ShardedControlPlane {
         assert!(idx < self.shards.len(), "retired unknown shard {idx}");
         let processed = self.inner.packet_ins - packet_ins_before;
         let setup = self.inner.take_last_setup();
-        let log_len = self.inner.mac_log_len();
-        let (pe, te) = self.inner.epochs();
+        let log_len = self.inner.invalidation_log_len();
+        let (_, te) = self.inner.epochs();
+        let pf = self.inner.policy_flush_count();
         let fe = self.inner.cache_flush_epoch();
         let shard = &mut self.shards[idx];
         self.inner.swap_cache(&mut shard.cache);
         shard.messages += 1;
         shard.packet_ins += processed;
-        shard.applied_policy_epoch = pe;
+        shard.applied_policy_flushes = pf;
         shard.applied_topo_epoch = te;
         shard.applied_flush_epoch = fe;
-        shard.mac_cursor = log_len;
+        shard.log_cursor = log_len;
         if let Some((_key, ingress, egress)) = setup {
             // Cross-shard handoff: the flow's egress switch belongs to
             // another shard. The shared NIB makes the handoff itself
@@ -292,13 +304,13 @@ impl ShardedControlPlane {
             .shards
             .iter()
             .filter(|s| s.alive)
-            .map(|s| s.mac_cursor)
+            .map(|s| s.log_cursor)
             .min()
             .unwrap_or(0);
         if min > 0 {
-            self.inner.drain_mac_log(min);
+            self.inner.drain_invalidation_log(min);
             for s in &mut self.shards {
-                s.mac_cursor = s.mac_cursor.saturating_sub(min);
+                s.log_cursor = s.log_cursor.saturating_sub(min);
             }
         }
     }

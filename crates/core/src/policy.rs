@@ -6,6 +6,7 @@
 //! elements before delivery.
 
 use livesec_net::{FlowKey, Ipv4Net, MacAddr};
+use livesec_openflow::Match;
 use livesec_services::ServiceType;
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +125,75 @@ impl PolicyRule {
             && self.proto.map(|p| p == key.nw_proto).unwrap_or(true)
             && self.dst_port.map(|p| p == key.tp_dst).unwrap_or(true)
     }
+
+    /// The header-space cube this rule's selectors carve out, as an
+    /// OpenFlow matcher (in_port wildcarded).
+    ///
+    /// For every port `p` and key `k`,
+    /// `rule.matches(&k) == rule.matcher().matches(p, &k)` — the cube
+    /// is exactly the set of flows the rule governs, which is what
+    /// scoped cache invalidation and incremental verification key on.
+    pub fn matcher(&self) -> Match {
+        let mut m = Match::any();
+        if let Some(net) = self.src {
+            m = m.with_nw_src(net);
+        }
+        if let Some(net) = self.dst {
+            m = m.with_nw_dst(net);
+        }
+        if let Some(mac) = self.src_mac {
+            m = m.with_dl_src(mac);
+        }
+        if let Some(proto) = self.proto {
+            m = m.with_nw_proto(proto);
+        }
+        if let Some(port) = self.dst_port {
+            m = m.with_tp_dst(port);
+        }
+        m
+    }
+}
+
+/// One edit to a [`PolicyTable`] — the unit the policy delta compiler
+/// emits and [`PolicyTable::apply_delta`] consumes.
+///
+/// Rule identity is the rule *name*: removes and replaces address the
+/// first rule with the given name, so tables driven through deltas
+/// should keep names unique (the DSL checker enforces this).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PolicyDelta {
+    /// Insert `rule` so that it evaluates at position `index` in the
+    /// resulting table (clamped to the table length).
+    Insert {
+        /// Evaluation position for the new rule.
+        index: usize,
+        /// The rule to insert.
+        rule: PolicyRule,
+    },
+    /// Remove the rule named `name`.
+    Remove {
+        /// Name of the rule to remove.
+        name: String,
+    },
+    /// Replace the same-named rule's selectors and decision in place
+    /// (evaluation position is preserved).
+    Replace {
+        /// The replacement; `rule.name` selects the slot.
+        rule: PolicyRule,
+    },
+    /// Change the table's default decision.
+    SetDefault {
+        /// The new default decision.
+        decision: PolicyDecision,
+    },
+    /// Set (`Some`) or clear (`None`) the action taken when a flow is
+    /// identified as application `app`.
+    SetAppAction {
+        /// The application label.
+        app: String,
+        /// The new action, or `None` to remove the entry.
+        action: Option<AppAction>,
+    },
 }
 
 /// The ordered, first-match-wins policy table.
@@ -183,9 +253,18 @@ impl PolicyTable {
         self
     }
 
-    /// Registers an action to take when a flow is identified as `app`.
+    /// Registers an action to take when a flow is identified as
+    /// `app`. Re-registering an app replaces its action. The list is
+    /// kept sorted by app name so a table's app actions compare equal
+    /// whatever order they were registered (or delta-edited) in.
     pub fn on_app(&mut self, app: &str, action: AppAction) -> &mut Self {
-        self.app_actions.push((app.to_owned(), action));
+        match self
+            .app_actions
+            .binary_search_by(|(a, _)| a.as_str().cmp(app))
+        {
+            Ok(at) => self.app_actions[at].1 = action,
+            Err(at) => self.app_actions.insert(at, (app.to_owned(), action)),
+        }
         self
     }
 
@@ -206,6 +285,92 @@ impl PolicyTable {
             .iter()
             .find(|(a, _)| a == app)
             .map(|(_, act)| *act)
+    }
+
+    /// The rule named `name`, if present (first occurrence).
+    pub fn get(&self, name: &str) -> Option<&PolicyRule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// Evaluation position of the rule named `name`, if present.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.rules.iter().position(|r| r.name == name)
+    }
+
+    /// Inserts `rule` so it evaluates at `index` (clamped to the
+    /// table length).
+    pub fn insert_at(&mut self, index: usize, rule: PolicyRule) {
+        let at = index.min(self.rules.len());
+        self.rules.insert(at, rule);
+    }
+
+    /// Removes the first rule named `name`; returns whether a rule
+    /// was removed.
+    pub fn remove_named(&mut self, name: &str) -> bool {
+        match self.position_of(name) {
+            Some(at) => {
+                self.rules.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the same-named rule in place, preserving its
+    /// evaluation position; returns whether a slot was found.
+    pub fn replace_named(&mut self, rule: PolicyRule) -> bool {
+        match self.position_of(&rule.name) {
+            Some(at) => {
+                self.rules[at] = rule;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the default decision.
+    pub fn set_default(&mut self, decision: PolicyDecision) {
+        self.default_decision = decision;
+    }
+
+    /// The current default decision.
+    pub fn default_decision(&self) -> &PolicyDecision {
+        &self.default_decision
+    }
+
+    /// The registered application actions, sorted by app name.
+    pub fn app_actions(&self) -> &[(String, AppAction)] {
+        &self.app_actions
+    }
+
+    /// Applies one [`PolicyDelta`]; returns whether the table changed
+    /// (a `Remove`/`Replace` naming an absent rule is a no-op).
+    pub fn apply_delta(&mut self, delta: &PolicyDelta) -> bool {
+        match delta {
+            PolicyDelta::Insert { index, rule } => {
+                self.insert_at(*index, rule.clone());
+                true
+            }
+            PolicyDelta::Remove { name } => self.remove_named(name),
+            PolicyDelta::Replace { rule } => self.replace_named(rule.clone()),
+            PolicyDelta::SetDefault { decision } => {
+                let changed = self.default_decision != *decision;
+                self.default_decision = decision.clone();
+                changed
+            }
+            PolicyDelta::SetAppAction { app, action } => match action {
+                Some(act) => {
+                    let changed = self.app_action(app) != Some(*act);
+                    self.on_app(app, *act);
+                    changed
+                }
+                None => {
+                    let before = self.app_actions.len();
+                    self.app_actions.retain(|(a, _)| a != app);
+                    self.app_actions.len() != before
+                }
+            },
+        }
     }
 
     /// Number of rules.
@@ -318,6 +483,88 @@ mod tests {
         t.on_app("bittorrent", AppAction::Block);
         assert_eq!(t.app_action("bittorrent"), Some(AppAction::Block));
         assert_eq!(t.app_action("http"), None);
+    }
+
+    #[test]
+    fn matcher_agrees_with_matches() {
+        let rules = [
+            PolicyRule::named("any"),
+            PolicyRule::named("net").src("10.0.0.0/24".parse().unwrap()),
+            PolicyRule::named("dst").dst("8.8.8.0/24".parse().unwrap()),
+            PolicyRule::named("mac").src_mac(MacAddr::from_u64(1)),
+            PolicyRule::named("proto").proto(17),
+            PolicyRule::named("port").dst_port(443),
+            PolicyRule::named("all")
+                .src("10.0.0.0/8".parse().unwrap())
+                .dst("8.8.8.8/32".parse().unwrap())
+                .src_mac(MacAddr::from_u64(1))
+                .proto(6)
+                .dst_port(80),
+        ];
+        let keys = [key(80), key(443), key(23)];
+        let mut other = key(80);
+        other.dl_src = MacAddr::from_u64(9);
+        other.nw_src = "192.168.1.1".parse().unwrap();
+        other.nw_proto = 17;
+        for rule in &rules {
+            for k in keys.iter().chain([&other]) {
+                for port in [0u32, 1, 7] {
+                    assert_eq!(
+                        rule.matches(k),
+                        rule.matcher().matches(port, k),
+                        "rule {} disagrees with its cube on {k:?}",
+                        rule.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_edits_in_place() {
+        let mut t = PolicyTable::allow_all();
+        t.push(PolicyRule::named("a").dst_port(23).deny());
+        t.push(PolicyRule::named("b").dst_port(80).allow());
+
+        // Insert at a clamped position.
+        assert!(t.apply_delta(&PolicyDelta::Insert {
+            index: 99,
+            rule: PolicyRule::named("c").deny(),
+        }));
+        assert_eq!(t.position_of("c"), Some(2));
+
+        // Replace preserves evaluation order.
+        assert!(t.apply_delta(&PolicyDelta::Replace {
+            rule: PolicyRule::named("a").dst_port(23).allow(),
+        }));
+        assert_eq!(t.position_of("a"), Some(0));
+        assert_eq!(t.decide(&key(23)).0, &PolicyDecision::Allow);
+
+        // Remove by name; absent names are a no-op.
+        assert!(t.apply_delta(&PolicyDelta::Remove { name: "b".into() }));
+        assert!(!t.apply_delta(&PolicyDelta::Remove {
+            name: "ghost".into()
+        }));
+        assert!(!t.apply_delta(&PolicyDelta::Replace {
+            rule: PolicyRule::named("ghost").deny(),
+        }));
+        assert_eq!(t.len(), 2);
+
+        // Default + app actions.
+        assert!(t.apply_delta(&PolicyDelta::SetDefault {
+            decision: PolicyDecision::Deny,
+        }));
+        assert_eq!(t.default_decision(), &PolicyDecision::Deny);
+        assert!(t.apply_delta(&PolicyDelta::SetAppAction {
+            app: "bittorrent".into(),
+            action: Some(AppAction::Block),
+        }));
+        assert_eq!(t.app_action("bittorrent"), Some(AppAction::Block));
+        assert!(t.apply_delta(&PolicyDelta::SetAppAction {
+            app: "bittorrent".into(),
+            action: None,
+        }));
+        assert_eq!(t.app_action("bittorrent"), None);
     }
 
     #[test]

@@ -74,6 +74,10 @@ const PROD_CRATE_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/switch/src",
     "crates/conntrack/src",
+    // The `.lsp` compiler: a panic while compiling an operator's
+    // policy edit takes down the control plane, and its parser
+    // contract is total (diagnostics, never panics).
+    "crates/policy/src",
 ];
 
 /// Crate source trees that parse attacker-controlled wire bytes, so
@@ -95,6 +99,9 @@ const HOT_FNS: &[(&str, &[&str])] = &[
         "crates/core/src/accountability.rs",
         &["observe", "check_hop", "track_chain"],
     ),
+    // First-match policy lookup runs on every flow setup; the scan
+    // must not allocate per decision.
+    ("crates/core/src/policy.rs", &["decide", "matches"]),
 ];
 
 /// The per-file lint options for a workspace path: production crates

@@ -1018,8 +1018,15 @@ fn is_float_literal(s: &str) -> bool {
 fn check_unwrap(f: &FnItem, findings: &mut Vec<Finding>) {
     let Some(body) = &f.body else { return };
     body.walk_exprs(&mut |e| {
-        if let Expr::MethodCall { name, line, .. } = e {
-            if name == "unwrap" || name == "expect" {
+        if let Expr::MethodCall {
+            name, line, args, ..
+        } = e
+        {
+            // `Result::expect`/`Option::expect` take exactly one
+            // argument; a two-plus-argument `.expect(..)` is some
+            // other method (e.g. a parser's token check) and cannot
+            // panic through this path.
+            if name == "unwrap" && args.is_empty() || name == "expect" && args.len() == 1 {
                 findings.push(Finding {
                     line: *line,
                     rule: Rule::UnwrapInProd,

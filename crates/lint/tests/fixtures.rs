@@ -211,3 +211,31 @@ fn regression_pr4_conntrack_lru_shape_is_caught() {
     // Both the HashMap LRU-victim scan and the expiry-sweep emit.
     assert_trips("regress_pr4_conntrack_lru_bad.rs", Rule::UnorderedIter, 2);
 }
+
+#[test]
+fn policy_compiler_bad_trips() {
+    // Token-cursor indexing past the end, underflowing `at - 1`, and
+    // unwraps on operator-typed rule text.
+    assert_trips_with("policy_compiler_bad.rs", Rule::PanicPath, 2);
+    assert_trips_with("policy_compiler_bad.rs", Rule::UnwrapInProd, 3);
+}
+
+#[test]
+fn policy_compiler_good_is_clean() {
+    assert_clean_with("policy_compiler_good.rs");
+}
+
+#[test]
+fn policy_crate_is_scoped_as_production() {
+    // `crates/policy` carries the panic-family rules (its parser is
+    // contractually total) but not wire taint (text, not wire bytes);
+    // the first-match policy scan in core is a configured hot path.
+    let opts = livesec_lint::options_for(std::path::Path::new("crates/policy/src/parser.rs"));
+    assert!(opts.unwrap_in_prod && opts.panic_path, "{opts:?}");
+    assert!(!opts.wire_taint, "{opts:?}");
+    let hot = livesec_lint::options_for(std::path::Path::new("crates/core/src/policy.rs"));
+    assert!(
+        hot.hot_fns.iter().any(|f| f == "decide") && hot.hot_fns.iter().any(|f| f == "matches"),
+        "{hot:?}"
+    );
+}

@@ -1,0 +1,35 @@
+//! Known-bad fixture mirroring the `.lsp` compiler's shapes
+//! (`crates/policy` is a production crate: a panic while compiling an
+//! operator's policy edit is a control-plane outage). Token-cursor
+//! indexing without bounds, unwrap on user text, and an unguarded
+//! split all panic on inputs the parser's recovery is supposed to
+//! survive.
+
+pub struct Cursor {
+    pub tokens: Vec<String>,
+}
+
+pub fn peek(c: &Cursor, at: usize) -> &str {
+    // Bad: the caller-advanced cursor position indexes the token
+    // stream unchecked; past the end this panics instead of
+    // returning Eof.
+    &c.tokens[at]
+}
+
+pub fn prev(c: &Cursor, at: usize) -> &str {
+    // Bad: underflows at the first token.
+    &c.tokens[at - 1]
+}
+
+pub fn parse_port(word: &str) -> u16 {
+    // Bad: user-typed rule text fed straight to unwrap.
+    word.parse().unwrap()
+}
+
+pub fn split_cidr(word: &str) -> (&str, &str) {
+    // Bad: a `.lsp` line without `/` panics the whole compile.
+    let mut parts = word.split('/');
+    let addr = parts.next().unwrap();
+    let len = parts.next().unwrap();
+    (addr, len)
+}

@@ -1,0 +1,39 @@
+//! Known-good twin of `policy_compiler_bad.rs`: the same compiler
+//! shapes written the way `crates/policy` actually writes them —
+//! total cursor access, diagnostics instead of unwraps, guarded
+//! splits.
+
+pub struct Cursor {
+    pub tokens: Vec<String>,
+    pub at: usize,
+}
+
+pub fn peek(c: &Cursor) -> &str {
+    // Good: saturates to the trailing Eof token.
+    match c.tokens.get(c.at) {
+        Some(t) => t,
+        None => "",
+    }
+}
+
+pub fn prev(c: &Cursor) -> &str {
+    // Good: the checked subtraction guards the index.
+    match c.at.checked_sub(1).and_then(|i| c.tokens.get(i)) {
+        Some(t) => t,
+        None => "",
+    }
+}
+
+pub fn parse_port(word: &str) -> Option<u16> {
+    // Good: a bad number becomes a diagnostic at the caller.
+    word.parse().ok()
+}
+
+pub fn split_cidr(word: &str) -> Option<(&str, &str)> {
+    // Good: a line without `/` is a parse error, not a panic.
+    let mut parts = word.split('/');
+    match (parts.next(), parts.next()) {
+        (Some(addr), Some(len)) => Some((addr, len)),
+        _ => None,
+    }
+}

@@ -1,0 +1,43 @@
+//! Deployment glue: load a `.lsp` file straight into a campus build.
+
+use crate::compile::{compile, CompiledPolicy};
+use crate::diag::Diag;
+use livesec::deploy::CampusBuilder;
+
+/// Extension for [`CampusBuilder`]: compile `.lsp` source and install
+/// the resulting table before the campus finishes building.
+pub trait PolicyText: Sized {
+    /// Compiles `src` and installs the table. `Err` carries the
+    /// compiler diagnostics; warnings are discarded (compile
+    /// separately with [`compile`] to inspect them).
+    fn with_policy_text(self, src: &str) -> Result<Self, Vec<Diag>>;
+}
+
+impl PolicyText for CampusBuilder {
+    fn with_policy_text(self, src: &str) -> Result<Self, Vec<Diag>> {
+        let CompiledPolicy { table, .. } = compile(src)?;
+        Ok(self.with_policy(table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_policy_text() {
+        let campus = CampusBuilder::new(7, 4)
+            .with_policy_text("rule no-telnet: proto tcp port 23 deny\ndefault allow\n")
+            .expect("compiles")
+            .finish();
+        let _ = campus;
+    }
+
+    #[test]
+    fn builder_rejects_broken_policy_text() {
+        let err = CampusBuilder::new(7, 4)
+            .with_policy_text("rule r: via missing\n")
+            .unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

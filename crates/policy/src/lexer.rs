@@ -1,0 +1,303 @@
+//! A deterministic, never-panicking lexer for `.lsp` policy text.
+//!
+//! The token stream is position-stamped (1-based line/col of each
+//! token's first character) and total: malformed input produces
+//! [`TokenKind::Error`] tokens, never a panic, so the parser can keep
+//! going and report every problem in one pass.
+
+use livesec_net::{Ipv4Net, MacAddr};
+
+/// What a token is.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// A bare word: keyword, group/chain/tenant/rule name, service.
+    Ident(String),
+    /// An unsigned integer literal.
+    Num(u64),
+    /// A MAC address literal (`aa:bb:cc:dd:ee:ff`).
+    Mac(MacAddr),
+    /// An IPv4 prefix literal (`10.0.0.0/24`; a bare address is a
+    /// `/32`). Host bits are masked off at lex time.
+    Cidr(Ipv4Net),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// A malformed word or stray character, with a description.
+    Error(String),
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// One token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// Whether `c` can continue a word (idents, numbers, addresses —
+/// everything except the `:` that separates MAC octets, which is
+/// handled by lookahead).
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '/')
+}
+
+/// Tokenizes `src`. Total: every input yields a token list ending in
+/// [`TokenKind::Eof`], with errors embedded as tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+    let advance = |pos: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+        for _ in 0..n {
+            if let Some(&c) = chars.get(*pos) {
+                *pos += 1;
+                if c == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+        }
+    };
+    while let Some(&c) = chars.get(pos) {
+        // Whitespace and `#` comments carry no tokens.
+        if c.is_whitespace() {
+            advance(&mut pos, &mut line, &mut col, 1);
+            continue;
+        }
+        if c == '#' {
+            let mut n = 0;
+            while chars.get(pos + n).is_some_and(|&c| c != '\n') {
+                n += 1;
+            }
+            advance(&mut pos, &mut line, &mut col, n);
+            continue;
+        }
+        let (tline, tcol) = (line, col);
+        let punct = match c {
+            '{' => Some(TokenKind::LBrace),
+            '}' => Some(TokenKind::RBrace),
+            '[' => Some(TokenKind::LBracket),
+            ']' => Some(TokenKind::RBracket),
+            '=' => Some(TokenKind::Eq),
+            ',' => Some(TokenKind::Comma),
+            ':' => Some(TokenKind::Colon),
+            _ => None,
+        };
+        if let Some(kind) = punct {
+            // A `:` could instead open a MAC literal only if it sits
+            // *inside* one, and MACs are recognized below before
+            // their first octet is consumed — so here it is plain
+            // punctuation.
+            out.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            });
+            advance(&mut pos, &mut line, &mut col, 1);
+            continue;
+        }
+        // MAC literal: exactly hh:hh:hh:hh:hh:hh, checked before
+        // word-scanning because `:` is not a word character.
+        if let Some(mac) = mac_at(&chars, pos) {
+            out.push(Token {
+                kind: TokenKind::Mac(mac),
+                line: tline,
+                col: tcol,
+            });
+            advance(&mut pos, &mut line, &mut col, 17);
+            continue;
+        }
+        if is_word(c) {
+            let mut n = 0;
+            while chars.get(pos + n).copied().is_some_and(is_word) {
+                n += 1;
+            }
+            let word: String = chars.get(pos..pos + n).unwrap_or_default().iter().collect();
+            out.push(Token {
+                kind: classify_word(&word),
+                line: tline,
+                col: tcol,
+            });
+            advance(&mut pos, &mut line, &mut col, n);
+            continue;
+        }
+        out.push(Token {
+            kind: TokenKind::Error(format!("unexpected character {c:?}")),
+            line: tline,
+            col: tcol,
+        });
+        advance(&mut pos, &mut line, &mut col, 1);
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    out
+}
+
+/// Recognizes a MAC literal starting at `pos`: six 2-hex-digit
+/// octets separated by `:`, not followed by another word character
+/// or `:` (which would make it part of something longer).
+fn mac_at(chars: &[char], pos: usize) -> Option<MacAddr> {
+    let mut text = String::with_capacity(17);
+    for i in 0..17 {
+        let c = *chars.get(pos + i)?;
+        let ok = if i % 3 == 2 {
+            c == ':'
+        } else {
+            c.is_ascii_hexdigit()
+        };
+        if !ok {
+            return None;
+        }
+        text.push(c);
+    }
+    if chars.get(pos + 17).is_some_and(|&c| is_word(c) || c == ':') {
+        return None;
+    }
+    text.parse().ok()
+}
+
+/// Classifies a scanned word into ident / number / CIDR / error.
+fn classify_word(word: &str) -> TokenKind {
+    if let Ok(mac) = word.parse::<MacAddr>() {
+        // `-`-separated MACs lex as one word.
+        return TokenKind::Mac(mac);
+    }
+    if word.contains('/') {
+        return match word.parse::<Ipv4Net>() {
+            Ok(net) => TokenKind::Cidr(net),
+            Err(_) => TokenKind::Error(format!("malformed CIDR prefix `{word}`")),
+        };
+    }
+    let mut first = word.chars();
+    match first.next() {
+        Some(c) if c.is_ascii_digit() => {
+            if let Ok(n) = word.parse::<u64>() {
+                TokenKind::Num(n)
+            } else if let Ok(addr) = word.parse::<std::net::Ipv4Addr>() {
+                TokenKind::Cidr(Ipv4Net::new(addr, 32))
+            } else {
+                TokenKind::Error(format!("malformed number or address `{word}`"))
+            }
+        }
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            if word
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-'))
+            {
+                TokenKind::Ident(word.to_owned())
+            } else {
+                TokenKind::Error(format!("malformed name `{word}`"))
+            }
+        }
+        _ => TokenKind::Error(format!("malformed word `{word}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_and_punctuation() {
+        assert_eq!(
+            kinds("group eng = { }"),
+            vec![
+                TokenKind::Ident("group".into()),
+                TokenKind::Ident("eng".into()),
+                TokenKind::Eq,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(
+            kinds("port 8080"),
+            vec![
+                TokenKind::Ident("port".into()),
+                TokenKind::Num(8080),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn mac_vs_colon_disambiguation() {
+        // A rule header's colon stays punctuation...
+        let ks = kinds("rule r: allow");
+        assert!(ks.contains(&TokenKind::Colon), "{ks:?}");
+        // ...while a full MAC lexes as one literal.
+        let mac: MacAddr = "0a:0b:0c:0d:0e:0f".parse().unwrap();
+        assert_eq!(
+            kinds("from 0a:0b:0c:0d:0e:0f"),
+            vec![
+                TokenKind::Ident("from".into()),
+                TokenKind::Mac(mac),
+                TokenKind::Eof
+            ]
+        );
+        // Dash-separated MACs work too.
+        assert_eq!(
+            kinds("0a-0b-0c-0d-0e-0f"),
+            vec![TokenKind::Mac(mac), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn cidr_and_bare_ip() {
+        assert_eq!(
+            kinds("10.1.2.3/16 10.0.0.9"),
+            vec![
+                TokenKind::Cidr("10.1.0.0/16".parse().unwrap()),
+                TokenKind::Cidr("10.0.0.9/32".parse().unwrap()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("# header\nrule r:\n  allow");
+        assert_eq!(toks[0].kind, TokenKind::Ident("rule".into()));
+        assert_eq!((toks[0].line, toks[0].col), (2, 1));
+        assert_eq!(toks[2].kind, TokenKind::Colon);
+        assert_eq!((toks[2].line, toks[2].col), (2, 7));
+        assert_eq!((toks[3].line, toks[3].col), (3, 3));
+    }
+
+    #[test]
+    fn garbage_becomes_error_tokens() {
+        let ks = kinds("rule ! 10.0.0.0/99 3.3.3 99999999999999999999999");
+        assert_eq!(ks[0], TokenKind::Ident("rule".into()));
+        assert!(matches!(ks[1], TokenKind::Error(_)), "{ks:?}");
+        assert!(matches!(ks[2], TokenKind::Error(_)), "{ks:?}");
+        assert!(matches!(ks[3], TokenKind::Error(_)), "{ks:?}");
+        assert!(matches!(ks[4], TokenKind::Error(_)), "{ks:?}");
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+}

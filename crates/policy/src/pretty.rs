@@ -1,0 +1,156 @@
+//! The canonical pretty-printer.
+//!
+//! `pretty` emits one fixed formatting of a program: clauses in
+//! canonical order, one declaration per line, normalized prefixes and
+//! rate units. Canonical text is a fixpoint — `parse(pretty(p))`
+//! pretty-prints back to the same string — which is what the
+//! round-trip proptests pin down.
+
+use crate::ast::{
+    proto_keyword, service_keyword, Decl, DeclKind, Endpoint, Member, Program, Verdict,
+};
+use std::fmt::Write as _;
+
+/// Pretty-prints a whole program, one declaration per line (with a
+/// trailing newline when non-empty).
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for decl in &program.decls {
+        out.push_str(&pretty_decl(decl));
+        out.push('\n');
+    }
+    out
+}
+
+fn pretty_decl(decl: &Decl) -> String {
+    let mut s = String::new();
+    match &decl.kind {
+        DeclKind::Group { name, members } => {
+            let _ = write!(s, "group {name} = {{");
+            for (i, m) in members.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                match m {
+                    Member::Mac(mac) => {
+                        let _ = write!(s, "{sep}{mac}");
+                    }
+                    Member::Net(net) => {
+                        let _ = write!(s, "{sep}{net}");
+                    }
+                }
+            }
+            s.push_str(" }");
+        }
+        DeclKind::Chain { name, services } => {
+            let _ = write!(s, "chain {name} = [");
+            for (i, svc) in services.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                let _ = write!(s, "{sep}{}", service_keyword(*svc));
+            }
+            s.push_str(" ]");
+        }
+        DeclKind::Tenant { name, net } => {
+            let _ = write!(s, "tenant {name} {net}");
+        }
+        DeclKind::Rule(r) => {
+            let _ = write!(s, "rule {}:", r.name);
+            if let Some(ep) = &r.from {
+                let _ = write!(s, " from {}", pretty_endpoint(ep));
+            }
+            if let Some(ep) = &r.to {
+                let _ = write!(s, " to {}", pretty_endpoint(ep));
+            }
+            if let Some(p) = r.proto {
+                match proto_keyword(p) {
+                    Some(kw) => {
+                        let _ = write!(s, " proto {kw}");
+                    }
+                    None => {
+                        let _ = write!(s, " proto {p}");
+                    }
+                }
+            }
+            if let Some(p) = r.port {
+                let _ = write!(s, " port {p}");
+            }
+            if let Some(t) = &r.tenant {
+                let _ = write!(s, " tenant {t}");
+            }
+            let _ = write!(s, " {}", pretty_verdict(&r.verdict));
+        }
+        DeclKind::Default { verdict } => {
+            let _ = write!(s, "default {}", pretty_verdict(verdict));
+        }
+        DeclKind::OnApp { app, block } => {
+            let action = if *block { "block" } else { "allow" };
+            let _ = write!(s, "on app {app} {action}");
+        }
+    }
+    s
+}
+
+fn pretty_endpoint(ep: &Endpoint) -> String {
+    match ep {
+        Endpoint::Name(n) => n.clone(),
+        Endpoint::Net(net) => net.to_string(),
+        Endpoint::Mac(mac) => mac.to_string(),
+    }
+}
+
+fn pretty_verdict(v: &Verdict) -> String {
+    match v {
+        Verdict::Allow => "allow".to_owned(),
+        Verdict::Deny => "deny".to_owned(),
+        Verdict::Via(chain) => format!("via {chain}"),
+        Verdict::Limit { bps } => {
+            // Canonical unit: the largest that divides the rate.
+            let (n, unit) = if *bps > 0 && bps % 1_000_000_000 == 0 {
+                (bps / 1_000_000_000, "gbps")
+            } else if *bps > 0 && bps % 1_000_000 == 0 {
+                (bps / 1_000_000, "mbps")
+            } else if *bps > 0 && bps % 1_000 == 0 {
+                (bps / 1_000, "kbps")
+            } else {
+                (*bps, "bps")
+            };
+            format!("limit {n} {unit}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn canonical_text_is_a_fixpoint() {
+        let src = "\
+group eng = { 0a:0b:0c:0d:0e:01, 10.1.0.0/24 }
+chain web = [ ids, protoid ]
+tenant lab 10.2.0.0/16
+rule web-ids: from eng proto tcp port 80 via web
+rule capped: from 10.9.0.0/24 limit 10 mbps
+default allow
+on app bittorrent block
+";
+        let (prog, diags) = parse(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let printed = pretty(&prog);
+        assert_eq!(printed, src);
+        let (reparsed, rediags) = parse(&printed);
+        assert!(rediags.is_empty());
+        assert_eq!(pretty(&reparsed), printed);
+    }
+
+    #[test]
+    fn normalizes_on_the_way_in() {
+        // Host bits masked, clauses reordered, units folded.
+        let (prog, diags) =
+            parse("rule r: port 80 from 10.1.2.3/16 proto 6 limit 2000 kbps\ngroup g = {}\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(
+            pretty(&prog),
+            "rule r: from 10.1.0.0/16 proto tcp port 80 limit 2 mbps\ngroup g = { }\n"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Incremental verification: re-audit only the equivalence classes a
+//! rule delta touches.
+//!
+//! The full [`crate::audit`] re-traces every flow, block, and flow
+//! entry in the snapshot. After a policy delta the controller knows
+//! exactly which header-space cubes changed, and a cube that
+//! intersects nothing an item matches cannot change that item's
+//! verdict — so [`EcIndex`] precomputes one cube per auditable item
+//! (the flow's exact headers in both directions, the block's matcher,
+//! the entry's matcher) and [`EcIndex::touched`] selects the items
+//! any delta cube overlaps. Overlap is conservative: it is a superset
+//! of "the delta covers this item's witness", which is what makes
+//! [`audit_delta`]'s verdicts agree with the full audit on every
+//! touched class (the equivalence proptest pins this down).
+
+use crate::invariants::{audit_scoped, AuditScope, Violation};
+use crate::snapshot::Snapshot;
+use livesec_openflow::Match;
+
+/// One changed region of header space, as reported by the policy
+/// delta compiler (`Controller::apply_policy_delta` returns these
+/// cubes) or hand-built for a targeted re-audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleDelta {
+    /// The header cube the change covers.
+    pub matcher: Match,
+    /// Restrict to one switch's entries and blocks (`None` = the
+    /// whole network; flows always audit network-wide).
+    pub dpid: Option<u64>,
+}
+
+impl RuleDelta {
+    /// A delta touching `matcher` everywhere.
+    pub fn network_wide(matcher: Match) -> Self {
+        RuleDelta {
+            matcher,
+            dpid: None,
+        }
+    }
+
+    /// A delta touching `matcher` on one switch only.
+    pub fn at(dpid: u64, matcher: Match) -> Self {
+        RuleDelta {
+            matcher,
+            dpid: Some(dpid),
+        }
+    }
+}
+
+/// A persistent index from auditable snapshot items to the header
+/// cubes they occupy. Build once per snapshot, then resolve any
+/// number of deltas against it.
+#[derive(Clone, Debug)]
+pub struct EcIndex {
+    /// Per flow: its exact-header cube, forward and reverse.
+    flow_cubes: Vec<(Match, Match)>,
+    /// Per block: `(dpid, matcher)`.
+    block_cubes: Vec<(u64, Match)>,
+    /// Per entry: `(switch index, entry index, dpid, matcher)`.
+    entry_cubes: Vec<(usize, usize, u64, Match)>,
+}
+
+impl EcIndex {
+    /// Indexes every auditable item of the snapshot.
+    pub fn build(snap: &Snapshot) -> Self {
+        let flow_cubes = snap
+            .flows
+            .iter()
+            .map(|f| {
+                (
+                    Match::exact_any_port(&f.key),
+                    Match::exact_any_port(&f.key.reversed()),
+                )
+            })
+            .collect();
+        let block_cubes = snap.blocks.iter().map(|(d, m)| (*d, *m)).collect();
+        let entry_cubes = snap
+            .switches
+            .iter()
+            .enumerate()
+            .flat_map(|(si, sw)| {
+                sw.entries
+                    .iter()
+                    .enumerate()
+                    .map(move |(j, e)| (si, j, sw.dpid, e.matcher))
+            })
+            .collect();
+        EcIndex {
+            flow_cubes,
+            block_cubes,
+            entry_cubes,
+        }
+    }
+
+    /// Total indexed items (the denominator of the work ratio).
+    pub fn total_items(&self) -> usize {
+        self.flow_cubes.len() + self.block_cubes.len() + self.entry_cubes.len()
+    }
+
+    /// The audit scope the deltas touch: every item whose cube
+    /// overlaps some delta cube (entries and blocks additionally
+    /// filtered by the delta's switch pin, when it has one).
+    pub fn touched(&self, deltas: &[RuleDelta]) -> AuditScope {
+        let flows = self
+            .flow_cubes
+            .iter()
+            .enumerate()
+            .filter(|(_, (fwd, rev))| {
+                deltas
+                    .iter()
+                    .any(|d| d.matcher.overlaps(fwd) || d.matcher.overlaps(rev))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let blocks = self
+            .block_cubes
+            .iter()
+            .enumerate()
+            .filter(|(_, (dpid, m))| {
+                deltas
+                    .iter()
+                    .any(|d| d.dpid.is_none_or(|p| p == *dpid) && d.matcher.overlaps(m))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let entries = self
+            .entry_cubes
+            .iter()
+            .filter(|(_, _, dpid, m)| {
+                deltas
+                    .iter()
+                    .any(|d| d.dpid.is_none_or(|p| p == *dpid) && d.matcher.overlaps(m))
+            })
+            .map(|(si, j, _, _)| (*si, *j))
+            .collect();
+        AuditScope {
+            flows,
+            blocks,
+            entries,
+        }
+    }
+}
+
+/// Audits only the equivalence classes `deltas` touch (plus the
+/// always-on structural invariants). Agrees with the full
+/// [`crate::audit`] on every touched class; violations confined to
+/// untouched classes are by definition unaffected by the delta and
+/// are skipped.
+pub fn audit_delta(snap: &Snapshot, deltas: &[RuleDelta]) -> Vec<Violation> {
+    audit_scoped(snap, &EcIndex::build(snap).touched(deltas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit;
+    use livesec_sim::SimDuration;
+    use livesec_workloads::{CampusScenario, ScenarioConfig};
+
+    fn strings(vs: &[Violation]) -> Vec<String> {
+        let mut out: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    fn live_snapshot() -> Snapshot {
+        let mut s = CampusScenario::build(ScenarioConfig::default());
+        s.campus.world.run_for(SimDuration::from_secs(3));
+        Snapshot::of_campus(&s.campus)
+    }
+
+    #[test]
+    fn universal_delta_reproduces_the_full_audit() {
+        let snap = live_snapshot();
+        let full = audit(&snap);
+        let scoped = audit_delta(&snap, &[RuleDelta::network_wide(Match::any())]);
+        assert_eq!(strings(&full), strings(&scoped));
+    }
+
+    #[test]
+    fn disjoint_delta_touches_nothing() {
+        let snap = live_snapshot();
+        let idx = EcIndex::build(&snap);
+        assert!(idx.total_items() > 0);
+        // Campus traffic lives in 10.0.0.0/8; a cube over 203.0.113/24
+        // touches no flow, and no entry except wildcards.
+        let delta = RuleDelta::network_wide(
+            Match::any()
+                .with_nw_src("203.0.113.0/24".parse().unwrap())
+                .with_nw_dst("203.0.113.0/24".parse().unwrap())
+                .with_tp_dst(9999),
+        );
+        let scope = idx.touched(&[delta]);
+        assert!(scope.flows.is_empty(), "{:?}", scope.flows);
+        assert!(scope.len() < idx.total_items());
+    }
+}

@@ -258,17 +258,69 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Which snapshot items a header-space audit pass re-examines. The
+/// structural invariants (7, 8) always run in full — they are cheap
+/// and not header-indexed — but the trace-based checks iterate only
+/// the scoped items. [`AuditScope::full`] selects everything;
+/// [`crate::EcIndex::touched`] selects the classes a rule delta
+/// intersects.
+#[derive(Clone, Debug)]
+pub struct AuditScope {
+    /// Indices into `snap.flows` to re-trace.
+    pub flows: Vec<usize>,
+    /// Indices into `snap.blocks` to re-verify unreachable.
+    pub blocks: Vec<usize>,
+    /// `(switch index, entry index)` pairs to re-check for loops,
+    /// staleness, and shadowing. Must be sorted.
+    pub entries: Vec<(usize, usize)>,
+}
+
+impl AuditScope {
+    /// The scope covering every item — a scoped audit over it is
+    /// exactly the full [`audit`].
+    pub fn full(snap: &Snapshot) -> Self {
+        AuditScope {
+            flows: (0..snap.flows.len()).collect(),
+            blocks: (0..snap.blocks.len()).collect(),
+            entries: snap
+                .switches
+                .iter()
+                .enumerate()
+                .flat_map(|(si, sw)| (0..sw.entries.len()).map(move |j| (si, j)))
+                .collect(),
+        }
+    }
+
+    /// Total scoped items, for work-ratio accounting.
+    pub fn len(&self) -> usize {
+        self.flows.len() + self.blocks.len() + self.entries.len()
+    }
+
+    /// Whether nothing is scoped (the structural checks still run).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Runs all invariant checks against a snapshot and returns every
 /// violation found (empty = all invariants proven for this snapshot).
 pub fn audit(snap: &Snapshot) -> Vec<Violation> {
+    audit_scoped(snap, &AuditScope::full(snap))
+}
+
+/// Runs the invariant checks restricted to `scope`. With
+/// [`AuditScope::full`] this is [`audit`] exactly; with a delta
+/// scope it re-examines only the traced classes the delta touches
+/// (plus the always-on structural invariants 7 and 8).
+pub fn audit_scoped(snap: &Snapshot, scope: &AuditScope) -> Vec<Violation> {
     let mut out = Vec::new();
     check_quarantine(snap, &mut out);
     check_shard_coverage(snap, &mut out);
-    check_shadowed_rules(snap, &mut out);
-    check_stale_fastpass(snap, &mut out);
-    check_loops(snap, &mut out);
-    check_flows(snap, &mut out);
-    check_blocked_unreachable(snap, &mut out);
+    check_shadowed_rules(snap, &scope.entries, &mut out);
+    check_stale_fastpass(snap, &scope.entries, &mut out);
+    check_loops(snap, &scope.entries, &mut out);
+    check_flows(snap, &scope.flows, &mut out);
+    check_blocked_unreachable(snap, &scope.blocks, &mut out);
     out
 }
 
@@ -336,10 +388,15 @@ fn check_shard_coverage(snap: &Snapshot, out: &mut Vec<Violation>) {
 /// win in the overlap — the installation order silently decides, so
 /// report the masked rule. Equal-action overlaps (two drop rules) are
 /// harmless and ignored.
-fn check_shadowed_rules(snap: &Snapshot, out: &mut Vec<Violation>) {
-    for sw in &snap.switches {
+fn check_shadowed_rules(snap: &Snapshot, scoped: &[(usize, usize)], out: &mut Vec<Violation>) {
+    let in_scope: std::collections::BTreeSet<&(usize, usize)> = scoped.iter().collect();
+    for (si, sw) in snap.switches.iter().enumerate() {
         for (j, later) in sw.entries.iter().enumerate() {
-            for earlier in &sw.entries[..j] {
+            for (i, earlier) in sw.entries[..j].iter().enumerate() {
+                // A pair needs re-checking when either side changed.
+                if !in_scope.contains(&(si, i)) && !in_scope.contains(&(si, j)) {
+                    continue;
+                }
                 if earlier.priority != later.priority
                     || earlier.actions == later.actions
                     || !earlier.matcher.overlaps(&later.matcher)
@@ -373,36 +430,40 @@ fn check_shadowed_rules(snap: &Snapshot, out: &mut Vec<Violation>) {
 /// fast-pass record compiled under the *current* policy and topology
 /// epochs. An entry with no record, or with a record whose epochs
 /// fell behind, forwards established traffic under superseded policy.
-fn check_stale_fastpass(snap: &Snapshot, out: &mut Vec<Violation>) {
-    for sw in &snap.switches {
-        for e in &sw.entries {
-            if e.priority != FASTPASS_PRIORITY {
-                continue;
-            }
-            let record = e.matcher.exact_key().and_then(|k| {
-                snap.fastpasses
-                    .iter()
-                    .find(|(fk, _, _)| *fk == k || fk.reversed() == k)
-            });
-            let record_epochs = record.map(|(_, pe, te)| (*pe, *te));
-            if record_epochs == Some(snap.epochs) {
-                continue;
-            }
-            let Some((in_port, key)) = HeaderClass::of(e.matcher).witness() else {
-                continue;
-            };
-            out.push(Violation::StaleFastPass {
-                dpid: sw.dpid,
-                matcher: e.matcher,
-                record_epochs,
-                current_epochs: snap.epochs,
-                witness: Witness {
-                    dpid: sw.dpid,
-                    in_port,
-                    key,
-                },
-            });
+fn check_stale_fastpass(snap: &Snapshot, scoped: &[(usize, usize)], out: &mut Vec<Violation>) {
+    for &(si, j) in scoped {
+        let Some(sw) = snap.switches.get(si) else {
+            continue;
+        };
+        let Some(e) = sw.entries.get(j) else {
+            continue;
+        };
+        if e.priority != FASTPASS_PRIORITY {
+            continue;
         }
+        let record = e.matcher.exact_key().and_then(|k| {
+            snap.fastpasses
+                .iter()
+                .find(|(fk, _, _)| *fk == k || fk.reversed() == k)
+        });
+        let record_epochs = record.map(|(_, pe, te)| (*pe, *te));
+        if record_epochs == Some(snap.epochs) {
+            continue;
+        }
+        let Some((in_port, key)) = HeaderClass::of(e.matcher).witness() else {
+            continue;
+        };
+        out.push(Violation::StaleFastPass {
+            dpid: sw.dpid,
+            matcher: e.matcher,
+            record_epochs,
+            current_epochs: snap.epochs,
+            witness: Witness {
+                dpid: sw.dpid,
+                in_port,
+                key,
+            },
+        });
     }
 }
 
@@ -424,27 +485,31 @@ fn winner_region(entries: &[livesec_openflow::FlowEntry], idx: usize) -> HeaderC
 /// Invariant 2: no forwarding loops. Every installed entry that can
 /// win a lookup is a potential first hop; trace one witness from each
 /// such winner region and flag traces that revisit a state.
-fn check_loops(snap: &Snapshot, out: &mut Vec<Violation>) {
-    for sw in &snap.switches {
-        for (idx, e) in sw.entries.iter().enumerate() {
-            if e.actions.is_empty() {
-                continue; // a drop cannot start a loop
-            }
-            let Some((in_port, key)) = winner_region(&sw.entries, idx).witness() else {
-                continue; // fully shadowed: never wins a lookup
-            };
-            let t = trace(snap, sw.dpid, in_port, key);
-            if matches!(t.end, TraceEnd::Loop { .. }) {
-                out.push(Violation::ForwardingLoop {
+fn check_loops(snap: &Snapshot, scoped: &[(usize, usize)], out: &mut Vec<Violation>) {
+    for &(si, idx) in scoped {
+        let Some(sw) = snap.switches.get(si) else {
+            continue;
+        };
+        let Some(e) = sw.entries.get(idx) else {
+            continue;
+        };
+        if e.actions.is_empty() {
+            continue; // a drop cannot start a loop
+        }
+        let Some((in_port, key)) = winner_region(&sw.entries, idx).witness() else {
+            continue; // fully shadowed: never wins a lookup
+        };
+        let t = trace(snap, sw.dpid, in_port, key);
+        if matches!(t.end, TraceEnd::Loop { .. }) {
+            out.push(Violation::ForwardingLoop {
+                dpid: sw.dpid,
+                witness: Witness {
                     dpid: sw.dpid,
-                    witness: Witness {
-                        dpid: sw.dpid,
-                        in_port,
-                        key,
-                    },
-                    path: t.steps.iter().map(|s| (s.dpid, s.in_port)).collect(),
-                });
-            }
+                    in_port,
+                    key,
+                },
+                path: t.steps.iter().map(|s| (s.dpid, s.in_port)).collect(),
+            });
         }
     }
 }
@@ -477,8 +542,11 @@ fn flow_is_blocked_on_ingress(snap: &Snapshot, dpid: u64, in_port: u32, key: &Fl
 /// chained flow must traverse an element of each required type in
 /// order before egress (waypoint enforcement) — unless a
 /// current-epoch fast-pass sanctions the bypass.
-fn check_flows(snap: &Snapshot, out: &mut Vec<Violation>) {
-    for flow in &snap.flows {
+fn check_flows(snap: &Snapshot, scoped: &[usize], out: &mut Vec<Violation>) {
+    for &fi in scoped {
+        let Some(flow) = snap.flows.get(fi) else {
+            continue;
+        };
         if flow.blocked {
             continue; // invariant 1 owns blocked flows
         }
@@ -541,8 +609,11 @@ fn check_flows(snap: &Snapshot, out: &mut Vec<Violation>) {
 /// plausible ingress and every located destination, concretize a
 /// packet the blocked party could send there, and demand the trace
 /// does not deliver it.
-fn check_blocked_unreachable(snap: &Snapshot, out: &mut Vec<Violation>) {
-    for (bdpid, matcher) in &snap.blocks {
+fn check_blocked_unreachable(snap: &Snapshot, scoped: &[usize], out: &mut Vec<Violation>) {
+    for &bi in scoped {
+        let Some((bdpid, matcher)) = snap.blocks.get(bi) else {
+            continue;
+        };
         // Ingress candidates: the matcher's pinned port, else the
         // blocked source's attachment, else every host port on the
         // block's switch.

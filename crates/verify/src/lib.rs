@@ -44,11 +44,13 @@
 //! `livesec-verify` CLI binary, which builds a scenario, runs it, and
 //! pretty-prints every violation with its witness packet.
 
+pub mod delta;
 pub mod invariants;
 pub mod snapshot;
 pub mod trace;
 
-pub use invariants::{audit, Violation, Witness};
+pub use delta::{audit_delta, EcIndex, RuleDelta};
+pub use invariants::{audit, audit_scoped, AuditScope, Violation, Witness};
 pub use snapshot::{FlowView, HostInfo, Snapshot, SwitchState};
 pub use trace::{best_entry, trace, Trace, TraceEnd, TraceStep};
 

@@ -197,6 +197,10 @@ pub struct ScenarioConfig {
     /// (`0` = attestations off, the default; `1` = attest every
     /// packet). Drives the accountability detector.
     pub attest_every: u64,
+    /// Declarative policy source (`.lsp`) to compile and install in
+    /// place of the built-in Figure-7 table. Compilation errors panic
+    /// — scenario policies are static test inputs, not user data.
+    pub policy_src: Option<&'static str>,
 }
 
 impl Default for ScenarioConfig {
@@ -212,6 +216,7 @@ impl Default for ScenarioConfig {
             chaos: None,
             shards: 0,
             attest_every: 0,
+            policy_src: None,
         }
     }
 }
@@ -244,22 +249,32 @@ impl CampusScenario {
     /// Builds the scenario.
     pub fn build(cfg: ScenarioConfig) -> Self {
         // Policy: every TCP flow is protocol-identified; web flows
-        // additionally pass intrusion detection first.
-        let mut policy = PolicyTable::allow_all();
-        policy.push(
-            PolicyRule::named("web-ids-protoid")
-                .proto(6)
-                .dst_port(80)
-                .chain(vec![
-                    ServiceType::IntrusionDetection,
-                    ServiceType::ProtocolIdentification,
-                ]),
-        );
-        policy.push(
-            PolicyRule::named("tcp-protoid")
-                .proto(6)
-                .chain(vec![ServiceType::ProtocolIdentification]),
-        );
+        // additionally pass intrusion detection first. A scenario can
+        // swap in a declarative `.lsp` source instead.
+        let policy = match cfg.policy_src {
+            Some(src) => match livesec_policy::compile(src) {
+                Ok(compiled) => compiled.table,
+                Err(diags) => panic!("scenario policy does not compile: {diags:?}"),
+            },
+            None => {
+                let mut policy = PolicyTable::allow_all();
+                policy.push(
+                    PolicyRule::named("web-ids-protoid")
+                        .proto(6)
+                        .dst_port(80)
+                        .chain(vec![
+                            ServiceType::IntrusionDetection,
+                            ServiceType::ProtocolIdentification,
+                        ]),
+                );
+                policy.push(
+                    PolicyRule::named("tcp-protoid")
+                        .proto(6)
+                        .chain(vec![ServiceType::ProtocolIdentification]),
+                );
+                policy
+            }
+        };
 
         let arp_timeout = cfg.arp_timeout;
         let flow_idle = cfg.flow_idle;
@@ -408,6 +423,27 @@ impl CampusScenario {
 mod tests {
     use super::*;
     use livesec::monitor::EventKind;
+
+    #[test]
+    fn declarative_policy_source_replaces_the_builtin_table() {
+        // The `.lsp` equivalent of the built-in Figure-7 policy
+        // lowers to the exact same table.
+        let s = CampusScenario::build(ScenarioConfig {
+            policy_src: Some(
+                "chain web-chain = [ ids, protoid ]\n\
+                 chain tcp-chain = [ protoid ]\n\
+                 rule web-ids-protoid: proto tcp port 80 via web-chain\n\
+                 rule tcp-protoid: proto tcp via tcp-chain\n\
+                 default allow\n",
+            ),
+            ..ScenarioConfig::default()
+        });
+        let builtin = CampusScenario::build(ScenarioConfig::default());
+        assert_eq!(
+            s.campus.controller().policy(),
+            builtin.campus.controller().policy()
+        );
+    }
 
     #[test]
     fn scenario_produces_the_figure_8_narrative() {

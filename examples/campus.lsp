@@ -1,0 +1,21 @@
+# LiveSec campus policy — compiled and installed by
+# `cargo run --release --example policy`.
+#
+# Every host lives in the 10.0.0.0/16 campus tenant; web browsing is
+# steered through intrusion detection; bulk transfers are capped
+# (advisory); BitTorrent is blocked the moment the protocol
+# identifier names it.
+
+tenant campus 10.0.0.0/16
+
+group staff = { 10.0.0.0/17 }
+
+chain web-chain = [ ids ]
+
+rule web-ids: from staff proto tcp port 80 via web-chain
+rule bulk-cap: proto tcp port 20000 limit 10 mbps
+rule intra-campus: proto udp tenant campus allow
+
+default allow
+
+on app bittorrent block

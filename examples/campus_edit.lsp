@@ -1,0 +1,19 @@
+# Revision 2 of campus.lsp — the live edit `examples/policy.rs`
+# applies mid-traffic. Relative to revision 1: telnet is now denied
+# outright and the bulk-transfer cap is gone. Everything else is
+# untouched, so the delta compiler emits exactly one insert and one
+# remove, and warm web flows keep their cached state.
+
+tenant campus 10.0.0.0/16
+
+group staff = { 10.0.0.0/17 }
+
+chain web-chain = [ ids ]
+
+rule no-telnet: proto tcp port 23 deny
+rule web-ids: from staff proto tcp port 80 via web-chain
+rule intra-campus: proto udp tenant campus allow
+
+default allow
+
+on app bittorrent block

@@ -67,6 +67,24 @@ run cargo run -q -p livesec-verify --release -- --scenario tamper-quarantine
 # (re)writes BENCH_accountability.json, every forged attestation caught.
 run cargo bench -q -p livesec-bench --bench accountability -- --smoke
 test -s BENCH_accountability.json
+# Declarative policy (DESIGN.md §14): the .lsp compiler's own suites
+# (parser recovery, shadow analysis, delta-convergence proptests) plus
+# the incremental-verification agreement tests.
+run cargo test -q -p livesec-policy
+run cargo test -q -p livesec-verify
+# Delta-path equivalence gate: applying compiled deltas mid-traffic
+# must equal the wholesale recompile byte-for-byte (tables and
+# filtered histories), spare untouched warm cache classes, and pass
+# the scoped incremental audit on the returned cubes.
+run cargo test -q --test policy_delta
+# Policy end-to-end: load .lsp, run traffic, live-edit the policy,
+# apply the delta script, audit incrementally.
+run cargo run -q --release --example policy
+# Delta-compile + incremental-audit smoke bench: the single-rule delta
+# on a 1000-switch campus must clear the >=10x work-ratio floor and
+# (re)write BENCH_policy.json.
+run cargo bench -q -p livesec-bench --bench policy -- --smoke
+test -s BENCH_policy.json
 # Stateful-enforcement end-to-end: SYN flood detected by conntrack,
 # source-wide drop installed at the ingress, flood stops counting —
 # while a legitimate fast-passed transfer completes alongside.

@@ -7,7 +7,7 @@
 //! and the whole faulty run must stay byte-for-byte deterministic.
 
 use livesec_suite::prelude::*;
-use livesec_verify::audit_settled;
+use livesec_verify::{audit_delta, audit_settled, RuleDelta, Snapshot};
 use livesec_workloads::{CampusScenario, ChaosConfig, IdleApp, ScenarioConfig};
 
 /// AS switches in the default campus: 3 OvS + the Wi-Fi AP.
@@ -192,6 +192,65 @@ fn chaos_soak_over_fixed_seeds() {
         assert!(audited_heals >= 1, "seed {seed}: no heal was ever logged");
         assert_recovered(&s);
     }
+}
+
+/// A scoped policy edit landed *while the faults are still active*
+/// must survive recovery: reconciliation re-converges the dataplane
+/// on the edited table, and the incremental auditor — scoped to
+/// exactly the cubes the controller reported for the edit — settles
+/// clean once the last switch heals (DESIGN.md §14).
+#[test]
+fn policy_delta_applied_mid_chaos_audits_clean_incrementally() {
+    let chaos = quick_chaos();
+    let run_for = chaos.last_heal(N_SWITCHES as usize) + SimDuration::from_secs(9);
+    let mut s = CampusScenario::build(ScenarioConfig {
+        seed: 42,
+        chaos: Some(chaos),
+        ..ScenarioConfig::default()
+    });
+    // 3 s in, the first partitions are live. Edit the policy anyway:
+    // append a telnet deny the compiler diffs against the running
+    // table (the scenario's built-in table is what `.lsp` compiles
+    // to, so the diff is exactly the one inserted rule).
+    s.campus.world.run_for(SimDuration::from_secs(3));
+    let new = livesec_policy::compile(
+        "chain web-chain = [ ids, protoid ]\n\
+         chain tcp-chain = [ protoid ]\n\
+         rule telnet-deny: proto tcp port 2323 deny\n\
+         rule web-ids-protoid: proto tcp port 80 via web-chain\n\
+         rule tcp-protoid: proto tcp via tcp-chain\n\
+         default allow\n",
+    )
+    .expect("edit compiles");
+    let deltas = livesec_policy::diff(s.campus.controller().policy(), &new.table);
+    assert_eq!(deltas.len(), 1, "one inserted rule: {deltas:?}");
+    let now = s.campus.world.kernel().now();
+    let cubes = s.campus.controller_mut().apply_policy_delta(now, &deltas);
+    assert!(!cubes.is_empty());
+
+    let rest =
+        SimDuration::from_nanos(run_for.as_nanos() - s.campus.world.kernel().now().as_nanos());
+    s.campus.world.run_for(rest);
+    assert_recovered(&s);
+    assert_eq!(
+        s.campus.controller().policy(),
+        &new.table,
+        "the mid-chaos edit must survive recovery"
+    );
+
+    let scoped: Vec<RuleDelta> = cubes.into_iter().map(RuleDelta::network_wide).collect();
+    let mut violations = Vec::new();
+    for _ in 0..30 {
+        s.campus.world.run_for(SimDuration::from_millis(100));
+        violations = audit_delta(&Snapshot::of_campus(&s.campus), &scoped);
+        if violations.is_empty() {
+            break;
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "incremental audit of the mid-chaos edit found: {violations:#?}"
+    );
 }
 
 /// Regression: expiry sweeps run from the controller's own periodic

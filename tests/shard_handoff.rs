@@ -7,7 +7,7 @@
 //! shard's cached decisions for the same flows.
 
 use livesec_suite::prelude::*;
-use livesec_verify::audit_settled;
+use livesec_verify::{audit_delta, audit_settled, RuleDelta, Snapshot};
 use livesec_workloads::{CampusScenario, HttpClient, HttpServer, ScenarioConfig};
 
 fn sharded_scenario(shards: u32) -> CampusScenario {
@@ -133,5 +133,63 @@ fn policy_epoch_bump_invalidates_other_shards_cache_entries() {
     assert!(
         inserted_after > inserted_before,
         "no shard re-cached decisions under the new policy"
+    );
+}
+
+/// The scoped counterpart of the epoch-bump test above: a policy
+/// *delta* confined to an idle header class must leave every shard's
+/// warm cache entries alone (wholesale bumps flush them all), and the
+/// incremental auditor scoped to the delta's cubes must settle clean
+/// on the sharded dataplane (DESIGN.md §14).
+#[test]
+fn scoped_delta_spares_shard_caches_and_audits_clean() {
+    let mut s = sharded_scenario(4);
+    s.campus.world.run_for(SimDuration::from_secs(4));
+
+    let plane = s.campus.shard_plane().expect("campus is sharded");
+    assert!(plane.handoffs() > 0, "no cross-shard flow before the edit");
+    let entries_before: u64 = plane
+        .shard_stats()
+        .iter()
+        .filter_map(|st| st.cache.as_ref().map(|c| c.entries))
+        .sum();
+    assert!(entries_before > 0, "no warm cache to protect");
+
+    // Insert a deny on an idle telnet-ish class through the shared
+    // store: no shard's warm web decisions fall inside its cube.
+    let deltas = [PolicyDelta::Insert {
+        index: 0,
+        rule: PolicyRule::named("telnet-deny")
+            .proto(6)
+            .dst_port(2323)
+            .deny(),
+    }];
+    let now = s.campus.world.kernel().now();
+    let cubes = s.campus.controller_mut().apply_policy_delta(now, &deltas);
+    assert!(!cubes.is_empty());
+
+    let plane = s.campus.shard_plane().expect("campus is sharded");
+    let entries_after: u64 = plane
+        .shard_stats()
+        .iter()
+        .filter_map(|st| st.cache.as_ref().map(|c| c.entries))
+        .sum();
+    assert_eq!(
+        entries_after, entries_before,
+        "an idle-class delta must not evict any shard's warm entries"
+    );
+
+    let scoped: Vec<RuleDelta> = cubes.into_iter().map(RuleDelta::network_wide).collect();
+    let mut violations = Vec::new();
+    for _ in 0..30 {
+        s.campus.world.run_for(SimDuration::from_millis(100));
+        violations = audit_delta(&Snapshot::of_campus(&s.campus), &scoped);
+        if violations.is_empty() {
+            break;
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "incremental audit on the sharded campus found: {violations:#?}"
     );
 }
