@@ -148,6 +148,10 @@ pub enum Item {
         ty: TypeRef,
         /// Initializer.
         init: Option<Expr>,
+        /// Whether this is a `static mut` — globally shared mutable
+        /// state, the worst determinism shape a parallel executor can
+        /// meet (flagged by LS501).
+        mutable: bool,
         /// 1-based line.
         line: u32,
     },
@@ -203,6 +207,10 @@ pub struct Block {
     pub stmts: Vec<Stmt>,
     /// 1-based line of the opening brace.
     pub line: u32,
+    /// 1-based line of the closing brace (0 when unterminated). Gives
+    /// functions a span, which the allow-target meta-test uses to
+    /// prove every annotation still lands inside a real function.
+    pub end_line: u32,
 }
 
 /// One statement.
@@ -763,4 +771,22 @@ pub fn for_each_fn(file: &File, f: &mut impl FnMut(&FnItem, bool)) {
         }
     }
     items(&file.items, false, f);
+}
+
+/// `(name, first_line, last_line)` for every function in the file,
+/// including `#[cfg(test)]` ones. The span covers the signature line
+/// through the body's closing brace; bodyless functions (trait
+/// signatures) span their single line. Used by the allow-target
+/// meta-test to prove annotations still point at live code.
+pub fn fn_spans(file: &File) -> Vec<(String, u32, u32)> {
+    let mut spans = Vec::new();
+    for_each_fn(file, &mut |f, _| {
+        let end = f
+            .body
+            .as_ref()
+            .map(|b| b.end_line.max(f.line))
+            .unwrap_or(f.line);
+        spans.push((f.name.clone(), f.line, end));
+    });
+    spans
 }

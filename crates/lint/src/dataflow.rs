@@ -1,19 +1,26 @@
-//! Intra-procedural taint dataflow for the wire-taint rule.
+//! Taint dataflow for the wire-taint rule, inter-procedural since v3.
 //!
-//! The lattice is deliberately tiny — a value is either *tainted*
-//! (attacker-influenced: read off the wire or derived from something
-//! that was) or *clean*. Taint enters through byte-reader method
-//! calls (`u8()`/`u16()`/`u32()`/`u64()`), `from_be_bytes`-family
-//! constructors, and `&[u8]` parameters. It propagates through let
-//! bindings, casts, arithmetic, field/index projection and ordinary
-//! method calls, and is *killed* by sanitizers: `min`/`clamp`,
-//! `checked_*`/`saturating_*`, `try_into`/`try_from`, and any
-//! comparison that mentions the variable (a bounds guard).
+//! The lattice is a 64-bit mask per value: bit 63 (`WIRE`) means
+//! *attacker-influenced* — read off the wire or derived from something
+//! that was — and bits `0..48` mean *depends on parameter i* of the
+//! enclosing function. The param bits are what make per-function
+//! summaries composable: a helper's summary says "my return carries
+//! whatever param 0 carries", and the caller substitutes the actual
+//! argument's mask at the call site, so wire taint flows through
+//! helpers without re-analyzing them (the PEPS-style decomposition
+//! from the design notes).
 //!
-//! Sinks are the operations that turn attacker-chosen integers into
-//! panics or unbounded allocation: `Vec::with_capacity`-style
-//! capacity requests, slice indexing (including range bounds and
-//! `split_at`), and amplifying arithmetic (`*`, `<<`).
+//! Taint enters through byte-reader method calls (`u8()`/`u16()`/...),
+//! `from_be_bytes`-family constructors, and `&[u8]` parameters (in the
+//! diagnostic pass). It propagates through let bindings, casts,
+//! arithmetic, projections, ordinary method calls, and *resolved*
+//! calls via the [`Oracle`]; it is killed by sanitizers
+//! (`min`/`clamp`, `checked_*`/`saturating_*`, `try_into`/`try_from`)
+//! and by any comparison mentioning the variable (a bounds guard).
+//!
+//! Alongside taint, a parallel *sub* mask tracks values produced by an
+//! unguarded subtraction involving a parameter — the underflow shape
+//! behind LS202's cross-function slice-index check.
 //!
 //! The walk is a single forward pass per function in source order.
 //! Branch environments are not re-merged: once a guard sanitizes a
@@ -23,6 +30,28 @@
 
 use crate::ast::{BinOp, Block, Expr, FnItem, Stmt};
 use std::collections::BTreeMap;
+
+/// The attacker-influence bit of a taint mask.
+pub const WIRE: u64 = 1 << 63;
+
+/// The parameter-dependence bits of a taint mask (params 0..48;
+/// functions with more parameters than that lose precision, not
+/// soundness, past the cap).
+pub const PARAM_MASK: u64 = (1 << 48) - 1;
+
+/// Mask bit for parameter `i` (zero past the cap).
+pub fn param_bit(i: usize) -> u64 {
+    if i < 48 {
+        1 << i
+    } else {
+        0
+    }
+}
+
+/// Iterator over the set parameter-bit positions of a mask.
+pub(crate) fn iter_bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..48).filter(move |i| mask & (1 << i) != 0)
+}
 
 /// What kind of dangerous operation a tainted value reached.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +66,29 @@ pub enum SinkKind {
     Arith,
 }
 
+impl SinkKind {
+    /// Dense index for per-kind summary slots.
+    pub fn idx(self) -> usize {
+        match self {
+            SinkKind::Capacity => 0,
+            SinkKind::Index => 1,
+            SinkKind::Arith => 2,
+        }
+    }
+
+    /// All kinds, in `idx` order.
+    pub const ALL: [SinkKind; 3] = [SinkKind::Capacity, SinkKind::Index, SinkKind::Arith];
+
+    /// Human description of the sink position for call-site messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SinkKind::Capacity => "an allocation size",
+            SinkKind::Index => "a slice index",
+            SinkKind::Arith => "amplifying arithmetic",
+        }
+    }
+}
+
 /// One tainted-value-reaches-sink event.
 #[derive(Clone, Debug)]
 pub struct TaintSink {
@@ -46,6 +98,82 @@ pub struct TaintSink {
     pub kind: SinkKind,
     /// Short description of the flow for the diagnostic message.
     pub what: String,
+    /// Taint mask of the value that reached the sink. Diagnostics
+    /// require the [`WIRE`] bit; summaries keep the param bits.
+    pub mask: u64,
+}
+
+/// A function's composable taint behavior, computed once bottom-up
+/// and substituted at every call site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaintSummary {
+    /// Mask of the return value: [`WIRE`] when the fn reads wire bytes
+    /// into its result itself, plus a param bit per parameter whose
+    /// taint reaches the return.
+    pub ret_mask: u64,
+    /// Param bits whose value feeds an *unguarded subtraction* in the
+    /// return — calling this with an unbounded argument yields an
+    /// underflow-prone result (LS202's cross-function shape).
+    pub ret_sub: u64,
+    /// Per [`SinkKind::idx`] slot: param bits that reach such a sink
+    /// inside this function (or transitively in its callees).
+    pub sink_params: [u64; 3],
+}
+
+impl TaintSummary {
+    /// Joins `other` into `self`; returns whether anything changed.
+    /// Join is bitwise-or, so SCC fixpoints are monotone and
+    /// terminate.
+    pub fn join(&mut self, other: &TaintSummary) -> bool {
+        let before = *self;
+        self.ret_mask |= other.ret_mask;
+        self.ret_sub |= other.ret_sub;
+        for (slot, v) in self.sink_params.iter_mut().zip(other.sink_params) {
+            *slot |= v;
+        }
+        before != *self
+    }
+}
+
+/// A resolved callee, as the oracle hands it to the walker.
+#[derive(Debug)]
+pub struct CalleeInfo<'a> {
+    /// The callee's taint summary.
+    pub taint: &'a TaintSummary,
+    /// Whether the callee's param 0 is a `self` receiver.
+    pub has_self: bool,
+    /// Callee name, for diagnostics.
+    pub name: &'a str,
+}
+
+/// Resolves call expressions to callee summaries. The intra-procedural
+/// pass uses [`NoOracle`]; the workspace analysis wires in the call
+/// graph.
+pub trait Oracle {
+    /// Summary for the unique callee of `e`, when known.
+    fn resolve(&self, e: &Expr) -> Option<CalleeInfo<'_>>;
+}
+
+/// An oracle that resolves nothing — v2-equivalent intra-procedural
+/// analysis.
+#[derive(Debug)]
+pub struct NoOracle;
+
+impl Oracle for NoOracle {
+    fn resolve(&self, _e: &Expr) -> Option<CalleeInfo<'_>> {
+        None
+    }
+}
+
+/// Result of one function's taint pass.
+#[derive(Debug)]
+pub struct FnFlow {
+    /// Every sink some non-zero mask reached.
+    pub sinks: Vec<TaintSink>,
+    /// Join of return-position masks.
+    pub ret_mask: u64,
+    /// Join of return-position sub masks.
+    pub ret_sub: u64,
 }
 
 /// Byte-reader methods whose results are wire-controlled.
@@ -74,7 +202,14 @@ fn is_sanitizer(name: &str) -> bool {
 fn is_clean_query(name: &str) -> bool {
     matches!(
         name,
-        "len" | "is_empty" | "remaining" | "capacity" | "count" | "position"
+        "len"
+            | "is_empty"
+            | "remaining"
+            | "capacity"
+            | "count"
+            | "position"
+            | "is_some"
+            | "is_none"
     )
 }
 
@@ -87,334 +222,610 @@ fn arg_sink(name: &str) -> Option<SinkKind> {
     }
 }
 
-/// Runs the taint analysis over one function, returning every sink a
-/// tainted value reached. Taint is seeded from `&[u8]` parameters;
-/// reader-method calls inside the body seed the rest.
-pub fn wire_taint_sinks(f: &FnItem) -> Vec<TaintSink> {
-    let Some(body) = &f.body else {
-        return Vec::new();
+/// Per-variable state: (taint mask, sub mask).
+type Env = BTreeMap<String, (u64, u64)>;
+
+/// Runs the full taint pass over one function. `seed_wire` seeds
+/// `&[u8]` parameters with [`WIRE`] (the diagnostic pass); the summary
+/// pass seeds param bits only, so `ret_mask & WIRE` means the function
+/// is intrinsically a wire source. Every parameter always carries its
+/// param bit, which is what summary extraction reads back.
+pub fn function_flow(f: &FnItem, oracle: &dyn Oracle, seed_wire: bool) -> FnFlow {
+    let mut flow = Flow {
+        oracle,
+        sinks: Vec::new(),
+        ret_mask: 0,
+        ret_sub: 0,
     };
-    let mut env: BTreeMap<String, bool> = BTreeMap::new();
-    for p in &f.params {
-        if p.ty.is_byte_slice() {
-            env.insert(p.name.clone(), true);
+    let Some(body) = &f.body else {
+        return FnFlow {
+            sinks: flow.sinks,
+            ret_mask: 0,
+            ret_sub: 0,
+        };
+    };
+    let mut env: Env = BTreeMap::new();
+    for (i, p) in f.params.iter().enumerate() {
+        let mut mask = param_bit(i);
+        if seed_wire && p.ty.is_byte_slice() {
+            mask |= WIRE;
         }
+        env.insert(p.name.clone(), (mask, 0));
     }
-    let mut sinks = Vec::new();
-    scan_block(body, &mut env, &mut sinks);
-    sinks
+    flow.block(body, &mut env, true);
+    FnFlow {
+        ret_mask: flow.ret_mask,
+        ret_sub: flow.ret_sub & PARAM_MASK,
+        sinks: flow.sinks,
+    }
 }
 
-fn scan_block(b: &Block, env: &mut BTreeMap<String, bool>, sinks: &mut Vec<TaintSink>) {
-    for stmt in &b.stmts {
-        match stmt {
-            Stmt::Let {
-                name,
-                pat_idents,
-                init,
-                else_block,
-                ..
-            } => {
-                let mut t = false;
-                if let Some(e) = init {
-                    scan_expr(e, env, sinks);
-                    t = taint_of(e, env);
-                }
-                if let Some(n) = name {
-                    env.insert(n.clone(), t);
-                } else {
-                    for id in pat_idents {
-                        env.insert(id.clone(), t);
+/// Backward-compatible v2 entry point: intra-procedural, wire-seeded,
+/// returning only the sinks an attacker-influenced value reached.
+pub fn wire_taint_sinks(f: &FnItem) -> Vec<TaintSink> {
+    function_flow(f, &NoOracle, true)
+        .sinks
+        .into_iter()
+        .filter(|s| s.mask & WIRE != 0)
+        .collect()
+}
+
+/// Extracts a callee-composable summary from one function, given the
+/// summaries already computed for *its* callees.
+pub fn summarize_fn(f: &FnItem, oracle: &dyn Oracle) -> TaintSummary {
+    let flow = function_flow(f, oracle, false);
+    let mut s = TaintSummary {
+        ret_mask: flow.ret_mask,
+        ret_sub: flow.ret_sub,
+        sink_params: [0; 3],
+    };
+    for sink in &flow.sinks {
+        s.sink_params[sink.kind.idx()] |= sink.mask & PARAM_MASK;
+    }
+    s
+}
+
+/// The argument expression standing in for callee parameter `p`.
+pub(crate) fn arg_for_param<'e>(
+    p: usize,
+    recv: Option<&'e Expr>,
+    args: &'e [Expr],
+    has_self: bool,
+) -> Option<&'e Expr> {
+    match (recv, has_self) {
+        (Some(r), true) => {
+            if p == 0 {
+                Some(r)
+            } else {
+                args.get(p - 1)
+            }
+        }
+        _ => args.get(p),
+    }
+}
+
+struct Flow<'a> {
+    oracle: &'a dyn Oracle,
+    sinks: Vec<TaintSink>,
+    ret_mask: u64,
+    ret_sub: u64,
+}
+
+impl Flow<'_> {
+    fn block(&mut self, b: &Block, env: &mut Env, tail: bool) {
+        let last = b.stmts.len().saturating_sub(1);
+        for (i, stmt) in b.stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    pat_idents,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let mut masks = (0, 0);
+                    if let Some(e) = init {
+                        self.expr(e, env);
+                        masks = (self.taint_of(e, env), self.sub_of(e, env));
+                    }
+                    if let Some(n) = name {
+                        env.insert(n.clone(), masks);
+                    } else {
+                        for id in pat_idents {
+                            env.insert(id.clone(), masks);
+                        }
+                    }
+                    if let Some(eb) = else_block {
+                        self.block(eb, env, false);
                     }
                 }
-                if let Some(eb) = else_block {
-                    scan_block(eb, env, sinks);
+                Stmt::Expr { expr, semi } => {
+                    self.expr(expr, env);
+                    if tail && i == last && !*semi {
+                        self.ret_mask |= self.taint_of(expr, env);
+                        self.ret_sub |= self.sub_of(expr, env);
+                    }
                 }
+                Stmt::Item(_) | Stmt::Empty => {}
             }
-            Stmt::Expr { expr, .. } => scan_expr(expr, env, sinks),
-            Stmt::Item(_) | Stmt::Empty => {}
         }
     }
-}
 
-/// One forward pass over an expression tree: detects sinks with the
-/// current environment, applies guard sanitization, and tracks
-/// assignments.
-fn scan_expr(e: &Expr, env: &mut BTreeMap<String, bool>, sinks: &mut Vec<TaintSink>) {
-    match e {
-        Expr::Path { .. } | Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => {}
-        Expr::Call { callee, args, line } => {
-            // `Vec::with_capacity(n)` and friends as a free call.
-            if let Expr::Path { segs, .. } = callee.as_ref() {
-                if let Some(kind) = segs.last().and_then(|s| arg_sink(s)) {
-                    if args.first().is_some_and(|a| taint_of(a, env)) {
-                        sinks.push(TaintSink {
+    /// Applies the callee's param-to-sink summary at a call site:
+    /// every argument whose mask reaches a sink inside the callee is
+    /// recorded as a sink *here*, carrying the argument's mask. This
+    /// is how LS301 reports the caller's line when the dangerous
+    /// allocation lives two helpers down.
+    fn callee_arg_sinks(
+        &mut self,
+        info: &CalleeInfo<'_>,
+        recv: Option<&Expr>,
+        args: &[Expr],
+        line: u32,
+        env: &Env,
+    ) {
+        for kind in SinkKind::ALL {
+            let pmask = info.taint.sink_params[kind.idx()];
+            if pmask == 0 {
+                continue;
+            }
+            let mut mask = 0u64;
+            for p in iter_bits(pmask) {
+                if let Some(a) = arg_for_param(p, recv, args, info.has_self) {
+                    mask |= self.taint_of(a, env);
+                }
+            }
+            if mask != 0 {
+                self.sinks.push(TaintSink {
+                    line,
+                    kind,
+                    what: format!(
+                        "wire-tainted argument reaches {} inside `{}`",
+                        kind.describe(),
+                        info.name
+                    ),
+                    mask,
+                });
+            }
+        }
+    }
+
+    /// One forward pass over an expression tree: detects sinks with
+    /// the current environment, applies guard sanitization, and tracks
+    /// assignments.
+    fn expr(&mut self, e: &Expr, env: &mut Env) {
+        match e {
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => {}
+            Expr::Call { callee, args, line } => {
+                // `Vec::with_capacity(n)` and friends as a free call.
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(kind) = segs.last().and_then(|s| arg_sink(s)) {
+                        let mask = args.first().map_or(0, |a| self.taint_of(a, env));
+                        if mask != 0 {
+                            self.sinks.push(TaintSink {
+                                line: *line,
+                                kind,
+                                what: format!("wire-tainted value sizes `{}`", segs.join("::")),
+                                mask,
+                            });
+                        }
+                    }
+                }
+                let oracle = self.oracle;
+                if let Some(info) = oracle.resolve(e) {
+                    self.callee_arg_sinks(&info, None, args, *line, env);
+                }
+                self.expr(callee, env);
+                for a in args {
+                    self.expr(a, env);
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                name,
+                args,
+                line,
+                ..
+            } => {
+                if let Some(kind) = arg_sink(name) {
+                    let mask = args.first().map_or(0, |a| self.taint_of(a, env));
+                    if mask != 0 {
+                        self.sinks.push(TaintSink {
                             line: *line,
                             kind,
-                            what: format!("wire-tainted value sizes `{}`", segs.join("::")),
+                            what: format!("wire-tainted value flows into `.{name}()`"),
+                            mask,
                         });
                     }
                 }
-            }
-            scan_expr(callee, env, sinks);
-            for a in args {
-                scan_expr(a, env, sinks);
-            }
-        }
-        Expr::MethodCall {
-            recv,
-            name,
-            args,
-            line,
-            ..
-        } => {
-            if let Some(kind) = arg_sink(name) {
-                if args.first().is_some_and(|a| taint_of(a, env)) {
-                    sinks.push(TaintSink {
-                        line: *line,
-                        kind,
-                        what: format!("wire-tainted value flows into `.{name}()`"),
-                    });
+                let oracle = self.oracle;
+                if let Some(info) = oracle.resolve(e) {
+                    self.callee_arg_sinks(&info, Some(recv), args, *line, env);
+                }
+                // Closure arguments over a tainted receiver bind their
+                // params to the receiver's mask (`opt.map(|n| ...)` —
+                // the v2 walker lost taint here).
+                let rmask = self.taint_of(recv, env);
+                let rsub = self.sub_of(recv, env);
+                self.expr(recv, env);
+                for a in args {
+                    if let Expr::Closure { params, .. } = a {
+                        if rmask != 0 || rsub != 0 {
+                            for p in params {
+                                env.insert(p.clone(), (rmask, rsub));
+                            }
+                        }
+                    }
+                    self.expr(a, env);
                 }
             }
-            scan_expr(recv, env, sinks);
-            for a in args {
-                scan_expr(a, env, sinks);
-            }
-        }
-        Expr::Field { recv, .. } => scan_expr(recv, env, sinks),
-        Expr::Index { recv, index, line } => {
-            scan_expr(recv, env, sinks);
-            scan_expr(index, env, sinks);
-            if index_taint(index, env) {
-                sinks.push(TaintSink {
-                    line: *line,
-                    kind: SinkKind::Index,
-                    what: format!("wire-tainted index `{}`", describe(index)),
-                });
-            }
-        }
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
-            scan_expr(expr, env, sinks)
-        }
-        Expr::Binary { op, lhs, rhs, line } => {
-            scan_expr(lhs, env, sinks);
-            scan_expr(rhs, env, sinks);
-            if op.is_comparison() {
-                // A bounds guard: every variable this comparison
-                // mentions is clean from here on.
-                sanitize_mentions(lhs, env);
-                sanitize_mentions(rhs, env);
-            } else if matches!(op, BinOp::Mul | BinOp::Shl)
-                && (taint_of(lhs, env) || taint_of(rhs, env))
-            {
-                sinks.push(TaintSink {
-                    line: *line,
-                    kind: SinkKind::Arith,
-                    what: format!(
-                        "wire-tainted operand in amplifying `{}`",
-                        if *op == BinOp::Mul { "*" } else { "<<" }
-                    ),
-                });
-            }
-        }
-        Expr::Assign { op, lhs, rhs, line } => {
-            scan_expr(rhs, env, sinks);
-            // `v[i] = x` is still an index sink on the left side.
-            if let Expr::Index { recv, index, .. } = lhs.as_ref().unwrapped() {
-                scan_expr(recv, env, sinks);
-                scan_expr(index, env, sinks);
-                if index_taint(index, env) {
-                    sinks.push(TaintSink {
+            Expr::Field { recv, .. } => self.expr(recv, env),
+            Expr::Index { recv, index, line } => {
+                self.expr(recv, env);
+                self.expr(index, env);
+                let mask = self.index_taint(index, env);
+                if mask != 0 {
+                    self.sinks.push(TaintSink {
                         line: *line,
                         kind: SinkKind::Index,
                         what: format!("wire-tainted index `{}`", describe(index)),
+                        mask,
                     });
                 }
             }
-            if let Expr::Path { segs, .. } = lhs.as_ref().unwrapped() {
-                if segs.len() == 1 {
-                    let rt = taint_of(rhs, env);
-                    let prev = op.is_some() && env.get(&segs[0]).copied().unwrap_or(false);
-                    env.insert(segs[0].clone(), rt || prev);
-                }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+                self.expr(expr, env)
             }
-        }
-        Expr::Range { lo, hi, .. } => {
-            if let Some(l) = lo {
-                scan_expr(l, env, sinks);
-            }
-            if let Some(h) = hi {
-                scan_expr(h, env, sinks);
-            }
-        }
-        Expr::If {
-            cond, then, else_, ..
-        } => {
-            scan_expr(cond, env, sinks);
-            scan_block(then, env, sinks);
-            if let Some(el) = else_ {
-                scan_expr(el, env, sinks);
-            }
-        }
-        Expr::While { cond, body, .. } => {
-            scan_expr(cond, env, sinks);
-            scan_block(body, env, sinks);
-        }
-        Expr::Loop { body, .. } => scan_block(body, env, sinks),
-        Expr::For {
-            pat_idents,
-            iter,
-            body,
-            ..
-        } => {
-            scan_expr(iter, env, sinks);
-            let t = taint_of(iter, env);
-            for id in pat_idents {
-                env.insert(id.clone(), t);
-            }
-            scan_block(body, env, sinks);
-        }
-        Expr::Match {
-            scrutinee, arms, ..
-        } => {
-            scan_expr(scrutinee, env, sinks);
-            let t = taint_of(scrutinee, env);
-            for arm in arms {
-                // Pattern bindings over a tainted scrutinee are
-                // tainted (`match r.u16()? { n => ... }`).
-                for id in &arm.pat_idents {
-                    if t {
-                        env.insert(id.clone(), true);
-                    }
-                }
-                if let Some(g) = &arm.guard {
-                    scan_expr(g, env, sinks);
-                }
-                scan_expr(&arm.body, env, sinks);
-            }
-        }
-        Expr::Block { block, .. } => scan_block(block, env, sinks),
-        Expr::Closure { body, .. } => scan_expr(body, env, sinks),
-        Expr::MacroCall { name, args, .. } => {
-            // `vec![elem; n]` allocates n elements.
-            if name == "vec" && args.len() == 2 {
-                if let Some(n) = args.get(1) {
-                    if taint_of(n, env) {
-                        sinks.push(TaintSink {
-                            line: e.line(),
-                            kind: SinkKind::Capacity,
-                            what: "wire-tainted length sizes `vec![_; n]`".to_string(),
+            Expr::Binary { op, lhs, rhs, line } => {
+                self.expr(lhs, env);
+                self.expr(rhs, env);
+                if op.is_comparison() {
+                    // A bounds guard: every variable this comparison
+                    // mentions is clean from here on.
+                    sanitize_mentions(lhs, env);
+                    sanitize_mentions(rhs, env);
+                } else if matches!(op, BinOp::Mul | BinOp::Shl) {
+                    let mask = self.taint_of(lhs, env) | self.taint_of(rhs, env);
+                    if mask != 0 {
+                        self.sinks.push(TaintSink {
+                            line: *line,
+                            kind: SinkKind::Arith,
+                            what: format!(
+                                "wire-tainted operand in amplifying `{}`",
+                                if *op == BinOp::Mul { "*" } else { "<<" }
+                            ),
+                            mask,
                         });
                     }
                 }
             }
-            for a in args {
-                scan_expr(a, env, sinks);
-            }
-        }
-        Expr::StructLit { fields, base, .. } => {
-            for (_, v) in fields {
-                scan_expr(v, env, sinks);
-            }
-            if let Some(b) = base {
-                scan_expr(b, env, sinks);
-            }
-        }
-        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
-            for el in elems {
-                scan_expr(el, env, sinks);
-            }
-        }
-        Expr::Return { value, .. } | Expr::Break { value, .. } => {
-            if let Some(v) = value {
-                scan_expr(v, env, sinks);
-            }
-        }
-    }
-}
-
-/// Pure taint valuation of an expression under the environment.
-fn taint_of(e: &Expr, env: &BTreeMap<String, bool>) -> bool {
-    match e {
-        Expr::Path { segs, .. } => segs.len() == 1 && env.get(&segs[0]).copied().unwrap_or(false),
-        Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => false,
-        Expr::MethodCall {
-            recv, name, args, ..
-        } => {
-            if is_sanitizer(name) || is_clean_query(name) {
-                return false;
-            }
-            if READER_METHODS.contains(&name.as_str()) {
-                return true;
-            }
-            taint_of(recv, env) || args.iter().any(|a| taint_of(a, env))
-        }
-        Expr::Call { callee, args, .. } => {
-            if let Expr::Path { segs, .. } = callee.as_ref() {
-                if let Some(last) = segs.last() {
-                    if BYTES_CTORS.contains(&last.as_str()) {
-                        return true;
+            Expr::Assign { op, lhs, rhs, line } => {
+                self.expr(rhs, env);
+                // `v[i] = x` is still an index sink on the left side.
+                if let Expr::Index { recv, index, .. } = lhs.as_ref().unwrapped() {
+                    self.expr(recv, env);
+                    self.expr(index, env);
+                    let mask = self.index_taint(index, env);
+                    if mask != 0 {
+                        self.sinks.push(TaintSink {
+                            line: *line,
+                            kind: SinkKind::Index,
+                            what: format!("wire-tainted index `{}`", describe(index)),
+                            mask,
+                        });
                     }
-                    if is_sanitizer(last) || last == "min" {
-                        return false;
+                }
+                if let Expr::Path { segs, .. } = lhs.as_ref().unwrapped() {
+                    if segs.len() == 1 {
+                        let mut masks = (self.taint_of(rhs, env), self.sub_of(rhs, env));
+                        if op.is_some() {
+                            let prev = env.get(&segs[0]).copied().unwrap_or((0, 0));
+                            masks.0 |= prev.0;
+                            masks.1 |= prev.1;
+                        }
+                        env.insert(segs[0].clone(), masks);
                     }
                 }
             }
-            args.iter().any(|a| taint_of(a, env))
+            Expr::Range { lo, hi, .. } => {
+                if let Some(l) = lo {
+                    self.expr(l, env);
+                }
+                if let Some(h) = hi {
+                    self.expr(h, env);
+                }
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.expr(cond, env);
+                self.block(then, env, false);
+                if let Some(el) = else_ {
+                    self.expr(el, env);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                self.expr(cond, env);
+                self.block(body, env, false);
+            }
+            Expr::Loop { body, .. } => self.block(body, env, false),
+            Expr::For {
+                pat_idents,
+                iter,
+                body,
+                ..
+            } => {
+                self.expr(iter, env);
+                let masks = (self.taint_of(iter, env), 0);
+                for id in pat_idents {
+                    env.insert(id.clone(), masks);
+                }
+                self.block(body, env, false);
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee, env);
+                let t = self.taint_of(scrutinee, env);
+                for arm in arms {
+                    // Pattern bindings over a tainted scrutinee are
+                    // tainted (`match r.u16()? { n => ... }`).
+                    if t != 0 {
+                        for id in &arm.pat_idents {
+                            env.insert(id.clone(), (t, 0));
+                        }
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.expr(g, env);
+                    }
+                    self.expr(&arm.body, env);
+                }
+            }
+            Expr::Block { block, .. } => self.block(block, env, false),
+            Expr::Closure { body, .. } => self.expr(body, env),
+            Expr::MacroCall { name, args, .. } => {
+                // `vec![elem; n]` allocates n elements.
+                if name == "vec" && args.len() == 2 {
+                    if let Some(n) = args.get(1) {
+                        let mask = self.taint_of(n, env);
+                        if mask != 0 {
+                            self.sinks.push(TaintSink {
+                                line: e.line(),
+                                kind: SinkKind::Capacity,
+                                what: "wire-tainted length sizes `vec![_; n]`".to_string(),
+                                mask,
+                            });
+                        }
+                    }
+                }
+                for a in args {
+                    self.expr(a, env);
+                }
+            }
+            Expr::StructLit { fields, base, .. } => {
+                for (_, v) in fields {
+                    self.expr(v, env);
+                }
+                if let Some(b) = base {
+                    self.expr(b, env);
+                }
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                for el in elems {
+                    self.expr(el, env);
+                }
+            }
+            Expr::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v, env);
+                    self.ret_mask |= self.taint_of(v, env);
+                    self.ret_sub |= self.sub_of(v, env);
+                }
+            }
+            Expr::Break { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v, env);
+                }
+            }
         }
-        Expr::Field { recv, .. } | Expr::Index { recv, .. } => taint_of(recv, env),
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
-            taint_of(expr, env)
-        }
-        Expr::Binary { op, lhs, rhs, .. } => {
-            !op.is_comparison() && (taint_of(lhs, env) || taint_of(rhs, env))
-        }
-        Expr::Assign { .. } => false,
-        Expr::Range { lo, hi, .. } => {
-            lo.as_deref().is_some_and(|e| taint_of(e, env))
-                || hi.as_deref().is_some_and(|e| taint_of(e, env))
-        }
-        // Control-flow expressions: coarse — tainted when any tainted
-        // variable is mentioned inside (the guard pass has already
-        // sanitized anything a comparison bounded).
-        Expr::If { .. }
-        | Expr::While { .. }
-        | Expr::Loop { .. }
-        | Expr::For { .. }
-        | Expr::Match { .. }
-        | Expr::Block { .. } => env.iter().any(|(var, &t)| t && e.mentions(var)),
-        Expr::Closure { .. } => false,
-        Expr::MacroCall { .. } => false,
-        Expr::StructLit { fields, .. } => fields.iter().any(|(_, v)| taint_of(v, env)),
-        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
-            elems.iter().any(|el| taint_of(el, env))
-        }
-        Expr::Return { .. } | Expr::Break { .. } => false,
     }
-}
 
-/// Index-position taint: a literal index is always fine; a range is
-/// dangerous when either bound is tainted.
-fn index_taint(index: &Expr, env: &BTreeMap<String, bool>) -> bool {
-    match index.unwrapped() {
-        Expr::Lit { .. } => false,
-        Expr::Range { lo, hi, .. } => {
-            lo.as_deref().is_some_and(|e| taint_of(e, env))
-                || hi.as_deref().is_some_and(|e| taint_of(e, env))
+    /// Pure taint valuation of an expression under the environment.
+    fn taint_of(&self, e: &Expr, env: &Env) -> u64 {
+        match e {
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    env.get(&segs[0]).map_or(0, |&(t, _)| t)
+                } else {
+                    0
+                }
+            }
+            Expr::Lit { .. } | Expr::Continue { .. } | Expr::Opaque { .. } => 0,
+            Expr::MethodCall {
+                recv, name, args, ..
+            } => {
+                if is_sanitizer(name) || is_clean_query(name) {
+                    return 0;
+                }
+                if READER_METHODS.contains(&name.as_str()) {
+                    return WIRE;
+                }
+                if let Some(info) = self.oracle.resolve(e) {
+                    return self.summary_ret(&info, Some(recv), args, env).0;
+                }
+                self.taint_of(recv, env) | args.iter().fold(0, |m, a| m | self.taint_of(a, env))
+            }
+            Expr::Call { callee, args, .. } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(last) = segs.last() {
+                        if BYTES_CTORS.contains(&last.as_str()) {
+                            return WIRE;
+                        }
+                        if is_sanitizer(last) {
+                            return 0;
+                        }
+                    }
+                }
+                if let Some(info) = self.oracle.resolve(e) {
+                    return self.summary_ret(&info, None, args, env).0;
+                }
+                args.iter().fold(0, |m, a| m | self.taint_of(a, env))
+            }
+            Expr::Field { recv, .. } | Expr::Index { recv, .. } => self.taint_of(recv, env),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+                self.taint_of(expr, env)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_comparison() {
+                    0
+                } else {
+                    self.taint_of(lhs, env) | self.taint_of(rhs, env)
+                }
+            }
+            Expr::Assign { .. } => 0,
+            Expr::Range { lo, hi, .. } => {
+                lo.as_deref().map_or(0, |e| self.taint_of(e, env))
+                    | hi.as_deref().map_or(0, |e| self.taint_of(e, env))
+            }
+            // Control-flow expressions: coarse — the join of every
+            // tainted variable mentioned inside (the guard pass has
+            // already sanitized anything a comparison bounded).
+            Expr::If { .. }
+            | Expr::While { .. }
+            | Expr::Loop { .. }
+            | Expr::For { .. }
+            | Expr::Match { .. }
+            | Expr::Block { .. } => env
+                .iter()
+                .filter(|(var, &(t, _))| t != 0 && e.mentions(var))
+                .fold(0, |m, (_, &(t, _))| m | t),
+            Expr::Closure { .. } => 0,
+            Expr::MacroCall { .. } => 0,
+            Expr::StructLit { fields, .. } => {
+                fields.iter().fold(0, |m, (_, v)| m | self.taint_of(v, env))
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                elems.iter().fold(0, |m, el| m | self.taint_of(el, env))
+            }
+            Expr::Return { .. } | Expr::Break { .. } => 0,
         }
-        other => taint_of(other, env),
+    }
+
+    /// Sub-risk valuation: the param bits flowing through an unguarded
+    /// subtraction into this value. Tracked only through direct
+    /// arithmetic and *resolved* calls; unresolved calls reset to
+    /// zero, trading recall for a near-zero false-positive rate.
+    fn sub_of(&self, e: &Expr, env: &Env) -> u64 {
+        match e {
+            Expr::Path { segs, .. } if segs.len() == 1 => env.get(&segs[0]).map_or(0, |&(_, s)| s),
+            Expr::Path { .. } => 0,
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinOp::Sub => {
+                    ((self.taint_of(lhs, env) | self.taint_of(rhs, env)) & PARAM_MASK)
+                        | self.sub_of(lhs, env)
+                        | self.sub_of(rhs, env)
+                }
+                _ if op.is_comparison() => 0,
+                BinOp::Rem | BinOp::BitAnd | BinOp::Div => 0,
+                _ => self.sub_of(lhs, env) | self.sub_of(rhs, env),
+            },
+            Expr::MethodCall {
+                recv, name, args, ..
+            } => {
+                if is_sanitizer(name) || is_clean_query(name) {
+                    return 0;
+                }
+                if let Some(info) = self.oracle.resolve(e) {
+                    return self.summary_ret(&info, Some(recv), args, env).1;
+                }
+                0
+            }
+            Expr::Call { args, .. } => {
+                if let Some(info) = self.oracle.resolve(e) {
+                    return self.summary_ret(&info, None, args, env).1;
+                }
+                0
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+                self.sub_of(expr, env)
+            }
+            // Control-flow tails: any unguarded subtraction of a
+            // param-dependent value inside counts (guards inside have
+            // already sanitized their variables by scan order).
+            Expr::If { .. } | Expr::Match { .. } | Expr::Block { .. } => {
+                let mut m = 0u64;
+                e.walk(&mut |x| {
+                    if let Expr::Binary {
+                        op: BinOp::Sub,
+                        lhs,
+                        rhs,
+                        ..
+                    } = x
+                    {
+                        m |= (self.taint_of(lhs, env) | self.taint_of(rhs, env)) & PARAM_MASK;
+                    }
+                });
+                m
+            }
+            _ => 0,
+        }
+    }
+
+    /// Composes a callee summary at a call site: maps the callee's
+    /// param bits back through the actual arguments, keeping the
+    /// intrinsic WIRE bit. Returns (taint mask, sub mask) of the call
+    /// result.
+    fn summary_ret(
+        &self,
+        info: &CalleeInfo<'_>,
+        recv: Option<&Expr>,
+        args: &[Expr],
+        env: &Env,
+    ) -> (u64, u64) {
+        let mut t = info.taint.ret_mask & WIRE;
+        let mut s = 0u64;
+        for p in iter_bits(info.taint.ret_mask & PARAM_MASK) {
+            if let Some(a) = arg_for_param(p, recv, args, info.has_self) {
+                t |= self.taint_of(a, env);
+                s |= self.sub_of(a, env);
+            }
+        }
+        for p in iter_bits(info.taint.ret_sub) {
+            if let Some(a) = arg_for_param(p, recv, args, info.has_self) {
+                s |= self.taint_of(a, env) & PARAM_MASK;
+                // A sub over an unconditionally-tainted-free but
+                // locally-bound variable still underflows; record the
+                // risk even when the arg mask is clean but unguarded
+                // variables appear (handled by the LS202 rule, which
+                // owns the guarded-set).
+                s |= self.sub_of(a, env);
+            }
+        }
+        (t, s)
+    }
+
+    /// Index-position taint: a literal index is always fine; a range
+    /// is dangerous when either bound is tainted.
+    fn index_taint(&self, index: &Expr, env: &Env) -> u64 {
+        match index.unwrapped() {
+            Expr::Lit { .. } => 0,
+            Expr::Range { lo, hi, .. } => {
+                lo.as_deref().map_or(0, |e| self.taint_of(e, env))
+                    | hi.as_deref().map_or(0, |e| self.taint_of(e, env))
+            }
+            other => self.taint_of(other, env),
+        }
     }
 }
 
 /// Marks every simple variable mentioned by a comparison operand as
 /// clean: the comparison is (or feeds) a bounds guard.
-fn sanitize_mentions(e: &Expr, env: &mut BTreeMap<String, bool>) {
+fn sanitize_mentions(e: &Expr, env: &mut Env) {
     e.walk(&mut |x| {
         if let Expr::Path { segs, .. } = x {
             if segs.len() == 1 {
-                if let Some(t) = env.get_mut(&segs[0]) {
-                    *t = false;
+                if let Some(m) = env.get_mut(&segs[0]) {
+                    *m = (0, 0);
                 }
             }
         }
@@ -443,6 +854,18 @@ mod tests {
         let mut out = Vec::new();
         for_each_fn(&file, &mut |f, _| out.extend(wire_taint_sinks(f)));
         out
+    }
+
+    fn summary_of(src: &str, name: &str) -> TaintSummary {
+        let file = parse(src);
+        assert!(file.recoveries.is_empty(), "{:?}", file.recoveries);
+        let mut out = None;
+        for_each_fn(&file, &mut |f, _| {
+            if f.name == name {
+                out = Some(summarize_fn(f, &NoOracle));
+            }
+        });
+        out.expect("fn present")
     }
 
     #[test]
@@ -516,5 +939,88 @@ mod tests {
             sinks_of("fn f(r: &mut Reader) -> Vec<u8> { let n = r.u32() as usize; vec![0u8; n] }");
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].kind, SinkKind::Capacity);
+    }
+
+    #[test]
+    fn closure_params_inherit_receiver_taint() {
+        let s = sinks_of(
+            "fn f(r: &mut Reader) -> Option<Vec<u8>> {\n\
+             let n = r.u32();\n\
+             Some(n).map(|len| Vec::with_capacity(len as usize)) }",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].kind, SinkKind::Capacity);
+    }
+
+    #[test]
+    fn summary_param_to_return_and_sink() {
+        let s = summary_of(
+            "fn grow(n: usize, extra: usize) -> Vec<u8> { Vec::with_capacity(n) }",
+            "grow",
+        );
+        assert_eq!(s.sink_params[SinkKind::Capacity.idx()], param_bit(0));
+        assert_eq!(s.sink_params[SinkKind::Capacity.idx()] & param_bit(1), 0);
+    }
+
+    #[test]
+    fn summary_ret_mask_tracks_params_and_wire() {
+        let s = summary_of("fn id(x: usize) -> usize { x }", "id");
+        assert_eq!(s.ret_mask, param_bit(0));
+        let w = summary_of("fn read(r: &mut Reader) -> u32 { r.u32() }", "read");
+        assert_eq!(w.ret_mask & WIRE, WIRE);
+    }
+
+    #[test]
+    fn summary_ret_sub_unguarded_vs_guarded() {
+        let s = summary_of("fn prev(i: usize) -> usize { i - 1 }", "prev");
+        assert_eq!(s.ret_sub, param_bit(0));
+        let g = summary_of(
+            "fn prev(i: usize) -> usize { if i == 0 { 0 } else { i - 1 } }",
+            "prev",
+        );
+        assert_eq!(g.ret_sub, 0, "guarded subtraction must not leak");
+    }
+
+    #[test]
+    fn oracle_composes_wire_taint_through_helper() {
+        struct One(TaintSummary);
+        impl Oracle for One {
+            fn resolve(&self, e: &Expr) -> Option<CalleeInfo<'_>> {
+                match e {
+                    Expr::Call { callee, .. } => match callee.unwrapped() {
+                        Expr::Path { segs, .. } if segs.last().is_some_and(|s| s == "grow") => {
+                            Some(CalleeInfo {
+                                taint: &self.0,
+                                has_self: false,
+                                name: "grow",
+                            })
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+        }
+        let helper = summary_of(
+            "fn grow(n: usize) -> Vec<u8> { Vec::with_capacity(n) }",
+            "grow",
+        );
+        let file = parse(
+            "fn f(r: &mut Reader) -> Vec<u8> {\n\
+             let n = r.u32() as usize;\n\
+             grow(n) }",
+        );
+        let mut sinks = Vec::new();
+        for_each_fn(&file, &mut |f, _| {
+            sinks.extend(
+                function_flow(f, &One(helper), true)
+                    .sinks
+                    .into_iter()
+                    .filter(|s| s.mask & WIRE != 0),
+            );
+        });
+        assert_eq!(sinks.len(), 1, "{sinks:?}");
+        assert_eq!(sinks[0].kind, SinkKind::Capacity);
+        assert_eq!(sinks[0].line, 3, "reported at the call site");
     }
 }

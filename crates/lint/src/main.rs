@@ -5,14 +5,24 @@
 //! exit nonzero when any unannotated violation remains.
 //!
 //! ```text
-//! livesec-lint [--json] [ROOT]
+//! livesec-lint [--json] [--rule CODE] [ROOT]
 //! ```
 //!
 //! With no root argument the workspace root is located by walking up
 //! from the current directory to the first `Cargo.toml` containing
 //! `[workspace]`. `--json` emits one machine-readable line per
 //! finding plus a trailing summary object, with stable `LS*` rule
-//! codes — `scripts/check.sh` archives this output.
+//! codes — `scripts/check.sh` archives this output. `--rule` filters
+//! the report to one rule, by code (`LS301`) or name (`wire-taint`).
+//!
+//! Exit codes distinguish failure classes so CI can triage:
+//!
+//! * `0` — clean (no findings after filtering);
+//! * `1` — findings remain;
+//! * `2` — at least one file failed to parse (an `LS000` finding is
+//!   present; parse errors always force exit 2, even when `--rule`
+//!   filters them out of the report — an unparsed file is unchecked,
+//!   not clean).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,19 +30,45 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut root_arg: Option<String> = None;
+    let mut rule_arg: Option<String> = None;
+    let mut want_rule = false;
     for a in std::env::args().skip(1) {
+        if want_rule {
+            rule_arg = Some(a);
+            want_rule = false;
+            continue;
+        }
         match a.as_str() {
             "-h" | "--help" => {
-                println!("usage: livesec-lint [--json] [ROOT]");
+                println!("usage: livesec-lint [--json] [--rule CODE] [ROOT]");
                 println!("Determinism & invariant static analysis for the LiveSec workspace.");
-                println!("Exits 1 when any unannotated finding remains (see DESIGN.md §13).");
-                println!("  --json   one JSON object per finding + a summary line");
+                println!("  --json        one JSON object per finding + a summary line");
+                println!("  --rule CODE   only report one rule (LS301 or wire-taint)");
+                println!("exit codes: 0 clean, 1 findings, 2 parse errors (see DESIGN.md §13)");
                 return ExitCode::SUCCESS;
             }
             "--json" => json = true,
+            "--rule" => want_rule = true,
             other => root_arg = Some(other.to_string()),
         }
     }
+    if want_rule {
+        eprintln!("livesec-lint: --rule requires an argument");
+        return ExitCode::from(2);
+    }
+    let rule_filter = match rule_arg {
+        Some(spec) => match livesec_lint::Rule::ALL
+            .iter()
+            .find(|r| r.code() == spec || r.name() == spec)
+        {
+            Some(r) => Some(*r),
+            None => {
+                eprintln!("livesec-lint: unknown rule `{spec}` (try a code like LS301)");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let root = match root_arg {
         Some(p) => PathBuf::from(p),
         None => {
@@ -44,14 +80,23 @@ fn main() -> ExitCode {
                         "livesec-lint: no workspace root found above {}",
                         cwd.display()
                     );
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             }
         }
     };
 
-    match livesec_lint::lint_workspace(&root) {
-        Ok(findings) => {
+    match livesec_lint::lint_workspace_report(&root) {
+        Ok(report) => {
+            let parse_errors = report
+                .findings
+                .iter()
+                .any(|f| f.finding.rule == livesec_lint::Rule::ParseError);
+            let findings: Vec<_> = report
+                .findings
+                .iter()
+                .filter(|f| rule_filter.is_none_or(|r| f.finding.rule == r))
+                .collect();
             if json {
                 for f in &findings {
                     let rel = f.path.strip_prefix(&root).unwrap_or(&f.path);
@@ -64,7 +109,14 @@ fn main() -> ExitCode {
                         json_escape(&f.finding.message)
                     );
                 }
-                println!("{{\"findings\":{}}}", findings.len());
+                println!(
+                    "{{\"findings\":{},\"files\":{},\"fns\":{},\"edges\":{},\"hot_fns\":{}}}",
+                    findings.len(),
+                    report.files,
+                    report.fns,
+                    report.edges,
+                    report.hot.len()
+                );
             } else if findings.is_empty() {
                 println!("livesec-lint: workspace clean (0 findings)");
             } else {
@@ -82,7 +134,9 @@ fn main() -> ExitCode {
                 }
                 eprintln!("livesec-lint: {} finding(s)", findings.len());
             }
-            if findings.is_empty() {
+            if parse_errors {
+                ExitCode::from(2)
+            } else if findings.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -90,7 +144,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("livesec-lint: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

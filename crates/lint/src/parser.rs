@@ -589,8 +589,9 @@ impl<'a> Parser<'a> {
 
     fn parse_const(&mut self) -> Item {
         let line = self.line();
+        let is_static = self.at("static");
         self.bump(); // const | static
-        self.eat("mut");
+        let mutable = self.eat("mut") && is_static;
         let name = self.ident_or("_const");
         let ty = if self.at_single_colon() {
             self.bump();
@@ -608,6 +609,7 @@ impl<'a> Parser<'a> {
             name,
             ty,
             init,
+            mutable,
             line,
         }
     }
@@ -788,6 +790,7 @@ impl<'a> Parser<'a> {
         let mut block = Block {
             stmts: Vec::new(),
             line,
+            end_line: line,
         };
         if !self.eat("{") {
             return block;
@@ -799,6 +802,7 @@ impl<'a> Parser<'a> {
                 self.bump_recover("stmt");
             }
         }
+        block.end_line = self.line();
         self.eat("}");
         block
     }

@@ -164,3 +164,176 @@ fn parsing_is_deterministic() {
         assert_eq!(a.items.len(), b.items.len());
     }
 }
+
+// ---------------------------------------------------------------------
+// v3: call-graph properties
+// ---------------------------------------------------------------------
+
+/// Source soup biased toward call-graph shapes: function items,
+/// (mutually) recursive calls, `Self::` calls, impl blocks.
+fn random_call_soup(rng: &mut SplitMix64) -> String {
+    const PIECES: &[&str] = &[
+        "fn f(n: usize) -> usize { g(n) }\n",
+        "fn g(n: usize) -> usize { f(n) }\n",
+        "fn h() { h(); }\n",
+        "fn k(n: usize) -> usize { n - 1 }\n",
+        "struct S { v: Vec<u8> }\n",
+        "impl S { fn m(&self) { Self::m2(); self.m(); } fn m2() {} }\n",
+        "fn idx(v: &[u8], i: usize) -> u8 { v[i] }\n",
+        "fn call(v: &[u8], i: usize) -> u8 { idx(v, i) }\n",
+        "fn ( } { ) fn fn\n",
+        "impl { fn broken( }\n",
+        "fn a() { b(); c(); d(); }\n",
+        "fn b() { a(); }\n",
+        "fn c() { b(); }\n",
+        "fn d() { a(); d(); }\n",
+    ];
+    let n = rng.below(12);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str(PIECES[rng.below(PIECES.len())]);
+    }
+    out
+}
+
+#[test]
+fn call_graph_never_cycles_forever_on_recursive_soup() {
+    // 2000 arbitrary streams full of direct, mutual, and broken
+    // recursion. Completion is the termination proof for both the
+    // Tarjan SCC pass and the summary fixpoints (`lint_source` runs
+    // the whole v3 pipeline, graph + summaries + rules).
+    let mut rng = SplitMix64(0x5cc5_cc5c);
+    for case in 0..2000 {
+        let src = random_call_soup(&mut rng);
+        let g = livesec_lint::callgraph::graph_of_sources(&[("soup.rs".to_string(), src.clone())]);
+        assert!(
+            g.edge_count() <= g.nodes.len() * g.nodes.len(),
+            "case {case}: impossible edge count"
+        );
+        let _ = livesec_lint::lint_source(&src);
+    }
+}
+
+#[test]
+fn call_graph_is_insertion_order_independent() {
+    // The graph a workspace analysis sees must not depend on the
+    // order the walker happened to yield files in: shuffle the input
+    // list and demand a byte-identical rendering.
+    let mut rng = SplitMix64(0x0d9e_12f3);
+    for case in 0..200 {
+        let n = 2 + rng.below(5);
+        let mut sources: Vec<(String, String)> = (0..n)
+            .map(|i| (format!("m{i}.rs"), random_call_soup(&mut rng)))
+            .collect();
+        let baseline = livesec_lint::callgraph::graph_of_sources(&sources).render();
+        // Fisher–Yates shuffle.
+        for i in (1..sources.len()).rev() {
+            sources.swap(i, rng.below(i + 1));
+        }
+        let shuffled = livesec_lint::callgraph::graph_of_sources(&sources).render();
+        assert_eq!(baseline, shuffled, "case {case}: node/edge order drifted");
+    }
+}
+
+// ---------------------------------------------------------------------
+// v3: CLI contract (--rule filter, exit codes)
+// ---------------------------------------------------------------------
+
+use std::path::Path;
+use std::process::Command;
+
+/// Materializes a throwaway single-crate workspace under the target
+/// tmp dir and returns its root.
+fn scratch_workspace(tag: &str, lib_rs: &str) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("cli-{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("src")).expect("mkdir scratch workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(root.join("src/lib.rs"), lib_rs).expect("write lib.rs");
+    root
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_livesec-lint"))
+        .args(extra)
+        .arg(root)
+        .output()
+        .expect("run livesec-lint");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn cli_exits_zero_on_clean_workspace() {
+    let root = scratch_workspace("clean", "pub fn ok(x: u32) -> u32 { x + 1 }\n");
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 0, "stdout:\n{out}");
+}
+
+#[test]
+fn cli_exits_one_on_findings() {
+    let root = scratch_workspace("dirty", "pub fn t() -> u64 { let i = Instant::now(); 0 }\n");
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("LS102"), "stdout:\n{out}");
+}
+
+#[test]
+fn cli_exits_two_on_parse_errors_even_when_filtered_out() {
+    let root = scratch_workspace("garbage", "fn ( } { ) impl impl impl\n");
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 2, "stdout:\n{out}");
+    assert!(out.contains("LS000"), "stdout:\n{out}");
+    // Filtering LS000 out of the *report* must not launder the exit
+    // code: an unparsed file is unchecked, not clean.
+    let (code, _) = run_lint(&root, &["--rule", "LS102"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn cli_rule_filter_narrows_the_report() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn t(m: &HashMap<u32, u32>) -> u64 {\n\
+                   let i = Instant::now();\n\
+                   for (k, v) in m.iter() { emit(*k, *v); }\n\
+                   0\n\
+               }\n";
+    let root = scratch_workspace("filter", src);
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 1);
+    assert!(out.contains("LS101") && out.contains("LS102"), "{out}");
+    // By code...
+    let (code, out) = run_lint(&root, &["--rule", "LS102"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("LS102") && !out.contains("LS101"), "{out}");
+    // ...and by name; a rule with no findings exits clean.
+    let (code, out) = run_lint(&root, &["--rule", "wire-taint"]);
+    assert_eq!(code, 0, "{out}");
+    // Unknown rules are a usage error, not "clean".
+    let (code, _) = run_lint(&root, &["--rule", "LS999"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn cli_json_summary_reports_graph_stats() {
+    let root = scratch_workspace(
+        "stats",
+        "pub fn a(x: u32) -> u32 { b(x) }\npub fn b(x: u32) -> u32 { x }\n",
+    );
+    let (code, out) = run_lint(&root, &["--json"]);
+    assert_eq!(code, 0, "{out}");
+    let summary = out.lines().last().expect("summary line");
+    for key in [
+        "\"findings\":",
+        "\"files\":",
+        "\"fns\":",
+        "\"edges\":",
+        "\"hot_fns\":",
+    ] {
+        assert!(summary.contains(key), "summary missing {key}: {summary}");
+    }
+    assert!(summary.contains("\"fns\":2"), "{summary}");
+    assert!(summary.contains("\"edges\":1"), "{summary}");
+}

@@ -239,3 +239,155 @@ fn policy_crate_is_scoped_as_production() {
         "{hot:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// v3: inter-procedural fixtures
+// ---------------------------------------------------------------------
+
+/// Finds a top-level or impl function by name in a fixture.
+fn find_fn(src: &str, name: &str) -> livesec_lint::ast::FnItem {
+    fn scan(items: Vec<livesec_lint::ast::Item>, name: &str) -> Option<livesec_lint::ast::FnItem> {
+        for item in items {
+            match item {
+                livesec_lint::ast::Item::Fn(f) if f.name == name => return Some(f),
+                livesec_lint::ast::Item::Impl { items, .. }
+                | livesec_lint::ast::Item::Mod { items, .. } => {
+                    if let Some(f) = scan(items, name) {
+                        return Some(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    scan(livesec_lint::parser::parse(src).items, name)
+        .unwrap_or_else(|| panic!("fixture has no fn `{name}`"))
+}
+
+#[test]
+fn wire_taint_interproc_bad_trips_and_v2_missed_it() {
+    // v3: the wire length reaches `Vec::with_capacity` two calls deep.
+    assert_trips_with("wire_taint_interproc_bad.rs", Rule::WireTaint, 1);
+    // v2-regression proof: the intra-procedural walker sees nothing in
+    // `decode` — the taint died at the first call boundary.
+    let f = find_fn(&fixture("wire_taint_interproc_bad.rs"), "decode");
+    assert!(
+        livesec_lint::dataflow::wire_taint_sinks(&f).is_empty(),
+        "v2 walker unexpectedly caught the cross-function flow"
+    );
+}
+
+#[test]
+fn wire_taint_interproc_good_is_clean() {
+    assert_clean_with("wire_taint_interproc_good.rs");
+}
+
+#[test]
+fn panic_path_interproc_bad_trips() {
+    // get_at's own unguarded param (v2 shape), plus the two
+    // cross-function shapes: subtracting helper in an index, and an
+    // int param forwarded to an indexing callee.
+    assert_trips_with("panic_path_interproc_bad.rs", Rule::PanicPath, 3);
+}
+
+#[test]
+fn panic_path_interproc_good_is_clean() {
+    assert_clean_with("panic_path_interproc_good.rs");
+}
+
+#[test]
+fn taint_survives_closures_and_chains() {
+    // map closure, and_then chain, capturing closure.
+    assert_trips_with("taint_closure_bad.rs", Rule::WireTaint, 3);
+}
+
+#[test]
+fn taint_closure_good_is_clean() {
+    assert_clean_with("taint_closure_good.rs");
+}
+
+#[test]
+fn hot_set_extends_transitively_to_helpers() {
+    let findings = lint_source_with(&fixture("hot_transitive_bad.rs"), &all_rules());
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::HotPathAlloc)
+        .collect();
+    assert!(!hits.is_empty(), "helper allocation missed: {findings:#?}");
+    // The message must carry the provenance back to the seed root.
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains("`helper`") && f.message.contains("seed root `hot`")),
+        "missing hot-via provenance: {hits:#?}"
+    );
+}
+
+#[test]
+fn hot_transitive_good_is_clean() {
+    assert_clean_with("hot_transitive_good.rs");
+}
+
+/// Exact (line, rule) span assertions for the LS5xx family.
+#[track_caller]
+fn assert_spans(name: &str, rule: Rule, lines: &[u32]) {
+    let findings = lint_source_with(&fixture(name), &all_rules());
+    let got: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(
+        got,
+        lines,
+        "{name}: {} spans mismatch: {findings:#?}",
+        rule.name()
+    );
+}
+
+#[test]
+fn ls501_shared_mut_bad_exact_spans() {
+    // static mut, Mutex field, RefCell field, leaking return type.
+    assert_spans(
+        "ls501_shared_mut_bad.rs",
+        Rule::SharedMutState,
+        &[5, 8, 9, 12],
+    );
+}
+
+#[test]
+fn ls501_shared_mut_good_is_clean() {
+    assert_clean_with("ls501_shared_mut_good.rs");
+}
+
+#[test]
+fn ls502_lock_order_bad_exact_span() {
+    // The line completing the inversion in `rev`.
+    assert_spans("ls502_lock_order_bad.rs", Rule::LockOrder, &[19]);
+}
+
+#[test]
+fn ls502_lock_order_good_is_clean() {
+    assert_clean_with("ls502_lock_order_good.rs");
+}
+
+#[test]
+fn ls503_unordered_reduce_bad_exact_spans() {
+    let findings = lint_source_with(&fixture("ls503_unordered_reduce_bad.rs"), &all_rules());
+    let got: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnorderedReduce)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(got.len(), 2, "expected 2 unordered-reduce: {findings:#?}");
+    // The reductions must NOT double-report as plain unordered-iter.
+    assert!(
+        !findings.iter().any(|f| f.rule == Rule::UnorderedIter),
+        "LS101 double-report: {findings:#?}"
+    );
+}
+
+#[test]
+fn ls503_unordered_reduce_good_is_clean() {
+    assert_clean_with("ls503_unordered_reduce_good.rs");
+}

@@ -1,0 +1,13 @@
+//! BAD: the allocation lives in a helper the configured hot root
+//! calls, not in the root itself. v2 checked only the functions named
+//! in the hot table, so extracting a helper silently lost coverage;
+//! v3 derives the hot set transitively from the seed roots.
+
+fn hot(x: u32) -> u32 {
+    helper(x)
+}
+
+fn helper(x: u32) -> u32 {
+    let buf = vec![x; 4];
+    buf.len() as u32
+}

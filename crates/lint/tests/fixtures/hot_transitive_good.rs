@@ -1,0 +1,17 @@
+//! GOOD twin of `hot_transitive_bad.rs`: the hot root's helper is
+//! allocation-free, and the allocating function is *not* reachable
+//! from any hot root — cold code may allocate freely.
+
+fn hot(x: u32) -> u32 {
+    helper(x)
+}
+
+fn helper(x: u32) -> u32 {
+    x.wrapping_add(1)
+}
+
+fn cold_report() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

@@ -1,0 +1,14 @@
+//! BAD: every LS501 shape — a `static mut` global, a lock-guarded
+//! field, an interior-mutability field, and a function leaking
+//! interior-mutable state through its return type.
+
+static mut COUNTER: u64 = 0;
+
+struct Shared {
+    table: Mutex<Vec<u32>>,
+    cache: RefCell<Vec<u8>>,
+}
+
+fn expose() -> RefCell<u32> {
+    RefCell::new(0)
+}

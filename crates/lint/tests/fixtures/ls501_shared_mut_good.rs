@@ -1,0 +1,22 @@
+//! GOOD twin of `ls501_shared_mut_bad.rs`: test-gated state is
+//! exempt, a deliberately shared field carries a reasoned allow, and
+//! production functions hand out owned data.
+
+struct Worker {
+    // livesec-lint: allow(shared-mut-state, reason = "single consumer; populated before workers start, read-only after")
+    table: Mutex<Vec<u32>>,
+    snapshot: Vec<u8>,
+}
+
+fn expose() -> Vec<u8> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    static mut TEST_HOOK: u64 = 0;
+
+    struct Probe {
+        cell: RefCell<u32>,
+    }
+}

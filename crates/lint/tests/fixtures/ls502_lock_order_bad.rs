@@ -1,0 +1,22 @@
+//! BAD: `fwd` acquires `a` then `b`; `rev` acquires `b` then `a`.
+//! Under concurrency that is the ABBA deadlock shape — LS502 fires on
+//! the line completing the inversion.
+
+struct Pair {
+    a: Mutex<u32>, // livesec-lint: allow(shared-mut-state, reason = "lock-order fixture needs two locks")
+    b: Mutex<u32>, // livesec-lint: allow(shared-mut-state, reason = "lock-order fixture needs two locks")
+}
+
+impl Pair {
+    fn fwd(&self) -> u32 {
+        let x = self.a.lock();
+        let y = self.b.lock();
+        0
+    }
+
+    fn rev(&self) -> u32 {
+        let y = self.b.lock();
+        let x = self.a.lock();
+        0
+    }
+}

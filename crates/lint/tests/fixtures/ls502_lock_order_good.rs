@@ -1,0 +1,26 @@
+//! GOOD twin of `ls502_lock_order_bad.rs`: both paths take the locks
+//! in the same global order, including one that inherits the second
+//! acquisition from a helper.
+
+struct Pair {
+    a: Mutex<u32>, // livesec-lint: allow(shared-mut-state, reason = "lock-order fixture needs two locks")
+    b: Mutex<u32>, // livesec-lint: allow(shared-mut-state, reason = "lock-order fixture needs two locks")
+}
+
+impl Pair {
+    fn fwd(&self) -> u32 {
+        let x = self.a.lock();
+        let y = self.b.lock();
+        0
+    }
+
+    fn also_fwd(&self) -> u32 {
+        let x = self.a.lock();
+        self.tail()
+    }
+
+    fn tail(&self) -> u32 {
+        let y = self.b.lock();
+        0
+    }
+}

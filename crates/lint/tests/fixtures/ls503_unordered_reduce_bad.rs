@@ -1,0 +1,24 @@
+//! BAD: order-sensitive reductions over unordered iteration. Unlike
+//! LS101 shapes, no post-hoc sort can rescue these — the accumulator
+//! already folded elements in hash order.
+
+use std::collections::HashMap;
+
+struct Acc {
+    weights: HashMap<u32, u64>,
+}
+
+impl Acc {
+    fn rolling(&self) -> u64 {
+        self.weights.values().fold(0, |a, b| (a << 1) ^ *b)
+    }
+
+    fn merged(&self) -> u64 {
+        let m = self
+            .weights
+            .values()
+            .copied()
+            .reduce(|a, b| a.wrapping_mul(31).wrapping_add(b));
+        m.unwrap_or(0)
+    }
+}

@@ -1,0 +1,26 @@
+//! GOOD twin of `ls503_unordered_reduce_bad.rs`: folding an ordered
+//! collection is fine; an order-insensitive accumulator over a hash
+//! map is fine too (`sum`), as is a fold annotated with why the
+//! operation commutes.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Acc {
+    ordered: BTreeMap<u32, u64>,
+    weights: HashMap<u32, u64>,
+}
+
+impl Acc {
+    fn rolling(&self) -> u64 {
+        self.ordered.values().fold(0, |a, b| (a << 1) ^ *b)
+    }
+
+    fn total(&self) -> u64 {
+        self.weights.values().sum()
+    }
+
+    fn xor_all(&self) -> u64 {
+        // livesec-lint: allow(unordered-reduce, reason = "xor is commutative and associative, so hash order cannot change the result")
+        self.weights.values().fold(0, |a, b| a ^ *b)
+    }
+}

@@ -1,0 +1,30 @@
+//! BAD: both LS202 shapes that need the call graph. v2 only looked
+//! inside one function at a time, so neither fired — `rules.rs` unit
+//! tests prove `check_panic_path` without an oracle reports nothing
+//! for `last` or `pick`. v3 reads the callee summaries:
+//!
+//! * `last` indexes with `prev2(len)`, and `prev2 → prev` subtracts
+//!   from its argument without a guard (`ret_sub` composition);
+//! * `pick` forwards its caller-controlled `i` to `get_at`, which
+//!   uses it as an unguarded slice index (`idx_params` composition).
+
+fn prev(i: usize) -> usize {
+    i - 1
+}
+
+fn prev2(i: usize) -> usize {
+    prev(i)
+}
+
+fn last(v: &[u8]) -> u8 {
+    let len = v.len();
+    v[prev2(len)]
+}
+
+fn get_at(v: &[u8], i: usize) -> u8 {
+    v[i]
+}
+
+fn pick(v: &[u8], i: usize) -> u8 {
+    get_at(v, i)
+}

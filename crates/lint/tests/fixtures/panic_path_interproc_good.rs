@@ -1,0 +1,34 @@
+//! GOOD twin of `panic_path_interproc_bad.rs`: the same helper
+//! shapes, but every caller bounds-checks before the call, and the
+//! subtracting helper guards its own argument.
+
+fn prev(i: usize) -> usize {
+    if i == 0 {
+        return 0;
+    }
+    i - 1
+}
+
+fn prev2(i: usize) -> usize {
+    prev(i)
+}
+
+fn last(v: &[u8]) -> u8 {
+    if v.is_empty() {
+        return 0;
+    }
+    let len = v.len();
+    v[prev2(len)]
+}
+
+fn get_at(v: &[u8], i: usize) -> u8 {
+    if i < v.len() {
+        v[i]
+    } else {
+        0
+    }
+}
+
+fn pick(v: &[u8], i: usize) -> u8 {
+    get_at(v, i)
+}

@@ -1,0 +1,20 @@
+//! BAD: wire taint must survive closure boundaries. Three shapes:
+//! a `map` closure over a tainted option, an `and_then` chain, and a
+//! plain closure capturing a tainted local. The v2 walker dropped the
+//! environment at every `|..|`, so all three were silent.
+
+fn via_map(r: &mut Reader) -> Option<Vec<u8>> {
+    let n = r.u32()? as usize;
+    Some(n).map(|k| Vec::with_capacity(k))
+}
+
+fn via_and_then(r: &mut Reader) -> Option<usize> {
+    let n = r.u16()? as usize;
+    Some(n).and_then(|k| Some(k * 8))
+}
+
+fn via_capture(r: &mut Reader) -> Vec<u8> {
+    let n = r.u32()? as usize;
+    let make = || Vec::with_capacity(n);
+    make()
+}

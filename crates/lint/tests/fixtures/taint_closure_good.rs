@@ -1,0 +1,19 @@
+//! GOOD twin of `taint_closure_bad.rs`: every wire length is clamped
+//! against the reader's remaining bytes *before* it enters the chain
+//! or closure, so nothing tainted reaches a sink.
+
+fn via_map(r: &mut Reader) -> Option<Vec<u8>> {
+    let n = (r.u32()? as usize).min(r.remaining());
+    Some(n).map(|k| Vec::with_capacity(k))
+}
+
+fn via_and_then(r: &mut Reader) -> Option<usize> {
+    let n = (r.u16()? as usize).min(64);
+    Some(n).and_then(|k| Some(k * 8))
+}
+
+fn via_capture(r: &mut Reader) -> Vec<u8> {
+    let n = (r.u32()? as usize).min(r.remaining());
+    let make = || Vec::with_capacity(n);
+    make()
+}

@@ -1,0 +1,19 @@
+//! BAD: a wire-read length reaches `Vec::with_capacity` only through
+//! two helper calls. v2 analyzed each function in isolation, so the
+//! taint died at the first call boundary and this file was clean —
+//! `fixtures.rs` proves the v2 walker (`dataflow::wire_taint_sinks`)
+//! still reports nothing for `decode`. v3 composes the helpers'
+//! summaries at the call sites and flags the `deep(n)` call.
+
+fn alloc_frames(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+fn deep(n: usize) -> Vec<u64> {
+    alloc_frames(n)
+}
+
+fn decode(r: &mut Reader) -> Result<Vec<u64>, Error> {
+    let n = r.u32()? as usize;
+    Ok(deep(n))
+}

@@ -1,0 +1,16 @@
+//! GOOD twin of `wire_taint_interproc_bad.rs`: the wire length is
+//! clamped against the reader's remaining bytes *before* it enters
+//! the helper chain, so no tainted value reaches the allocation.
+
+fn alloc_frames(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+fn deep(n: usize) -> Vec<u64> {
+    alloc_frames(n)
+}
+
+fn decode(r: &mut Reader) -> Result<Vec<u64>, Error> {
+    let n = (r.u32()? as usize).min(r.remaining());
+    Ok(deep(n))
+}

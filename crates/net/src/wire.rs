@@ -240,7 +240,9 @@ impl<'a> Reader<'a> {
     }
 
     fn rest(&mut self) -> &'a [u8] {
-        let s = &self.buf[self.pos..];
+        // `pos <= len` is a Reader invariant, but checked slicing
+        // keeps a wire-driven cursor from ever panicking.
+        let s = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         s
     }
@@ -310,14 +312,21 @@ fn parse_ipv4(r: &mut Reader<'_>) -> Result<Ipv4Packet, ParseError> {
     if ihl > Ipv4Header::WIRE_LEN {
         r.take(ihl - Ipv4Header::WIRE_LEN)?; // skip options
     }
-    if internet_checksum(&r.buf[header_start..header_start + ihl]) != 0 {
+    let header = r
+        .buf
+        .get(header_start..header_start + ihl)
+        .ok_or(ParseError::Truncated)?;
+    if internet_checksum(header) != 0 {
         return Err(ParseError::BadChecksum { layer: "ipv4" });
     }
     if total_len < ihl || header_start + total_len > r.buf.len() {
         return Err(ParseError::Truncated);
     }
     let seg_len = total_len - ihl;
-    let seg = &r.buf[r.pos..r.pos + seg_len];
+    let seg = r
+        .buf
+        .get(r.pos..r.pos + seg_len)
+        .ok_or(ParseError::Truncated)?;
     r.take(seg_len)?;
 
     let transport = match proto {

@@ -106,10 +106,12 @@ fn set_tp_dst(t: &mut Transport, port: u16) {
 
 /// Applies `actions` to `pkt` with OpenFlow-1.0 sequencing.
 pub fn apply_actions(pkt: &Packet, actions: &[Action]) -> ActionOutcome {
+    // livesec-lint: allow(hot-path-alloc, reason = "OF 1.0 sequencing mutates a scratch copy; rewrites apply to it in order")
     let mut cur = pkt.clone();
     let mut outcome = ActionOutcome::default();
     for action in actions {
         match *action {
+            // livesec-lint: allow(hot-path-alloc, reason = "each Output emits the packet as rewritten so far; copies are the OF semantics")
             Action::Output(dest) => outcome.outputs.push((dest, cur.clone())),
             Action::SetDlSrc(mac) => cur.eth.src = mac,
             Action::SetDlDst(mac) => cur.eth.dst = mac,

@@ -339,6 +339,7 @@ impl AsSwitch {
             OutPort::Flood => {
                 for p in 1..=self.n_ports {
                     if Some(p) != in_port && !self.down_ports.contains(&p) {
+                        // livesec-lint: allow(hot-path-alloc, reason = "flood fans one frame out to every port; a copy per port is the semantics")
                         ctx.send(PortId(p), pkt.clone());
                     }
                 }

@@ -15,11 +15,15 @@ run() {
 }
 
 run cargo build --release
-# Static analysis v2 (DESIGN.md §6, §13): AST + dataflow lints —
-# determinism (LS1xx), panic paths (LS2xx), wire-input taint (LS301),
-# hot-path allocation (LS401); zero unannotated findings allowed.
-# The JSON finding stream is archived for diffing across PRs, and the
-# full-workspace pass must stay under its 5 s wall-time budget.
+# Static analysis v3 (DESIGN.md §6, §13): workspace call graph +
+# inter-procedural summaries — determinism (LS1xx), panic paths
+# (LS2xx) through helpers, wire-input taint (LS301) across calls,
+# transitive hot-path allocation (LS401), and the concurrency family
+# (LS501 shared state, LS502 lock order, LS503 unordered reduction);
+# zero unannotated findings allowed. The JSON finding stream is
+# archived for diffing across PRs, the full-workspace pass must stay
+# under its 5 s wall-time budget, and a second run must reproduce
+# LINT.json byte-for-byte (the analysis is deterministic by design).
 echo "==> cargo run -q -p livesec-lint --release -- --json"
 # Warm the per-package build first: `cargo run -p` resolves features
 # per package and can recompile even after a workspace build, and the
@@ -34,6 +38,18 @@ if [ "$lint_elapsed_ms" -ge 5000 ]; then
     exit 1
 fi
 test -s LINT.json
+cargo run -q -p livesec-lint --release -- --json > LINT2.json
+cmp LINT.json LINT2.json || {
+    echo "livesec-lint output is not deterministic across runs" >&2
+    exit 1
+}
+rm -f LINT2.json
+# The last LINT.json line is the graph summary
+# ({"findings":..,"files":..,"fns":..,"edges":..,"hot_fns":..});
+# prepend the measured wall time and archive as the lint bench.
+lint_summary=$(tail -n 1 LINT.json)
+printf '{"wall_ms":%s,%s\n' "$lint_elapsed_ms" "${lint_summary#\{}" > BENCH_lint.json
+test -s BENCH_lint.json
 # Header-space invariant verifier (DESIGN.md §8): snapshot the
 # emitted flow tables of the baseline scenario and prove the eight
 # dataplane invariants (blocked-unreachable, no loops, no blackholes,
